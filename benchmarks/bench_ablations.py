@@ -1,0 +1,50 @@
+"""Regenerate the DESIGN.md §6 design-choice ablations.
+
+Not a paper figure; quantifies the design levers the paper's §8 highlights:
+spring factor, active-tip count, striping width, bidirectional access.
+"""
+
+from conftest import record_result
+
+from repro.experiments import ablations
+
+
+def run_ablations():
+    return ablations.run(num_requests=1500)
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    record_result(
+        "ablations",
+        "\n\n".join(
+            [
+                result.spring_table(),
+                result.active_tips_table(),
+                result.striping_table(),
+                result.direction_table(),
+                result.seek_error_table(),
+            ]
+        ),
+    )
+
+    # More active tips -> wider tracks and faster service, monotone.
+    tips_rows = result.active_tips
+    assert all(a[1] < b[1] for a, b in zip(tips_rows, tips_rows[1:]))
+    assert all(a[3] > b[3] for a, b in zip(tips_rows, tips_rows[1:]))
+    # Wider striping (fewer bytes per tip) -> faster transfers.
+    stripe_rows = result.striping
+    assert stripe_rows[0][2] < stripe_rows[-1][2]
+    # Unidirectional access hurts read-modify-write badly (no turnaround
+    # rewrite) but barely touches random service.
+    bi_service, bi_rmw = result.direction["bidirectional"]
+    uni_service, uni_rmw = result.direction["unidirectional"]
+    assert uni_rmw > bi_rmw * 1.2
+    assert uni_service < bi_service * 1.1
+    # Seek errors degrade both devices monotonically; the disk pays far
+    # more per retry (rotation vs turnaround).
+    rates = result.seek_errors
+    assert all(a[1] <= b[1] + 1e-6 for a, b in zip(rates, rates[1:]))
+    mems_penalty = rates[-1][1] - rates[0][1]
+    disk_penalty = rates[-1][2] - rates[0][2]
+    assert disk_penalty > 5 * mems_penalty

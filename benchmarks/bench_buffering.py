@@ -1,0 +1,27 @@
+"""Regenerate the §2.4.11 buffering/prefetch comparison.
+
+Claims quantified: sequential read-ahead amortizes positioning (large
+gains on both devices, larger on the disk whose positioning is costlier);
+the small device buffer wins nothing on random workloads.
+"""
+
+from conftest import record_result
+
+from repro.experiments import buffering
+
+
+def run_buffering():
+    return buffering.run(num_requests=2000)
+
+
+def test_buffering(benchmark):
+    result = benchmark.pedantic(run_buffering, rounds=1, iterations=1)
+    record_result("buffering", result.table())
+
+    for device in ("MEMS", "Atlas 10K"):
+        assert result.sequential_gain(device) > 0.25
+        assert abs(result.random_gain(device)) < 0.10
+        assert result.hit_rates[(device, "sequential")] > 0.8
+        assert result.hit_rates[(device, "random")] < 0.05
+    # The disk gains more: its per-request positioning is ~10x dearer.
+    assert result.sequential_gain("Atlas 10K") > result.sequential_gain("MEMS")

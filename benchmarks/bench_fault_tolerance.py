@@ -1,0 +1,48 @@
+"""Regenerate the §6.1 fault-tolerance ablations.
+
+Claims quantified: striping+ECC turns otherwise-fatal tip failures into
+recoverable events; spare-tip remapping extends survival by orders of
+magnitude; second-pass recovery costs a turnaround on MEMS vs most of a
+rotation on a disk; redundancy trades linearly against usable capacity.
+"""
+
+from conftest import record_result
+
+from repro.experiments import faults
+
+
+def run_faults():
+    return faults.run(trials=200)
+
+
+def test_fault_tolerance(benchmark):
+    result = benchmark.pedantic(run_faults, rounds=1, iterations=1)
+    record_result(
+        "fault_tolerance",
+        "\n\n".join(
+            [
+                result.survival_table(),
+                result.recovery_table(),
+                result.capacity_table(),
+            ]
+        ),
+    )
+
+    # A disk-like configuration (no redundancy) loses data on failure #1.
+    assert result.survival["no-ecc"][0] == 0.0
+    # ECC alone survives small failure counts with certainty.
+    assert result.survival["ecc-4"][0] == 1.0
+    assert result.survival["ecc-4"][2] == 1.0  # 4 failures
+    # Spares + ECC survive two orders of magnitude more failures.
+    assert result.survival["ecc-4+spares"][-1] > 0.95  # 128 failures
+    # Monotonicity: more ECC tips never hurt.
+    for a, b in (("ecc-1", "ecc-2"), ("ecc-2", "ecc-4")):
+        for index in range(len(result.failure_counts)):
+            assert result.survival[b][index] >= result.survival[a][index] - 0.05
+    # Recovery-path contrast.
+    assert result.reread_disk / result.reread_mems > 10
+    assert result.slip_penalty_disk > 1e-3
+    # Measured remapping penalties: a real spare-area trip on the disk,
+    # exactly zero for MEMS spare-tip remapping (section 6.1.1).
+    assert result.measured_remap_disk > 2e-3
+    assert result.measured_remap_mems_spare_tip == 0.0

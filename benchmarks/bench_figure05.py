@@ -1,0 +1,34 @@
+"""Regenerate Figure 5: scheduler comparison on the Quantum Atlas 10K.
+
+Paper shape: FCFS saturates first; SSTF_LBN beats C-LOOK on response time;
+SPTF beats everything; C-LOOK has the best (lowest) σ²/µ².
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure05
+
+
+def run_figure05():
+    return figure05.run(num_requests=4000)
+
+
+def test_figure05(benchmark):
+    result = benchmark.pedantic(run_figure05, rounds=1, iterations=1)
+    text = result.response_time_table() + "\n\n" + result.cv2_table()
+    record_result("figure05", text)
+
+    sweep = result.sweep
+    last_ok = None
+    for index in range(len(sweep.xs()) - 1, -1, -1):
+        points = {a: sweep.series[a][index] for a in sweep.algorithms()}
+        if not any(p.saturated for p in points.values()):
+            last_ok = index
+            break
+    assert last_ok is not None
+    at = {a: sweep.series[a][last_ok] for a in sweep.algorithms()}
+    assert at["SPTF"].mean_response_time <= at["SSTF_LBN"].mean_response_time
+    assert at["SSTF_LBN"].mean_response_time < at["FCFS"].mean_response_time
+    assert at["C-LOOK"].response_time_cv2 <= min(
+        at["SSTF_LBN"].response_time_cv2, at["SPTF"].response_time_cv2
+    )

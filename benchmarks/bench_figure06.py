@@ -1,0 +1,34 @@
+"""Regenerate Figure 6: scheduler comparison on the MEMS device.
+
+Paper shape: same ordering as the disk (SPTF best, C-LOOK fairest), with a
+relatively larger FCFS gap and a smaller C-LOOK ↔ SSTF_LBN gap than on the
+disk.
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure06
+
+
+def run_figure06():
+    return figure06.run(num_requests=4000)
+
+
+def test_figure06(benchmark):
+    result = benchmark.pedantic(run_figure06, rounds=1, iterations=1)
+    text = result.response_time_table() + "\n\n" + result.cv2_table()
+    record_result("figure06", text)
+
+    sweep = result.sweep
+    # Highest rate where no algorithm saturated.
+    index = max(
+        i
+        for i in range(len(sweep.xs()))
+        if not any(sweep.series[a][i].saturated for a in sweep.algorithms())
+    )
+    at = {a: sweep.series[a][index] for a in sweep.algorithms()}
+    assert at["SPTF"].mean_response_time <= at["SSTF_LBN"].mean_response_time
+    assert at["SSTF_LBN"].mean_response_time < at["FCFS"].mean_response_time
+    assert at["C-LOOK"].response_time_cv2 <= min(
+        at["SSTF_LBN"].response_time_cv2, at["SPTF"].response_time_cv2
+    )

@@ -1,0 +1,34 @@
+"""Regenerate Figure 7: Cello-like and TPC-C-like traces on MEMS.
+
+Paper shape: Cello's scheduler ranking resembles the random workload;
+on TPC-C, SPTF wins by a much larger margin (close-LBN pending sets defeat
+LBN-based selection).
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure07
+
+
+def run_figure07():
+    return figure07.run(num_requests=4000)
+
+
+def test_figure07(benchmark):
+    result = benchmark.pedantic(run_figure07, rounds=1, iterations=1)
+    text = result.cello_table() + "\n\n" + result.tpcc_table()
+    record_result("figure07", text)
+
+    def margin_at_last_unsaturated(name):
+        sweep = result.tpcc if name == "tpcc" else result.cello
+        for index in range(len(sweep.xs()) - 1, -1, -1):
+            try:
+                return result.sptf_margin(name, index)
+            except ValueError:
+                continue
+        raise AssertionError(f"{name}: every scale saturated")
+
+    cello_margin = margin_at_last_unsaturated("cello")
+    tpcc_margin = margin_at_last_unsaturated("tpcc")
+    assert tpcc_margin > cello_margin
+    assert tpcc_margin > 1.15

@@ -1,0 +1,32 @@
+"""Regenerate Figure 8: SPTF × settle-time interaction on MEMS.
+
+Paper shape: with 2 settle constants SSTF_LBN closely approximates SPTF;
+with 0 settle constants SPTF wins by a large margin.
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure08
+
+
+def run_figure08():
+    return figure08.run(num_requests=4000)
+
+
+def test_figure08(benchmark):
+    result = benchmark.pedantic(run_figure08, rounds=1, iterations=1)
+    record_result("figure08", result.tables())
+
+    def best_advantage(constants):
+        sweep = result.by_settle[constants].sweep
+        advantages = [
+            result.sptf_advantage(constants, i)
+            for i in range(len(sweep.xs()))
+        ]
+        return max(a for a in advantages if a is not None)
+
+    zero = best_advantage(0.0)
+    two = best_advantage(2.0)
+    assert zero > two
+    assert zero > 1.2  # SPTF wins big with active damping
+    assert two < 1.25  # SSTF_LBN approximates SPTF with slow settle

@@ -1,0 +1,38 @@
+"""Regenerate Figure 9: per-subregion service times with/without settle.
+
+Paper shape: the centermost subregion is the fastest; spring forces make
+corner subregions 10-20% slower (our spring field: ~4-9%, same shape); the
+no-settle numbers sit uniformly ~one settle time lower.
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure09
+
+
+def run_figure09():
+    return figure09.run(num_requests=2000)
+
+
+def test_figure09(benchmark):
+    result = benchmark.pedantic(run_figure09, rounds=1, iterations=1)
+    record_result(
+        "figure09",
+        result.grid()
+        + "\n\ncorner/center ratio: "
+        + f"{result.edge_to_center_ratio(True):.3f} settled, "
+        + f"{result.edge_to_center_ratio(False):.3f} no-settle",
+    )
+
+    center = result.with_settle[(0, 0)]
+    for position, value in result.with_settle.items():
+        assert value >= center - 1e-6, f"center not fastest vs {position}"
+    assert result.edge_to_center_ratio(True) > 1.02
+    assert result.edge_to_center_ratio(False) > result.edge_to_center_ratio(True)
+    # No-settle grid sits roughly one settle time lower everywhere.
+    from repro.mems import DEFAULT_PARAMETERS
+
+    settle = DEFAULT_PARAMETERS.settle_time
+    for position in result.with_settle:
+        delta = result.with_settle[position] - result.without_settle[position]
+        assert 0.5 * settle < delta <= settle + 1e-6

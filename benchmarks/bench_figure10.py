@@ -1,0 +1,28 @@
+"""Regenerate Figure 10: 256 KB service time vs X seek distance.
+
+Paper shape: a 1000-cylinder X seek adds only ~10-12% to a 256 KB request's
+service time (positioning hides under the long transfer), the property that
+lets the bipartite layouts banish large files to the media edges.
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure10
+
+
+def run_figure10():
+    return figure10.run()
+
+
+def test_figure10(benchmark):
+    result = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    record_result(
+        "figure10",
+        result.table()
+        + f"\n\npenalty at 1000 cylinders: {result.penalty_at(1000) * 100:.1f}%",
+    )
+
+    assert 0.05 < result.penalty_at(1000) < 0.20
+    distances = sorted(result.service_times)
+    times = [result.service_times[d] for d in distances]
+    assert all(a <= b + 1e-6 for a, b in zip(times, times[1:]))

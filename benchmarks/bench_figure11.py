@@ -1,0 +1,34 @@
+"""Regenerate Figure 11: layout schemes on MEMS, MEMS-no-settle, Atlas 10K.
+
+Paper shape: organ-pipe/subregioned/columnar all beat the simple layout by
+13-20% on MEMS; the bipartite layouts match or beat organ pipe without its
+popularity bookkeeping; with zero settle the subregioned layout (the only
+one optimizing X and Y) extends its lead; the disk gains ~13% from organ
+pipe.
+"""
+
+from conftest import record_result
+
+from repro.experiments import figure11
+
+
+def run_figure11():
+    return figure11.run(num_requests=6000)
+
+
+def test_figure11(benchmark):
+    result = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    lines = [result.table(), ""]
+    for device in result.service_times:
+        for layout in result.service_times[device]:
+            if layout == "simple":
+                continue
+            gain = result.improvement_over_simple(device, layout)
+            lines.append(f"{device:14s} {layout:12s} {gain * 100:+6.1f}% vs simple")
+    record_result("figure11", "\n".join(lines))
+
+    for layout in ("organ-pipe", "subregioned", "columnar"):
+        assert result.improvement_over_simple("MEMS", layout) > 0.08
+    nosettle = result.service_times["MEMS-nosettle"]
+    assert nosettle["subregioned"] == min(nosettle.values())
+    assert result.improvement_over_simple("Atlas 10K", "organ-pipe") > 0.08

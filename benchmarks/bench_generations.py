@@ -1,0 +1,36 @@
+"""Regenerate the cross-generation (G1/G2/G3) study.
+
+Extension: the paper's qualitative story must hold across the design
+roadmap — sub-millisecond random access, turnaround-priced RMW, capacity
+and bandwidth scaling with each generation.
+"""
+
+from conftest import record_result
+
+from repro.experiments import generations
+
+
+def run_generations():
+    return generations.run(num_requests=1500)
+
+
+def test_generations(benchmark):
+    result = benchmark.pedantic(run_generations, rounds=1, iterations=1)
+    record_result("generations", result.table())
+
+    # Capacity and bandwidth scale monotonically across generations.
+    for index in (1, 2):
+        values = [row[index] for row in result.rows]
+        assert values[0] < values[1] < values[2]
+    # Random service and RMW improve monotonically.
+    for index in (3, 4):
+        values = [row[index] for row in result.rows]
+        assert values[0] > values[1] > values[2]
+    # Every generation keeps sub-millisecond random access and a
+    # RMW far below a disk rotation.
+    for row in result.rows:
+        assert row[3] < 1e-3
+        assert row[4] < 1e-3
+    # SPTF never loses to SSTF_LBN under heavy load.
+    for row in result.rows:
+        assert row[5] >= 0.98

@@ -1,0 +1,43 @@
+"""Regenerate the §6.3/§7 power-management ablations.
+
+Claims quantified: the MEMS device's ~0.5 ms restart makes the immediate
+idle policy dominate (aggressive savings, imperceptible latency); the
+mobile disk's spin-up penalty makes the same policy catastrophic; device
+arrays of MEMS start concurrently in under a millisecond vs serialized disk
+spin-up; access energy converges to linear-in-bits.
+"""
+
+from conftest import record_result
+
+from repro.experiments import power
+
+
+def run_power():
+    return power.run()
+
+
+def test_power(benchmark):
+    result = benchmark.pedantic(run_power, rounds=1, iterations=1)
+    record_result(
+        "power",
+        "\n\n".join(
+            [
+                result.policy_table(),
+                result.startup_table(),
+                result.linearity_table(),
+            ]
+        ),
+    )
+
+    assert result.best_policy("MEMS") == "immediate"
+    assert result.best_policy("Travelstar") == "never"
+    immediate = result.reports[("MEMS", "immediate")]
+    never = result.reports[("MEMS", "never")]
+    assert immediate.total_energy < never.total_energy / 20
+    assert immediate.added_latency_per_request(result.num_requests) < 1e-3
+    # Startup: 8 MEMS devices ready >1000x faster than 8 mobile disks.
+    assert result.startup["Travelstar"][1] / result.startup["MEMS"][1] > 1000
+    # Energy per KB converges (within 25%) between 256- and 1024-sector
+    # requests: asymptotically linear in bits.
+    per_kb = {s: e / (s * 0.5) for s, e in result.energy_per_size}
+    assert abs(per_kb[1024] - per_kb[256]) / per_kb[256] < 0.25

@@ -1,0 +1,41 @@
+"""Regenerate Table 2: read-modify-write times, Atlas 10K vs MEMS.
+
+Paper numbers: Atlas 10K 6.26 / 12.00 ms; MEMS 0.33 / 4.45 ms (8 / 334
+sectors) — the disk waits most of a rotation, the MEMS sled just turns
+around.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.experiments import table02
+
+
+def run_table02():
+    return table02.run()
+
+
+def test_table02(benchmark):
+    result = benchmark.pedantic(run_table02, rounds=1, iterations=1)
+    record_result(
+        "table02",
+        result.table()
+        + f"\n\nspeedups: {result.speedup(8):.1f}x (8 sectors), "
+        + f"{result.speedup(334):.1f}x (334 sectors); paper ~19x / 2.7x",
+    )
+
+    assert result.breakdowns[("MEMS", 8)].total == pytest.approx(
+        0.33e-3, rel=0.1
+    )
+    assert result.breakdowns[("Atlas 10K", 8)].total == pytest.approx(
+        6.26e-3, rel=0.1
+    )
+    assert result.breakdowns[("MEMS", 334)].total == pytest.approx(
+        4.45e-3, rel=0.05
+    )
+    assert result.breakdowns[("Atlas 10K", 334)].total == pytest.approx(
+        12.0e-3, rel=0.05
+    )
+    assert result.breakdowns[("Atlas 10K", 334)].reposition == pytest.approx(
+        0.0, abs=1e-6
+    )

@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure/table and writes the rendered
+rows to ``benchmarks/results/<name>.txt`` so the artifacts survive the run
+(pytest-benchmark's own timing table shows how long each regeneration
+takes).  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a regenerated figure/table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

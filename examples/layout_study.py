@@ -1,0 +1,71 @@
+"""Data placement study: the §5 layouts on a bipartite workload.
+
+Places a working set of 20,000 hot 4 KB blocks (Zipf popularity) and 500
+cold 400 KB files with each of the four layouts, replays the Fig. 11 read
+stream (89% small / 11% large), and prints the average service time per
+layout on the default MEMS device, a zero-settle MEMS device, and the
+Atlas 10K.
+
+Run:  python examples/layout_study.py
+"""
+
+from repro.core.layout import (
+    ColumnarLayout,
+    OrganPipeLayout,
+    SimpleLinearLayout,
+    SubregionedLayout,
+)
+from repro.disk import DiskDevice, atlas_10k
+from repro.experiments.figure11 import make_fileset, replay_read_stream
+from repro.mems import MEMSDevice, MEMSParameters
+
+
+def main() -> None:
+    fileset = make_fileset()
+    print(
+        f"fileset: {fileset.small_blocks:,} x 4KB hot blocks (Zipf), "
+        f"{fileset.large_files} x 400KB cold files"
+    )
+    print("read stream: 89% small, 11% large (the paper's Fig. 11 mix)\n")
+
+    devices = {
+        "MEMS (default)": lambda: MEMSDevice(),
+        "MEMS (no settle)": lambda: MEMSDevice(
+            MEMSParameters(settle_constants=0.0)
+        ),
+        "Atlas 10K": lambda: DiskDevice(atlas_10k()),
+    }
+
+    for device_name, factory in devices.items():
+        probe = factory()
+        layouts = {
+            "simple linear": SimpleLinearLayout(),
+            "organ pipe": OrganPipeLayout(),
+            "columnar": ColumnarLayout(),
+        }
+        if isinstance(probe, MEMSDevice):
+            layouts["subregioned (5x5)"] = SubregionedLayout(probe.geometry)
+
+        print(f"=== {device_name} ===")
+        baseline = None
+        for layout_name, layout in layouts.items():
+            placement = layout.place(fileset, probe.capacity_sectors)
+            mean = replay_read_stream(
+                factory(), placement, fileset, num_requests=4000, seed=7
+            )
+            if baseline is None:
+                baseline = mean
+            gain = (1 - mean / baseline) * 100
+            print(
+                f"  {layout_name:18s}: {mean * 1e3:7.3f} ms "
+                f"({gain:+5.1f}% vs simple)"
+            )
+        print()
+
+    print("Expected shape (Fig. 11): every optimized layout beats simple by")
+    print("~13-20% on MEMS; the bipartite layouts need no popularity state;")
+    print("without settle, the subregioned layout (optimizing X AND Y) wins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Power management demo (§6.3, §7): idle policies and startup.
+
+Replays a lightly-loaded workload (0.5 req/s — a mobile device mostly
+waiting on its user) against the MEMS and mobile-disk power models under
+three OS idle policies, then compares array startup behaviour.
+
+Run:  python examples/power_management.py
+"""
+
+from repro import DiskDevice, MEMSDevice, RandomWorkload, Simulation, atlas_10k
+from repro.core.power import (
+    EnergyAccountant,
+    FixedTimeoutPolicy,
+    ImmediateStandbyPolicy,
+    NeverStandbyPolicy,
+    disk_startup,
+    mems_power_model,
+    mems_startup,
+    travelstar_power_model,
+)
+from repro.core.scheduling import FCFSScheduler
+
+
+def main() -> None:
+    policies = (
+        NeverStandbyPolicy(),
+        FixedTimeoutPolicy(1.0),
+        ImmediateStandbyPolicy(),
+    )
+    setups = (
+        ("MEMS", MEMSDevice(), mems_power_model()),
+        ("Travelstar disk", DiskDevice(atlas_10k()), travelstar_power_model()),
+    )
+    num_requests = 1000
+
+    print("workload: 0.5 req/s random 4 KB — long idle gaps between bursts\n")
+    for name, device, model in setups:
+        workload = RandomWorkload(device.capacity_sectors, rate=0.5, seed=42)
+        result = Simulation(device, FCFSScheduler()).run(
+            workload.generate(num_requests)
+        )
+        print(f"=== {name} ({model.name}) ===")
+        print(f"{'policy':>12s} {'mean power':>12s} {'wakeups':>8s} "
+              f"{'added latency/req':>18s}")
+        for policy in policies:
+            report = EnergyAccountant(model, policy).evaluate(result.records)
+            added = report.added_latency_per_request(num_requests)
+            print(
+                f"{policy.name:>12s} {report.mean_power:10.3f} W "
+                f"{report.wakeups:8d} {added * 1e3:15.3f} ms"
+            )
+        print()
+
+    print("=== bringing up an 8-device array after a power cycle ===")
+    mems_profile = mems_startup(mems_power_model())
+    disk_profile = disk_startup(travelstar_power_model())
+    print(f"8 MEMS devices (concurrent)  : "
+          f"{mems_profile.time_to_ready(8) * 1e3:10.1f} ms")
+    print(f"8 mobile disks (serialized)  : "
+          f"{disk_profile.time_to_ready(8) * 1e3:10.1f} ms")
+    print()
+    print("The paper's claim: the ~0.5 ms MEMS restart makes the IMMEDIATE")
+    print("policy strictly better (huge energy savings, imperceptible")
+    print("latency), while the disk must keep spinning or pay seconds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Speed-matching buffer demo (§2.4.11): prefetch vs raw device.
+
+Streams sequential 8 KB reads through a MEMS device and an Atlas 10K, with
+and without the device buffer + read-ahead, and prints the per-request
+response times and buffer hit rates.
+
+Run:  python examples/prefetch_streaming.py
+"""
+
+from repro import CachedDevice, DiskDevice, MEMSDevice, PrefetchPolicy, atlas_10k
+from repro.core.scheduling import FCFSScheduler
+from repro.sim import Simulation
+from repro.workloads import SequentialWorkload
+
+
+def main() -> None:
+    setups = (
+        ("MEMS", MEMSDevice, 400.0),
+        ("Atlas 10K", lambda: DiskDevice(atlas_10k()), 40.0),
+    )
+    print("workload: open sequential stream of 8 KB reads\n")
+    for name, factory, rate in setups:
+        workload = SequentialWorkload(
+            factory().capacity_sectors, rate=rate, request_sectors=16, seed=7
+        )
+        requests = workload.generate(1500)
+
+        raw = factory()
+        raw_result = Simulation(raw, FCFSScheduler()).run(requests)
+
+        buffered = CachedDevice(
+            factory(), policy=PrefetchPolicy(prefetch_sectors=512)
+        )
+        buffered_result = Simulation(buffered, FCFSScheduler()).run(requests)
+
+        stats = buffered.cache.stats
+        raw_ms = raw_result.drop_warmup(100).mean_response_time * 1e3
+        buf_ms = buffered_result.drop_warmup(100).mean_response_time * 1e3
+        print(f"=== {name} @ {rate:g} req/s ===")
+        print(f"  raw device      : {raw_ms:7.3f} ms/request")
+        print(f"  with read-ahead : {buf_ms:7.3f} ms/request "
+              f"({(1 - buf_ms / raw_ms) * 100:+.1f}%)")
+        print(f"  buffer hit rate : {stats.hit_rate * 100:5.1f}% "
+              f"({stats.prefetched_sectors:,} sectors prefetched)")
+        print()
+
+    print("The buffer turns per-request positioning into one positioning")
+    print("per read-ahead window — §2.4.11's speed-matching role.  Random")
+    print("workloads gain nothing (host caches capture reuse instead).")
+
+
+if __name__ == "__main__":
+    main()

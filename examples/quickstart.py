@@ -1,0 +1,44 @@
+"""Quickstart: simulate the paper's random workload on a MEMS device.
+
+Builds the Table 1 device, attaches an SPTF scheduler, replays 10,000
+requests of the §3 random workload at 800 requests/second, and prints the
+response-time metrics plus a per-phase breakdown of where the time went.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MEMSDevice, RandomWorkload, Simulation, make_scheduler
+
+
+def main() -> None:
+    device = MEMSDevice()
+    print(f"device: MEMS media sled, {device.capacity_sectors:,} sectors "
+          f"({device.capacity_sectors * 512 / 1e9:.2f} GB)")
+
+    scheduler = make_scheduler("SPTF", device)
+    workload = RandomWorkload(device.capacity_sectors, rate=800.0, seed=42)
+    requests = workload.generate(10_000)
+    print(f"workload: {len(requests):,} requests, "
+          f"{workload.rate:.0f} req/s Poisson arrivals, 67% reads, "
+          f"mean 4 KB, uniform locations")
+
+    result = Simulation(device, scheduler).run(requests)
+    trimmed = result.drop_warmup(500)
+
+    print()
+    print(f"mean response time : {trimmed.mean_response_time * 1e3:8.3f} ms")
+    print(f"mean service time  : {trimmed.mean_service_time * 1e3:8.3f} ms")
+    print(f"mean queue time    : {trimmed.mean_queue_time * 1e3:8.3f} ms")
+    print(f"95th pct response  : "
+          f"{trimmed.response_time_percentile(95) * 1e3:8.3f} ms")
+    print(f"fairness (sigma2/mu2): {trimmed.response_time_cv2:8.3f}")
+
+    print()
+    print("mean per-phase service breakdown:")
+    for phase, mean in trimmed.mean_phase_breakdown().items():
+        if mean > 0:
+            print(f"  {phase:12s}: {mean * 1e3:7.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

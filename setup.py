@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package, where pip must fall
+back to a legacy (``--no-use-pep517``) editable install.  All real metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — reproduction of "Operating System Management of MEMS-based
+Storage Devices" (Griffin, Schlosser, Ganger, Nagle; CMU-CS-00-136, 2000).
+
+The package provides:
+
+* :mod:`repro.sim` — a DiskSim-like discrete-event storage simulator;
+* :mod:`repro.mems` — the MEMS media-sled device model (§2);
+* :mod:`repro.disk` — a conventional disk model with the calibrated
+  Quantum Atlas 10K design point;
+* :mod:`repro.core` — the OS management policies the paper studies:
+  scheduling (§4), layout (§5), fault management (§6), power (§7);
+* :mod:`repro.ecc` — Reed-Solomon / Hamming coding substrate for §6;
+* :mod:`repro.array` — RAID 0/1/5 arrays of either device (§6.2, §6.3);
+* :mod:`repro.core.buffer` — speed-matching cache and prefetch (§2.4.11);
+* :mod:`repro.workloads` — the random workload and Cello/TPC-C-like traces;
+* :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro import MEMSDevice, Simulation, make_scheduler, RandomWorkload
+
+    device = MEMSDevice()
+    scheduler = make_scheduler("SPTF", device)
+    workload = RandomWorkload(device.capacity_sectors, rate=800.0, seed=42)
+    result = Simulation(device, scheduler).run(workload.generate(10_000))
+    print(f"mean response time: {result.mean_response_time * 1e3:.2f} ms")
+"""
+
+from repro.array import ArrayLevel, StorageArray
+from repro.core.buffer import BufferCache, CachedDevice, PrefetchPolicy
+from repro.core.scheduling import (
+    AgedSPTFScheduler,
+    CLOOKScheduler,
+    FCFSScheduler,
+    PAPER_ALGORITHMS,
+    SPTFScheduler,
+    SSTFScheduler,
+    Scheduler,
+    ShortestXFirstScheduler,
+    make_scheduler,
+)
+from repro.disk import DiskDevice, DiskParameters, atlas_10k
+from repro.mems import DEFAULT_PARAMETERS, MEMSDevice, MEMSParameters
+from repro.sim import (
+    AccessResult,
+    IOKind,
+    Request,
+    RequestRecord,
+    Simulation,
+    SimulationResult,
+    StorageDevice,
+    simulate,
+)
+from repro.workloads import (
+    CelloLikeWorkload,
+    RandomWorkload,
+    TPCCLikeWorkload,
+    Trace,
+    UniformFixedWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessResult",
+    "AgedSPTFScheduler",
+    "ArrayLevel",
+    "BufferCache",
+    "CachedDevice",
+    "CLOOKScheduler",
+    "CelloLikeWorkload",
+    "DEFAULT_PARAMETERS",
+    "DiskDevice",
+    "DiskParameters",
+    "FCFSScheduler",
+    "IOKind",
+    "MEMSDevice",
+    "MEMSParameters",
+    "PAPER_ALGORITHMS",
+    "RandomWorkload",
+    "Request",
+    "RequestRecord",
+    "SPTFScheduler",
+    "PrefetchPolicy",
+    "SSTFScheduler",
+    "Scheduler",
+    "StorageArray",
+    "ShortestXFirstScheduler",
+    "Simulation",
+    "SimulationResult",
+    "StorageDevice",
+    "TPCCLikeWorkload",
+    "Trace",
+    "UniformFixedWorkload",
+    "atlas_10k",
+    "make_scheduler",
+    "simulate",
+]

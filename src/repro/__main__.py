@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — print the device design points and their derived parameters;
+* ``simulate`` — run the random workload against a device/scheduler pair;
+* ``experiments [names...]`` — regenerate paper figures/tables (defaults
+  to all; see ``python -m repro experiments --list``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    DiskDevice,
+    MEMSDevice,
+    RandomWorkload,
+    Simulation,
+    atlas_10k,
+    make_scheduler,
+)
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import run_experiments
+from repro.sim import QueueOverflowError
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    mems = MEMSDevice()
+    params = mems.params
+    print("MEMS-based storage device (paper Table 1)")
+    print(f"  capacity            : {mems.capacity_sectors:,} sectors "
+          f"({params.capacity_bytes / 1e9:.3f} GB)")
+    print(f"  geometry            : {params.num_cylinders} cylinders x "
+          f"{params.tracks_per_cylinder} tracks x "
+          f"{params.sectors_per_track} sectors")
+    print(f"  tips                : {params.total_tips} total, "
+          f"{params.active_tips} active, {params.tips_per_sector}/sector")
+    print(f"  access velocity     : {params.access_velocity * 1e3:.1f} mm/s")
+    print(f"  streaming bandwidth : {params.streaming_bandwidth / 1e6:.1f} MB/s")
+    print(f"  settle time         : {params.settle_time * 1e3:.3f} ms "
+          f"({params.settle_constants:g} time constants)")
+    print(f"  startup             : {params.startup_time * 1e3:.1f} ms")
+    print()
+    disk = atlas_10k()
+    print("Quantum Atlas 10K (calibrated disk)")
+    print(f"  capacity            : {disk.capacity_sectors:,} sectors "
+          f"({disk.capacity_bytes / 1e9:.3f} GB)")
+    print(f"  geometry            : {disk.cylinders} cylinders x "
+          f"{disk.surfaces} surfaces, {len(disk.zones)} zones "
+          f"({disk.max_sectors_per_track}-{disk.min_sectors_per_track} "
+          f"sectors/track)")
+    print(f"  rotation            : {disk.rpm:.0f} RPM "
+          f"({disk.revolution_time * 1e3:.3f} ms/rev)")
+    print(f"  seek curve          : {disk.seek_curve.time(1) * 1e3:.2f} / "
+          f"{disk.seek_curve.time(3347) * 1e3:.2f} / "
+          f"{disk.seek_curve.time(disk.cylinders - 1) * 1e3:.2f} ms "
+          f"(1 cyl / avg / full)")
+    print(f"  spin-up             : {disk.spinup_time:.0f} s")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.device == "mems":
+        device = MEMSDevice()
+    else:
+        device = DiskDevice(atlas_10k())
+    spc = None
+    if args.scheduler.upper() == "SXTF":
+        if args.device == "mems":
+            spc = device.geometry.sectors_per_cylinder
+        else:
+            spc = device.capacity_sectors // device.params.cylinders
+    scheduler = make_scheduler(args.scheduler, device, sectors_per_cylinder=spc)
+    workload = RandomWorkload(
+        device.capacity_sectors, rate=args.rate, seed=args.seed
+    )
+    sim = Simulation(device, scheduler, max_queue_depth=10_000)
+    try:
+        result = sim.run(workload.generate(args.requests))
+    except QueueOverflowError:
+        print(f"saturated: queue exceeded 10,000 pending requests at "
+              f"{args.rate:g} req/s")
+        return 1
+    trimmed = result.drop_warmup(min(args.requests // 10, 500))
+    print(f"{args.device} + {scheduler.name} @ {args.rate:g} req/s, "
+          f"{args.requests} requests:")
+    print(f"  mean response : {trimmed.mean_response_time * 1e3:9.3f} ms")
+    print(f"  mean service  : {trimmed.mean_service_time * 1e3:9.3f} ms")
+    print(f"  95th pct      : "
+          f"{trimmed.response_time_percentile(95) * 1e3:9.3f} ms")
+    print(f"  sigma^2/mu^2  : {trimmed.response_time_cv2:9.3f}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.names or list(ALL_EXPERIMENTS)
+    run_experiments(names)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'OS Management of MEMS-based Storage "
+        "Devices' (CMU-CS-00-136)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print device design points").set_defaults(
+        func=cmd_info
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run the random workload against a device"
+    )
+    simulate.add_argument(
+        "--device", choices=("mems", "atlas10k"), default="mems"
+    )
+    simulate.add_argument(
+        "--scheduler",
+        default="SPTF",
+        help="FCFS | SSTF_LBN | C-LOOK | SPTF | ASPTF | SXTF",
+    )
+    simulate.add_argument("--rate", type=float, default=800.0)
+    simulate.add_argument("--requests", type=int, default=5000)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.set_defaults(func=cmd_simulate)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate paper figures/tables"
+    )
+    experiments.add_argument("names", nargs="*", metavar="name")
+    experiments.add_argument(
+        "--list", action="store_true", help="list experiment names"
+    )
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

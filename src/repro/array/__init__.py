@@ -1,0 +1,14 @@
+"""Multi-device arrays (§6.2's RAID-5 context, §6.3's array startup).
+
+* :class:`~repro.array.geometry.ArrayGeometry`,
+  :class:`~repro.array.geometry.ArrayLevel`,
+  :class:`~repro.array.geometry.ChunkLocation` — striping/parity math;
+* :class:`~repro.array.controller.StorageArray` — a RAID 0/1/5 controller
+  that is itself a :class:`~repro.sim.StorageDevice`, with degraded-mode
+  reads and rebuild estimation.
+"""
+
+from repro.array.controller import StorageArray
+from repro.array.geometry import ArrayGeometry, ArrayLevel, ChunkLocation
+
+__all__ = ["ArrayGeometry", "ArrayLevel", "ChunkLocation", "StorageArray"]

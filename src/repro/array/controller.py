@@ -1,0 +1,303 @@
+"""Array controller: a multi-device :class:`~repro.sim.StorageDevice`.
+
+Members operate in parallel; the controller's service time for a request is
+the slowest member's chain of sub-accesses.  The interesting case is the
+RAID 5 small write (§6.2): read-old-data and read-old-parity proceed in
+parallel, then (after the XOR) write-new-data and write-new-parity proceed
+in parallel — and each member's read→write revisit pays the device's
+second-pass cost: most of a rotation on disks, a turnaround on MEMS.  This
+is exactly why the paper argues MEMS makes code-based redundancy cheap.
+
+Degraded mode is supported: reads of a failed member reconstruct from all
+surviving members of the stripe; :meth:`StorageArray.rebuild_time`
+estimates a whole-member rebuild.
+
+The controller intentionally does not model controller-cache write-back or
+parity logging — the optimizations the paper says MEMS storage *obviates*
+(§6.2) — so the comparison stays at the mechanism level.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Set
+
+from repro.array.geometry import ArrayGeometry, ArrayLevel, ChunkLocation
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, IOKind, Request
+
+
+class StorageArray(StorageDevice):
+    """RAID 0/1/5 array over homogeneous member devices.
+
+    Args:
+        level: Redundancy organization.
+        member_factory: Builds one member device; called ``members`` times
+            so each member has independent mechanical state.
+        members: Number of member devices.
+        chunk_sectors: Striping unit.
+
+    Example:
+        >>> from repro.mems import MEMSDevice
+        >>> array = StorageArray(ArrayLevel.RAID5, MEMSDevice, members=4)
+        >>> array.capacity_sectors > MEMSDevice().capacity_sectors * 2
+        True
+    """
+
+    def __init__(
+        self,
+        level: ArrayLevel,
+        member_factory: Callable[[], StorageDevice],
+        members: int = 4,
+        chunk_sectors: int = 128,
+    ) -> None:
+        self.level = level
+        self.devices: List[StorageDevice] = [
+            member_factory() for _ in range(members)
+        ]
+        capacities = {d.capacity_sectors for d in self.devices}
+        if len(capacities) != 1:
+            raise ValueError("array members must be homogeneous")
+        self.geometry = ArrayGeometry(
+            level, members, capacities.pop(), chunk_sectors
+        )
+        self._failed: Set[int] = set()
+        self._last_lbn = 0
+
+    # -- failure management -------------------------------------------------- #
+
+    @property
+    def failed_members(self) -> Set[int]:
+        return set(self._failed)
+
+    def fail_member(self, member: int) -> None:
+        """Mark a member dead (degraded mode)."""
+        if not 0 <= member < self.geometry.members:
+            raise ValueError(f"no member {member}")
+        self._failed.add(member)
+        if not self._operational():
+            raise RuntimeError(
+                f"array lost data: {sorted(self._failed)} failed under "
+                f"{self.level.value}"
+            )
+
+    def repair_member(self, member: int) -> None:
+        """Return a (rebuilt) member to service."""
+        self._failed.discard(member)
+
+    def _operational(self) -> bool:
+        if not self._failed:
+            return True
+        if self.level is ArrayLevel.RAID0:
+            return False
+        if self.level is ArrayLevel.RAID1:
+            return len(self._failed) < self.geometry.members
+        return len(self._failed) <= 1
+
+    # -- StorageDevice interface ----------------------------------------------- #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.geometry.capacity_sectors
+
+    @property
+    def last_lbn(self) -> int:
+        return self._last_lbn
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        runs = self.geometry.split(request.lbn, request.sectors)
+        estimates = []
+        for run in runs:
+            member = self._serving_member(run)
+            sub = Request(
+                request.arrival_time, run.member_lbn, run.sectors,
+                request.kind, request.request_id,
+            )
+            estimates.append(
+                self.devices[member].estimate_positioning(sub, now)
+            )
+        return max(estimates)
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        self.validate(request)
+        if not self._operational():
+            raise RuntimeError("array is not operational")
+        if request.kind is IOKind.READ:
+            total, bits = self._service_read(request, now)
+        else:
+            total, bits = self._service_write(request, now)
+        self._last_lbn = request.last_lbn
+        return AccessResult(total=total, bits_accessed=bits)
+
+    # -- read path ---------------------------------------------------------------- #
+
+    def _service_read(self, request: Request, now: float):
+        runs = self.geometry.split(request.lbn, request.sectors)
+        per_member: Dict[int, List[ChunkLocation]] = defaultdict(list)
+        bits = 0
+        for run in runs:
+            if run.member in self._failed:
+                # Degraded read: fetch the stripe's surviving chunks.
+                stripe_members = self._surviving_peers(run)
+                for member in stripe_members:
+                    per_member[member].append(
+                        ChunkLocation(member, run.member_lbn, run.sectors)
+                    )
+            else:
+                per_member[self._serving_member(run)].append(run)
+        total = self._run_parallel(per_member, IOKind.READ, request, now)
+        bits = sum(
+            run.sectors for runs_ in per_member.values() for run in runs_
+        ) * 512 * 8
+        return total, bits
+
+    # -- write path ----------------------------------------------------------------- #
+
+    def _service_write(self, request: Request, now: float):
+        runs = self.geometry.split(request.lbn, request.sectors)
+        bits = 0
+        if self.level is ArrayLevel.RAID0:
+            per_member = self._group(runs)
+            total = self._run_parallel(per_member, IOKind.WRITE, request, now)
+            bits = request.sectors * 512 * 8
+            return total, bits
+        if self.level is ArrayLevel.RAID1:
+            per_member: Dict[int, List[ChunkLocation]] = defaultdict(list)
+            for run in runs:
+                for member in range(self.geometry.members):
+                    if member not in self._failed:
+                        per_member[member].append(
+                            ChunkLocation(member, run.member_lbn, run.sectors)
+                        )
+            total = self._run_parallel(per_member, IOKind.WRITE, request, now)
+            bits = request.sectors * 512 * 8 * (
+                self.geometry.members - len(self._failed)
+            )
+            return total, bits
+
+        # RAID 5: per stripe, either a full-stripe write (parity computed
+        # in memory, one parallel write phase) or a small write
+        # (read-modify-write of data + parity).
+        read_phase: Dict[int, List[ChunkLocation]] = defaultdict(list)
+        write_phase: Dict[int, List[ChunkLocation]] = defaultdict(list)
+        by_stripe: Dict[int, List[ChunkLocation]] = defaultdict(list)
+        cursor = request.lbn
+        for run in runs:
+            by_stripe[self.geometry.stripe_of(cursor)].append(run)
+            cursor += run.sectors
+
+        full_stripe_sectors = (
+            self.geometry.chunk_sectors * self.geometry.data_members_per_stripe
+        )
+        for stripe, stripe_runs in by_stripe.items():
+            stripe_sectors = sum(r.sectors for r in stripe_runs)
+            parity = self.geometry.parity_member(stripe)
+            parity_lbn = stripe * self.geometry.chunk_sectors
+            parity_sectors = max(r.sectors for r in stripe_runs)
+            full = stripe_sectors == full_stripe_sectors
+            for run in stripe_runs:
+                if run.member not in self._failed:
+                    write_phase[run.member].append(run)
+                    if not full:
+                        read_phase[run.member].append(run)
+            if parity not in self._failed:
+                write_phase[parity].append(
+                    ChunkLocation(parity, parity_lbn, parity_sectors)
+                )
+                if not full:
+                    read_phase[parity].append(
+                        ChunkLocation(parity, parity_lbn, parity_sectors)
+                    )
+
+        total = 0.0
+        if read_phase:
+            total += self._run_parallel(read_phase, IOKind.READ, request, now)
+        total += self._run_parallel(
+            write_phase, IOKind.WRITE, request, now + total
+        )
+        bits = sum(
+            run.sectors
+            for phase in (read_phase, write_phase)
+            for runs_ in phase.values()
+            for run in runs_
+        ) * 512 * 8
+        return total, bits
+
+    # -- helpers ---------------------------------------------------------------------- #
+
+    def _serving_member(self, run: ChunkLocation) -> int:
+        if self.level is ArrayLevel.RAID1:
+            for member in range(self.geometry.members):
+                if member not in self._failed:
+                    return member
+            raise RuntimeError("all mirrors failed")
+        return run.member
+
+    def _surviving_peers(self, run: ChunkLocation) -> List[int]:
+        return [
+            member
+            for member in range(self.geometry.members)
+            if member != run.member and member not in self._failed
+        ]
+
+    def _group(
+        self, runs: Sequence[ChunkLocation]
+    ) -> Dict[int, List[ChunkLocation]]:
+        grouped: Dict[int, List[ChunkLocation]] = defaultdict(list)
+        for run in runs:
+            grouped[run.member].append(run)
+        return grouped
+
+    def _run_parallel(
+        self,
+        per_member: Dict[int, List[ChunkLocation]],
+        kind: IOKind,
+        request: Request,
+        now: float,
+    ) -> float:
+        """Service each member's runs sequentially; members in parallel."""
+        slowest = 0.0
+        for member, runs in per_member.items():
+            clock = now
+            for run in runs:
+                access = self.devices[member].service(
+                    Request(
+                        request.arrival_time,
+                        run.member_lbn,
+                        run.sectors,
+                        kind,
+                        request.request_id,
+                    ),
+                    clock,
+                )
+                clock += access.total
+            slowest = max(slowest, clock - now)
+        return slowest
+
+    # -- rebuild ---------------------------------------------------------------------- #
+
+    def rebuild_time(self, member: int, stride_sectors: int = 512) -> float:
+        """Estimate a whole-member rebuild: stream every stripe, reading
+        the surviving members and writing the replacement.
+
+        Does not mutate member state (uses fresh member clones is not
+        possible here, so the estimate streams sequentially — rebuild is
+        sequential by construction).
+        """
+        if self.level is ArrayLevel.RAID0:
+            raise ValueError("RAID 0 cannot rebuild")
+        capacity = self.geometry.member_capacity
+        stripes = capacity // stride_sectors
+        # One surviving member is the bandwidth bottleneck; rebuild streams
+        # it end to end while the replacement writes in parallel.
+        probe = self.devices[(member + 1) % self.geometry.members]
+        total = 0.0
+        lbn = 0
+        for _ in range(max(1, min(stripes, 64))):  # sample 64 strides
+            access = probe.service(
+                Request(0.0, lbn, stride_sectors, IOKind.READ), total
+            )
+            total += access.total
+            lbn += stride_sectors
+        per_stride = total / max(1, min(stripes, 64))
+        return per_stride * stripes

@@ -1,0 +1,137 @@
+"""Array address mapping: striping, mirroring, rotating parity.
+
+Maps an array-level LBN onto (member, member LBN) pairs for RAID levels
+0, 1, and 5 with a configurable chunk size.  RAID 5 uses left-symmetric
+parity rotation: the parity chunk of stripe *s* lives on member
+``(members - 1 - s) % members``, and data chunks fill the remaining slots
+in member order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class ArrayLevel(enum.Enum):
+    """Supported redundancy organizations."""
+
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """One chunk-aligned run of sectors on one member device."""
+
+    member: int
+    member_lbn: int
+    sectors: int
+
+
+class ArrayGeometry:
+    """LBN arithmetic for a striped array.
+
+    Args:
+        level: Redundancy organization.
+        members: Number of member devices (≥ 2; RAID 5 needs ≥ 3).
+        member_capacity: Usable sectors per member.
+        chunk_sectors: Striping unit (default 128 sectors = 64 KB).
+    """
+
+    def __init__(
+        self,
+        level: ArrayLevel,
+        members: int,
+        member_capacity: int,
+        chunk_sectors: int = 128,
+    ) -> None:
+        if members < 2:
+            raise ValueError(f"an array needs >= 2 members: {members}")
+        if level is ArrayLevel.RAID5 and members < 3:
+            raise ValueError("RAID 5 needs at least 3 members")
+        if chunk_sectors < 1:
+            raise ValueError(f"bad chunk size: {chunk_sectors}")
+        if member_capacity < chunk_sectors:
+            raise ValueError("members smaller than one chunk")
+        self.level = level
+        self.members = members
+        self.member_capacity = member_capacity
+        self.chunk_sectors = chunk_sectors
+        # Whole stripes only, so parity rotation stays aligned.
+        self._stripes = member_capacity // chunk_sectors
+
+    # -- capacity ---------------------------------------------------------- #
+
+    @property
+    def data_members_per_stripe(self) -> int:
+        if self.level is ArrayLevel.RAID0:
+            return self.members
+        if self.level is ArrayLevel.RAID1:
+            return 1
+        return self.members - 1
+
+    @property
+    def capacity_sectors(self) -> int:
+        """Array-visible capacity."""
+        return self._stripes * self.chunk_sectors * self.data_members_per_stripe
+
+    def parity_member(self, stripe: int) -> int:
+        """RAID 5 parity placement for ``stripe`` (left-symmetric)."""
+        if self.level is not ArrayLevel.RAID5:
+            raise ValueError(f"{self.level} has no parity member")
+        return (self.members - 1 - stripe) % self.members
+
+    # -- mapping -------------------------------------------------------------- #
+
+    def locate(self, lbn: int) -> ChunkLocation:
+        """Map one array LBN to its (primary) member location."""
+        if not 0 <= lbn < self.capacity_sectors:
+            raise ValueError(f"array LBN {lbn} out of range")
+        chunk_index, offset = divmod(lbn, self.chunk_sectors)
+        data_per_stripe = self.data_members_per_stripe
+        stripe, slot = divmod(chunk_index, data_per_stripe)
+        member_lbn = stripe * self.chunk_sectors + offset
+
+        if self.level is ArrayLevel.RAID0:
+            member = slot
+        elif self.level is ArrayLevel.RAID1:
+            member = 0  # primary copy; mirrors are implicit
+        else:
+            parity = self.parity_member(stripe)
+            member = slot if slot < parity else slot + 1
+        return ChunkLocation(member, member_lbn, 1)
+
+    def split(self, lbn: int, sectors: int) -> List[ChunkLocation]:
+        """Split an array request into chunk-aligned member runs."""
+        if sectors < 1:
+            raise ValueError(f"non-positive request size: {sectors}")
+        if lbn + sectors > self.capacity_sectors:
+            raise ValueError("request exceeds array capacity")
+        runs: List[ChunkLocation] = []
+        cursor = lbn
+        remaining = sectors
+        while remaining > 0:
+            location = self.locate(cursor)
+            offset_in_chunk = cursor % self.chunk_sectors
+            take = min(remaining, self.chunk_sectors - offset_in_chunk)
+            runs.append(
+                ChunkLocation(location.member, location.member_lbn, take)
+            )
+            cursor += take
+            remaining -= take
+        return runs
+
+    def stripe_of(self, lbn: int) -> int:
+        """Stripe index containing an array LBN."""
+        if not 0 <= lbn < self.capacity_sectors:
+            raise ValueError(f"array LBN {lbn} out of range")
+        return (lbn // self.chunk_sectors) // self.data_members_per_stripe
+
+    def stripe_members(self, stripe: int) -> Tuple[List[int], int]:
+        """(data members, parity member) of one RAID 5 stripe."""
+        parity = self.parity_member(stripe)
+        data = [m for m in range(self.members) if m != parity]
+        return data, parity

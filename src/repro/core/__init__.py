@@ -1,0 +1,9 @@
+"""OS management policies for MEMS-based storage — the paper's contribution.
+
+Subpackages:
+
+* :mod:`repro.core.scheduling` — request scheduling (§4);
+* :mod:`repro.core.layout` — on-device data placement (§5);
+* :mod:`repro.core.faults` — failure management (§6);
+* :mod:`repro.core.power` — power management (§7).
+"""

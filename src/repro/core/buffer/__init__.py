@@ -1,0 +1,14 @@
+"""Device-side buffering: speed-matching cache and sequential prefetch
+(§2.4.11).
+
+* :class:`~repro.core.buffer.cache.BufferCache` — a segmented device
+  buffer with LRU replacement;
+* :class:`~repro.core.buffer.cached_device.CachedDevice` — wraps any
+  :class:`~repro.sim.StorageDevice` with read caching, sequential-stream
+  detection, and read-ahead.
+"""
+
+from repro.core.buffer.cache import BufferCache, CacheStats
+from repro.core.buffer.cached_device import CachedDevice, PrefetchPolicy
+
+__all__ = ["BufferCache", "CacheStats", "CachedDevice", "PrefetchPolicy"]

@@ -1,0 +1,113 @@
+"""Sector-granular device buffer with LRU replacement.
+
+§2.4.11: "Since [the media] rate rarely matches that of the external
+interface, speed-matching buffers are important.  Further, since sequential
+request streams are important aspects of many real systems, these
+speed-matching buffers will play an important role in prefetching of
+sequential LBNs.  Also, as with disks, most block reuse will be captured by
+larger host memory caches instead of in the device cache" — so this buffer
+targets *prefetch* hits, not general reuse, and is deliberately small
+(disk-era device buffers were hundreds of KB to a few MB).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one buffer."""
+
+    hits: int = 0
+    misses: int = 0
+    prefetched_sectors: int = 0
+    evicted_sectors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            raise ValueError("no lookups recorded")
+        return self.hits / self.lookups
+
+
+class BufferCache:
+    """LRU cache of sector numbers (contents are irrelevant to timing).
+
+    Args:
+        capacity_sectors: Buffer size in sectors (e.g. 2 MB = 4096).
+    """
+
+    def __init__(self, capacity_sectors: int) -> None:
+        if capacity_sectors < 1:
+            raise ValueError(f"empty cache: {capacity_sectors}")
+        self.capacity_sectors = capacity_sectors
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, lbn: int) -> bool:
+        return lbn in self._resident
+
+    def lookup(self, lbn: int, sectors: int) -> Tuple[int, int]:
+        """Split a request into (cached_prefix_sectors, missing_sectors).
+
+        The cached prefix is the run of sectors starting at ``lbn`` that
+        are all resident; the remainder must come from the media.  Counts
+        one hit if the *whole* request is resident, else one miss.
+        """
+        if sectors < 1:
+            raise ValueError(f"non-positive request size: {sectors}")
+        prefix = 0
+        for offset in range(sectors):
+            if lbn + offset in self._resident:
+                self._touch(lbn + offset)
+                prefix += 1
+            else:
+                break
+        if prefix == sectors:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return prefix, sectors - prefix
+
+    def insert(self, lbn: int, sectors: int, prefetch: bool = False) -> None:
+        """Make sectors [lbn, lbn+sectors) resident, evicting LRU entries."""
+        if sectors < 1:
+            raise ValueError(f"non-positive insert size: {sectors}")
+        if sectors > self.capacity_sectors:
+            # Streaming transfer larger than the buffer: only the tail
+            # remains resident.
+            lbn = lbn + sectors - self.capacity_sectors
+            sectors = self.capacity_sectors
+        for offset in range(sectors):
+            sector = lbn + offset
+            if sector in self._resident:
+                self._touch(sector)
+                continue
+            if len(self._resident) >= self.capacity_sectors:
+                self._resident.popitem(last=False)
+                self.stats.evicted_sectors += 1
+            self._resident[sector] = None
+        if prefetch:
+            self.stats.prefetched_sectors += sectors
+
+    def invalidate(self, lbn: int, sectors: int) -> None:
+        """Drop sectors (a write invalidates stale read-cached copies)."""
+        for offset in range(sectors):
+            self._resident.pop(lbn + offset, None)
+
+    def resident_sectors(self) -> List[int]:
+        """Snapshot of resident sector numbers in LRU→MRU order."""
+        return list(self._resident)
+
+    def _touch(self, sector: int) -> None:
+        self._resident.move_to_end(sector)

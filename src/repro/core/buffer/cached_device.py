@@ -1,0 +1,167 @@
+"""A buffering/prefetching decorator over any storage device (§2.4.11).
+
+:class:`CachedDevice` interposes a :class:`~repro.core.buffer.cache.
+BufferCache` between the driver and a wrapped device:
+
+* **reads** whose sectors are fully resident complete at the interface
+  rate (a fixed per-request bus/electronics overhead) with no mechanical
+  work;
+* partially-resident reads fetch only the missing tail from the media;
+* a **sequential stream detector** extends media reads by a read-ahead of
+  up to ``prefetch_sectors`` once two back-to-back sequential requests are
+  seen — turning the per-request positioning cost of a sequential stream
+  into one positioning per read-ahead window, exactly the speed-matching
+  role §2.4.11 describes;
+* **writes** pass through (write-through) and invalidate overlapping
+  cached sectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffer.cache import BufferCache
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, IOKind, Request
+
+
+@dataclass(frozen=True)
+class PrefetchPolicy:
+    """Read-ahead configuration.
+
+    Attributes:
+        prefetch_sectors: Maximum sectors of read-ahead appended to a
+            media read once a sequential stream is detected (0 disables).
+        sequential_threshold: Back-to-back sequential requests needed
+            before read-ahead kicks in.
+    """
+
+    prefetch_sectors: int = 256
+    sequential_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.prefetch_sectors < 0:
+            raise ValueError(f"negative prefetch: {self.prefetch_sectors}")
+        if self.sequential_threshold < 1:
+            raise ValueError(
+                f"threshold must be >= 1: {self.sequential_threshold}"
+            )
+
+
+class CachedDevice(StorageDevice):
+    """Read cache + sequential read-ahead in front of a device model.
+
+    Args:
+        device: The mechanical device to wrap.
+        buffer_sectors: Buffer capacity (default 4096 sectors = 2 MB).
+        policy: Read-ahead configuration.
+        interface_overhead: Fixed per-request electronics/bus time charged
+            on every access, cached or not (default 20 µs).
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        buffer_sectors: int = 4096,
+        policy: PrefetchPolicy = PrefetchPolicy(),
+        interface_overhead: float = 20e-6,
+    ) -> None:
+        if interface_overhead < 0:
+            raise ValueError(f"negative overhead: {interface_overhead}")
+        self.device = device
+        self.cache = BufferCache(buffer_sectors)
+        self.policy = policy
+        self.interface_overhead = interface_overhead
+        self._next_sequential_lbn = None
+        self._sequential_run = 0
+
+    # -- StorageDevice interface ------------------------------------------- #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.device.capacity_sectors
+
+    @property
+    def last_lbn(self) -> int:
+        return self.device.last_lbn
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        """Cached reads need no positioning; otherwise defer to the media."""
+        if request.kind.is_read:
+            prefix = 0
+            for offset in range(request.sectors):
+                if request.lbn + offset not in self.cache:
+                    break
+                prefix += 1
+            if prefix == request.sectors:
+                return 0.0
+        return self.device.estimate_positioning(request, now)
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        self.validate(request)
+        if request.kind is IOKind.WRITE:
+            self.cache.invalidate(request.lbn, request.sectors)
+            self._track_stream(request)
+            media = self.device.service(request, now)
+            return self._with_overhead(media)
+
+        cached_prefix, missing = self.cache.lookup(request.lbn, request.sectors)
+        if missing == 0:
+            self._track_stream(request)
+            return AccessResult(
+                total=self.interface_overhead,
+                bits_accessed=0,
+            )
+
+        fetch_lbn = request.lbn + cached_prefix
+        readahead = self._readahead_for(request)
+        fetch_sectors = min(
+            missing + readahead,
+            self.capacity_sectors - fetch_lbn,
+        )
+        media = self.device.service(
+            Request(
+                arrival_time=request.arrival_time,
+                lbn=fetch_lbn,
+                sectors=fetch_sectors,
+                kind=IOKind.READ,
+                request_id=request.request_id,
+            ),
+            now,
+        )
+        self.cache.insert(
+            fetch_lbn, fetch_sectors, prefetch=fetch_sectors > missing
+        )
+        self._track_stream(request)
+        return self._with_overhead(media)
+
+    # -- internals ------------------------------------------------------------ #
+
+    def _readahead_for(self, request: Request) -> int:
+        if self.policy.prefetch_sectors == 0:
+            return 0
+        if (
+            self._next_sequential_lbn == request.lbn
+            and self._sequential_run + 1 >= self.policy.sequential_threshold
+        ):
+            return self.policy.prefetch_sectors
+        return 0
+
+    def _track_stream(self, request: Request) -> None:
+        if self._next_sequential_lbn == request.lbn:
+            self._sequential_run += 1
+        else:
+            self._sequential_run = 1
+        self._next_sequential_lbn = request.last_lbn + 1
+
+    def _with_overhead(self, media: AccessResult) -> AccessResult:
+        return AccessResult(
+            total=media.total + self.interface_overhead,
+            seek_x=media.seek_x,
+            seek_y=media.seek_y,
+            settle=media.settle,
+            rotational_latency=media.rotational_latency,
+            transfer=media.transfer,
+            turnarounds=media.turnarounds,
+            bits_accessed=media.bits_accessed,
+        )

@@ -1,0 +1,69 @@
+"""Failure management (§6).
+
+* :mod:`repro.core.faults.model` — failure taxonomy and tip-failure
+  processes;
+* :mod:`repro.core.faults.striping` — the capacity ↔ fault-tolerance
+  trade-off of stripe-group configuration (§6.1.1);
+* :mod:`repro.core.faults.sparing` — spare-tip remapping with zero
+  service-time penalty, vs disk slip remapping;
+* :mod:`repro.core.faults.rmw` — read-modify-write / re-read / RAID-5
+  revisit costs (Table 2, §6.2);
+* :mod:`repro.core.faults.seek_errors` — seek-error injection and retry
+  penalties (§6.1.3);
+* :mod:`repro.core.faults.injection` — Monte-Carlo failure campaigns;
+* :mod:`repro.core.faults.ft_device` — a MEMS device with striping-level
+  redundancy wired into the I/O path;
+* :mod:`repro.core.faults.remapping` — disk-style spare-area remapping as
+  a measurable decorator.
+"""
+
+from repro.core.faults.injection import (
+    CampaignResult,
+    inject_tip_failures,
+    survival_curve,
+    survival_probability,
+)
+from repro.core.faults.ft_device import DataLossError, FaultTolerantMEMSDevice
+from repro.core.faults.model import FailureMode, TipFailure, TipFailureProcess
+from repro.core.faults.remapping import RemappedDevice
+from repro.core.faults.rmw import (
+    RMWBreakdown,
+    raid5_small_write_time,
+    reread_penalty,
+    rmw_breakdown,
+)
+from repro.core.faults.seek_errors import (
+    SeekErrorDevice,
+    disk_seek_error_penalty,
+    mems_seek_error_penalty,
+)
+from repro.core.faults.sparing import (
+    SparePoolExhausted,
+    SpareTipRemapper,
+    disk_slip_penalty,
+)
+from repro.core.faults.striping import StripingConfig
+
+__all__ = [
+    "CampaignResult",
+    "DataLossError",
+    "FailureMode",
+    "FaultTolerantMEMSDevice",
+    "RMWBreakdown",
+    "RemappedDevice",
+    "SeekErrorDevice",
+    "SparePoolExhausted",
+    "SpareTipRemapper",
+    "StripingConfig",
+    "TipFailure",
+    "TipFailureProcess",
+    "disk_seek_error_penalty",
+    "disk_slip_penalty",
+    "inject_tip_failures",
+    "mems_seek_error_penalty",
+    "raid5_small_write_time",
+    "reread_penalty",
+    "rmw_breakdown",
+    "survival_curve",
+    "survival_probability",
+]

@@ -1,0 +1,178 @@
+"""A fault-tolerant MEMS device: striping + ECC + spare tips in the
+service path (§6.1).
+
+Wraps a :class:`~repro.mems.device.MEMSDevice` with a
+:class:`~repro.core.faults.striping.StripingConfig`:
+
+* **capacity** shrinks by the redundancy overhead — ECC tips ride along in
+  every stripe, spare tips sit out of the LBN space entirely;
+* **timing** is unchanged in kind: the extra ECC tips are read in the same
+  sled pass (tips work in parallel), but a row now carries fewer logical
+  sectors, so the device's LBNs spread over proportionally more physical
+  rows — the wrapper maps its LBN space onto the raw device's at the
+  data-fraction ratio;
+* **tip failures** are absorbed: first by spare-tip remapping (zero
+  service-time change — the paper's §6.1.1 guarantee, asserted by the test
+  suite), then by the per-stripe ECC budget; when a stripe's budget
+  overflows, :class:`DataLossError` is raised;
+* the OS-level conversions (**sacrifice capacity** ↔ **sacrifice
+  tolerance**) are exposed and adjust the pool/budget on a live device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.faults.sparing import SparePoolExhausted, SpareTipRemapper
+from repro.core.faults.striping import StripingConfig
+from repro.mems.device import MEMSDevice
+from repro.mems.parameters import MEMSParameters
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, Request
+
+
+class DataLossError(Exception):
+    """A stripe group accumulated more dead tips than its parity covers."""
+
+
+class FaultTolerantMEMSDevice(StorageDevice):
+    """MEMS device with striping-level redundancy in the I/O path.
+
+    Args:
+        params: Raw device design point (Table 1 by default).
+        config: Redundancy configuration; its ``stripe_groups`` must match
+            what the device's active tips can hold.
+    """
+
+    def __init__(
+        self,
+        params: Optional[MEMSParameters] = None,
+        config: Optional[StripingConfig] = None,
+    ) -> None:
+        self.raw = MEMSDevice(params)
+        raw_params = self.raw.params
+        if config is None:
+            config = StripingConfig(
+                data_tips=raw_params.tips_per_sector,
+                ecc_tips=4,
+                stripe_groups=raw_params.active_tips
+                // (raw_params.tips_per_sector + 4),
+                spare_tips=128,
+            )
+        if config.data_tips != raw_params.tips_per_sector:
+            raise ValueError(
+                f"config stripes {config.data_tips} data tips; the device "
+                f"stripes sectors over {raw_params.tips_per_sector}"
+            )
+        if config.stripe_width * config.stripe_groups > raw_params.active_tips:
+            raise ValueError(
+                "stripe groups exceed the concurrently-active tip budget"
+            )
+        if config.tips_committed > raw_params.total_tips:
+            raise ValueError("configuration commits more tips than exist")
+        self.config = config
+        self.remapper = SpareTipRemapper(config.spare_tips)
+        self._dead_per_group: Dict[int, int] = {}
+        self._failed_tips: Set[int] = set()
+        # The wrapper's LBNs dilate onto the raw device's by this ratio
+        # (raw sectors per row / protected sectors per row).
+        raw_row = raw_params.sectors_per_row
+        protected_row = config.stripe_groups
+        if protected_row < 1:
+            raise ValueError("configuration leaves no data stripes")
+        self._dilation = raw_row / protected_row
+        self._capacity = int(self.raw.capacity_sectors / self._dilation)
+
+    # -- capacity / protection ------------------------------------------------ #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self._capacity
+
+    @property
+    def protection_level(self) -> int:
+        """Tip-sector losses per stripe the device currently absorbs."""
+        return self.config.tolerable_losses_per_stripe
+
+    @property
+    def failed_tips(self) -> Set[int]:
+        return set(self._failed_tips)
+
+    @property
+    def degraded_stripes(self) -> Dict[int, int]:
+        """Stripe group → unremapped dead tips counting against ECC."""
+        return dict(self._dead_per_group)
+
+    # -- failure handling --------------------------------------------------------- #
+
+    def fail_tip(self, tip: int) -> str:
+        """Inject a permanent failure of an active tip.
+
+        Returns ``"remapped"`` when a spare absorbed it, ``"degraded"``
+        when it counts against a stripe's ECC budget.
+
+        Raises:
+            DataLossError: The stripe's budget was already exhausted.
+        """
+        active = self.config.stripe_width * self.config.stripe_groups
+        if not 0 <= tip < active:
+            raise ValueError(f"tip {tip} is not an active tip (< {active})")
+        if tip in self._failed_tips:
+            raise ValueError(f"tip {tip} already failed")
+        self._failed_tips.add(tip)
+        try:
+            self.remapper.remap(tip)
+            return "remapped"
+        except SparePoolExhausted:
+            group = tip // self.config.stripe_width
+            count = self._dead_per_group.get(group, 0) + 1
+            if count > self.config.tolerable_losses_per_stripe:
+                raise DataLossError(
+                    f"stripe group {group} lost {count} tips with only "
+                    f"{self.config.tolerable_losses_per_stripe} parity"
+                )
+            self._dead_per_group[group] = count
+            return "degraded"
+
+    def sacrifice_capacity(self, tips: int = 1) -> None:
+        """Convert capacity into spares on the live device (§6.1.1)."""
+        self.config = self.config.sacrifice_capacity(tips)
+        self.remapper.add_spares(tips)
+
+    def sacrifice_tolerance(self) -> None:
+        """Convert one ECC tip per stripe into spares (§6.1.1)."""
+        self.config = self.config.sacrifice_tolerance()
+        self.remapper.add_spares(self.config.stripe_groups)
+        # Existing degradation must still fit the smaller budget.
+        for group, count in self._dead_per_group.items():
+            if count > self.config.tolerable_losses_per_stripe:
+                raise DataLossError(
+                    f"stripe group {group} no longer covered after "
+                    "sacrificing tolerance"
+                )
+
+    # -- StorageDevice interface ---------------------------------------------------- #
+
+    @property
+    def last_lbn(self) -> int:
+        return int(self.raw.last_lbn / self._dilation)
+
+    def _map(self, request: Request) -> Request:
+        lbn = int(request.lbn * self._dilation)
+        lbn = min(lbn, self.raw.capacity_sectors - request.sectors)
+        return Request(
+            request.arrival_time,
+            lbn,
+            request.sectors,
+            request.kind,
+            request.request_id,
+        )
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        self.validate(request)
+        return self.raw.estimate_positioning(self._map(request), now)
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        """Service a request; remapped tips add exactly nothing (§6.1.1)."""
+        self.validate(request)
+        return self.raw.service(self._map(request), now)

@@ -1,0 +1,132 @@
+"""Monte-Carlo tip-failure injection campaigns (§6.1).
+
+Drives permanent tip failures into a striped device configuration and
+tracks when data is actually lost.  A stripe group loses data only when the
+number of failed, *unremapped* tips it contains exceeds its parity budget —
+so with spares plus horizontal ECC, large numbers of tip failures are
+survivable, the paper's headline fault-management claim: "many faults that
+would cause data loss in disks can be made recoverable in MEMS-based
+storage devices."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.faults.sparing import SparePoolExhausted, SpareTipRemapper
+from repro.core.faults.striping import StripingConfig
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one injection campaign."""
+
+    config: StripingConfig
+    failures_injected: int
+    failures_remapped: int
+    failures_absorbed_by_ecc: int
+    data_loss_at_failure: Optional[int]
+    """1-based index of the failure that first lost data; None = survived."""
+
+    @property
+    def survived(self) -> bool:
+        return self.data_loss_at_failure is None
+
+
+def inject_tip_failures(
+    config: StripingConfig,
+    num_failures: int,
+    seed: Optional[int] = None,
+    rebuild: bool = True,
+) -> CampaignResult:
+    """Inject ``num_failures`` uniform-random permanent tip failures.
+
+    Args:
+        config: Striping configuration under test.
+        num_failures: Failures to inject, in sequence.
+        seed: RNG seed.
+        rebuild: When True (the §6.1.1 design), each failure is remapped to
+            a spare while ECC rebuilds its data, restoring full protection;
+            when the pool runs dry, failed tips accumulate against the ECC
+            budget.  When False, spares are ignored entirely (ECC-only).
+
+    Data is lost when a stripe group accumulates more unremapped failed
+    tips than its parity can rebuild.
+    """
+    if num_failures < 0:
+        raise ValueError(f"negative failure count: {num_failures}")
+    rng = random.Random(seed)
+    active_tips = config.stripe_width * config.stripe_groups
+    remapper = SpareTipRemapper(config.spare_tips if rebuild else 0)
+    dead_per_group: Dict[int, int] = {}
+    remapped = 0
+    absorbed = 0
+    failed_tips: set = set()
+
+    for failure_index in range(1, num_failures + 1):
+        candidates = [
+            tip for tip in range(active_tips) if tip not in failed_tips
+        ]
+        if not candidates:
+            break
+        tip = rng.choice(candidates)
+        failed_tips.add(tip)
+        group = tip // config.stripe_width
+        try:
+            if not rebuild:
+                raise SparePoolExhausted("sparing disabled")
+            remapper.remap(tip)
+            remapped += 1
+        except SparePoolExhausted:
+            dead_per_group[group] = dead_per_group.get(group, 0) + 1
+            if dead_per_group[group] > config.tolerable_losses_per_stripe:
+                return CampaignResult(
+                    config=config,
+                    failures_injected=failure_index,
+                    failures_remapped=remapped,
+                    failures_absorbed_by_ecc=absorbed,
+                    data_loss_at_failure=failure_index,
+                )
+            absorbed += 1
+    return CampaignResult(
+        config=config,
+        failures_injected=num_failures,
+        failures_remapped=remapped,
+        failures_absorbed_by_ecc=absorbed,
+        data_loss_at_failure=None,
+    )
+
+
+def survival_probability(
+    config: StripingConfig,
+    num_failures: int,
+    trials: int = 200,
+    seed: int = 0,
+    rebuild: bool = True,
+) -> float:
+    """P(no data loss) after ``num_failures`` random tip failures."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial: {trials}")
+    survived = 0
+    for trial in range(trials):
+        result = inject_tip_failures(
+            config, num_failures, seed=seed + trial, rebuild=rebuild
+        )
+        survived += result.survived
+    return survived / trials
+
+
+def survival_curve(
+    config: StripingConfig,
+    failure_counts: Sequence[int],
+    trials: int = 200,
+    seed: int = 0,
+    rebuild: bool = True,
+) -> List[float]:
+    """Survival probability at each failure count."""
+    return [
+        survival_probability(config, count, trials=trials, seed=seed, rebuild=rebuild)
+        for count in failure_counts
+    ]

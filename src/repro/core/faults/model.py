@@ -1,0 +1,111 @@
+"""Failure modes and stochastic failure processes (§6.1).
+
+MEMS-based storage shares the disk failure taxonomy — recoverable media
+defects, bit errors, and seek errors; non-recoverable mechanical and
+electronics failures — but with thousands of independent probe tips the
+*expected* number of failed components over a device lifetime is well above
+zero ("failure of one or more is not only possible, but probable"), and
+manufacturing yields may ship devices with broken tips from day one.
+
+:class:`TipFailureProcess` models tip lifetimes as independent exponentials
+(constant hazard), producing the failure arrival sequence the injection
+campaigns in :mod:`repro.core.faults.injection` consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class FailureMode(enum.Enum):
+    """Failure taxonomy for MEMS-based storage (§6.1, §6.2)."""
+
+    MEDIA_DEFECT = "media-defect"  # localized; recoverable via striping+ECC
+    BIT_ERROR = "bit-error"  # transient; vertical ECC corrects
+    SEEK_ERROR = "seek-error"  # transient; retry with turnarounds (§6.1.3)
+    TIP_CRASH = "tip-crash"  # permanent loss of one tip
+    TIP_LOGIC = "tip-logic"  # permanent; per-tip electronics
+    ACTUATOR = "actuator"  # device-fatal (comb fingers / springs, §6.2)
+    ELECTRONICS = "electronics"  # device-fatal (shared channel/controller)
+
+    @property
+    def is_tip_local(self) -> bool:
+        """Does the failure take out exactly one tip region?"""
+        return self in (
+            FailureMode.MEDIA_DEFECT,
+            FailureMode.TIP_CRASH,
+            FailureMode.TIP_LOGIC,
+        )
+
+    @property
+    def is_device_fatal(self) -> bool:
+        """Does the failure render the whole device inoperable (like a disk
+        head crash or motor failure)?"""
+        return self in (FailureMode.ACTUATOR, FailureMode.ELECTRONICS)
+
+
+@dataclass(frozen=True)
+class TipFailure:
+    """One permanent tip-region failure event."""
+
+    time: float
+    tip: int
+    mode: FailureMode
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative failure time: {self.time}")
+        if self.tip < 0:
+            raise ValueError(f"negative tip index: {self.tip}")
+        if not self.mode.is_tip_local:
+            raise ValueError(f"{self.mode} is not a tip-local failure")
+
+
+class TipFailureProcess:
+    """Exponential-lifetime failure process over a device's tips.
+
+    Args:
+        total_tips: Tips in the device (Table 1: 6400).
+        tip_mtbf: Mean time between failures of a *single* tip, in the same
+            (arbitrary) unit the campaign horizon uses.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        total_tips: int,
+        tip_mtbf: float,
+        seed: Optional[int] = None,
+    ) -> None:
+        if total_tips < 1:
+            raise ValueError(f"need at least one tip: {total_tips}")
+        if tip_mtbf <= 0:
+            raise ValueError(f"non-positive MTBF: {tip_mtbf}")
+        self.total_tips = total_tips
+        self.tip_mtbf = tip_mtbf
+        self.seed = seed
+
+    def sample(self, horizon: float) -> List[TipFailure]:
+        """Failure events within ``[0, horizon]``, sorted by time."""
+        if horizon < 0:
+            raise ValueError(f"negative horizon: {horizon}")
+        rng = random.Random(self.seed)
+        modes = (FailureMode.TIP_CRASH, FailureMode.TIP_LOGIC, FailureMode.MEDIA_DEFECT)
+        failures = []
+        for tip in range(self.total_tips):
+            lifetime = rng.expovariate(1.0 / self.tip_mtbf)
+            if lifetime <= horizon:
+                failures.append(
+                    TipFailure(time=lifetime, tip=tip, mode=rng.choice(modes))
+                )
+        failures.sort(key=lambda f: f.time)
+        return failures
+
+    def expected_failures(self, horizon: float) -> float:
+        """Expected failed-tip count by ``horizon`` (1 − e^(−t/MTBF) each)."""
+        import math
+
+        return self.total_tips * (1.0 - math.exp(-horizon / self.tip_mtbf))

@@ -1,0 +1,121 @@
+"""Disk-style defect remapping as a device decorator (§6.1.1's contrast).
+
+Disks handle unrecoverable media defects by slipping LBNs past the defect
+or remapping them to spare sectors elsewhere; either way "the physical
+sequentiality of access" breaks and a remapped access pays extra
+positioning.  :class:`RemappedDevice` models the spare-area variant: a set
+of defective sectors is redirected to a spare region at the end of the
+device, so any request touching one pays a real extra access — measured by
+the underlying mechanical model, not an analytic penalty.
+
+The MEMS alternative (spare-*tip* remapping at the same tip-sector offset)
+needs no decorator at all: see
+:class:`~repro.core.faults.ft_device.FaultTolerantMEMSDevice`, whose
+service times are bit-identical before and after remapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, Request
+
+
+class RemappedDevice(StorageDevice):
+    """Redirects defective sectors to a spare region (disk-style).
+
+    Args:
+        device: The device to wrap.
+        defective_lbns: Sectors remapped out of place.
+        spare_area_sectors: Reserved region at the end of the device that
+            holds the replacements (also subtracted from the visible
+            capacity).
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        defective_lbns: Iterable[int] = (),
+        spare_area_sectors: int = 4096,
+    ) -> None:
+        if spare_area_sectors < 1:
+            raise ValueError(f"empty spare area: {spare_area_sectors}")
+        if spare_area_sectors >= device.capacity_sectors:
+            raise ValueError("spare area swallows the device")
+        self.device = device
+        self.spare_area_sectors = spare_area_sectors
+        self._visible = device.capacity_sectors - spare_area_sectors
+        self._remap: dict = {}
+        for lbn in defective_lbns:
+            self.mark_defective(lbn)
+
+    # -- defect management ---------------------------------------------------- #
+
+    def mark_defective(self, lbn: int) -> int:
+        """Remap one sector into the spare area; returns its new home."""
+        if not 0 <= lbn < self._visible:
+            raise ValueError(f"LBN {lbn} outside the visible device")
+        if lbn in self._remap:
+            return self._remap[lbn]
+        if len(self._remap) >= self.spare_area_sectors:
+            raise RuntimeError("spare area exhausted")
+        spare = self._visible + len(self._remap)
+        self._remap[lbn] = spare
+        return spare
+
+    @property
+    def remapped_count(self) -> int:
+        return len(self._remap)
+
+    # -- StorageDevice interface ------------------------------------------------ #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self._visible
+
+    @property
+    def last_lbn(self) -> int:
+        return min(self.device.last_lbn, self._visible - 1)
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        return self.device.estimate_positioning(request, now)
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        """Service the request plus one extra access per remapped sector.
+
+        The main transfer proceeds as laid out (the defective slots still
+        pass under the head); each remapped sector then costs a separate
+        trip to the spare area — the broken-sequentiality penalty.
+        """
+        self.validate(request)
+        access = self.device.service(request, now)
+        total = access.total
+        bits = access.bits_accessed
+        clock = now + total
+        for offset in range(request.sectors):
+            spare = self._remap.get(request.lbn + offset)
+            if spare is None:
+                continue
+            extra = self.device.service(
+                Request(
+                    request.arrival_time, spare, 1, request.kind,
+                    request.request_id,
+                ),
+                clock,
+            )
+            clock += extra.total
+            total += extra.total
+            bits += extra.bits_accessed
+        if total == access.total:
+            return access
+        return AccessResult(
+            total=total,
+            seek_x=access.seek_x,
+            seek_y=access.seek_y,
+            settle=access.settle,
+            rotational_latency=access.rotational_latency,
+            transfer=access.transfer,
+            turnarounds=access.turnarounds,
+            bits_accessed=bits,
+        )

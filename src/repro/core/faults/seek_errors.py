@@ -1,0 +1,126 @@
+"""Seek-error injection and retry costs (§6.1.3).
+
+A seek error means the head/tips settled on the wrong track: the servo
+information read after positioning doesn't match the target and the device
+must re-position before transferring.
+
+* **Disk**: the penalty is a short re-seek (~1–2 ms) plus up to a full
+  rotational latency for the sector to come around again (~6 ms at
+  10,000 RPM).
+* **MEMS**: the tracking servo is duplicated under every active tip, and a
+  retry costs "up to two turnarounds in the Y direction (0.04–1.11 ms
+  each) and short seeks in possibly both the X and Y directions".
+
+:class:`SeekErrorDevice` decorates any device model, flipping a biased
+coin per access and charging the appropriate retry penalty (repeatedly,
+if the retry itself errors).  The penalty calculators are exposed for the
+experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.disk.device import DiskDevice
+from repro.mems.device import MEMSDevice
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, Request
+
+
+def mems_seek_error_penalty(device: MEMSDevice) -> float:
+    """One MEMS retry: two turnarounds at the current position plus a
+    short (±2-cylinder-scale) X re-seek, overlapped like a normal
+    positioning (§2.4.1)."""
+    state = device.sled_state
+    v = device.params.access_velocity
+    vy = state.vy if abs(state.vy) > 0 else v
+    turnarounds = 2.0 * device.planner.turnaround_time(state.y, vy)
+    x_reseek = device.planner.x_seek_time(
+        state.x, min(state.x + 2 * device.params.bit_width, device.params.x_max)
+    ) + device.params.settle_time
+    return max(turnarounds, x_reseek)
+
+
+def disk_seek_error_penalty(device: DiskDevice, now: float = 0.0) -> float:
+    """One disk retry: a short re-seek plus a full rotational latency
+    (the sector just passed under the head)."""
+    reseek = device.params.seek_curve.time(1) + 0.5e-3
+    return reseek + device.params.revolution_time
+
+
+class SeekErrorDevice(StorageDevice):
+    """Injects seek errors into any wrapped device.
+
+    Args:
+        device: The device model to wrap.
+        error_probability: Per-access probability of an initial seek error
+            (each retry errors again with the same probability).
+        seed: RNG seed for deterministic injection.
+        max_retries: Safety bound on consecutive retries.
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        error_probability: float,
+        seed: Optional[int] = None,
+        max_retries: int = 16,
+    ) -> None:
+        if not 0.0 <= error_probability < 1.0:
+            raise ValueError(
+                f"error probability out of [0, 1): {error_probability}"
+            )
+        if max_retries < 1:
+            raise ValueError(f"need at least one retry: {max_retries}")
+        self.device = device
+        self.error_probability = error_probability
+        self.max_retries = max_retries
+        self._rng = random.Random(seed)
+        self.errors_injected = 0
+
+    # -- StorageDevice interface ------------------------------------------- #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.device.capacity_sectors
+
+    @property
+    def last_lbn(self) -> int:
+        return self.device.last_lbn
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        return self.device.estimate_positioning(request, now)
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        access = self.device.service(request, now)
+        penalty = 0.0
+        retries = 0
+        while (
+            retries < self.max_retries
+            and self._rng.random() < self.error_probability
+        ):
+            retries += 1
+            self.errors_injected += 1
+            penalty += self._retry_penalty(now + access.total + penalty)
+        if penalty == 0.0:
+            return access
+        return AccessResult(
+            total=access.total + penalty,
+            seek_x=access.seek_x,
+            seek_y=access.seek_y,
+            settle=access.settle,
+            rotational_latency=access.rotational_latency,
+            transfer=access.transfer,
+            turnarounds=access.turnarounds + penalty,
+            bits_accessed=access.bits_accessed,
+        )
+
+    def _retry_penalty(self, now: float) -> float:
+        if isinstance(self.device, MEMSDevice):
+            return mems_seek_error_penalty(self.device)
+        if isinstance(self.device, DiskDevice):
+            return disk_seek_error_penalty(self.device, now)
+        # Unknown device: charge its positioning estimate for the same
+        # request region as a neutral retry model.
+        return 1e-3

@@ -1,0 +1,103 @@
+"""Spare-tip remapping (§6.1.1).
+
+"Defective sectors in MEMS-based storage could be re-mapped to the *same
+tip sector* on one of several dedicated spare tips.  Re-mapping to the same
+tip sector guarantees that a re-mapped sector can be accessed at the same
+time as the original (now damaged) sector" — unlike disk slip/spare-sector
+remapping, which breaks physical sequentiality and costs extra positioning.
+
+:class:`SpareTipRemapper` manages the pool; because a remapped tip is read
+in the same sled pass at the same offsets, the performance invariant is
+literally *zero service-time change*, which the test suite asserts against
+the device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class SparePoolExhausted(Exception):
+    """No spare tips remain; the OS must pick a §6.1.1 conversion."""
+
+
+@dataclass
+class SpareTipRemapper:
+    """Tracks failed-tip → spare-tip remappings for one device.
+
+    Args:
+        spare_tips: Initial spare pool size.
+    """
+
+    spare_tips: int
+    remap_table: Dict[int, int] = field(default_factory=dict)
+    _next_spare: int = 0
+
+    def __post_init__(self) -> None:
+        if self.spare_tips < 0:
+            raise ValueError(f"negative spare pool: {self.spare_tips}")
+
+    @property
+    def spares_remaining(self) -> int:
+        return self.spare_tips - self._next_spare
+
+    @property
+    def remapped_count(self) -> int:
+        return len(self.remap_table)
+
+    def remap(self, failed_tip: int) -> int:
+        """Assign a spare to ``failed_tip``; returns the spare's index.
+
+        Raises:
+            SparePoolExhausted: The pool is empty.
+            ValueError: The tip was already remapped (a spare failing is a
+                new failure of the *spare's* index, not the original's).
+        """
+        if failed_tip in self.remap_table:
+            raise ValueError(f"tip {failed_tip} is already remapped")
+        if self.spares_remaining <= 0:
+            raise SparePoolExhausted(
+                f"no spares left after {self.remapped_count} remaps"
+            )
+        spare = self._next_spare
+        self._next_spare += 1
+        self.remap_table[failed_tip] = spare
+        return spare
+
+    def resolve(self, tip: int) -> int:
+        """Physical spare index serving ``tip``, or ``tip`` itself."""
+        return self.remap_table.get(tip, tip)
+
+    def add_spares(self, count: int) -> None:
+        """Grow the pool (the §6.1.1 capacity-sacrifice conversion)."""
+        if count < 1:
+            raise ValueError(f"must add at least one spare: {count}")
+        self.spare_tips += count
+
+    def service_time_penalty(self) -> float:
+        """Extra positioning cost of accessing a remapped sector.
+
+        Always zero: the spare holds the same tip-sector offset, so it is
+        read in the same pass as its stripe — the §6.1.1 contrast with
+        disk-style slipping.  Kept as an explicit method so fault-aware
+        schedulers and the experiment harness can treat disk and MEMS
+        remapping uniformly.
+        """
+        return 0.0
+
+
+def disk_slip_penalty(
+    revolution_time: float, reseek_time: float = 1.5e-3
+) -> float:
+    """First-order extra cost of a disk-style remapped-sector access.
+
+    A slipped/re-mapped disk sector breaks sequentiality: reaching the spare
+    location costs a short re-seek plus (on average) half a rotation.  Used
+    by the fault experiments as the disk-side comparison point.
+    """
+    if revolution_time <= 0:
+        raise ValueError(f"non-positive revolution time: {revolution_time}")
+    if reseek_time < 0:
+        raise ValueError(f"negative reseek time: {reseek_time}")
+    return reseek_time + revolution_time / 2.0

@@ -1,0 +1,103 @@
+"""Device-level striping configuration: the capacity ↔ fault-tolerance
+trade-off (§6.1.1).
+
+Each logical sector is striped over 64 data tips; a stripe group may also
+switch on ECC tips (horizontal Reed-Solomon parity) and the device may
+reserve spare tips that failed tips are remapped onto.  Every non-data tip
+costs capacity:
+
+    usable capacity fraction = data_tips / (data_tips + ecc_tips + spares/groups)
+
+but buys tolerance: ``ecc_tips`` simultaneous tip-sector losses per stripe
+are correctable *in place*, and each spare absorbs one permanent tip failure
+with no loss of protection.  On tip failure the operating system can choose
+to convert regular tips into spares (sacrificing capacity) or spares into
+regular tips (sacrificing fault tolerance) — both conversions are exposed
+here and exercised by the injection campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StripingConfig:
+    """How a device's concurrently-active tips are organized.
+
+    Args:
+        data_tips: Tips carrying sector data per stripe group (§2.3: 64).
+        ecc_tips: Horizontal parity tips per stripe group.
+        stripe_groups: Concurrent stripe groups (active_tips // width).
+        spare_tips: Device-wide pool of spare tips for remapping.
+    """
+
+    data_tips: int = 64
+    ecc_tips: int = 4
+    stripe_groups: int = 20
+    spare_tips: int = 128
+
+    def __post_init__(self) -> None:
+        if self.data_tips < 1:
+            raise ValueError(f"need data tips: {self.data_tips}")
+        if self.ecc_tips < 0 or self.spare_tips < 0:
+            raise ValueError("negative redundancy counts")
+        if self.stripe_groups < 1:
+            raise ValueError(f"need stripe groups: {self.stripe_groups}")
+
+    @property
+    def stripe_width(self) -> int:
+        return self.data_tips + self.ecc_tips
+
+    @property
+    def tips_committed(self) -> int:
+        """Tips consumed by this configuration (data + parity + spares)."""
+        return self.stripe_width * self.stripe_groups + self.spare_tips
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Fraction of committed tips that store user data."""
+        return self.data_tips * self.stripe_groups / self.tips_committed
+
+    def capacity_bytes(self, raw_capacity_bytes: int) -> float:
+        """Usable bytes given the raw (all-tips-data) device capacity."""
+        if raw_capacity_bytes < 0:
+            raise ValueError(f"negative capacity: {raw_capacity_bytes}")
+        return raw_capacity_bytes * self.capacity_fraction
+
+    @property
+    def tolerable_losses_per_stripe(self) -> int:
+        """Simultaneous tip-sector losses one stripe survives in place."""
+        return self.ecc_tips
+
+    # -- the §6.1.1 conversions ------------------------------------------ #
+
+    def sacrifice_capacity(self, tips: int = 1) -> "StripingConfig":
+        """Convert regular (parity-structure) capacity into spare tips.
+
+        Models the OS choosing, after failures deplete the spare pool, to
+        keep full protection at the cost of usable space.
+        """
+        if tips < 1:
+            raise ValueError(f"must convert at least one tip: {tips}")
+        return StripingConfig(
+            data_tips=self.data_tips,
+            ecc_tips=self.ecc_tips,
+            stripe_groups=self.stripe_groups,
+            spare_tips=self.spare_tips + tips,
+        )
+
+    def sacrifice_tolerance(self) -> "StripingConfig":
+        """Convert one ECC tip per stripe group into spares.
+
+        Models the opposite §6.1.1 choice: keep capacity, run each stripe
+        with one less parity tip.
+        """
+        if self.ecc_tips == 0:
+            raise ValueError("no ECC tips left to sacrifice")
+        return StripingConfig(
+            data_tips=self.data_tips,
+            ecc_tips=self.ecc_tips - 1,
+            stripe_groups=self.stripe_groups,
+            spare_tips=self.spare_tips + self.stripe_groups,
+        )

@@ -1,0 +1,30 @@
+"""On-device data placement schemes (§5).
+
+* :class:`~repro.core.layout.linear.SimpleLinearLayout` — the baseline;
+* :class:`~repro.core.layout.organ_pipe.OrganPipeLayout` — the optimal disk
+  scheme [VC90, RW91];
+* :class:`~repro.core.layout.columnar.ColumnarLayout` — 25-column bipartite;
+* :class:`~repro.core.layout.subregion.SubregionedLayout` — 5×5 grid
+  bipartite (MEMS-specific, constrains both X and Y).
+
+Shared types live in :mod:`repro.core.layout.base`: :class:`FileSet`,
+:class:`Placement`, and the :class:`Layout` interface.
+"""
+
+from repro.core.layout.base import FileSet, Layout, Placement, spread_evenly
+from repro.core.layout.columnar import ColumnarLayout
+from repro.core.layout.linear import SimpleLinearLayout
+from repro.core.layout.organ_pipe import OrganPipeLayout, reshuffle_cost
+from repro.core.layout.subregion import SubregionedLayout
+
+__all__ = [
+    "ColumnarLayout",
+    "FileSet",
+    "Layout",
+    "OrganPipeLayout",
+    "Placement",
+    "SimpleLinearLayout",
+    "SubregionedLayout",
+    "reshuffle_cost",
+    "spread_evenly",
+]

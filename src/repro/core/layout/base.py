@@ -1,0 +1,121 @@
+"""Data-placement abstractions for the §5 layout study.
+
+The paper's layout experiment (§5.3, Fig. 11) works with a *bipartite*
+file population: many small, popular blocks (4 KB) and some large,
+sequentially-read files (400 KB).  A :class:`Layout` decides where each
+unit lives in the device's LBN space; the experiment then replays a read
+stream against the placement and measures average service time.
+
+Layouts that need only the linear LBN space (simple, organ pipe, columnar)
+work on any device; the subregioned layout additionally needs the MEMS
+geometry to constrain placements in the Y (row) dimension.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class FileSet:
+    """The unit population a layout must place.
+
+    Attributes:
+        small_blocks: Number of distinct small units.
+        small_sectors: Sectors per small unit (paper: 8 = 4 KB).
+        large_files: Number of distinct large units.
+        large_sectors: Sectors per large unit (paper: 800 = 400 KB).
+        small_weights: Optional per-small-unit access weights (popularity);
+            defaults to uniform.  Only popularity-aware layouts (organ pipe)
+            look at these.
+        large_weights: Optional per-large-unit access weights.
+    """
+
+    small_blocks: int
+    large_files: int
+    small_sectors: int = 8
+    large_sectors: int = 800
+    small_weights: Optional[Sequence[float]] = None
+    large_weights: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.small_blocks < 0 or self.large_files < 0:
+            raise ValueError("negative unit counts")
+        if self.small_sectors < 1 or self.large_sectors < 1:
+            raise ValueError("units must span at least one sector")
+        if (
+            self.small_weights is not None
+            and len(self.small_weights) != self.small_blocks
+        ):
+            raise ValueError("small_weights length mismatch")
+        if (
+            self.large_weights is not None
+            and len(self.large_weights) != self.large_files
+        ):
+            raise ValueError("large_weights length mismatch")
+
+    @property
+    def total_sectors(self) -> int:
+        return (
+            self.small_blocks * self.small_sectors
+            + self.large_files * self.large_sectors
+        )
+
+
+@dataclass
+class Placement:
+    """Starting LBNs chosen for each unit, indexed by unit id."""
+
+    small_lbns: List[int] = field(default_factory=list)
+    large_lbns: List[int] = field(default_factory=list)
+
+    def validate(self, fileset: FileSet, capacity_sectors: int) -> None:
+        """Check every unit fits the device; raises ``ValueError`` if not."""
+        if len(self.small_lbns) != fileset.small_blocks:
+            raise ValueError("placement is missing small units")
+        if len(self.large_lbns) != fileset.large_files:
+            raise ValueError("placement is missing large units")
+        for lbn in self.small_lbns:
+            if lbn < 0 or lbn + fileset.small_sectors > capacity_sectors:
+                raise ValueError(f"small unit at {lbn} outside device")
+        for lbn in self.large_lbns:
+            if lbn < 0 or lbn + fileset.large_sectors > capacity_sectors:
+                raise ValueError(f"large unit at {lbn} outside device")
+
+
+class Layout(abc.ABC):
+    """A placement policy."""
+
+    name: str = "layout"
+
+    @abc.abstractmethod
+    def place(self, fileset: FileSet, capacity_sectors: int) -> Placement:
+        """Assign a starting LBN to every unit of ``fileset``."""
+
+
+def spread_evenly(
+    count: int, unit_sectors: int, first_lbn: int, last_lbn: int
+) -> List[int]:
+    """Place ``count`` units of ``unit_sectors`` evenly over an LBN range.
+
+    ``last_lbn`` is exclusive.  Units are aligned to their own size so small
+    requests never straddle placement boundaries gratuitously.
+    """
+    if count == 0:
+        return []
+    span = last_lbn - first_lbn
+    if span < count * unit_sectors:
+        raise ValueError(
+            f"range [{first_lbn}, {last_lbn}) cannot hold {count} units "
+            f"of {unit_sectors} sectors"
+        )
+    stride = span / count
+    lbns = []
+    for index in range(count):
+        lbn = first_lbn + int(index * stride)
+        lbn -= lbn % unit_sectors
+        lbn = max(first_lbn, min(lbn, last_lbn - unit_sectors))
+        lbns.append(lbn)
+    return lbns

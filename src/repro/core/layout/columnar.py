@@ -1,0 +1,90 @@
+"""Columnar bipartite layout (§5.3).
+
+"A simple 'columnar' division of the LBN space into 25 columns (e.g., each
+subregion contains 100 contiguous cylinders)."  Small, popular data goes in
+the centermost column; large, sequential data in the ten leftmost and ten
+rightmost columns.  Unlike organ pipe, the layout needs no per-unit
+popularity state — only the small/large classification.
+
+On the MEMS device a column is a contiguous cylinder range (LBNs within a
+cylinder are contiguous), so the layout works purely in LBN space and also
+applies to disks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.layout.base import FileSet, Layout, Placement, spread_evenly
+
+
+class ColumnarLayout(Layout):
+    """25-column bipartite placement: small center, large at both edges."""
+
+    name = "columnar"
+
+    def __init__(self, columns: int = 25, large_edge_columns: int = 10) -> None:
+        if columns < 3:
+            raise ValueError(f"need at least 3 columns: {columns}")
+        if large_edge_columns * 2 >= columns:
+            raise ValueError("edge columns must leave room for the center")
+        self.columns = columns
+        self.large_edge_columns = large_edge_columns
+
+    def column_range(
+        self, column: int, capacity_sectors: int
+    ) -> Tuple[int, int]:
+        """[first, last) LBN range of ``column``."""
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column {column} out of range")
+        width = capacity_sectors // self.columns
+        first = column * width
+        last = capacity_sectors if column == self.columns - 1 else first + width
+        return (first, last)
+
+    def place(self, fileset: FileSet, capacity_sectors: int) -> Placement:
+        center = self.columns // 2
+        small_first, small_last = self.column_range(center, capacity_sectors)
+        small_lbns = spread_evenly(
+            fileset.small_blocks, fileset.small_sectors, small_first, small_last
+        )
+
+        left_last = self.column_range(
+            self.large_edge_columns - 1, capacity_sectors
+        )[1]
+        right_first = self.column_range(
+            self.columns - self.large_edge_columns, capacity_sectors
+        )[0]
+        large_lbns = self._place_large(
+            fileset, 0, left_last, right_first, capacity_sectors
+        )
+        placement = Placement(small_lbns=small_lbns, large_lbns=large_lbns)
+        placement.validate(fileset, capacity_sectors)
+        return placement
+
+    def _place_large(
+        self,
+        fileset: FileSet,
+        left_first: int,
+        left_last: int,
+        right_first: int,
+        right_last: int,
+    ) -> List[int]:
+        """Split large units evenly between the left and right edge regions."""
+        half = fileset.large_files // 2
+        rest = fileset.large_files - half
+        left = spread_evenly(half, fileset.large_sectors, left_first, left_last)
+        right = spread_evenly(
+            rest, fileset.large_sectors, right_first, right_last
+        )
+        # Interleave so unit ids alternate sides (keeps successive large
+        # accesses from clustering on one edge).
+        merged: List[int] = []
+        for index in range(fileset.large_files):
+            if index % 2 == 0 and left:
+                merged.append(left.pop(0))
+            elif right:
+                merged.append(right.pop(0))
+            else:
+                merged.append(left.pop(0))
+        return merged

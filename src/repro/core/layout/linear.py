@@ -1,0 +1,68 @@
+"""Simple linear layout — the Fig. 11 baseline.
+
+Models an unoptimized filesystem allocation: units are placed in creation
+order, interleaved small/large in proportion to their counts, spread across
+the *whole* device (an aged filesystem scatters data over all cylinders).
+No popularity information is used.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.layout.base import FileSet, Layout, Placement
+
+
+class SimpleLinearLayout(Layout):
+    """Creation-order placement across the full LBN space."""
+
+    name = "simple"
+
+    def place(self, fileset: FileSet, capacity_sectors: int) -> Placement:
+        if fileset.total_sectors > capacity_sectors:
+            raise ValueError("fileset does not fit the device")
+        total_units = fileset.small_blocks + fileset.large_files
+        if total_units == 0:
+            return Placement()
+        # Interleave small and large units in creation order, then spread
+        # the sequence evenly so the data covers the whole device.
+        order: List[tuple] = []
+        small_per_large = (
+            fileset.small_blocks / fileset.large_files
+            if fileset.large_files
+            else float("inf")
+        )
+        small_index = 0
+        large_index = 0
+        credit = 0.0
+        while small_index < fileset.small_blocks or large_index < fileset.large_files:
+            if small_index < fileset.small_blocks and credit < small_per_large:
+                order.append(("s", small_index))
+                small_index += 1
+                credit += 1.0
+            elif large_index < fileset.large_files:
+                order.append(("l", large_index))
+                large_index += 1
+                credit = 0.0
+            else:
+                order.append(("s", small_index))
+                small_index += 1
+        # Evenly distribute the creation sequence over the capacity.
+        placement = Placement(
+            small_lbns=[0] * fileset.small_blocks,
+            large_lbns=[0] * fileset.large_files,
+        )
+        slack = capacity_sectors - fileset.total_sectors
+        gap = slack / (total_units + 1)
+        cursor = 0.0
+        for kind, index in order:
+            cursor += gap
+            lbn = int(cursor)
+            if kind == "s":
+                placement.small_lbns[index] = lbn
+                cursor = lbn + fileset.small_sectors
+            else:
+                placement.large_lbns[index] = lbn
+                cursor = lbn + fileset.large_sectors
+        placement.validate(fileset, capacity_sectors)
+        return placement

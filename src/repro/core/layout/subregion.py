@@ -1,0 +1,138 @@
+"""Subregioned (5×5 grid) bipartite layout (§5.3, Fig. 9).
+
+Divides the media area addressable by each tip into a grid of subregions in
+*both* dimensions: columns of cylinders (X) and bands of tip-sector rows
+(Y).  Small, popular data is confined to the centermost subregion — short
+seeks in X *and* Y — while large, sequential data goes to the leftmost and
+rightmost column subregions (Fig. 10 shows large transfers barely care
+about X distance).
+
+This is the one layout that needs the MEMS geometry: constraining Y means
+picking specific tip-sector rows, which is invisible in the linear LBN
+space.  For the default 5×5 grid on the Table 1 device the center subregion
+is cylinders 1000–1499 × rows 11–15 across all 5 tracks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.layout.base import FileSet, Layout, Placement, spread_evenly
+from repro.mems.geometry import MEMSGeometry, SectorAddress
+
+
+class SubregionedLayout(Layout):
+    """Grid bipartite placement: small in the center cell, large at the
+    edge columns."""
+
+    name = "subregioned"
+
+    def __init__(
+        self,
+        geometry: MEMSGeometry,
+        grid: int = 5,
+        large_edge_columns: int = 2,
+    ) -> None:
+        if grid < 3 or grid % 2 == 0:
+            raise ValueError(f"grid must be odd and >= 3: {grid}")
+        if large_edge_columns * 2 >= grid:
+            raise ValueError("edge columns must leave room for the center")
+        if geometry.rows_per_track < grid:
+            raise ValueError(
+                f"device has only {geometry.rows_per_track} rows per track; "
+                f"cannot form a {grid}-band Y grid"
+            )
+        self.geometry = geometry
+        self.grid = grid
+        self.large_edge_columns = large_edge_columns
+
+    # -- grid arithmetic -------------------------------------------------- #
+
+    def cylinder_band(self, column: int) -> Tuple[int, int]:
+        """[first, last) cylinders of grid column ``column``."""
+        if not 0 <= column < self.grid:
+            raise ValueError(f"column {column} out of range")
+        total = self.geometry.num_cylinders
+        width = total // self.grid
+        first = column * width
+        last = total if column == self.grid - 1 else first + width
+        return (first, last)
+
+    def row_band(self, band: int) -> Tuple[int, int]:
+        """[first, last) tip-sector rows of grid band ``band``."""
+        if not 0 <= band < self.grid:
+            raise ValueError(f"band {band} out of range")
+        total = self.geometry.rows_per_track
+        width = total // self.grid
+        first = band * width
+        last = total if band == self.grid - 1 else first + width
+        return (first, last)
+
+    def center_subregion_lbns(self, unit_sectors: int) -> List[int]:
+        """All aligned unit start-LBNs inside the centermost subregion."""
+        center = self.grid // 2
+        cyl_first, cyl_last = self.cylinder_band(center)
+        row_first, row_last = self.row_band(center)
+        geometry = self.geometry
+        units_per_row = geometry.sectors_per_row // unit_sectors
+        if units_per_row == 0:
+            raise ValueError(
+                f"unit of {unit_sectors} sectors exceeds a row "
+                f"({geometry.sectors_per_row} sectors)"
+            )
+        lbns = []
+        for cylinder in range(cyl_first, cyl_last):
+            for track in range(geometry.tracks_per_cylinder):
+                for row in range(row_first, row_last):
+                    for unit in range(units_per_row):
+                        address = SectorAddress(
+                            cylinder, track, row, unit * unit_sectors
+                        )
+                        lbns.append(geometry.lbn(address))
+        return lbns
+
+    # -- Layout interface -------------------------------------------------- #
+
+    def place(self, fileset: FileSet, capacity_sectors: int) -> Placement:
+        if capacity_sectors != self.geometry.capacity_sectors:
+            raise ValueError(
+                "subregioned layout is bound to its MEMS geometry; capacity "
+                f"mismatch ({capacity_sectors} vs "
+                f"{self.geometry.capacity_sectors})"
+            )
+        pool = self.center_subregion_lbns(fileset.small_sectors)
+        if len(pool) < fileset.small_blocks:
+            raise ValueError(
+                f"center subregion holds {len(pool)} units; "
+                f"{fileset.small_blocks} requested"
+            )
+        # Spread the small units evenly through the pool so accesses sample
+        # the whole center cell rather than one corner.
+        stride = len(pool) / fileset.small_blocks
+        small_lbns = [
+            pool[int(index * stride)] for index in range(fileset.small_blocks)
+        ]
+
+        spc = self.geometry.sectors_per_cylinder
+        left_last = self.cylinder_band(self.large_edge_columns - 1)[1] * spc
+        right_first = (
+            self.cylinder_band(self.grid - self.large_edge_columns)[0] * spc
+        )
+        half = fileset.large_files // 2
+        rest = fileset.large_files - half
+        left = spread_evenly(half, fileset.large_sectors, 0, left_last)
+        right = spread_evenly(
+            rest, fileset.large_sectors, right_first, capacity_sectors
+        )
+        large_lbns: List[int] = []
+        for index in range(fileset.large_files):
+            if index % 2 == 0 and left:
+                large_lbns.append(left.pop(0))
+            elif right:
+                large_lbns.append(right.pop(0))
+            else:
+                large_lbns.append(left.pop(0))
+
+        placement = Placement(small_lbns=small_lbns, large_lbns=large_lbns)
+        placement.validate(fileset, capacity_sectors)
+        return placement

@@ -1,0 +1,47 @@
+"""Power management (§7) and startup/availability (§6.3).
+
+* :mod:`repro.core.power.model` — four-state device power models (MEMS,
+  Atlas 10K, mobile Travelstar);
+* :mod:`repro.core.power.policy` — idle policies (never / fixed timeout /
+  immediate) and the :class:`~repro.core.power.policy.EnergyAccountant`;
+* :mod:`repro.core.power.startup` — time-to-ready and power-surge
+  comparisons;
+* :mod:`repro.core.power.managed` — online power management as a device
+  decorator (wakeup latency feeds back into queueing).
+"""
+
+from repro.core.power.managed import PowerManagedDevice
+from repro.core.power.model import (
+    DevicePowerModel,
+    PowerState,
+    atlas_10k_power_model,
+    mems_power_model,
+    travelstar_power_model,
+)
+from repro.core.power.policy import (
+    EnergyAccountant,
+    EnergyReport,
+    FixedTimeoutPolicy,
+    IdlePolicy,
+    ImmediateStandbyPolicy,
+    NeverStandbyPolicy,
+)
+from repro.core.power.startup import StartupProfile, disk_startup, mems_startup
+
+__all__ = [
+    "DevicePowerModel",
+    "EnergyAccountant",
+    "EnergyReport",
+    "FixedTimeoutPolicy",
+    "IdlePolicy",
+    "ImmediateStandbyPolicy",
+    "NeverStandbyPolicy",
+    "PowerManagedDevice",
+    "PowerState",
+    "StartupProfile",
+    "atlas_10k_power_model",
+    "disk_startup",
+    "mems_power_model",
+    "mems_startup",
+    "travelstar_power_model",
+]

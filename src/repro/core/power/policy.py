@@ -1,0 +1,166 @@
+"""OS idle power-management policies and the energy accountant (§7).
+
+A policy decides when an idle device drops to STANDBY.  The classic disk
+policy is a fixed timeout balanced against the large spin-up penalty; the
+paper's MEMS observation is that a ~0.5 ms restart makes the *immediate*
+policy ("switching from active to idle as soon as the I/O queue is empty")
+safe — aggressive power savings with an imperceptible latency cost.
+
+:class:`EnergyAccountant` post-processes a simulation's request records:
+each busy interval is charged access energy; each gap is split into
+pre-timeout idle and post-timeout standby, and a wakeup penalty (time and
+energy) is charged when the next request finds the device in standby.  The
+wakeup *latency* is reported separately rather than fed back into queueing
+(power policies matter at the low utilizations where feedback effects on
+queueing are second-order; DESIGN.md records the approximation).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.power.model import DevicePowerModel
+from repro.sim.request import RequestRecord
+
+
+class IdlePolicy(abc.ABC):
+    """When does an idle device power down?"""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def standby_after(self) -> Optional[float]:
+        """Seconds of idleness before entering STANDBY; None = never."""
+
+
+class NeverStandbyPolicy(IdlePolicy):
+    """Keep the device ready forever (the baseline)."""
+
+    name = "never"
+
+    def standby_after(self) -> Optional[float]:
+        return None
+
+
+class FixedTimeoutPolicy(IdlePolicy):
+    """Spin down after a fixed idle timeout (the classic disk policy)."""
+
+    def __init__(self, timeout: float) -> None:
+        if timeout < 0:
+            raise ValueError(f"negative timeout: {timeout}")
+        self.timeout = timeout
+        self.name = f"timeout-{timeout:g}s"
+
+    def standby_after(self) -> Optional[float]:
+        return self.timeout
+
+
+class ImmediateStandbyPolicy(FixedTimeoutPolicy):
+    """Power down the instant the queue drains — the paper's MEMS policy."""
+
+    name = "immediate"
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+        self.name = "immediate"
+
+
+@dataclass
+class EnergyReport:
+    """Energy and latency outcome of one (workload, policy) evaluation."""
+
+    policy_name: str
+    model_name: str
+    total_energy: float
+    access_energy: float
+    idle_energy: float
+    standby_energy: float
+    wakeup_energy: float
+    wakeups: int
+    added_latency_total: float
+    span: float
+
+    @property
+    def mean_power(self) -> float:
+        if self.span <= 0:
+            raise ValueError("zero-length evaluation span")
+        return self.total_energy / self.span
+
+    def added_latency_per_request(self, num_requests: int) -> float:
+        if num_requests < 1:
+            raise ValueError("no requests")
+        return self.added_latency_total / num_requests
+
+
+class EnergyAccountant:
+    """Applies a power model + idle policy to completed request records."""
+
+    def __init__(self, model: DevicePowerModel, policy: IdlePolicy) -> None:
+        self.model = model
+        self.policy = policy
+
+    def evaluate(
+        self,
+        records: Sequence[RequestRecord],
+        start_time: float = 0.0,
+        end_time: Optional[float] = None,
+    ) -> EnergyReport:
+        """Account energy over a completed simulation.
+
+        Records must be completion-ordered (a Simulation's output is).
+        """
+        if not records:
+            raise ValueError("no request records to account")
+        timeout = self.policy.standby_after()
+        model = self.model
+        access_energy = 0.0
+        idle_energy = 0.0
+        standby_energy = 0.0
+        wakeup_energy = 0.0
+        wakeups = 0
+        added_latency = 0.0
+
+        clock = start_time
+        for record in records:
+            gap = record.dispatch_time - clock
+            if gap < -1e-9:
+                raise ValueError("records are not completion-ordered")
+            gap = max(gap, 0.0)
+            if timeout is None or gap <= timeout:
+                idle_energy += gap * model.idle_power
+            else:
+                idle_energy += timeout * model.idle_power
+                standby_energy += (gap - timeout) * model.standby_power
+                wakeups += 1
+                wakeup_energy += model.wakeup_energy
+                added_latency += model.wakeup_time
+            access_energy += model.access_energy(
+                record.access.bits_accessed, record.service_time
+            )
+            clock = record.completion_time
+
+        final_end = end_time if end_time is not None else clock
+        if final_end < clock:
+            raise ValueError("end_time precedes the last completion")
+        tail = final_end - clock
+        if timeout is None or tail <= timeout:
+            idle_energy += tail * model.idle_power
+        else:
+            idle_energy += timeout * model.idle_power
+            standby_energy += (tail - timeout) * model.standby_power
+
+        total = access_energy + idle_energy + standby_energy + wakeup_energy
+        return EnergyReport(
+            policy_name=self.policy.name,
+            model_name=model.name,
+            total_energy=total,
+            access_energy=access_energy,
+            idle_energy=idle_energy,
+            standby_energy=standby_energy,
+            wakeup_energy=wakeup_energy,
+            wakeups=wakeups,
+            added_latency_total=added_latency,
+            span=final_end - start_time,
+        )

@@ -1,0 +1,55 @@
+"""Startup, availability, and power-surge behaviour (§6.3, §7).
+
+Two contrasts with disks:
+
+* **time-to-ready**: a MEMS device initializes in ~0.5 ms; a high-end disk
+  takes ~25 s to spin up, a mobile disk ~2 s.  Crash recovery and idle-mode
+  wakeup inherit this gap directly.
+* **power surge**: spinning up a disk draws a large transient, so arrays
+  serialize spin-up; MEMS devices have no surge and "all of the devices may
+  be initialized concurrently."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.power.model import DevicePowerModel
+
+
+@dataclass(frozen=True)
+class StartupProfile:
+    """Startup behaviour of one device class."""
+
+    model: DevicePowerModel
+    has_spinup_surge: bool
+
+    def time_to_ready(self, devices: int = 1, serialize: bool = None) -> float:
+        """Time until ``devices`` devices are all ready after power-on.
+
+        Surge-prone devices default to serialized startup (the standard
+        array spin-up staggering); surge-free devices start concurrently.
+        """
+        if devices < 1:
+            raise ValueError(f"need at least one device: {devices}")
+        if serialize is None:
+            serialize = self.has_spinup_surge
+        if serialize:
+            return devices * self.model.wakeup_time
+        return self.model.wakeup_time
+
+    def startup_energy(self, devices: int = 1) -> float:
+        """Total wakeup energy to bring up ``devices`` devices."""
+        if devices < 1:
+            raise ValueError(f"need at least one device: {devices}")
+        return devices * self.model.wakeup_energy
+
+
+def mems_startup(model: DevicePowerModel) -> StartupProfile:
+    """MEMS: no rotating mass, no surge, concurrent initialization."""
+    return StartupProfile(model=model, has_spinup_surge=False)
+
+
+def disk_startup(model: DevicePowerModel) -> StartupProfile:
+    """Disk: spin-up surge forces serialized array startup."""
+    return StartupProfile(model=model, has_spinup_surge=True)

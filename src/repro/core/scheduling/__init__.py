@@ -1,0 +1,69 @@
+"""Request scheduling policies (§4).
+
+The paper's four algorithms — FCFS, SSTF_LBN, C-LOOK, SPTF — plus two
+extensions (aged SPTF and the settle-aware Shortest-X-First the conclusion
+hints at).  :func:`make_scheduler` builds one by name, which the experiment
+harness uses for its sweeps.
+"""
+
+from typing import Optional
+
+from repro.core.scheduling.base import ListScheduler, Scheduler
+from repro.core.scheduling.clook import CLOOKScheduler
+from repro.core.scheduling.fcfs import FCFSScheduler
+from repro.core.scheduling.hybrid import ShortestXFirstScheduler
+from repro.core.scheduling.scan import SCANScheduler
+from repro.core.scheduling.sptf import AgedSPTFScheduler, SPTFScheduler
+from repro.core.scheduling.sstf import SSTFScheduler
+from repro.sim.device import StorageDevice
+
+PAPER_ALGORITHMS = ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF")
+"""The four policies evaluated in Figs. 5–8."""
+
+
+def make_scheduler(
+    name: str,
+    device: StorageDevice,
+    sectors_per_cylinder: Optional[int] = None,
+) -> Scheduler:
+    """Build a scheduler by its paper name.
+
+    Args:
+        name: One of ``FCFS``, ``SSTF_LBN``, ``C-LOOK``, ``SPTF``,
+            ``SCAN``, ``ASPTF``, or ``SXTF``.
+        device: The device the scheduler will serve.
+        sectors_per_cylinder: Required for ``SXTF`` only.
+    """
+    key = name.upper().replace("-", "").replace("_", "")
+    if key == "FCFS":
+        return FCFSScheduler()
+    if key in ("SSTF", "SSTFLBN"):
+        return SSTFScheduler(device)
+    if key == "CLOOK":
+        return CLOOKScheduler(device)
+    if key == "SCAN":
+        return SCANScheduler(device)
+    if key == "SPTF":
+        return SPTFScheduler(device)
+    if key == "ASPTF":
+        return AgedSPTFScheduler(device)
+    if key == "SXTF":
+        if sectors_per_cylinder is None:
+            raise ValueError("SXTF needs sectors_per_cylinder")
+        return ShortestXFirstScheduler(device, sectors_per_cylinder)
+    raise ValueError(f"unknown scheduler: {name!r}")
+
+
+__all__ = [
+    "AgedSPTFScheduler",
+    "CLOOKScheduler",
+    "FCFSScheduler",
+    "ListScheduler",
+    "PAPER_ALGORITHMS",
+    "SCANScheduler",
+    "SPTFScheduler",
+    "SSTFScheduler",
+    "Scheduler",
+    "ShortestXFirstScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,76 @@
+"""Scheduler interface and shared queue plumbing.
+
+A scheduler is the driver's pending-request queue with a selection policy:
+:meth:`Scheduler.add` enqueues an arrival, :meth:`Scheduler.pop_next`
+removes and returns the request to dispatch next.  ``pop_next`` receives the
+current simulated time because positioning-aware policies on rotating
+devices need it (the platter angle is a function of time).
+
+Schedulers see device state only through the narrow views a host OS would
+actually have: the last-accessed LBN (for the LBN-based policies) or the
+device's positioning-time oracle (for SPTF, which in practice lives in
+device firmware — §2.4.10).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.sim.request import Request
+
+
+class Scheduler(abc.ABC):
+    """Queue discipline for pending requests."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def add(self, request: Request) -> None:
+        """Enqueue an arriving request."""
+
+    @abc.abstractmethod
+    def pop_next(self, now: float = 0.0) -> Request:
+        """Remove and return the next request to dispatch.
+
+        Raises ``IndexError`` when the queue is empty.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of pending requests."""
+
+    def pending(self) -> List[Request]:
+        """Snapshot of pending requests (order unspecified); for tests and
+        instrumentation only."""
+        raise NotImplementedError
+
+
+class ListScheduler(Scheduler):
+    """Base for policies that scan an unordered pending list.
+
+    Subclasses implement :meth:`select_index`; ties inside a policy should
+    break on arrival order, which the stable list order provides.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Request] = []
+
+    def add(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pending(self) -> List[Request]:
+        return list(self._queue)
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        if not self._queue:
+            raise IndexError("scheduler queue is empty")
+        index = self.select_index(now)
+        return self._queue.pop(index)
+
+    @abc.abstractmethod
+    def select_index(self, now: float) -> int:
+        """Index into the pending list of the request to dispatch."""

@@ -1,0 +1,50 @@
+"""Cyclical LOOK (C-LOOK) scheduling [SLW66] (§4.1).
+
+Services requests in ascending LBN order; when every pending request is
+"behind" the most recent access, the scan wraps to the lowest pending LBN.
+The one-directional sweep is what gives C-LOOK its starvation resistance
+(the best σ²/µ² in Figs. 5(b) and 6(b)): no request can be bypassed more
+than one full sweep.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.core.scheduling.base import Scheduler
+from repro.sim.device import StorageDevice
+from repro.sim.request import Request
+
+
+class CLOOKScheduler(Scheduler):
+    """Ascending-LBN cyclical scan."""
+
+    name = "C-LOOK"
+
+    def __init__(self, device: StorageDevice) -> None:
+        self._device = device
+        self._seq = 0
+        # Sorted by (lbn, insertion seq) so equal-LBN requests keep FCFS
+        # order and the Request object itself is never compared.
+        self._sorted: List[Tuple[int, int, Request]] = []
+
+    def add(self, request: Request) -> None:
+        bisect.insort(self._sorted, (request.lbn, self._seq, request))
+        self._seq += 1
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        if not self._sorted:
+            raise IndexError("scheduler queue is empty")
+        head = self._device.last_lbn
+        index = bisect.bisect_left(self._sorted, (head, -1, None))
+        if index >= len(self._sorted):
+            index = 0  # wrap the sweep to the lowest pending LBN
+        _, _, request = self._sorted.pop(index)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def pending(self) -> List[Request]:
+        return [request for _, _, request in self._sorted]

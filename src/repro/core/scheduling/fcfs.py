@@ -1,0 +1,37 @@
+"""First-Come First-Served scheduling (§4.1's baseline)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.scheduling.base import Scheduler
+from repro.sim.request import Request
+
+
+class FCFSScheduler(Scheduler):
+    """Dispatch requests strictly in arrival order.
+
+    Included for reference; as the paper notes, FCFS "often results in
+    suboptimal performance" and saturates well before the seek-aware
+    policies (Figs. 5 and 6).
+    """
+
+    name = "FCFS"
+
+    def __init__(self) -> None:
+        self._queue: Deque[Request] = deque()
+
+    def add(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        if not self._queue:
+            raise IndexError("scheduler queue is empty")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pending(self) -> List[Request]:
+        return list(self._queue)

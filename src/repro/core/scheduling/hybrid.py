@@ -1,0 +1,52 @@
+"""Settle-aware hybrid scheduler for MEMS devices (extension, §8).
+
+The paper's conclusion observes that with large settle times, LBN-based
+algorithms that minimize X-dimension sled movement get most of SPTF's
+benefit "without the overhead of calculating the exact positioning times
+for each outstanding request."  This module makes that concrete: the
+Shortest-X-First policy ranks pending requests by *cylinder* distance (a
+pure LBN computation — cylinder = lbn // sectors_per_cylinder), breaking
+ties by LBN distance as a crude Y proxy.
+
+Compared to SSTF_LBN it never confuses an in-cylinder Y move with a
+cross-cylinder X move; compared to SPTF it needs no device oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduling.base import ListScheduler
+from repro.sim.device import StorageDevice
+
+
+class ShortestXFirstScheduler(ListScheduler):
+    """Minimize X (cylinder) distance first, then LBN distance.
+
+    Args:
+        device: Consulted only for ``last_lbn``.
+        sectors_per_cylinder: The MEMS mapping constant (2700 with the
+            Table 1 defaults); exposed so ablations can vary the geometry.
+    """
+
+    name = "SXTF"
+
+    def __init__(self, device: StorageDevice, sectors_per_cylinder: int) -> None:
+        super().__init__()
+        if sectors_per_cylinder < 1:
+            raise ValueError(
+                f"non-positive sectors_per_cylinder: {sectors_per_cylinder}"
+            )
+        self._device = device
+        self._spc = sectors_per_cylinder
+
+    def select_index(self, now: float) -> int:
+        head = self._device.last_lbn
+        head_cylinder = head // self._spc
+        best_index = 0
+        best_key = None
+        for index, request in enumerate(self._queue):
+            cylinder_distance = abs(request.lbn // self._spc - head_cylinder)
+            key = (cylinder_distance, abs(request.lbn - head))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index

@@ -1,0 +1,58 @@
+"""SCAN (elevator) scheduling — the classic bidirectional sweep.
+
+Not one of the paper's four, but the natural reference point between
+C-LOOK's one-directional sweep and SSTF's greed: the head services
+requests in LBN order while moving one way, reverses at the last pending
+request, and services the rest on the way back.  Included so scheduling
+studies can place the paper's choices in the classic taxonomy
+[Den67, TP72].
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.core.scheduling.base import Scheduler
+from repro.sim.device import StorageDevice
+from repro.sim.request import Request
+
+
+class SCANScheduler(Scheduler):
+    """Bidirectional elevator over LBN space."""
+
+    name = "SCAN"
+
+    def __init__(self, device: StorageDevice) -> None:
+        self._device = device
+        self._seq = 0
+        self._sorted: List[Tuple[int, int, Request]] = []
+        self._direction = +1
+
+    def add(self, request: Request) -> None:
+        bisect.insort(self._sorted, (request.lbn, self._seq, request))
+        self._seq += 1
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        if not self._sorted:
+            raise IndexError("scheduler queue is empty")
+        head = self._device.last_lbn
+        index = bisect.bisect_left(self._sorted, (head, -1, None))
+        if self._direction > 0:
+            if index >= len(self._sorted):
+                self._direction = -1
+                index = len(self._sorted) - 1
+        else:
+            if index == 0:
+                self._direction = +1
+            else:
+                index -= 1
+        index = min(index, len(self._sorted) - 1)
+        _, _, request = self._sorted.pop(index)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def pending(self) -> List[Request]:
+        return [request for _, _, request in self._sorted]

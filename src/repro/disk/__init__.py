@@ -1,0 +1,35 @@
+"""Conventional disk drive model (DiskSim disk-module analogue).
+
+Public surface:
+
+* :class:`~repro.disk.parameters.DiskParameters`,
+  :class:`~repro.disk.parameters.Zone`,
+  :class:`~repro.disk.parameters.SeekCurve`,
+  :func:`~repro.disk.parameters.make_linear_zones` — drive descriptions;
+* :class:`~repro.disk.geometry.DiskGeometry`,
+  :class:`~repro.disk.geometry.DiskAddress` — zoned LBN mapping;
+* :class:`~repro.disk.device.DiskDevice` — the mechanical service model;
+* :func:`~repro.disk.atlas10k.atlas_10k` — the calibrated Quantum Atlas 10K.
+"""
+
+from repro.disk.atlas10k import atlas_10k, atlas_10k_seek_curve
+from repro.disk.device import DiskDevice
+from repro.disk.geometry import DiskAddress, DiskGeometry
+from repro.disk.parameters import (
+    DiskParameters,
+    SeekCurve,
+    Zone,
+    make_linear_zones,
+)
+
+__all__ = [
+    "DiskAddress",
+    "DiskDevice",
+    "DiskGeometry",
+    "DiskParameters",
+    "SeekCurve",
+    "Zone",
+    "atlas_10k",
+    "atlas_10k_seek_curve",
+    "make_linear_zones",
+]

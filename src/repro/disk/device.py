@@ -1,0 +1,134 @@
+"""Mechanical service model for the conventional disk.
+
+First-order DiskSim-style service: distance-dependent seek, rotational
+latency against a free-running platter (the disk rotates whether or not it
+is transferring — the key contrast with the MEMS sled, §2.4.8), zoned media
+transfer, and head/cylinder switch costs with skewed layout for sequential
+crossings.
+
+The platter angle is a pure function of absolute simulated time, so the
+model needs the dispatch time (``now``) for both service and the SPTF
+positioning oracle.
+"""
+
+from __future__ import annotations
+
+from repro.disk.geometry import DiskAddress, DiskGeometry
+from repro.disk.parameters import DiskParameters
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, IOKind, Request
+
+
+class DiskDevice(StorageDevice):
+    """Simulation model of one conventional disk drive.
+
+    Example:
+        >>> from repro.disk.atlas10k import atlas_10k
+        >>> disk = DiskDevice(atlas_10k())
+        >>> from repro.sim import Request, IOKind
+        >>> access = disk.service(Request(0.0, lbn=1_000_000, sectors=8,
+        ...                               kind=IOKind.READ))
+        >>> 0.001 < access.total < 0.025
+        True
+    """
+
+    def __init__(self, params: DiskParameters) -> None:
+        self.params = params
+        self.geometry = DiskGeometry(params)
+        self._cylinder = 0
+        self._surface = 0
+        self._last_lbn = 0
+
+    # -- StorageDevice interface ------------------------------------------- #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.geometry.capacity_sectors
+
+    @property
+    def last_lbn(self) -> int:
+        return self._last_lbn
+
+    @property
+    def current_cylinder(self) -> int:
+        return self._cylinder
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        self.validate(request)
+        result = self._access(request, now, mutate=True)
+        self._last_lbn = request.last_lbn
+        return result
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        self.validate(request)
+        first, _ = self.geometry.segments(request.lbn, request.sectors)[0]
+        seek = self._seek_time(self._cylinder, first, request.kind)
+        arrive = now + seek
+        latency = self._rotational_latency(first, arrive)
+        return seek + latency
+
+    # -- internals -------------------------------------------------------------- #
+
+    def _seek_time(self, from_cyl: int, target: DiskAddress, kind: IOKind) -> float:
+        distance = abs(target.cylinder - from_cyl)
+        seek = self.params.seek_curve.time(distance)
+        if distance == 0 and target.surface != self._surface:
+            seek += self.params.head_switch_time
+        if kind is IOKind.WRITE:
+            seek += self.params.write_settle_time
+        return seek
+
+    def _rotational_latency(self, address: DiskAddress, at_time: float) -> float:
+        rev = self.params.revolution_time
+        head_angle = (at_time / rev) % 1.0
+        target = self.geometry.sector_angle(address)
+        return ((target - head_angle) % 1.0) * rev
+
+    def _access(self, request: Request, now: float, mutate: bool) -> AccessResult:
+        rev = self.params.revolution_time
+        segments = self.geometry.segments(request.lbn, request.sectors)
+
+        time = now
+        first, _ = segments[0]
+        seek = self._seek_time(self._cylinder, first, request.kind)
+        time += seek
+
+        latency_total = 0.0
+        transfer_total = 0.0
+        switch_total = 0.0
+        cylinder = self._cylinder
+        surface = self._surface
+        for index, (addr, count) in enumerate(segments):
+            if index > 0:
+                if addr.cylinder != cylinder:
+                    step = self.params.seek_curve.time(
+                        abs(addr.cylinder - cylinder)
+                    )
+                    time += step
+                    switch_total += step
+                elif addr.surface != surface:
+                    time += self.params.head_switch_time
+                    switch_total += self.params.head_switch_time
+            latency = self._rotational_latency(addr, time)
+            time += latency
+            latency_total += latency
+            spt = self.geometry.sectors_per_track(addr.cylinder)
+            transfer = count / spt * rev
+            time += transfer
+            transfer_total += transfer
+            cylinder = addr.cylinder
+            surface = addr.surface
+
+        if mutate:
+            self._cylinder = cylinder
+            self._surface = surface
+
+        bits = request.sectors * self.params.sector_bytes * 8
+        return AccessResult(
+            total=time - now,
+            seek_x=seek,
+            rotational_latency=latency_total,
+            transfer=transfer_total,
+            turnarounds=switch_total,
+            bits_accessed=bits,
+        )

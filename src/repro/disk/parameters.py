@@ -1,0 +1,165 @@
+"""Parameter set for the conventional-disk model.
+
+The model is first-order DiskSim-style: a distance-dependent seek curve,
+constant-rate rotation, zoned (banded) recording, and head/track switch
+costs.  :mod:`repro.disk.atlas10k` provides the calibrated Quantum Atlas 10K
+instance the paper uses for every disk experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One recording band: a contiguous cylinder range with fixed
+    sectors-per-track."""
+
+    first_cylinder: int
+    last_cylinder: int
+    sectors_per_track: int
+
+    def __post_init__(self) -> None:
+        if self.first_cylinder > self.last_cylinder:
+            raise ValueError(f"empty zone: {self}")
+        if self.sectors_per_track < 1:
+            raise ValueError(f"zone without sectors: {self}")
+
+    @property
+    def cylinders(self) -> int:
+        return self.last_cylinder - self.first_cylinder + 1
+
+
+@dataclass(frozen=True)
+class SeekCurve:
+    """Piecewise seek-time model: a + b·√d for short seeks, c + e·d beyond.
+
+    This is the standard two-piece fit used by DiskSim-era disk models
+    [WGP94]: the square-root piece captures the acceleration-limited region,
+    the linear piece the constant-velocity coast of long seeks.  Times are
+    seconds, distances cylinders.  A zero-distance "seek" costs nothing.
+    """
+
+    sqrt_coeff_a: float
+    sqrt_coeff_b: float
+    linear_coeff_c: float
+    linear_coeff_e: float
+    crossover_cylinders: int
+
+    def __post_init__(self) -> None:
+        if self.crossover_cylinders < 1:
+            raise ValueError("crossover must be at least one cylinder")
+
+    def time(self, distance: int) -> float:
+        """Seek time for a move of ``distance`` cylinders."""
+        if distance < 0:
+            raise ValueError(f"negative seek distance: {distance}")
+        if distance == 0:
+            return 0.0
+        if distance <= self.crossover_cylinders:
+            return self.sqrt_coeff_a + self.sqrt_coeff_b * math.sqrt(distance)
+        return self.linear_coeff_c + self.linear_coeff_e * distance
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Mechanical and geometric description of one disk drive."""
+
+    name: str
+    rpm: float
+    cylinders: int
+    surfaces: int
+    zones: Tuple[Zone, ...]
+    seek_curve: SeekCurve
+    head_switch_time: float
+    """Time to activate a different head within a cylinder (includes
+    fine-positioning settle)."""
+
+    write_settle_time: float = 0.0
+    """Extra settle charged before writes (conservatively 0 by default)."""
+
+    sector_bytes: int = 512
+    spinup_time: float = 25.0
+    """Power-on to ready; the paper cites ~25 s for high-end drives (§6.3)."""
+
+    def __post_init__(self) -> None:
+        if self.rpm <= 0:
+            raise ValueError(f"non-positive rpm: {self.rpm}")
+        if self.cylinders < 1 or self.surfaces < 1:
+            raise ValueError("disk needs at least one cylinder and surface")
+        expected = 0
+        for zone in self.zones:
+            if zone.first_cylinder != expected:
+                raise ValueError(
+                    f"zones must tile the cylinders contiguously; gap at "
+                    f"cylinder {expected}"
+                )
+            expected = zone.last_cylinder + 1
+        if expected != self.cylinders:
+            raise ValueError(
+                f"zones cover {expected} cylinders, disk has {self.cylinders}"
+            )
+
+    @property
+    def revolution_time(self) -> float:
+        """Seconds per platter revolution."""
+        return 60.0 / self.rpm
+
+    @property
+    def capacity_sectors(self) -> int:
+        return sum(
+            zone.cylinders * zone.sectors_per_track * self.surfaces
+            for zone in self.zones
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_sectors * self.sector_bytes
+
+    @property
+    def max_sectors_per_track(self) -> int:
+        return max(zone.sectors_per_track for zone in self.zones)
+
+    @property
+    def min_sectors_per_track(self) -> int:
+        return min(zone.sectors_per_track for zone in self.zones)
+
+    def streaming_bandwidth(self, zone_index: int) -> float:
+        """Media transfer rate (bytes/s) within one zone."""
+        zone = self.zones[zone_index]
+        track_bytes = zone.sectors_per_track * self.sector_bytes
+        return track_bytes / self.revolution_time
+
+
+def make_linear_zones(
+    cylinders: int,
+    num_zones: int,
+    outer_sectors_per_track: int,
+    inner_sectors_per_track: int,
+) -> Tuple[Zone, ...]:
+    """Build a zone table whose sectors-per-track ramp linearly from the
+    outermost (zone 0, highest density of sectors) to the innermost."""
+    if num_zones < 1 or num_zones > cylinders:
+        raise ValueError(f"invalid zone count: {num_zones}")
+    if outer_sectors_per_track < inner_sectors_per_track:
+        raise ValueError("outer tracks must hold at least as many sectors")
+    zones: List[Zone] = []
+    base = cylinders // num_zones
+    extra = cylinders % num_zones
+    first = 0
+    for i in range(num_zones):
+        size = base + (1 if i < extra else 0)
+        if num_zones == 1:
+            spt = outer_sectors_per_track
+        else:
+            frac = i / (num_zones - 1)
+            spt = round(
+                outer_sectors_per_track
+                + frac * (inner_sectors_per_track - outer_sectors_per_track)
+            )
+        zones.append(Zone(first, first + size - 1, spt))
+        first += size
+    return tuple(zones)

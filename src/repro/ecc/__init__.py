@@ -1,0 +1,35 @@
+"""Error-correction substrate for §6's failure management.
+
+* :mod:`repro.ecc.galois` — GF(256) arithmetic;
+* :class:`~repro.ecc.reed_solomon.ReedSolomon` — the horizontal
+  (across-tips) code: erasure and error/erasure decoding;
+* :class:`~repro.ecc.hamming.Hamming4032`,
+  :class:`~repro.ecc.hamming.TipSectorCodec` — the vertical (per-tip)
+  SEC-DED code filling the 80-encoded-bit tip-sector budget;
+* :class:`~repro.ecc.striper.SectorStriper` — the full encode/decode
+  pipeline for a 512-byte sector striped over 64 data tips plus parity tips.
+"""
+
+from repro.ecc.hamming import DecodeResult, DecodeStatus, Hamming4032, TipSectorCodec
+from repro.ecc.reed_solomon import ReedSolomon, ReedSolomonError
+from repro.ecc.striper import (
+    DATA_TIPS,
+    RecoveredSector,
+    SectorStriper,
+    StripedSector,
+    UnrecoverableSectorError,
+)
+
+__all__ = [
+    "DATA_TIPS",
+    "DecodeResult",
+    "DecodeStatus",
+    "Hamming4032",
+    "RecoveredSector",
+    "ReedSolomon",
+    "ReedSolomonError",
+    "SectorStriper",
+    "StripedSector",
+    "TipSectorCodec",
+    "UnrecoverableSectorError",
+]

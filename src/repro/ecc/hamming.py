@@ -1,0 +1,169 @@
+"""Per-tip vertical coding: SEC-DED Hamming over each tip sector (§6.1.2).
+
+Each tip sector stores 8 data bytes in 80 encoded bits (Table 1).  That
+budget factors exactly into two interleaved (40, 32) extended-Hamming
+codewords: 32 data bits + 6 Hamming check bits + 1 spare/pad bit + 1 overall
+parity bit each.  The code corrects any single bit error within its half
+and *detects* double-bit errors — the detection is what matters for the
+storage system: a tip sector with an uncorrectable vertical error is
+declared an **erasure**, which the horizontal Reed-Solomon code across tips
+can then repair ("converting large errors into erasures").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+DATA_BITS = 32
+CHECK_BITS = 6  # Hamming(38,32) needs 6; one pad bit + overall parity = 40
+CODEWORD_BITS = 40
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED = "detected"  # uncorrectable; treat the tip sector as erased
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    """The 32 recovered data bits (meaningless when status is DETECTED)."""
+
+    status: DecodeStatus
+
+
+class Hamming4032:
+    """Extended Hamming SEC-DED code on 32-bit payloads in 40-bit words.
+
+    Bit layout (1-based Hamming convention inside the first 39 positions):
+    positions 1, 2, 4, 8, 16, 32 hold check bits; remaining positions up to
+    38 hold the 32 data bits; position 39 is a fixed pad (always 0, but
+    covered by the checks so errors touching it stay correctable/detectable);
+    bit 40 is the overall parity over positions 1–39.
+    """
+
+    def __init__(self) -> None:
+        # Positions that are powers of two hold check bits; the rest of
+        # positions 1..38 hold data.
+        self._data_positions: List[int] = [
+            position
+            for position in range(1, 39)
+            if position not in (1, 2, 4, 8, 16, 32)
+        ]
+        if len(self._data_positions) != DATA_BITS:
+            raise AssertionError("bit-position bookkeeping broke")
+
+    # -- bit helpers -------------------------------------------------------- #
+
+    @staticmethod
+    def _get_bit(word: int, position: int) -> int:
+        return (word >> (position - 1)) & 1
+
+    @staticmethod
+    def _set_bit(word: int, position: int, value: int) -> int:
+        if value:
+            return word | (1 << (position - 1))
+        return word & ~(1 << (position - 1))
+
+    # -- encode / decode ------------------------------------------------------ #
+
+    def encode(self, data: int) -> int:
+        """Encode 32 data bits into a 40-bit codeword."""
+        if not 0 <= data < (1 << DATA_BITS):
+            raise ValueError(f"data out of 32-bit range: {data:#x}")
+        word = 0
+        for index, position in enumerate(self._data_positions):
+            word = self._set_bit(word, position, (data >> index) & 1)
+        for check_index in range(CHECK_BITS):
+            check_position = 1 << check_index
+            parity = 0
+            for position in range(1, 40):
+                if position != check_position and position & check_position:
+                    parity ^= self._get_bit(word, position)
+            word = self._set_bit(word, check_position, parity)
+        overall = 0
+        for position in range(1, 40):
+            overall ^= self._get_bit(word, position)
+        word = self._set_bit(word, 40, overall)
+        return word
+
+    def decode(self, word: int) -> DecodeResult:
+        """Decode a 40-bit word, correcting one flipped bit if present."""
+        if not 0 <= word < (1 << CODEWORD_BITS):
+            raise ValueError(f"word out of 40-bit range: {word:#x}")
+        syndrome = 0
+        for check_index in range(CHECK_BITS):
+            check_position = 1 << check_index
+            parity = 0
+            for position in range(1, 40):
+                if position & check_position:
+                    parity ^= self._get_bit(word, position)
+            if parity:
+                syndrome |= check_position
+        overall = 0
+        for position in range(1, 41):
+            overall ^= self._get_bit(word, position)
+
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(self._extract(word), DecodeStatus.CLEAN)
+        if overall == 1:
+            # Odd number of flipped bits: a single error, correctable.
+            if syndrome == 0:
+                # The overall parity bit itself flipped.
+                corrected = self._set_bit(word, 40, self._get_bit(word, 40) ^ 1)
+            elif syndrome <= 39:
+                corrected = self._set_bit(
+                    word, syndrome, self._get_bit(word, syndrome) ^ 1
+                )
+            else:
+                return DecodeResult(0, DecodeStatus.DETECTED)
+            return DecodeResult(self._extract(corrected), DecodeStatus.CORRECTED)
+        # syndrome != 0 and overall == 0: double error — detected only.
+        return DecodeResult(0, DecodeStatus.DETECTED)
+
+    def _extract(self, word: int) -> int:
+        data = 0
+        for index, position in enumerate(self._data_positions):
+            data |= self._get_bit(word, position) << index
+        return data
+
+
+class TipSectorCodec:
+    """Vertical codec for one 8-data-byte tip sector (two 40-bit halves)."""
+
+    def __init__(self) -> None:
+        self._code = Hamming4032()
+
+    def encode(self, data: bytes) -> Tuple[int, int]:
+        """8 data bytes → two 40-bit codewords (the 80 encoded bits)."""
+        if len(data) != 8:
+            raise ValueError(f"tip sector holds exactly 8 data bytes: {len(data)}")
+        low = int.from_bytes(data[:4], "little")
+        high = int.from_bytes(data[4:], "little")
+        return (self._code.encode(low), self._code.encode(high))
+
+    def decode(self, words: Tuple[int, int]) -> Tuple[bytes, DecodeStatus]:
+        """Two 40-bit words → (8 data bytes, worst status).
+
+        A DETECTED status in either half marks the whole tip sector as an
+        erasure for the horizontal code.
+        """
+        low_result = self._code.decode(words[0])
+        high_result = self._code.decode(words[1])
+        status = _worst(low_result.status, high_result.status)
+        if status is DecodeStatus.DETECTED:
+            return (b"\x00" * 8, status)
+        payload = low_result.data.to_bytes(4, "little") + high_result.data.to_bytes(
+            4, "little"
+        )
+        return (payload, status)
+
+
+def _worst(a: DecodeStatus, b: DecodeStatus) -> DecodeStatus:
+    order = [DecodeStatus.CLEAN, DecodeStatus.CORRECTED, DecodeStatus.DETECTED]
+    return max(a, b, key=order.index)

@@ -1,0 +1,228 @@
+"""Systematic Reed-Solomon coding over GF(256).
+
+This is the *horizontal* code of §6.1.2: a logical sector striped across 64
+data tips can switch on extra ECC tips during each access; the parity they
+carry lets the device reconstruct tip sectors lost to media defects, broken
+tips, or vertical-code detection ("converting large errors into erasures").
+
+The implementation is a textbook RS(n, k): generator-polynomial encoding,
+syndrome computation, Berlekamp-Massey for unknown error positions,
+Chien search, and Forney's algorithm, with erasure and error/erasure
+decoding.  With ``p`` parity symbols the code corrects any ``p`` erasures,
+or ``e`` errors and ``s`` erasures while 2e + s ≤ p.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.ecc import galois as gf
+
+
+class ReedSolomonError(Exception):
+    """Decoding failed: too many errors/erasures for the code."""
+
+
+class ReedSolomon:
+    """RS code with ``parity`` check symbols over byte-sized message blocks.
+
+    Args:
+        parity: Number of parity symbols p (1 ≤ p ≤ 254).  A codeword is
+            ``message + parity`` bytes and must not exceed 255 symbols.
+    """
+
+    def __init__(self, parity: int) -> None:
+        if not 1 <= parity <= 254:
+            raise ValueError(f"parity symbol count out of range: {parity}")
+        self.parity = parity
+        generator = [1]
+        for power in range(parity):
+            generator = gf.poly_mul(generator, [1, gf.gf_pow(gf.GENERATOR, power)])
+        self._generator = generator
+
+    # -- encoding ------------------------------------------------------- #
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Return ``message`` with parity symbols appended (systematic)."""
+        message = list(message)
+        if len(message) + self.parity > 255:
+            raise ValueError(
+                f"codeword of {len(message) + self.parity} symbols exceeds "
+                "the GF(256) block limit of 255"
+            )
+        if any(not 0 <= symbol <= 255 for symbol in message):
+            raise ValueError("symbols must be bytes (0..255)")
+        padded = message + [0] * self.parity
+        _, remainder = gf.poly_divmod(padded, self._generator)
+        return message + list(remainder)
+
+    # -- decoding -------------------------------------------------------- #
+
+    def syndromes(self, codeword: Sequence[int]) -> List[int]:
+        """Syndrome values S_j = C(α^j); all zero iff the word is a
+        codeword."""
+        return [
+            gf.poly_eval(codeword, gf.gf_pow(gf.GENERATOR, power))
+            for power in range(self.parity)
+        ]
+
+    def is_codeword(self, codeword: Sequence[int]) -> bool:
+        return all(s == 0 for s in self.syndromes(codeword))
+
+    def decode(
+        self,
+        codeword: Sequence[int],
+        erasures: Iterable[int] = (),
+    ) -> List[int]:
+        """Correct ``codeword`` in place and return the message symbols.
+
+        Args:
+            codeword: Received word (message + parity).
+            erasures: Known-bad symbol positions (0-based, message-first
+                order) — e.g. tips the vertical code flagged.
+
+        Raises:
+            ReedSolomonError: Beyond the code's correction capability.
+        """
+        word = list(codeword)
+        erasure_list = sorted(set(erasures))
+        if any(not 0 <= pos < len(word) for pos in erasure_list):
+            raise ValueError("erasure position outside the codeword")
+        if len(erasure_list) > self.parity:
+            raise ReedSolomonError(
+                f"{len(erasure_list)} erasures exceed {self.parity} parity "
+                "symbols"
+            )
+        for position in erasure_list:
+            word[position] = 0
+
+        synd = self.syndromes(word)
+        if all(s == 0 for s in synd):
+            return word[: len(word) - self.parity]
+
+        # Positions are conventionally exponents of α counted from the last
+        # symbol (degree 0); convert from message-first indexing.
+        n = len(word)
+        erasure_exponents = [n - 1 - pos for pos in erasure_list]
+
+        modified_synd = self._forney_syndromes(
+            synd, erasure_exponents, n
+        )
+        error_locator = self._berlekamp_massey(
+            modified_synd, len(erasure_exponents)
+        )
+        error_count = len(error_locator) - 1
+        if 2 * error_count + len(erasure_exponents) > self.parity:
+            raise ReedSolomonError("too many errors for the parity budget")
+
+        error_exponents = self._chien_search(error_locator, n)
+        if len(error_exponents) != error_count:
+            raise ReedSolomonError("error locator does not factor; uncorrectable")
+
+        all_exponents = erasure_exponents + error_exponents
+        combined_locator = [1]
+        for exponent in all_exponents:
+            combined_locator = self._poly_mul_ascending(
+                combined_locator, [1, gf.gf_pow(gf.GENERATOR, exponent)]
+            )
+        self._forney_correct(word, synd, combined_locator, all_exponents, n)
+
+        if not self.is_codeword(word):
+            raise ReedSolomonError("correction failed verification")
+        return word[: len(word) - self.parity]
+
+    # -- internals ---------------------------------------------------------- #
+
+    @staticmethod
+    def _poly_mul_ascending(a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Multiply polynomials with ascending-order coefficients."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                result[i + j] ^= gf.gf_mul(ca, cb)
+        return result
+
+    def _forney_syndromes(
+        self, synd: Sequence[int], erasure_exponents: Sequence[int], n: int
+    ) -> List[int]:
+        """Remove erasure contributions so BM sees only true errors."""
+        modified = list(synd)
+        for exponent in erasure_exponents:
+            x = gf.gf_pow(gf.GENERATOR, exponent)
+            for j in range(len(modified) - 1):
+                modified[j] = gf.gf_mul(modified[j], x) ^ modified[j + 1]
+            modified.pop()
+        return modified
+
+    def _berlekamp_massey(
+        self, synd: Sequence[int], erasure_count: int
+    ) -> List[int]:
+        """Find the error locator polynomial.
+
+        Works in descending-coefficient order (so "multiply by x" is an
+        append and polynomial addition right-aligns at degree 0), then
+        returns ascending coefficients for the Chien/Forney stages.
+        """
+        locator = [1]
+        previous = [1]
+        for index in range(len(synd)):
+            previous = previous + [0]
+            delta = synd[index]
+            for j in range(1, len(locator)):
+                delta ^= gf.gf_mul(locator[-(j + 1)], synd[index - j])
+            if delta != 0:
+                if len(previous) > len(locator):
+                    new_locator = gf.poly_scale(previous, delta)
+                    previous = gf.poly_scale(locator, gf.gf_inv(delta))
+                    locator = new_locator
+                locator = gf.poly_add(locator, gf.poly_scale(previous, delta))
+        while locator and locator[0] == 0:
+            locator.pop(0)
+        return locator[::-1]
+
+    def _chien_search(self, locator: Sequence[int], n: int) -> List[int]:
+        """Exponents i (0-based from last symbol) where the locator's root
+        α^{-i} lies — i.e. the error positions."""
+        found = []
+        for exponent in range(n):
+            x_inv = gf.gf_pow(gf.GENERATOR, -exponent)
+            value = 0
+            for degree, coeff in enumerate(locator):
+                value ^= gf.gf_mul(coeff, gf.gf_pow(x_inv, degree))
+            if value == 0:
+                found.append(exponent)
+        return found
+
+    def _forney_correct(
+        self,
+        word: List[int],
+        synd: Sequence[int],
+        locator: Sequence[int],
+        exponents: Sequence[int],
+        n: int,
+    ) -> None:
+        """Compute error magnitudes (Forney) and patch ``word`` in place."""
+        synd_poly = list(synd)  # ascending: S_0 + S_1 x + ...
+        omega = self._poly_mul_ascending(synd_poly, locator)[: len(locator) - 1 + len(synd_poly)]
+        omega = omega[: self.parity]
+        # Formal derivative of the locator (ascending order).
+        derivative = [
+            locator[degree] if degree % 2 == 1 else 0
+            for degree in range(1, len(locator))
+        ]
+        derivative = derivative  # ascending, degree shifted by one
+        for exponent in exponents:
+            x = gf.gf_pow(gf.GENERATOR, exponent)
+            x_inv = gf.gf_inv(x)
+            omega_val = 0
+            for degree, coeff in enumerate(omega):
+                omega_val ^= gf.gf_mul(coeff, gf.gf_pow(x_inv, degree))
+            denom = 0
+            for degree, coeff in enumerate(derivative):
+                denom ^= gf.gf_mul(coeff, gf.gf_pow(x_inv, degree))
+            if denom == 0:
+                raise ReedSolomonError("Forney denominator vanished")
+            magnitude = gf.gf_mul(x, gf.gf_div(omega_val, denom))
+            word[n - 1 - exponent] ^= magnitude

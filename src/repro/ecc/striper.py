@@ -1,0 +1,172 @@
+"""Sector striping across probe tips with layered ECC (§6.1).
+
+A 512-byte logical sector is striped as 64 × 8-byte tip sectors (§2.3).
+This module implements the full §6.1.2 pipeline:
+
+* **vertical** code: each tip sector's 8 data bytes are encoded with two
+  (40, 32) SEC-DED Hamming codewords (exactly the 80 encoded bits of
+  Table 1) — corrects single-bit read errors per tip, *detects* larger
+  corruption and flags the tip sector as an erasure;
+* **horizontal** code: ``ecc_tips`` additional tips store Reed-Solomon
+  parity over the 64 data tips, byte-column by byte-column — recovers up to
+  ``ecc_tips`` erased tip sectors, so localized media defects, broken tips,
+  or whole dead tip regions cause no data loss.
+
+The device-level consequence (capacity ↔ fault-tolerance trade-off,
+§6.1.1) is modelled in :mod:`repro.core.faults.striping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.ecc.hamming import DecodeStatus, TipSectorCodec
+from repro.ecc.reed_solomon import ReedSolomon, ReedSolomonError
+
+SECTOR_BYTES = 512
+TIP_PAYLOAD_BYTES = 8
+DATA_TIPS = SECTOR_BYTES // TIP_PAYLOAD_BYTES  # 64
+
+
+class UnrecoverableSectorError(Exception):
+    """More tip sectors were lost than the horizontal code can rebuild."""
+
+
+@dataclass(frozen=True)
+class StripedSector:
+    """One encoded logical sector: a 40-bit-word pair per tip."""
+
+    tip_words: Tuple[Tuple[int, int], ...]
+    """Vertical codewords, data tips first, then ECC tips."""
+
+    ecc_tips: int
+
+    @property
+    def total_tips(self) -> int:
+        return len(self.tip_words)
+
+
+@dataclass(frozen=True)
+class RecoveredSector:
+    """Decode outcome for one striped sector."""
+
+    data: bytes
+    corrected_bits: int
+    """Tip sectors whose vertical code corrected a single-bit error."""
+
+    erased_tips: Tuple[int, ...]
+    """Tip indices rebuilt by the horizontal code."""
+
+
+class SectorStriper:
+    """Encode/decode logical sectors across tips with vertical+horizontal ECC.
+
+    Args:
+        ecc_tips: Number of horizontal parity tips switched on per access
+            (0 disables horizontal protection, as in a capacity-maximizing
+            configuration).
+    """
+
+    def __init__(self, ecc_tips: int = 4) -> None:
+        if ecc_tips < 0:
+            raise ValueError(f"negative ecc_tips: {ecc_tips}")
+        self.ecc_tips = ecc_tips
+        self._vertical = TipSectorCodec()
+        self._horizontal = ReedSolomon(ecc_tips) if ecc_tips else None
+
+    # -- encode --------------------------------------------------------------- #
+
+    def encode(self, sector: bytes) -> StripedSector:
+        """Stripe and encode one 512-byte logical sector."""
+        if len(sector) != SECTOR_BYTES:
+            raise ValueError(
+                f"logical sector must be {SECTOR_BYTES} bytes: {len(sector)}"
+            )
+        payloads = [
+            sector[tip * TIP_PAYLOAD_BYTES:(tip + 1) * TIP_PAYLOAD_BYTES]
+            for tip in range(DATA_TIPS)
+        ]
+        if self._horizontal is not None:
+            parity_payloads = [bytearray(TIP_PAYLOAD_BYTES) for _ in range(self.ecc_tips)]
+            for column in range(TIP_PAYLOAD_BYTES):
+                message = [payload[column] for payload in payloads]
+                codeword = self._horizontal.encode(message)
+                for index in range(self.ecc_tips):
+                    parity_payloads[index][column] = codeword[DATA_TIPS + index]
+            payloads.extend(bytes(p) for p in parity_payloads)
+        words = tuple(self._vertical.encode(payload) for payload in payloads)
+        return StripedSector(tip_words=words, ecc_tips=self.ecc_tips)
+
+    # -- decode --------------------------------------------------------------- #
+
+    def decode(
+        self,
+        striped: StripedSector,
+        dead_tips: Sequence[int] = (),
+    ) -> RecoveredSector:
+        """Recover the logical sector.
+
+        Args:
+            striped: The (possibly corrupted) tip words.
+            dead_tips: Tip indices known to be failed (broken tips, remapped
+                regions not yet rebuilt) — treated as erasures outright.
+
+        Raises:
+            UnrecoverableSectorError: erasures exceed the parity budget.
+        """
+        if striped.ecc_tips != self.ecc_tips:
+            raise ValueError(
+                f"striper configured for {self.ecc_tips} ECC tips, sector "
+                f"written with {striped.ecc_tips}"
+            )
+        dead: Set[int] = set(dead_tips)
+        payloads: List[Optional[bytes]] = []
+        corrected = 0
+        for tip, words in enumerate(striped.tip_words):
+            if tip in dead:
+                payloads.append(None)
+                continue
+            payload, status = self._vertical.decode(words)
+            if status is DecodeStatus.DETECTED:
+                payloads.append(None)
+            else:
+                if status is DecodeStatus.CORRECTED:
+                    corrected += 1
+                payloads.append(payload)
+
+        erased = [tip for tip, payload in enumerate(payloads) if payload is None]
+        if erased and self._horizontal is None:
+            raise UnrecoverableSectorError(
+                f"tips {erased} lost and no horizontal parity configured"
+            )
+        if len(erased) > self.ecc_tips:
+            raise UnrecoverableSectorError(
+                f"{len(erased)} tip sectors lost; parity covers {self.ecc_tips}"
+            )
+
+        if erased:
+            rebuilt = [bytearray(TIP_PAYLOAD_BYTES) for _ in erased]
+            for column in range(TIP_PAYLOAD_BYTES):
+                codeword = [
+                    payload[column] if payload is not None else 0
+                    for payload in payloads
+                ]
+                try:
+                    message = self._horizontal.decode(codeword, erasures=erased)
+                except ReedSolomonError as exc:
+                    raise UnrecoverableSectorError(str(exc)) from exc
+                for index, tip in enumerate(erased):
+                    # Erased *parity* tips need no rebuilding to recover the
+                    # data; leave their placeholder payloads zeroed.
+                    if tip < DATA_TIPS:
+                        rebuilt[index][column] = message[tip]
+            for index, tip in enumerate(erased):
+                payloads[tip] = bytes(rebuilt[index])
+
+        data = b"".join(payloads[tip] for tip in range(DATA_TIPS))
+        return RecoveredSector(
+            data=data,
+            corrected_bits=corrected,
+            erased_tips=tuple(erased),
+        )

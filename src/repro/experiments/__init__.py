@@ -1,0 +1,61 @@
+"""Experiment harness: one module per paper figure/table.
+
+==================  ====================================================
+module              regenerates
+==================  ====================================================
+figure05            Fig. 5 — schedulers on the Atlas 10K (random)
+figure06            Fig. 6 — schedulers on MEMS (random)
+figure07            Fig. 7 — Cello / TPC-C traces on MEMS
+figure08            Fig. 8 — SPTF × settle-time interaction
+figure09            Fig. 9 — subregion service-time grid
+figure10            Fig. 10 — 256 KB service time vs X distance
+figure11            Fig. 11 — layout schemes
+table02             Table 2 — read-modify-write decomposition
+faults              §6.1 ablations — survival curves, recovery costs
+power               §6.3/§7 ablations — idle policies, startup, linearity
+ablations           DESIGN.md §6 design-choice sweeps (spring, tips, ...)
+recovery            §6.3 — synchronous writes, crash-to-first-I/O
+buffering           §2.4.11 — speed-matching buffer, sequential prefetch
+generations         extension — G1/G2/G3 design-point roadmap
+==================  ====================================================
+
+Each module exposes ``run(...) -> <result dataclass>`` returning the raw
+data and a ``main()`` that prints the paper-matching rows;
+:mod:`repro.experiments.runner` drives them all.
+"""
+
+from repro.experiments import (
+    ablations,
+    buffering,
+    faults,
+    generations,
+    figure05,
+    figure06,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    power,
+    recovery,
+    table02,
+)
+
+ALL_EXPERIMENTS = {
+    "figure05": figure05,
+    "figure06": figure06,
+    "figure07": figure07,
+    "figure08": figure08,
+    "figure09": figure09,
+    "figure10": figure10,
+    "figure11": figure11,
+    "table02": table02,
+    "faults": faults,
+    "power": power,
+    "ablations": ablations,
+    "recovery": recovery,
+    "buffering": buffering,
+    "generations": generations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + list(ALL_EXPERIMENTS)

@@ -1,0 +1,206 @@
+"""Design-choice ablations (DESIGN.md §6).
+
+Five sweeps over the MEMS design space that the paper discusses but does
+not plot:
+
+1. **Spring factor** — 0 turns the sled into a constant-acceleration
+   stage; larger factors speed up long seeks (the spring aids the
+   first half from the edge) while penalizing short seeks near the edges
+   (Fig. 9's effect).
+2. **Active tips** — more concurrently-active tips widen the track
+   (more sectors per row), raising streaming bandwidth and shrinking
+   per-request transfer times at the cost of power (§7).
+3. **Striping width** — tip sectors holding more data bytes stripe a
+   512 B sector over fewer tips, trading parallelism against per-tip
+   robustness (§6.1.2).
+4. **Bidirectional access** — disabling ±Y reading forces every pass
+   downhill, charging an extra repositioning per pass (§2.3's turnaround
+   machinery earns its keep).
+5. **Seek-error rate** — §6.1.3's retry penalties under increasing error
+   probability: MEMS degrades by turnarounds, the disk by rotations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.faults.rmw import rmw_breakdown
+from repro.core.faults.seek_errors import SeekErrorDevice
+from repro.disk import DiskDevice, atlas_10k
+from repro.experiments.formatting import format_table
+from repro.mems import MEMSDevice, MEMSParameters
+from repro.sim import IOKind, Request
+
+
+def _mean_random_service(
+    params: MEMSParameters, num_requests: int, seed: int
+) -> float:
+    device = MEMSDevice(params)
+    rng = random.Random(seed)
+    total = 0.0
+    for index in range(num_requests):
+        lbn = rng.randrange(0, device.capacity_sectors - 8)
+        total += device.service(
+            Request(0.0, lbn, 8, IOKind.READ, index)
+        ).total
+    return total / num_requests
+
+
+@dataclass
+class AblationResult:
+    spring: List[Tuple[float, float]]
+    active_tips: List[Tuple[int, int, float, float]]
+    striping: List[Tuple[int, int, float]]
+    direction: Dict[str, Tuple[float, float]]
+    seek_errors: List[Tuple[float, float, float]]
+
+    def spring_table(self) -> str:
+        rows = [[f"{f:.2f}", t * 1e3] for f, t in self.spring]
+        return format_table(
+            ["spring factor", "mean random 4KB service (ms)"],
+            rows,
+            title="Ablation 1: spring factor",
+        )
+
+    def active_tips_table(self) -> str:
+        rows = [
+            [tips, spt, bw / 1e6, t * 1e3]
+            for tips, spt, bw, t in self.active_tips
+        ]
+        return format_table(
+            ["active tips", "sectors/track", "stream MB/s", "service (ms)"],
+            rows,
+            title="Ablation 2: simultaneously active tips",
+        )
+
+    def striping_table(self) -> str:
+        rows = [
+            [bytes_, tips, t * 1e3] for bytes_, tips, t in self.striping
+        ]
+        return format_table(
+            ["bytes/tip sector", "tips/sector", "service (ms)"],
+            rows,
+            title="Ablation 3: striping width",
+        )
+
+    def direction_table(self) -> str:
+        rows = [
+            [name, svc * 1e3, rmw * 1e3]
+            for name, (svc, rmw) in self.direction.items()
+        ]
+        return format_table(
+            ["access mode", "random service (ms)", "RMW total (ms)"],
+            rows,
+            title="Ablation 4: bidirectional media access",
+        )
+
+    def seek_error_table(self) -> str:
+        rows = [
+            [f"{rate:.3f}", mems * 1e3, disk * 1e3]
+            for rate, mems, disk in self.seek_errors
+        ]
+        return format_table(
+            ["error prob", "MEMS service (ms)", "Atlas 10K service (ms)"],
+            rows,
+            title="Ablation 5: seek-error rate (§6.1.3 retries)",
+        )
+
+
+def run(num_requests: int = 1500, seed: int = 42) -> AblationResult:
+    """Run all five ablation sweeps."""
+    spring = [
+        (factor, _mean_random_service(
+            MEMSParameters(spring_factor=factor), num_requests, seed
+        ))
+        for factor in (0.0, 0.25, 0.5, 0.75, 0.9)
+    ]
+
+    active_tips = []
+    for tips in (320, 640, 1280, 3200):
+        params = MEMSParameters(active_tips=tips)
+        active_tips.append(
+            (
+                tips,
+                params.sectors_per_track,
+                params.streaming_bandwidth,
+                _mean_random_service(params, num_requests, seed),
+            )
+        )
+
+    striping = []
+    for data_bytes in (4, 8, 16):
+        params = MEMSParameters(
+            tip_sector_data_bytes=data_bytes,
+            tip_sector_encoded_bits=data_bytes * 10,
+        )
+        striping.append(
+            (
+                data_bytes,
+                params.tips_per_sector,
+                _mean_random_service(params, num_requests, seed),
+            )
+        )
+
+    direction = {}
+    for name, params in (
+        ("bidirectional", MEMSParameters()),
+        ("unidirectional", MEMSParameters().with_unidirectional_access()),
+    ):
+        service = _mean_random_service(params, num_requests, seed)
+        device = MEMSDevice(params)
+        mid_row = device.geometry.rows_per_track // 2
+        lbn = 540 * 1000 + mid_row * device.geometry.sectors_per_row + 8
+        rmw = rmw_breakdown(device, lbn, 8).total
+        direction[name] = (service, rmw)
+
+    seek_errors = []
+    for probability in (0.0, 0.01, 0.05, 0.2):
+        mems = SeekErrorDevice(MEMSDevice(), probability, seed=seed)
+        disk = SeekErrorDevice(
+            DiskDevice(atlas_10k()), probability, seed=seed
+        )
+        rng = random.Random(seed)
+        mems_total = disk_total = 0.0
+        samples = max(100, num_requests // 5)
+        clock = 0.0
+        for index in range(samples):
+            mems_lbn = rng.randrange(0, mems.capacity_sectors - 8)
+            disk_lbn = rng.randrange(0, disk.capacity_sectors - 8)
+            mems_total += mems.service(
+                Request(0.0, mems_lbn, 8, IOKind.READ, index)
+            ).total
+            access = disk.service(
+                Request(0.0, disk_lbn, 8, IOKind.READ, index), clock
+            )
+            disk_total += access.total
+            clock += access.total
+        seek_errors.append(
+            (probability, mems_total / samples, disk_total / samples)
+        )
+
+    return AblationResult(
+        spring=spring,
+        active_tips=active_tips,
+        striping=striping,
+        direction=direction,
+        seek_errors=seek_errors,
+    )
+
+
+def main() -> None:
+    result = run()
+    print(result.spring_table())
+    print()
+    print(result.active_tips_table())
+    print()
+    print(result.striping_table())
+    print()
+    print(result.direction_table())
+    print()
+    print(result.seek_error_table())
+
+
+if __name__ == "__main__":
+    main()

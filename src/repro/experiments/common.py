@@ -1,0 +1,183 @@
+"""Shared experiment plumbing: scheduler sweeps and service-time loops.
+
+The scheduling figures (5–8) all have the same skeleton — for each
+scheduling algorithm, sweep arrival rate (or trace scale factor) and record
+average response time and σ²/µ².  :func:`scheduling_sweep` implements it
+once, with saturation detection: a data point whose pending queue exceeds
+``max_queue_depth`` is recorded as saturated (``None``), matching the
+paper's plots that simply run off the top of the axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.scheduling import make_scheduler
+from repro.sim import (
+    QueueOverflowError,
+    Request,
+    Simulation,
+    SimulationResult,
+    StorageDevice,
+)
+from repro.workloads import RandomWorkload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, algorithm) measurement of a scheduling sweep."""
+
+    x: float
+    mean_response_time: Optional[float]
+    response_time_cv2: Optional[float]
+
+    @property
+    def saturated(self) -> bool:
+        return self.mean_response_time is None
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, keyed by algorithm name."""
+
+    x_label: str
+    series: Dict[str, List[SweepPoint]] = field(default_factory=dict)
+
+    def algorithms(self) -> List[str]:
+        return list(self.series)
+
+    def xs(self) -> List[float]:
+        first = next(iter(self.series.values()))
+        return [point.x for point in first]
+
+
+def run_workload(
+    device: StorageDevice,
+    algorithm: str,
+    requests: Sequence[Request],
+    warmup: int = 0,
+    max_queue_depth: Optional[int] = 4000,
+    sectors_per_cylinder: Optional[int] = None,
+) -> Optional[SimulationResult]:
+    """Simulate one (device, algorithm, request stream) combination.
+
+    Returns ``None`` when the workload saturates the device (pending queue
+    exceeded ``max_queue_depth``).
+    """
+    scheduler = make_scheduler(
+        algorithm, device, sectors_per_cylinder=sectors_per_cylinder
+    )
+    sim = Simulation(device, scheduler, max_queue_depth=max_queue_depth)
+    try:
+        result = sim.run(requests)
+    except QueueOverflowError:
+        return None
+    return result.drop_warmup(warmup)
+
+
+def scheduling_sweep(
+    device_factory: Callable[[], StorageDevice],
+    algorithms: Sequence[str],
+    xs: Sequence[float],
+    requests_for_x: Callable[[StorageDevice, float], Sequence[Request]],
+    x_label: str,
+    warmup: int = 200,
+    max_queue_depth: Optional[int] = 4000,
+    sectors_per_cylinder: Optional[int] = None,
+) -> SweepResult:
+    """Run every algorithm at every x value with a fresh device each time."""
+    sweep = SweepResult(x_label=x_label)
+    for algorithm in algorithms:
+        points: List[SweepPoint] = []
+        for x in xs:
+            device = device_factory()
+            requests = requests_for_x(device, x)
+            result = run_workload(
+                device,
+                algorithm,
+                requests,
+                warmup=warmup,
+                max_queue_depth=max_queue_depth,
+                sectors_per_cylinder=sectors_per_cylinder,
+            )
+            if result is None or len(result) == 0:
+                points.append(SweepPoint(x, None, None))
+            else:
+                points.append(
+                    SweepPoint(
+                        x,
+                        result.mean_response_time,
+                        result.response_time_cv2,
+                    )
+                )
+        sweep.series[algorithm] = points
+    return sweep
+
+
+def random_workload_sweep(
+    device_factory: Callable[[], StorageDevice],
+    algorithms: Sequence[str],
+    rates: Sequence[float],
+    num_requests: int,
+    seed: int = 42,
+    warmup: int = 200,
+    max_queue_depth: Optional[int] = 4000,
+) -> SweepResult:
+    """The Figs. 5/6/8 sweep: the paper's random workload over arrival rates."""
+
+    def requests_for_rate(device: StorageDevice, rate: float):
+        workload = RandomWorkload(
+            device.capacity_sectors, rate=rate, seed=seed
+        )
+        return workload.generate(num_requests)
+
+    return scheduling_sweep(
+        device_factory,
+        algorithms,
+        rates,
+        requests_for_rate,
+        x_label="arrival rate (requests/sec)",
+        warmup=warmup,
+        max_queue_depth=max_queue_depth,
+    )
+
+
+def format_sweep_table(
+    sweep: SweepResult,
+    title: str,
+    x_header: str,
+    metric: str = "response",
+    x_format: Callable[[float], object] = lambda x: int(x),
+) -> str:
+    """Render one sweep metric as an aligned table.
+
+    ``metric`` is ``"response"`` (mean response time, shown in ms) or
+    ``"cv2"`` (σ²/µ²); saturated points render as ``sat.``.
+    """
+    from repro.experiments.formatting import format_table
+
+    if metric not in ("response", "cv2"):
+        raise ValueError(f"unknown metric: {metric}")
+    rows = []
+    for x_index, x in enumerate(sweep.xs()):
+        row = [x_format(x)]
+        for algorithm in sweep.algorithms():
+            point = sweep.series[algorithm][x_index]
+            if point.saturated:
+                row.append(None)
+            elif metric == "response":
+                row.append(point.mean_response_time * 1e3)
+            else:
+                row.append(point.response_time_cv2)
+        rows.append(row)
+    unit = " (ms)" if metric == "response" else " cv2"
+    headers = [x_header] + [f"{a}{unit}" for a in sweep.algorithms()]
+    return format_table(headers, rows, title=title)
+
+
+def service_time_loop(
+    device: StorageDevice, requests: Iterable[Request]
+) -> List[float]:
+    """Back-to-back service times (no queueing): the Figs. 9–11 measurement."""
+    return [device.service(request).total for request in requests]

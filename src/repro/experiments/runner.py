@@ -1,0 +1,39 @@
+"""Run every paper experiment and print its output.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner figure06 table02
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def run_experiments(names: Sequence[str]) -> None:
+    for name in names:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from "
+                f"{', '.join(ALL_EXPERIMENTS)}"
+            )
+        banner = f"=== {name} ==="
+        print(banner)
+        start = time.time()
+        module.main()
+        print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(ALL_EXPERIMENTS)
+    run_experiments(names)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Table 2: read-modify-write time comparison (§6.2).
+
+Measures the read / reposition / write decomposition of a read-modify-write
+of the *same* sectors, for 4 KB (8-sector) and track-length (334-sector)
+transfers, on the Atlas 10K and the MEMS device.
+
+Observation to reproduce: the disk must wait out nearly a full platter
+rotation between the read and the write (unless the transfer is exactly a
+full track, when the reposition collapses to ~0); the MEMS device need only
+turn the sled around (~0.04–0.25 ms), so small RMWs complete ~20x faster —
+the property that makes RAID-5-style code-based redundancy cheap on MEMS
+storage (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.faults.rmw import RMWBreakdown, rmw_breakdown
+from repro.disk import DiskAddress, DiskDevice, DiskGeometry, atlas_10k
+from repro.experiments.formatting import format_table
+from repro.mems import MEMSDevice
+
+
+@dataclass
+class Table2Result:
+    breakdowns: Dict[Tuple[str, int], RMWBreakdown]
+
+    def table(self) -> str:
+        rows = []
+        for (device, sectors), b in sorted(self.breakdowns.items()):
+            rows.append(
+                [
+                    device,
+                    sectors,
+                    b.read * 1e3,
+                    b.reposition * 1e3,
+                    b.write * 1e3,
+                    b.total * 1e3,
+                ]
+            )
+        return format_table(
+            [
+                "device",
+                "#sectors",
+                "read (ms)",
+                "reposition (ms)",
+                "write (ms)",
+                "total (ms)",
+            ],
+            rows,
+            title="Table 2: read-modify-write times",
+        )
+
+    def speedup(self, sectors: int) -> float:
+        """MEMS advantage (disk RMW total / MEMS RMW total)."""
+        disk = self.breakdowns[("Atlas 10K", sectors)]
+        mems = self.breakdowns[("MEMS", sectors)]
+        return disk.total / mems.total
+
+
+def run() -> Table2Result:
+    """Regenerate Table 2.
+
+    The 334-sector case uses a full outer-zone track on the disk (334 is
+    the Atlas 10K's longest track) and a track-aligned extent on MEMS.
+    """
+    breakdowns: Dict[Tuple[str, int], RMWBreakdown] = {}
+
+    disk_params = atlas_10k()
+    geometry = DiskGeometry(disk_params)
+    track_start = geometry.lbn(DiskAddress(cylinder=10, surface=0, sector=0))
+    breakdowns[("Atlas 10K", 8)] = rmw_breakdown(
+        DiskDevice(disk_params), track_start + 16, 8
+    )
+    breakdowns[("Atlas 10K", 334)] = rmw_breakdown(
+        DiskDevice(disk_params), track_start, 334
+    )
+
+    mems = MEMSDevice()
+    sectors_per_track = mems.geometry.sectors_per_track
+    aligned = 1_000 * sectors_per_track
+    # Slot 8 keeps the 8-sector transfer inside a single 20-sector
+    # tip-sector row (one 0.13 ms pass), matching Table 2's 4 KB case; a
+    # mid-track row puts the turnaround at a representative sled position
+    # (turnaround time varies 0.04-0.25 ms between media center and edge).
+    mid_row = mems.geometry.rows_per_track // 2
+    mid_lbn = aligned + mid_row * mems.geometry.sectors_per_row + 8
+    breakdowns[("MEMS", 8)] = rmw_breakdown(MEMSDevice(), mid_lbn, 8)
+    breakdowns[("MEMS", 334)] = rmw_breakdown(MEMSDevice(), aligned, 334)
+    return Table2Result(breakdowns=breakdowns)
+
+
+def main() -> None:
+    result = run()
+    print(result.table())
+    print()
+    print(
+        f"MEMS RMW speedup: {result.speedup(8):.1f}x for 8 sectors, "
+        f"{result.speedup(334):.1f}x for 334 sectors "
+        "(paper: ~19x and ~2.7x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

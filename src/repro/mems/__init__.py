@@ -1,0 +1,44 @@
+"""MEMS-based storage device model (the paper's §2 device, from [GSGN00]).
+
+Public surface:
+
+* :class:`~repro.mems.parameters.MEMSParameters` and
+  :data:`~repro.mems.parameters.DEFAULT_PARAMETERS` — the Table 1 design point;
+* :class:`~repro.mems.geometry.MEMSGeometry`,
+  :class:`~repro.mems.geometry.SectorAddress` — LBN ↔ physical mapping;
+* :class:`~repro.mems.kinematics.SledKinematics` — closed-form spring-mass
+  maneuver timing;
+* :class:`~repro.mems.seek.SeekPlanner`, :class:`~repro.mems.seek.SledState`,
+  :class:`~repro.mems.seek.PositioningPlan` — positioning plans;
+* :class:`~repro.mems.device.MEMSDevice` — the full device model.
+"""
+
+from repro.mems.device import MEMSDevice
+from repro.mems.generations import (
+    GENERATIONS,
+    generation_1,
+    generation_2,
+    generation_3,
+)
+from repro.mems.geometry import MEMSGeometry, SectorAddress
+from repro.mems.kinematics import InfeasibleManeuver, SledKinematics, StopResult
+from repro.mems.parameters import DEFAULT_PARAMETERS, MEMSParameters
+from repro.mems.seek import PositioningPlan, SeekPlanner, SledState
+
+__all__ = [
+    "DEFAULT_PARAMETERS",
+    "GENERATIONS",
+    "InfeasibleManeuver",
+    "MEMSDevice",
+    "MEMSGeometry",
+    "MEMSParameters",
+    "PositioningPlan",
+    "SectorAddress",
+    "SeekPlanner",
+    "SledKinematics",
+    "SledState",
+    "StopResult",
+    "generation_1",
+    "generation_2",
+    "generation_3",
+]

@@ -1,0 +1,246 @@
+"""The MEMS-based storage device model, behind the disk-like interface.
+
+Combines the Table 1 parameters, the LBN geometry (§2.2), and the sled
+kinematics (§2.3) into a :class:`repro.sim.StorageDevice`:
+
+* requests are decomposed into per-track *segments*, each transferable in a
+  single constant-velocity sled pass over consecutive tip-sector rows;
+* positioning overlaps the X seek (plus settle) with the Y seek and takes
+  the max (§2.4.1);
+* the media is readable in both Y directions, and the device picks the
+  direction that minimizes total service time;
+* segment boundaries (track or cylinder switches) cost a turnaround plus any
+  dead travel back to the next segment's starting edge; single-cylinder X
+  moves during a transfer hide under the turnaround (§2.3: "the turnaround
+  time is expected to dominate any additional activity");
+* the sled exits an access at access velocity, which the next positioning
+  plan exploits (sequential requests keep streaming without repositioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mems.geometry import MEMSGeometry
+from repro.mems.parameters import DEFAULT_PARAMETERS, MEMSParameters
+from repro.mems.seek import PositioningPlan, SeekPlanner, SledState
+from repro.sim.device import StorageDevice
+from repro.sim.request import AccessResult, Request
+
+
+@dataclass(frozen=True)
+class _AccessPlan:
+    """Fully-resolved service plan for one request."""
+
+    positioning: PositioningPlan
+    transfer_time: float
+    boundary_time: float
+    rows: int
+    end_state: SledState
+    bits_accessed: int
+
+    @property
+    def total(self) -> float:
+        return self.positioning.total + self.transfer_time + self.boundary_time
+
+
+class MEMSDevice(StorageDevice):
+    """Simulation model of one MEMS-based storage device (media sled).
+
+    Args:
+        params: Device design point; defaults to the paper's Table 1.
+
+    Example:
+        >>> device = MEMSDevice()
+        >>> device.capacity_sectors
+        6750000
+        >>> from repro.sim import Request, IOKind
+        >>> access = device.service(Request(0.0, lbn=0, sectors=8,
+        ...                                 kind=IOKind.READ))
+        >>> 0.0001 < access.total < 0.002
+        True
+    """
+
+    def __init__(self, params: Optional[MEMSParameters] = None) -> None:
+        self.params = params if params is not None else DEFAULT_PARAMETERS
+        self.geometry = MEMSGeometry(self.params)
+        self.planner = SeekPlanner(self.params)
+        # The sled starts at rest over LBN 0's cylinder, at the top edge.
+        self._state = SledState(
+            x=self.geometry.x_of_cylinder(0),
+            y=self.geometry.row_span_y(0)[0],
+            vy=0.0,
+        )
+        self._last_lbn = 0
+        self._directions = (+1, -1) if self.params.bidirectional_access else (+1,)
+
+    # -- StorageDevice interface ------------------------------------------ #
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.geometry.capacity_sectors
+
+    @property
+    def last_lbn(self) -> int:
+        return self._last_lbn
+
+    @property
+    def sled_state(self) -> SledState:
+        """Current mechanical state (read-only view)."""
+        return self._state
+
+    def service(self, request: Request, now: float = 0.0) -> AccessResult:
+        self.validate(request)
+        plan = self._best_plan(request)
+        self._state = plan.end_state
+        self._last_lbn = request.last_lbn
+        return AccessResult(
+            total=plan.total,
+            seek_x=plan.positioning.x_time,
+            seek_y=plan.positioning.y_time,
+            settle=plan.positioning.settle,
+            transfer=plan.transfer_time,
+            turnarounds=plan.boundary_time,
+            bits_accessed=plan.bits_accessed,
+        )
+
+    def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
+        """Positioning-only oracle for SPTF.
+
+        Avoids the full multi-segment plan: only the first segment matters
+        for the pre-transfer delay, and both access directions are tried.
+        """
+        self.validate(request)
+        geometry = self.geometry
+        planner = self.planner
+        addr = geometry.decompose(request.lbn)
+        sectors_into_track = addr.row * geometry.sectors_per_row + addr.slot
+        in_first_track = min(
+            request.sectors, geometry.sectors_per_track - sectors_into_track
+        )
+        last_row = geometry.decompose(request.lbn + in_first_track - 1).row
+
+        x_target = geometry.x_of_cylinder(addr.cylinder)
+        x_time = planner.x_seek_time(self._state.x, x_target)
+        settle = planner.settle_time(self._state.x, x_target)
+        x_component = x_time + settle
+
+        y_low = geometry.row_span_y(addr.row)[0]
+        y_high = geometry.row_span_y(last_row)[1]
+        candidates = (
+            ((+1, y_low), (-1, y_high))
+            if self.params.bidirectional_access
+            else ((+1, y_low),)
+        )
+        best = None
+        for direction, y_start in candidates:
+            y_time = planner.y_seek_time(
+                self._state.y, self._state.vy, y_start, direction
+            )
+            positioning = max(x_component, y_time)
+            if best is None or positioning < best:
+                best = positioning
+        return best
+
+    # -- other controls ----------------------------------------------------- #
+
+    def stop_sled(self) -> float:
+        """Bring the sled to rest (power management's idle entry, §7).
+
+        Returns the time the stop takes; the sled state is updated to the
+        rest position.
+        """
+        stop = self.planner.kinematics.stop(self._state.y, self._state.vy)
+        self._state = SledState(x=self._state.x, y=stop.position, vy=0.0)
+        return stop.time
+
+    # -- planning ------------------------------------------------------------ #
+
+    def _best_plan(self, request: Request) -> _AccessPlan:
+        segments = self.geometry.segments(request.lbn, request.sectors)
+        plans = [
+            self._plan_for_direction(request, segments, direction)
+            for direction in self._directions
+        ]
+        return min(plans, key=lambda p: p.total)
+
+    def _plan_for_direction(
+        self,
+        request: Request,
+        segments: List[Tuple[int, int, int, int]],
+        direction: int,
+    ) -> _AccessPlan:
+        geometry = self.geometry
+        params = self.params
+        v = params.access_velocity
+
+        first_cyl = segments[0][0]
+        x_target = geometry.x_of_cylinder(first_cyl)
+        y_start, _ = self._pass_endpoints(segments[0], direction)
+        positioning = self.planner.plan(self._state, x_target, y_start, direction)
+
+        transfer_time = 0.0
+        boundary_time = 0.0
+        rows_total = 0
+        current_direction = direction
+        current_y = y_start
+        current_cyl = first_cyl
+
+        for index, segment in enumerate(segments):
+            if index > 0:
+                previous_direction = current_direction
+                if self.params.bidirectional_access:
+                    current_direction = -current_direction
+                start, _ = self._pass_endpoints(segment, current_direction)
+                # The sled exits the previous pass at access velocity and
+                # must cross the next pass's entry edge at access velocity
+                # in the opposite direction: exactly a Y repositioning
+                # maneuver (a turnaround when the edges coincide, a
+                # bang-bang travel-and-reverse otherwise).
+                switch_cost = self.planner.y_seek_time(
+                    current_y, previous_direction * v, start, current_direction
+                )
+                if segment[0] != current_cyl:
+                    x_move = self.planner.x_seek_time(
+                        geometry.x_of_cylinder(current_cyl),
+                        geometry.x_of_cylinder(segment[0]),
+                    )
+                    switch_cost = max(switch_cost, x_move)
+                    current_cyl = segment[0]
+                boundary_time += switch_cost
+                current_y = start
+            rows = segment[3] - segment[2] + 1
+            rows_total += rows
+            transfer_time += rows * params.tip_sector_time
+            _, current_y = self._pass_endpoints(segment, current_direction)
+
+        bits = request.sectors * params.tips_per_sector * params.tip_sector_bits
+        end_state = SledState(
+            x=geometry.x_of_cylinder(current_cyl),
+            y=current_y,
+            vy=current_direction * v,
+        )
+        return _AccessPlan(
+            positioning=positioning,
+            transfer_time=transfer_time,
+            boundary_time=boundary_time,
+            rows=rows_total,
+            end_state=end_state,
+            bits_accessed=bits,
+        )
+
+    def _pass_endpoints(
+        self, segment: Tuple[int, int, int, int], direction: int
+    ) -> Tuple[float, float]:
+        """(start_y, end_y) of the sled pass that transfers ``segment``.
+
+        A +1 pass enters at the low edge of the first row and exits at the
+        high edge of the last; a −1 pass is the reverse.
+        """
+        _, _, first_row, last_row = segment
+        low = self.geometry.row_span_y(first_row)[0]
+        high = self.geometry.row_span_y(last_row)[1]
+        if direction == +1:
+            return (low, high)
+        return (high, low)

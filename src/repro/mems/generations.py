@@ -1,0 +1,69 @@
+"""Device-generation presets (extension).
+
+The paper's Table 1 is one design point of a roadmap the same group
+explored in follow-on work (SIGMETRICS'00 / ASPLOS'00): successive
+generations shrink the bit cell, activate more tips, and speed up the
+per-tip channel.  These presets bracket the Table 1 device so studies can
+ask how the paper's conclusions move across the roadmap:
+
+* **G1** — conservative first silicon: 50 nm bits, 640 active tips,
+  0.7 Mbit/s per tip (≈ 1.4 GB, ≈ 20 MB/s streaming);
+* **G2** — the paper's Table 1 device (40 nm, 1280 active, 3.46 GB,
+  79.6 MB/s);
+* **G3** — aggressive: 30 nm bits, 3200 active tips, 1.4 Mbit/s per tip
+  and a stiffer actuator (≈ 10 GB, ≈ 0.9 GB/s streaming).
+
+The exact G1/G3 numbers are representative, not copied from any one later
+paper; they are chosen to keep every Table 1 structural invariant (64-tip
+sector striping, 90-bit tip sectors, whole tracks per cylinder).
+"""
+
+from __future__ import annotations
+
+from repro.mems.parameters import MEMSParameters
+
+
+def generation_1() -> MEMSParameters:
+    """Conservative first-generation design point."""
+    return MEMSParameters(
+        sled_mobility=100e-6,
+        bit_width=50e-9,
+        bits_per_tip_region_x=2000,
+        bits_per_tip_region_y=2000,
+        total_tips=6400,
+        active_tips=640,
+        per_tip_rate=700e3,
+        sled_acceleration=700.0,
+        settle_constants=1.0,
+        resonant_frequency=635.0,
+        spring_factor=0.75,
+    )
+
+
+def generation_2() -> MEMSParameters:
+    """The paper's Table 1 device."""
+    return MEMSParameters()
+
+
+def generation_3() -> MEMSParameters:
+    """Aggressive third-generation design point."""
+    return MEMSParameters(
+        sled_mobility=90e-6,
+        bit_width=30e-9,
+        bits_per_tip_region_x=3000,
+        bits_per_tip_region_y=3000,
+        total_tips=6400,
+        active_tips=3200,
+        per_tip_rate=1.4e6,
+        sled_acceleration=1120.0,
+        settle_constants=1.0,
+        resonant_frequency=880.0,
+        spring_factor=0.75,
+    )
+
+
+GENERATIONS = {
+    "G1": generation_1,
+    "G2": generation_2,
+    "G3": generation_3,
+}

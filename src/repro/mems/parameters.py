@@ -1,0 +1,230 @@
+"""Default MEMS-based storage device parameters (Table 1 of the paper).
+
+The paper's Table 1 lists the design point used for every experiment:
+
+========================== =============================
+sled mobility in X and Y    100 µm
+bit cell width              40 nm
+number of tips              6400
+simultaneously active tips  1280
+tip sector length           80 bits (8 data bytes)
+servo overhead              10 bits per tip sector
+device capacity (per sled)  3.2 GB
+per-tip data rate           700 Kbit/s
+sled acceleration           803.6 m/s²
+settling time constants     1
+sled resonant frequency     739 Hz
+spring factor               75 %
+========================== =============================
+
+:class:`MEMSParameters` captures these plus the striping configuration
+implied by §2.3 ("logical sectors of 512 bytes are striped across 64 tip
+sectors of 8 bytes each") and exposes the derived geometry/kinematics
+quantities used throughout :mod:`repro.mems`.
+
+Parameter-interpretation note (also recorded in DESIGN.md §2): the *spring
+factor* defines the restoring-force field (spring force reaches 75 % of the
+actuator force at full sled displacement), while the *resonant frequency*
+defines the post-seek oscillation time constant, τ = 1/(2π·f).  With the
+default 739 Hz this gives τ = 0.215 ms, matching the paper's "0.2 ms of
+0.2–0.7 ms seeks" (§2.4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MEMSParameters:
+    """Physical and organizational parameters of one MEMS storage device.
+
+    All distances are meters, times seconds, rates in the units named.
+    """
+
+    # --- media geometry ------------------------------------------------ #
+    sled_mobility: float = 100e-6
+    """Total sled travel in each of X and Y (the sled moves ±mobility/2)."""
+
+    bit_width: float = 40e-9
+    """Bit cell edge length; cells are square (1:1 aspect ratio, §2.1)."""
+
+    bits_per_tip_region_x: int = 2500
+    """N: bit columns (cylinders) per tip region = mobility / bit width."""
+
+    bits_per_tip_region_y: int = 2500
+    """M: bits along a tip track = mobility / bit width."""
+
+    # --- tips and parallelism ------------------------------------------ #
+    total_tips: int = 6400
+    active_tips: int = 1280
+    """Simultaneously active probe tips (power/heat-limited, §2.2)."""
+
+    # --- recording format ----------------------------------------------- #
+    tip_sector_data_bytes: int = 8
+    tip_sector_encoded_bits: int = 80
+    """Encoded data+ECC bits per tip sector (~2 code bits per data byte)."""
+
+    servo_bits: int = 10
+    """Servo burst preceding each tip sector."""
+
+    sector_bytes: int = 512
+    """Logical sector size presented through the disk-like interface."""
+
+    # --- mechanics ------------------------------------------------------ #
+    per_tip_rate: float = 700e3
+    """Per-tip media transfer rate in bits/second."""
+
+    sled_acceleration: float = 803.6
+    """Peak actuator acceleration in m/s² (before spring effects)."""
+
+    settle_constants: float = 1.0
+    """Settle time expressed in resonant time constants (Fig. 8 varies this)."""
+
+    resonant_frequency: float = 739.0
+    """Spring-sled resonant frequency in Hz; sets the settle time constant."""
+
+    spring_factor: float = 0.75
+    """Peak spring restoring force as a fraction of actuator force."""
+
+    # --- startup / availability (§6.3, §7) ------------------------------ #
+    startup_time: float = 0.5e-3
+    """Time from powered-down to ready for media access."""
+
+    bidirectional_access: bool = True
+    """Whether media can be read while the sled moves in either Y
+    direction (§2.2: "the media passes over the active tip(s) in the ±Y
+    direction").  False forces every pass downhill (+Y), an ablation that
+    charges an extra repositioning per pass."""
+
+    def __post_init__(self) -> None:
+        if self.sled_mobility <= 0 or self.bit_width <= 0:
+            raise ValueError("mobility and bit width must be positive")
+        if not 0 <= self.spring_factor < 1:
+            raise ValueError(
+                f"spring factor must be in [0, 1) so the actuator can hold "
+                f"the sled anywhere on the media; got {self.spring_factor}"
+            )
+        if self.settle_constants < 0:
+            raise ValueError(f"negative settle_constants: {self.settle_constants}")
+        if self.total_tips % self.active_tips != 0:
+            raise ValueError(
+                "total_tips must be a multiple of active_tips so cylinders "
+                "divide evenly into tracks"
+            )
+        if self.sector_bytes % self.tip_sector_data_bytes != 0:
+            raise ValueError("sector must stripe evenly across tip sectors")
+        if self.active_tips % self.tips_per_sector != 0:
+            raise ValueError(
+                "active tips must hold a whole number of logical sectors"
+            )
+        if self.sled_acceleration <= 0 or self.per_tip_rate <= 0:
+            raise ValueError("acceleration and data rate must be positive")
+
+    # --- derived: striping ---------------------------------------------- #
+
+    @property
+    def tips_per_sector(self) -> int:
+        """Tip sectors (= tips) one logical sector is striped across (64)."""
+        return self.sector_bytes // self.tip_sector_data_bytes
+
+    @property
+    def sectors_per_row(self) -> int:
+        """Logical sectors accessible simultaneously in one tip-sector row (20)."""
+        return self.active_tips // self.tips_per_sector
+
+    @property
+    def tip_sector_bits(self) -> int:
+        """Total bits per tip sector, servo included (90)."""
+        return self.tip_sector_encoded_bits + self.servo_bits
+
+    @property
+    def tip_sectors_per_track(self) -> int:
+        """Tip-sector rows along one tip track (27 with the defaults)."""
+        return self.bits_per_tip_region_y // self.tip_sector_bits
+
+    # --- derived: disk-metaphor geometry --------------------------------- #
+
+    @property
+    def num_cylinders(self) -> int:
+        """Cylinders = bit columns per region (2500)."""
+        return self.bits_per_tip_region_x
+
+    @property
+    def tracks_per_cylinder(self) -> int:
+        """Tip groups per cylinder (6400/1280 = 5)."""
+        return self.total_tips // self.active_tips
+
+    @property
+    def sectors_per_track(self) -> int:
+        """Logical sectors per track (20 × 27 = 540)."""
+        return self.sectors_per_row * self.tip_sectors_per_track
+
+    @property
+    def sectors_per_cylinder(self) -> int:
+        return self.sectors_per_track * self.tracks_per_cylinder
+
+    @property
+    def capacity_sectors(self) -> int:
+        """Total logical sectors (6,750,000 → 3.456 GB with the defaults)."""
+        return self.sectors_per_cylinder * self.num_cylinders
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_sectors * self.sector_bytes
+
+    # --- derived: kinematics --------------------------------------------- #
+
+    @property
+    def x_max(self) -> float:
+        """Maximum sled displacement from center (mobility / 2)."""
+        return self.sled_mobility / 2.0
+
+    @property
+    def spring_omega_sq(self) -> float:
+        """ω_s² of the restoring-force field: ẍ = ±a − ω_s²·x.
+
+        Defined so that spring force equals ``spring_factor`` × actuator
+        force at full displacement ``x_max``.
+        """
+        return self.spring_factor * self.sled_acceleration / self.x_max
+
+    @property
+    def access_velocity(self) -> float:
+        """Constant sled speed during media access (28 mm/s default)."""
+        return self.per_tip_rate * self.bit_width
+
+    @property
+    def tip_sector_time(self) -> float:
+        """Time for the media to pass one tip sector (~0.1286 ms)."""
+        return self.tip_sector_bits / self.per_tip_rate
+
+    @property
+    def settle_time(self) -> float:
+        """Post-X-seek settling delay: settle_constants × 1/(2π·f_res)."""
+        return self.settle_constants / (2.0 * math.pi * self.resonant_frequency)
+
+    @property
+    def streaming_bandwidth(self) -> float:
+        """Sequential media bandwidth in bytes/second (79.6 MB/s default)."""
+        row_bytes = self.sectors_per_row * self.sector_bytes
+        return row_bytes / self.tip_sector_time
+
+    # --- convenience ------------------------------------------------------ #
+
+    def with_settle_constants(self, constants: float) -> "MEMSParameters":
+        """Copy with a different settle-time setting (the Fig. 8 knob)."""
+        return replace(self, settle_constants=constants)
+
+    def with_spring_factor(self, factor: float) -> "MEMSParameters":
+        """Copy with a different spring factor (ablation knob)."""
+        return replace(self, spring_factor=factor)
+
+    def with_unidirectional_access(self) -> "MEMSParameters":
+        """Copy that can only transfer while moving in +Y (ablation)."""
+        return replace(self, bidirectional_access=False)
+
+
+DEFAULT_PARAMETERS = MEMSParameters()
+"""The Table 1 design point used throughout the paper's experiments."""

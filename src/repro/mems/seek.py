@@ -1,0 +1,131 @@
+"""Sled positioning planner: X seeks, Y seeks, settle, and turnarounds.
+
+Positioning the sled for an access (§2.3) involves:
+
+* an **X seek** from the current cylinder to the destination cylinder —
+  always rest-to-rest, followed by ``settle_constants`` time constants of
+  settling whenever the sled moved in X (§2.4.2);
+* a **Y seek** that leaves the sled crossing the first tip-sector row
+  boundary at access velocity in the chosen direction — possibly starting
+  from a moving state (the sled exits the previous access at access
+  velocity), and possibly requiring a stop/turnaround first;
+* the two proceed **in parallel**: total positioning time is
+  max(T_X + settle, T_Y) (§2.4.1).
+
+The planner is stateless; the device model owns the sled state.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.mems.kinematics import InfeasibleManeuver, SledKinematics
+from repro.mems.parameters import MEMSParameters
+
+
+@dataclass(frozen=True)
+class SledState:
+    """Mechanical state of the sled between accesses.
+
+    ``vy`` is the signed Y velocity: ±access velocity right after an access,
+    0 if the sled has been stopped (e.g. by power management).  X velocity is
+    always zero between accesses (media transfer requires v_x = 0).
+    """
+
+    x: float
+    y: float
+    vy: float
+
+
+@dataclass(frozen=True)
+class PositioningPlan:
+    """Timing of one positioning maneuver (everything before the first bit)."""
+
+    x_time: float
+    y_time: float
+    settle: float
+    direction: int
+    """Y direction (+1/−1) the media will pass under the tips."""
+
+    @property
+    def total(self) -> float:
+        """Positioning delay: X (with settle) and Y proceed in parallel."""
+        return max(self.x_time + self.settle, self.y_time)
+
+
+class SeekPlanner:
+    """Computes positioning plans from sled states and physical targets."""
+
+    def __init__(self, params: MEMSParameters, cache_size: int = 1 << 18) -> None:
+        self.params = params
+        self.kinematics = SledKinematics(
+            acceleration=params.sled_acceleration,
+            omega_sq=params.spring_omega_sq,
+            x_max=params.x_max,
+        )
+        # Positions the device model passes in are drawn from small discrete
+        # sets (cylinder offsets, row edges, ±access velocity), so memoizing
+        # the closed-form maneuvers pays off heavily under SPTF, which
+        # evaluates every queued request at every dispatch.
+        if cache_size:
+            self.x_seek_time = functools.lru_cache(maxsize=cache_size)(
+                self.x_seek_time
+            )
+            self.y_seek_time = functools.lru_cache(maxsize=cache_size)(
+                self.y_seek_time
+            )
+            self.turnaround_time = functools.lru_cache(maxsize=cache_size)(
+                self.turnaround_time
+            )
+
+    # -- component maneuvers --------------------------------------------- #
+
+    def x_seek_time(self, x0: float, x1: float) -> float:
+        """Rest-to-rest X seek (no settle included)."""
+        return self.kinematics.seek_time(x0, x1)
+
+    def settle_time(self, x0: float, x1: float) -> float:
+        """Settle delay: charged whenever the sled moved in X."""
+        if abs(x1 - x0) < self.params.bit_width / 2.0:
+            return 0.0
+        return self.params.settle_time
+
+    def y_seek_time(
+        self, y0: float, vy0: float, y_target: float, direction: int
+    ) -> float:
+        """Time until the sled crosses ``y_target`` at access velocity in
+        ``direction``, starting from (y0, vy0)."""
+        v = self.params.access_velocity
+        kin = self.kinematics
+        if abs(vy0) < 1e-12:
+            return kin.seek_arrive_time(y0, y_target, v, direction)
+        if (vy0 > 0) == (direction > 0):
+            try:
+                return kin.seek_moving_time(y0, vy0, y_target, v)
+            except InfeasibleManeuver:
+                pass
+        stop = kin.stop(y0, vy0)
+        return stop.time + kin.seek_arrive_time(stop.position, y_target, v, direction)
+
+    def turnaround_time(self, y: float, vy: float) -> float:
+        """Reverse the sled's Y velocity in place."""
+        return self.kinematics.turnaround_time(y, vy)
+
+    # -- full positioning -------------------------------------------------- #
+
+    def plan(
+        self,
+        state: SledState,
+        x_target: float,
+        y_target: float,
+        direction: int,
+    ) -> PositioningPlan:
+        """Position from ``state`` to cross ``y_target`` moving ``direction``
+        with the tips over ``x_target``."""
+        x_time = self.x_seek_time(state.x, x_target)
+        settle = self.settle_time(state.x, x_target)
+        y_time = self.y_seek_time(state.y, state.vy, y_target, direction)
+        return PositioningPlan(
+            x_time=x_time, y_time=y_time, settle=settle, direction=direction
+        )

@@ -1,0 +1,100 @@
+"""Replication methodology: independent runs and confidence intervals.
+
+Single-run simulation estimates carry sampling error; standard practice is
+replicating the run over independent seeds and reporting a t-based
+confidence interval.  :func:`replicate` does exactly that for any
+seed-parameterized experiment function.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Point estimate with a t-based confidence interval."""
+
+    samples: tuple
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            raise ValueError("need at least two replications for a spread")
+        return statistics.stdev(self.samples)
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the confidence interval around the mean."""
+        if self.n < 2:
+            raise ValueError("need at least two replications for an interval")
+        t_critical = _scipy_stats.t.ppf(
+            0.5 + self.confidence / 2.0, df=self.n - 1
+        )
+        return t_critical * self.stdev / math.sqrt(self.n)
+
+    @property
+    def interval(self) -> tuple:
+        half = self.half_width
+        return (self.mean - half, self.mean + half)
+
+    def contains(self, value: float) -> bool:
+        low, high = self.interval
+        return low <= value <= high
+
+    def __str__(self) -> str:
+        if self.n < 2:
+            return f"{self.mean:.6g} (single run)"
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.2g} "
+            f"({self.confidence * 100:.0f}% CI, n={self.n})"
+        )
+
+
+def replicate(
+    experiment: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicationResult:
+    """Run ``experiment(seed)`` once per seed and summarize.
+
+    Args:
+        experiment: Maps a seed to a scalar metric (e.g. mean response
+            time of one simulation run).
+        seeds: Independent seeds; must be non-empty.
+        confidence: Two-sided confidence level in (0, 1).
+
+    Example:
+        >>> from repro import MEMSDevice, RandomWorkload, Simulation
+        >>> from repro.core.scheduling import FCFSScheduler
+        >>> def run(seed):
+        ...     device = MEMSDevice()
+        ...     workload = RandomWorkload(device.capacity_sectors,
+        ...                               rate=200.0, seed=seed)
+        ...     result = Simulation(device, FCFSScheduler()).run(
+        ...         workload.generate(300))
+        ...     return result.mean_response_time
+        >>> summary = replicate(run, seeds=range(5))
+        >>> 0 < summary.mean < 0.01
+        True
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence out of (0, 1): {confidence}")
+    samples: List[float] = [float(experiment(seed)) for seed in seeds]
+    return ReplicationResult(samples=tuple(samples), confidence=confidence)

@@ -1,0 +1,123 @@
+"""Request and access-record types shared by every device model.
+
+A :class:`Request` is the unit of work flowing through the simulator: it is
+created by a workload generator (or trace replayer), queued at the driver,
+scheduled, and finally serviced by a device model.  The device reports how the
+service time decomposed into mechanical phases via :class:`AccessResult`, and
+the driver records the full lifecycle in a :class:`RequestRecord`.
+
+Sizes are expressed in 512-byte logical sectors throughout, matching the
+paper's devices (both the MEMS device and the Atlas 10K use 512-byte sectors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+SECTOR_BYTES = 512
+"""Logical sector size in bytes, common to both device models."""
+
+
+class IOKind(enum.Enum):
+    """Direction of a request."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is IOKind.READ
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single I/O request.
+
+    Attributes:
+        arrival_time: Simulated time (seconds) at which the request arrives
+            at the driver queue.
+        lbn: Starting logical block number (512-byte sectors).
+        sectors: Transfer length in sectors (must be >= 1).
+        kind: Read or write.
+        request_id: Monotonically increasing identifier, assigned by the
+            workload generator; used for stable FCFS tie-breaking.
+    """
+
+    arrival_time: float
+    lbn: int
+    sectors: int
+    kind: IOKind
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"negative arrival_time: {self.arrival_time}")
+        if self.lbn < 0:
+            raise ValueError(f"negative lbn: {self.lbn}")
+        if self.sectors < 1:
+            raise ValueError(f"non-positive request size: {self.sectors}")
+
+    @property
+    def bytes(self) -> int:
+        """Transfer length in bytes."""
+        return self.sectors * SECTOR_BYTES
+
+    @property
+    def last_lbn(self) -> int:
+        """LBN of the final sector touched by this request."""
+        return self.lbn + self.sectors - 1
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Breakdown of one media access, as reported by a device model.
+
+    All fields are durations in seconds.  ``total`` is the full service time
+    (positioning plus transfer plus any internal repositioning); the remaining
+    fields decompose it for analysis and need not be exhaustive (electronics
+    overheads may make ``total`` slightly larger than the sum).
+    """
+
+    total: float
+    seek_x: float = 0.0
+    seek_y: float = 0.0
+    settle: float = 0.0
+    rotational_latency: float = 0.0
+    transfer: float = 0.0
+    turnarounds: float = 0.0
+    bits_accessed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError(f"negative service time: {self.total}")
+
+    @property
+    def positioning(self) -> float:
+        """Initial positioning component (everything before the first bit)."""
+        return max(self.seek_x + self.settle, self.seek_y) + self.rotational_latency
+
+
+@dataclass
+class RequestRecord:
+    """Full lifecycle of one request, filled in by the driver."""
+
+    request: Request
+    dispatch_time: float = 0.0
+    completion_time: float = 0.0
+    access: AccessResult = field(default_factory=lambda: AccessResult(total=0.0))
+
+    @property
+    def queue_time(self) -> float:
+        """Time spent waiting in the driver queue before dispatch."""
+        return self.dispatch_time - self.request.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Time spent at the device."""
+        return self.completion_time - self.dispatch_time
+
+    @property
+    def response_time(self) -> float:
+        """Queue time plus service time — the paper's headline metric."""
+        return self.completion_time - self.request.arrival_time

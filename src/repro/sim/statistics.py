@@ -1,0 +1,145 @@
+"""Metrics over a completed simulation run.
+
+The paper evaluates schedulers with two metrics (§4.1):
+
+* **average response time** — queue time plus service time;
+* **squared coefficient of variation** of response time, σ²/µ² — the
+  starvation-resistance ("fairness") metric of Teorey & Pinkerton [TP72] and
+  Worthington et al. [WGP94]; lower is better.
+
+:class:`SimulationResult` carries the raw per-request records so experiments
+can compute anything else they need (percentiles, per-phase breakdowns,
+throughput).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics as _stats
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.request import RequestRecord
+
+
+@dataclass
+class SimulationResult:
+    """All per-request records from one simulation run."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- response time ------------------------------------------------- #
+
+    @property
+    def response_times(self) -> List[float]:
+        return [r.response_time for r in self.records]
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average response time in seconds."""
+        if not self.records:
+            raise ValueError("no completed requests")
+        return _stats.fmean(self.response_times)
+
+    @property
+    def response_time_cv2(self) -> float:
+        """Squared coefficient of variation (σ²/µ²) of response time."""
+        return squared_coefficient_of_variation(self.response_times)
+
+    # -- components ---------------------------------------------------- #
+
+    @property
+    def mean_service_time(self) -> float:
+        if not self.records:
+            raise ValueError("no completed requests")
+        return _stats.fmean(r.service_time for r in self.records)
+
+    @property
+    def mean_queue_time(self) -> float:
+        if not self.records:
+            raise ValueError("no completed requests")
+        return _stats.fmean(r.queue_time for r in self.records)
+
+    @property
+    def max_response_time(self) -> float:
+        if not self.records:
+            raise ValueError("no completed requests")
+        return max(self.response_times)
+
+    def response_time_percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile of response time (0 < pct <= 100)."""
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        ordered = sorted(self.response_times)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.end_time <= 0:
+            raise ValueError("simulation ended at time zero")
+        return len(self.records) / self.end_time
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the run the device spent servicing requests."""
+        if self.end_time <= 0:
+            raise ValueError("simulation ended at time zero")
+        busy = sum(record.service_time for record in self.records)
+        return busy / self.end_time
+
+    def mean_phase_breakdown(self) -> dict:
+        """Mean seconds spent per mechanical phase across all accesses.
+
+        Keys: ``seek_x``, ``seek_y``, ``settle``, ``rotational_latency``,
+        ``transfer``, ``turnarounds`` — the AccessResult decomposition.
+        """
+        if not self.records:
+            raise ValueError("no completed requests")
+        phases = (
+            "seek_x",
+            "seek_y",
+            "settle",
+            "rotational_latency",
+            "transfer",
+            "turnarounds",
+        )
+        return {
+            phase: _stats.fmean(
+                getattr(record.access, phase) for record in self.records
+            )
+            for phase in phases
+        }
+
+    def drop_warmup(self, count: int) -> "SimulationResult":
+        """Return a copy without the first ``count`` completed requests.
+
+        Open-queueing experiments start from an empty queue and an idle
+        device; dropping a warmup prefix removes that transient.
+        """
+        if count < 0:
+            raise ValueError(f"negative warmup count: {count}")
+        return SimulationResult(records=self.records[count:], end_time=self.end_time)
+
+
+def squared_coefficient_of_variation(values: Sequence[float]) -> float:
+    """σ²/µ² of ``values`` (population variance), the paper's fairness metric."""
+    if not values:
+        raise ValueError("no values")
+    mean = _stats.fmean(values)
+    if mean == 0:
+        raise ValueError("mean is zero; cv² undefined")
+    var = _stats.fmean((v - mean) ** 2 for v in values)
+    return var / (mean * mean)

@@ -1,0 +1,35 @@
+"""Workload generators and trace machinery (§3, §4.3).
+
+* :class:`~repro.workloads.synthetic.RandomWorkload` — the paper's *random*
+  workload (Poisson arrivals, 67 % reads, exponential 4 KB sizes, uniform
+  locations);
+* :class:`~repro.workloads.synthetic.UniformFixedWorkload` — back-to-back
+  fixed-size requests for the service-time experiments (Figs. 9–11);
+* :class:`~repro.workloads.traces.Trace` with
+  :meth:`~repro.workloads.traces.Trace.scale_arrivals` — trace replay and
+  the paper's inter-arrival scaling (footnote 2);
+* :class:`~repro.workloads.cello.CelloLikeWorkload`,
+  :class:`~repro.workloads.tpcc.TPCCLikeWorkload` — synthetic stand-ins for
+  the proprietary Cello and TPC-C traces (see DESIGN.md §2).
+"""
+
+from repro.workloads.cello import CelloLikeWorkload
+from repro.workloads.synthetic import (
+    RandomWorkload,
+    SequentialWorkload,
+    UniformFixedWorkload,
+)
+from repro.workloads.tpcc import TPCCLikeWorkload
+from repro.workloads.traces import Trace, merge_traces, read_trace, write_trace
+
+__all__ = [
+    "CelloLikeWorkload",
+    "RandomWorkload",
+    "SequentialWorkload",
+    "TPCCLikeWorkload",
+    "Trace",
+    "UniformFixedWorkload",
+    "merge_traces",
+    "read_trace",
+    "write_trace",
+]

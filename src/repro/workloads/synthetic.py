@@ -1,0 +1,202 @@
+"""The paper's *random* workload (§3).
+
+"Request interarrival times are drawn from an exponential distribution; the
+mean is generally varied to provide a range of workloads.  All other aspects
+of requests are independent: 67% are reads, 33% are writes, the request size
+distribution is exponential with a mean of 4 KB, and request starting
+locations are uniformly distributed across the device's capacity."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.sim.request import IOKind, Request
+
+
+class RandomWorkload:
+    """Open Poisson-arrival random workload generator.
+
+    Args:
+        capacity_sectors: Device capacity; starting LBNs are uniform over it.
+        rate: Mean arrival rate in requests/second.
+        read_fraction: Probability a request is a read (paper: 0.67).
+        mean_size_sectors: Mean of the exponential size distribution
+            (paper: 4 KB = 8 sectors); sizes are rounded up to ≥ 1 sector.
+        max_size_sectors: Truncation bound for the size distribution, so a
+            single request cannot exceed the device (default 2048 sectors =
+            1 MB, far into the exponential tail).
+        seed: RNG seed; every generator in this package is deterministic
+            given its seed.
+    """
+
+    def __init__(
+        self,
+        capacity_sectors: int,
+        rate: float,
+        read_fraction: float = 0.67,
+        mean_size_sectors: float = 8.0,
+        max_size_sectors: int = 2048,
+        seed: Optional[int] = None,
+    ) -> None:
+        if capacity_sectors < 1:
+            raise ValueError(f"empty device: {capacity_sectors}")
+        if rate <= 0:
+            raise ValueError(f"non-positive arrival rate: {rate}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read fraction out of [0,1]: {read_fraction}")
+        if mean_size_sectors <= 0:
+            raise ValueError(f"non-positive mean size: {mean_size_sectors}")
+        if max_size_sectors < 1 or max_size_sectors > capacity_sectors:
+            raise ValueError(f"bad size bound: {max_size_sectors}")
+        self.capacity_sectors = capacity_sectors
+        self.rate = rate
+        self.read_fraction = read_fraction
+        self.mean_size_sectors = mean_size_sectors
+        self.max_size_sectors = max_size_sectors
+        self.seed = seed
+
+    def generate(self, count: int) -> List[Request]:
+        """Produce ``count`` requests in arrival order."""
+        return list(self.iter_requests(count))
+
+    def iter_requests(self, count: int) -> Iterator[Request]:
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        rng = random.Random(self.seed)
+        clock = 0.0
+        for request_id in range(count):
+            clock += rng.expovariate(self.rate)
+            size = max(1, round(rng.expovariate(1.0 / self.mean_size_sectors)))
+            size = min(size, self.max_size_sectors)
+            lbn = rng.randrange(0, self.capacity_sectors - size + 1)
+            kind = (
+                IOKind.READ
+                if rng.random() < self.read_fraction
+                else IOKind.WRITE
+            )
+            yield Request(
+                arrival_time=clock,
+                lbn=lbn,
+                sectors=size,
+                kind=kind,
+                request_id=request_id,
+            )
+
+
+class UniformFixedWorkload:
+    """Back-to-back fixed-size random requests (used by Figs. 9–11).
+
+    All requests arrive at time zero, so a FCFS simulation measures pure
+    device service time with no queueing effects; starting LBNs are drawn
+    uniformly from ``lbn_pool`` (or the whole device).
+    """
+
+    def __init__(
+        self,
+        capacity_sectors: int,
+        sectors: int,
+        read_fraction: float = 1.0,
+        lbn_pool: Optional[List[int]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if sectors < 1:
+            raise ValueError(f"non-positive request size: {sectors}")
+        if lbn_pool is not None and not lbn_pool:
+            raise ValueError("empty LBN pool")
+        self.capacity_sectors = capacity_sectors
+        self.sectors = sectors
+        self.read_fraction = read_fraction
+        self.lbn_pool = lbn_pool
+        self.seed = seed
+
+    def generate(self, count: int) -> List[Request]:
+        rng = random.Random(self.seed)
+        requests = []
+        for request_id in range(count):
+            if self.lbn_pool is not None:
+                lbn = rng.choice(self.lbn_pool)
+            else:
+                lbn = rng.randrange(0, self.capacity_sectors - self.sectors + 1)
+            kind = (
+                IOKind.READ
+                if rng.random() < self.read_fraction
+                else IOKind.WRITE
+            )
+            requests.append(
+                Request(
+                    arrival_time=0.0,
+                    lbn=lbn,
+                    sectors=self.sectors,
+                    kind=kind,
+                    request_id=request_id,
+                )
+            )
+        return requests
+
+
+class SequentialWorkload:
+    """Open-arrival sequential stream (the §5.2 'large, sequential
+    transfers' pattern and §2.4.11's prefetch target).
+
+    Requests of fixed size march through a contiguous extent in LBN order
+    at a Poisson arrival rate; when the extent ends the stream wraps to
+    its start.
+    """
+
+    def __init__(
+        self,
+        capacity_sectors: int,
+        rate: float,
+        request_sectors: int = 64,
+        start_lbn: int = 0,
+        extent_sectors: Optional[int] = None,
+        kind: IOKind = IOKind.READ,
+        seed: Optional[int] = None,
+    ) -> None:
+        if capacity_sectors < 1:
+            raise ValueError(f"empty device: {capacity_sectors}")
+        if rate <= 0:
+            raise ValueError(f"non-positive arrival rate: {rate}")
+        if request_sectors < 1:
+            raise ValueError(f"non-positive request size: {request_sectors}")
+        extent = (
+            extent_sectors
+            if extent_sectors is not None
+            else capacity_sectors - start_lbn
+        )
+        if start_lbn < 0 or start_lbn + extent > capacity_sectors:
+            raise ValueError("extent exceeds the device")
+        if extent < request_sectors:
+            raise ValueError("extent smaller than one request")
+        self.capacity_sectors = capacity_sectors
+        self.rate = rate
+        self.request_sectors = request_sectors
+        self.start_lbn = start_lbn
+        self.extent_sectors = extent
+        self.kind = kind
+        self.seed = seed
+
+    def generate(self, count: int) -> List[Request]:
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        rng = random.Random(self.seed)
+        clock = 0.0
+        requests = []
+        offset = 0
+        for request_id in range(count):
+            clock += rng.expovariate(self.rate)
+            if offset + self.request_sectors > self.extent_sectors:
+                offset = 0
+            requests.append(
+                Request(
+                    arrival_time=clock,
+                    lbn=self.start_lbn + offset,
+                    sectors=self.request_sectors,
+                    kind=self.kind,
+                    request_id=request_id,
+                )
+            )
+            offset += self.request_sectors
+        return requests

@@ -1,0 +1,115 @@
+"""Unit and property tests for the array address mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import ArrayGeometry, ArrayLevel
+
+MEMBER_CAPACITY = 100_000
+CHUNK = 128
+
+
+def geometry(level, members=4):
+    return ArrayGeometry(level, members, MEMBER_CAPACITY, CHUNK)
+
+
+class TestCapacity:
+    def test_raid0_sums_members(self):
+        geo = geometry(ArrayLevel.RAID0)
+        stripes = MEMBER_CAPACITY // CHUNK
+        assert geo.capacity_sectors == stripes * CHUNK * 4
+
+    def test_raid1_single_member(self):
+        geo = geometry(ArrayLevel.RAID1)
+        assert geo.capacity_sectors == (MEMBER_CAPACITY // CHUNK) * CHUNK
+
+    def test_raid5_loses_one_member(self):
+        geo = geometry(ArrayLevel.RAID5)
+        assert geo.capacity_sectors == (MEMBER_CAPACITY // CHUNK) * CHUNK * 3
+
+    def test_raid5_needs_three(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(ArrayLevel.RAID5, 2, MEMBER_CAPACITY, CHUNK)
+
+    def test_two_members_minimum(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(ArrayLevel.RAID0, 1, MEMBER_CAPACITY, CHUNK)
+
+
+class TestRaid0Mapping:
+    def test_round_robin_chunks(self):
+        geo = geometry(ArrayLevel.RAID0)
+        assert geo.locate(0).member == 0
+        assert geo.locate(CHUNK).member == 1
+        assert geo.locate(4 * CHUNK).member == 0
+        assert geo.locate(4 * CHUNK).member_lbn == CHUNK
+
+    def test_offset_within_chunk(self):
+        geo = geometry(ArrayLevel.RAID0)
+        loc = geo.locate(CHUNK + 5)
+        assert loc.member == 1
+        assert loc.member_lbn == 5
+
+
+class TestRaid5Mapping:
+    def test_parity_rotates(self):
+        geo = geometry(ArrayLevel.RAID5)
+        parities = [geo.parity_member(s) for s in range(8)]
+        assert parities[:4] == [3, 2, 1, 0]
+        assert parities[4:] == [3, 2, 1, 0]
+
+    def test_data_skips_parity(self):
+        geo = geometry(ArrayLevel.RAID5)
+        # Stripe 0 parity on member 3: data slots 0,1,2 -> members 0,1,2.
+        assert [geo.locate(i * CHUNK).member for i in range(3)] == [0, 1, 2]
+        # Stripe 1 parity on member 2: data -> members 0,1,3.
+        second = [geo.locate((3 + i) * CHUNK).member for i in range(3)]
+        assert second == [0, 1, 3]
+
+    def test_stripe_members(self):
+        geo = geometry(ArrayLevel.RAID5)
+        data, parity = geo.stripe_members(1)
+        assert parity == 2
+        assert data == [0, 1, 3]
+
+    def test_data_never_lands_on_parity(self):
+        geo = geometry(ArrayLevel.RAID5)
+        for lbn in range(0, 50 * CHUNK, CHUNK):
+            stripe = geo.stripe_of(lbn)
+            assert geo.locate(lbn).member != geo.parity_member(stripe)
+
+
+class TestSplit:
+    def test_within_chunk(self):
+        geo = geometry(ArrayLevel.RAID0)
+        runs = geo.split(10, 20)
+        assert len(runs) == 1
+        assert runs[0].sectors == 20
+
+    def test_chunk_crossing(self):
+        geo = geometry(ArrayLevel.RAID0)
+        runs = geo.split(CHUNK - 10, 20)
+        assert [r.sectors for r in runs] == [10, 10]
+        assert runs[0].member != runs[1].member
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        level=st.sampled_from(list(ArrayLevel)),
+        data=st.data(),
+    )
+    def test_split_covers_exactly(self, level, data):
+        geo = geometry(level)
+        lbn = data.draw(
+            st.integers(min_value=0, max_value=geo.capacity_sectors - 1025)
+        )
+        sectors = data.draw(st.integers(min_value=1, max_value=1024))
+        runs = geo.split(lbn, sectors)
+        assert sum(r.sectors for r in runs) == sectors
+        for run in runs:
+            assert 0 <= run.member < geo.members
+            assert 0 <= run.member_lbn < geo.member_capacity
+
+    def test_out_of_range(self):
+        geo = geometry(ArrayLevel.RAID0)
+        with pytest.raises(ValueError):
+            geo.split(geo.capacity_sectors - 1, 2)

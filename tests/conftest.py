@@ -1,0 +1,50 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.disk import DiskDevice, atlas_10k
+from repro.mems import MEMSDevice, MEMSParameters
+
+
+@pytest.fixture
+def mems_params():
+    """The Table 1 design point."""
+    return MEMSParameters()
+
+
+@pytest.fixture
+def mems_device():
+    """A fresh default MEMS device."""
+    return MEMSDevice()
+
+
+@pytest.fixture
+def no_settle_device():
+    """MEMS device with zero settle time (Fig. 8 / Fig. 9 italics)."""
+    return MEMSDevice(MEMSParameters(settle_constants=0.0))
+
+
+@pytest.fixture
+def atlas_params():
+    return atlas_10k()
+
+
+@pytest.fixture
+def atlas_device(atlas_params):
+    return DiskDevice(atlas_params)
+
+
+@pytest.fixture
+def small_mems_params():
+    """A scaled-down MEMS device for tests that enumerate its geometry.
+
+    640 tips (8 stripe groups of 80... kept at the default striping: 640
+    active of 640), 500×500-bit regions — capacity ~27k sectors.
+    """
+    return MEMSParameters(
+        total_tips=640,
+        active_tips=640,
+        bits_per_tip_region_x=500,
+        bits_per_tip_region_y=500,
+        sled_mobility=500 * 40e-9,
+    )

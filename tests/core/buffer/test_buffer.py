@@ -1,0 +1,161 @@
+"""Unit tests for the buffer cache and the caching device decorator."""
+
+import pytest
+
+from repro.core.buffer import BufferCache, CachedDevice, PrefetchPolicy
+from repro.mems import MEMSDevice
+from repro.sim import IOKind, Request
+
+
+def read(lbn, sectors=8, rid=0):
+    return Request(0.0, lbn=lbn, sectors=sectors, kind=IOKind.READ, request_id=rid)
+
+
+def write(lbn, sectors=8, rid=0):
+    return Request(0.0, lbn=lbn, sectors=sectors, kind=IOKind.WRITE, request_id=rid)
+
+
+class TestBufferCache:
+    def test_miss_then_hit(self):
+        cache = BufferCache(64)
+        prefix, missing = cache.lookup(0, 8)
+        assert (prefix, missing) == (0, 8)
+        cache.insert(0, 8)
+        prefix, missing = cache.lookup(0, 8)
+        assert (prefix, missing) == (8, 0)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_partial_prefix(self):
+        cache = BufferCache(64)
+        cache.insert(0, 4)
+        prefix, missing = cache.lookup(0, 8)
+        assert (prefix, missing) == (4, 4)
+
+    def test_lru_eviction(self):
+        cache = BufferCache(4)
+        cache.insert(0, 4)
+        cache.insert(100, 1)  # evicts sector 0
+        assert 0 not in cache
+        assert 100 in cache
+        assert cache.stats.evicted_sectors == 1
+
+    def test_touch_protects_recent(self):
+        cache = BufferCache(4)
+        cache.insert(0, 4)
+        cache.lookup(0, 1)  # touch sector 0
+        cache.insert(100, 1)  # should evict sector 1, not 0
+        assert 0 in cache and 1 not in cache
+
+    def test_oversized_insert_keeps_tail(self):
+        cache = BufferCache(4)
+        cache.insert(0, 10)
+        assert len(cache) == 4
+        assert all(s in cache for s in (6, 7, 8, 9))
+
+    def test_invalidate(self):
+        cache = BufferCache(16)
+        cache.insert(0, 8)
+        cache.invalidate(2, 4)
+        assert 1 in cache and 2 not in cache and 5 not in cache and 6 in cache
+
+    def test_hit_rate(self):
+        cache = BufferCache(16)
+        cache.insert(0, 8)
+        cache.lookup(0, 8)
+        cache.lookup(100, 8)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferCache(0)
+        cache = BufferCache(4)
+        with pytest.raises(ValueError):
+            cache.lookup(0, 0)
+        with pytest.raises(ValueError):
+            BufferCache(4).stats.hit_rate
+
+
+class TestCachedDevice:
+    def test_repeat_read_served_from_cache(self):
+        device = CachedDevice(MEMSDevice())
+        first = device.service(read(1000))
+        second = device.service(read(1000, rid=1))
+        assert second.total == pytest.approx(device.interface_overhead)
+        assert second.total < first.total / 5
+
+    def test_write_invalidates(self):
+        device = CachedDevice(MEMSDevice())
+        device.service(read(1000))
+        device.service(write(1000, rid=1))
+        third = device.service(read(1000, rid=2))
+        assert third.total > device.interface_overhead * 2
+
+    def test_sequential_stream_triggers_readahead(self):
+        device = CachedDevice(
+            MEMSDevice(), policy=PrefetchPolicy(prefetch_sectors=128)
+        )
+        lbn = 0
+        totals = []
+        for index in range(12):
+            totals.append(device.service(read(lbn, sectors=16, rid=index)).total)
+            lbn += 16
+        # After the detector warms up, most requests hit prefetched data.
+        overhead = device.interface_overhead
+        cache_hits = sum(1 for t in totals[3:] if t == pytest.approx(overhead))
+        assert cache_hits >= 5
+        assert device.cache.stats.prefetched_sectors > 0
+
+    def test_random_reads_not_prefetched(self):
+        device = CachedDevice(MEMSDevice())
+        for index, lbn in enumerate((0, 50_000, 2_000_000, 81_000)):
+            device.service(read(lbn, rid=index))
+        assert device.cache.stats.prefetched_sectors == 0
+
+    def test_sequential_stream_mean_service_drops(self):
+        """The speed-matching role: read-ahead amortizes positioning."""
+        plain = MEMSDevice()
+        cached = CachedDevice(
+            MEMSDevice(), policy=PrefetchPolicy(prefetch_sectors=256)
+        )
+        def stream_mean(device):
+            total = 0.0
+            lbn = 0
+            for index in range(50):
+                total += device.service(read(lbn, sectors=8, rid=index)).total
+                lbn += 8
+            return total / 50
+
+        # Both are fast sequentially, but the cached device serves most
+        # requests at interface speed.
+        assert stream_mean(cached) < stream_mean(plain)
+
+    def test_estimate_zero_for_cached(self):
+        device = CachedDevice(MEMSDevice())
+        device.service(read(1000))
+        assert device.estimate_positioning(read(1000, rid=1)) == 0.0
+        assert device.estimate_positioning(read(2_000_000, rid=2)) > 0.0
+
+    def test_capacity_and_last_lbn_delegate(self):
+        inner = MEMSDevice()
+        device = CachedDevice(inner)
+        assert device.capacity_sectors == inner.capacity_sectors
+        device.service(read(10, sectors=4))
+        assert device.last_lbn == inner.last_lbn
+
+    def test_readahead_clipped_at_device_end(self):
+        device = CachedDevice(
+            MEMSDevice(), policy=PrefetchPolicy(prefetch_sectors=10_000)
+        )
+        end = device.capacity_sectors
+        lbn = end - 64
+        for index in range(4):
+            device.service(read(lbn, sectors=16, rid=index))
+            lbn += 16
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(prefetch_sectors=-1)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(sequential_threshold=0)
+        with pytest.raises(ValueError):
+            CachedDevice(MEMSDevice(), interface_overhead=-1.0)

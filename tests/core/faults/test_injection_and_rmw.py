@@ -1,0 +1,114 @@
+"""Tests for the injection campaigns and second-pass access costs."""
+
+import pytest
+
+from repro.core.faults import (
+    StripingConfig,
+    inject_tip_failures,
+    raid5_small_write_time,
+    reread_penalty,
+    rmw_breakdown,
+    survival_curve,
+    survival_probability,
+)
+from repro.disk import DiskDevice, atlas_10k
+from repro.mems import MEMSDevice
+
+
+class TestInjection:
+    def test_no_ecc_dies_on_first_failure(self):
+        config = StripingConfig(ecc_tips=0, spare_tips=0)
+        result = inject_tip_failures(config, 1, seed=1)
+        assert not result.survived
+        assert result.data_loss_at_failure == 1
+
+    def test_single_failure_survivable_with_ecc(self):
+        config = StripingConfig(ecc_tips=1, spare_tips=0)
+        result = inject_tip_failures(config, 1, seed=1)
+        assert result.survived
+        assert result.failures_absorbed_by_ecc == 1
+
+    def test_spares_absorb_before_ecc(self):
+        config = StripingConfig(ecc_tips=1, spare_tips=10)
+        result = inject_tip_failures(config, 10, seed=2)
+        assert result.survived
+        assert result.failures_remapped == 10
+        assert result.failures_absorbed_by_ecc == 0
+
+    def test_zero_failures_trivially_survives(self):
+        result = inject_tip_failures(StripingConfig(), 0)
+        assert result.survived and result.failures_injected == 0
+
+    def test_rebuild_flag_disables_spares(self):
+        config = StripingConfig(ecc_tips=1, spare_tips=1000)
+        with_spares = survival_probability(
+            config, 8, trials=50, seed=3, rebuild=True
+        )
+        without = survival_probability(
+            config, 8, trials=50, seed=3, rebuild=False
+        )
+        assert with_spares > without
+
+    def test_survival_decreases_with_failures(self):
+        config = StripingConfig(ecc_tips=2, spare_tips=0)
+        curve = survival_curve(config, [1, 4, 16, 64], trials=60, seed=4)
+        assert curve[0] == 1.0
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_more_ecc_more_survival(self):
+        counts = [8]
+        weak = survival_probability(
+            StripingConfig(ecc_tips=1, spare_tips=0), 8, trials=80, seed=5
+        )
+        strong = survival_probability(
+            StripingConfig(ecc_tips=4, spare_tips=0), 8, trials=80, seed=5
+        )
+        assert strong > weak
+
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ValueError):
+            inject_tip_failures(StripingConfig(), -1)
+
+
+class TestSecondPassCosts:
+    def test_mems_reread_is_turnaround_scale(self):
+        device = MEMSDevice()
+        mid = device.capacity_sectors // 2
+        mid -= mid % device.geometry.sectors_per_track
+        mid += 13 * device.geometry.sectors_per_row
+        cost = reread_penalty(device, mid, 8)
+        assert cost < 0.5e-3
+
+    def test_disk_reread_is_rotation_scale(self, atlas_device):
+        rev = atlas_device.params.revolution_time
+        cost = reread_penalty(atlas_device, 10**6, 8)
+        assert cost > 0.8 * rev
+
+    def test_reread_gap_matches_paper_ratio(self, atlas_device):
+        """MEMS handles transient read errors ~20-50x faster (§6.1.2)."""
+        mems = MEMSDevice()
+        mid = mems.capacity_sectors // 2
+        mid -= mid % mems.geometry.sectors_per_track
+        mid += 13 * mems.geometry.sectors_per_row
+        mems_cost = reread_penalty(mems, mid, 8)
+        disk_cost = reread_penalty(atlas_device, 10**6, 8)
+        assert disk_cost / mems_cost > 10
+
+    def test_rmw_breakdown_total(self):
+        device = MEMSDevice()
+        breakdown = rmw_breakdown(device, 540 * 100 + 8, 8)
+        assert breakdown.total == pytest.approx(
+            breakdown.read + breakdown.reposition + breakdown.write
+        )
+        assert breakdown.read == pytest.approx(breakdown.write)
+
+    def test_raid5_small_write_much_cheaper_on_mems(self, atlas_device):
+        mems = MEMSDevice()
+        spt = mems.geometry.sectors_per_track
+        mems_time = raid5_small_write_time(
+            mems, 540 * 100 + 8, 540 * 100 + 268, 8
+        )
+        disk_time = raid5_small_write_time(
+            atlas_device, 10**6, 10**6 + 167, 8
+        )
+        assert mems_time < disk_time / 5

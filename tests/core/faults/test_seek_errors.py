@@ -1,0 +1,85 @@
+"""Unit tests for seek-error injection (§6.1.3)."""
+
+import pytest
+
+from repro.core.faults import (
+    SeekErrorDevice,
+    disk_seek_error_penalty,
+    mems_seek_error_penalty,
+)
+from repro.disk import DiskDevice, atlas_10k
+from repro.mems import MEMSDevice
+from repro.sim import IOKind, Request
+
+
+def read(lbn, rid=0):
+    return Request(0.0, lbn=lbn, sectors=8, kind=IOKind.READ, request_id=rid)
+
+
+class TestPenalties:
+    def test_mems_retry_sub_millisecond(self):
+        device = MEMSDevice()
+        device.service(read(1_000_000))
+        penalty = mems_seek_error_penalty(device)
+        assert 0.03e-3 < penalty < 1.2e-3  # the paper's 0.04-1.11 ms band
+
+    def test_disk_retry_includes_full_rotation(self):
+        device = DiskDevice(atlas_10k())
+        penalty = disk_seek_error_penalty(device)
+        assert penalty > device.params.revolution_time
+
+    def test_disk_retry_much_larger_than_mems(self):
+        mems = MEMSDevice()
+        mems.service(read(1_000_000))
+        disk = DiskDevice(atlas_10k())
+        assert disk_seek_error_penalty(disk) > 5 * mems_seek_error_penalty(mems)
+
+
+class TestSeekErrorDevice:
+    def test_zero_probability_is_transparent(self):
+        plain = MEMSDevice()
+        wrapped = SeekErrorDevice(MEMSDevice(), 0.0, seed=1)
+        a = plain.service(read(1_000_000))
+        b = wrapped.service(read(1_000_000))
+        assert b.total == pytest.approx(a.total)
+        assert wrapped.errors_injected == 0
+
+    def test_errors_add_time(self):
+        clean = MEMSDevice()
+        flaky = SeekErrorDevice(MEMSDevice(), 0.5, seed=2)
+        total_clean = sum(
+            clean.service(read(i * 1000, rid=i)).total for i in range(100)
+        )
+        total_flaky = sum(
+            flaky.service(read(i * 1000, rid=i)).total for i in range(100)
+        )
+        assert flaky.errors_injected > 20
+        assert total_flaky > total_clean
+
+    def test_injection_rate_matches_probability(self):
+        flaky = SeekErrorDevice(MEMSDevice(), 0.2, seed=3)
+        for i in range(500):
+            flaky.service(read((i * 9973) % 6_000_000, rid=i))
+        # Expected errors ~= 0.2/(1-0.2) per request = 125.
+        assert 80 < flaky.errors_injected < 180
+
+    def test_retry_time_lands_in_turnarounds(self):
+        flaky = SeekErrorDevice(MEMSDevice(), 0.999, seed=4, max_retries=2)
+        access = flaky.service(read(1_000_000))
+        assert access.turnarounds > 0
+
+    def test_delegation(self):
+        inner = MEMSDevice()
+        wrapped = SeekErrorDevice(inner, 0.1, seed=5)
+        assert wrapped.capacity_sectors == inner.capacity_sectors
+        wrapped.service(read(10))
+        assert wrapped.last_lbn == inner.last_lbn
+        assert wrapped.estimate_positioning(read(500_000, rid=1)) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeekErrorDevice(MEMSDevice(), 1.0)
+        with pytest.raises(ValueError):
+            SeekErrorDevice(MEMSDevice(), -0.1)
+        with pytest.raises(ValueError):
+            SeekErrorDevice(MEMSDevice(), 0.1, max_retries=0)

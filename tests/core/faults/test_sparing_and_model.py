@@ -1,0 +1,119 @@
+"""Unit tests for spare-tip remapping and the failure process."""
+
+import pytest
+
+from repro.core.faults import (
+    FailureMode,
+    SparePoolExhausted,
+    SpareTipRemapper,
+    TipFailure,
+    TipFailureProcess,
+    disk_slip_penalty,
+)
+
+
+class TestSpareTipRemapper:
+    def test_remap_assigns_sequential_spares(self):
+        remapper = SpareTipRemapper(spare_tips=2)
+        assert remapper.remap(100) == 0
+        assert remapper.remap(200) == 1
+        assert remapper.spares_remaining == 0
+
+    def test_resolve(self):
+        remapper = SpareTipRemapper(spare_tips=2)
+        remapper.remap(100)
+        assert remapper.resolve(100) == 0
+        assert remapper.resolve(50) == 50
+
+    def test_pool_exhaustion(self):
+        remapper = SpareTipRemapper(spare_tips=1)
+        remapper.remap(1)
+        with pytest.raises(SparePoolExhausted):
+            remapper.remap(2)
+
+    def test_double_remap_rejected(self):
+        remapper = SpareTipRemapper(spare_tips=2)
+        remapper.remap(1)
+        with pytest.raises(ValueError):
+            remapper.remap(1)
+
+    def test_add_spares_restores_capacity_tradeoff(self):
+        remapper = SpareTipRemapper(spare_tips=1)
+        remapper.remap(1)
+        remapper.add_spares(1)
+        assert remapper.remap(2) == 1
+
+    def test_zero_service_time_penalty(self):
+        """Section 6.1.1: same-tip-sector remapping is free at access time
+        (contrast with disk slipping)."""
+        remapper = SpareTipRemapper(spare_tips=4)
+        remapper.remap(7)
+        assert remapper.service_time_penalty() == 0.0
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SpareTipRemapper(spare_tips=-1)
+
+
+class TestDiskSlipPenalty:
+    def test_half_rotation_plus_reseek(self):
+        penalty = disk_slip_penalty(6e-3, reseek_time=1.5e-3)
+        assert penalty == pytest.approx(1.5e-3 + 3e-3)
+
+    def test_dwarfs_mems_remap(self):
+        assert disk_slip_penalty(6e-3) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            disk_slip_penalty(0.0)
+        with pytest.raises(ValueError):
+            disk_slip_penalty(6e-3, reseek_time=-1.0)
+
+
+class TestFailureModes:
+    def test_tip_local_modes(self):
+        assert FailureMode.TIP_CRASH.is_tip_local
+        assert FailureMode.MEDIA_DEFECT.is_tip_local
+        assert not FailureMode.ELECTRONICS.is_tip_local
+
+    def test_device_fatal_modes(self):
+        assert FailureMode.ACTUATOR.is_device_fatal
+        assert FailureMode.ELECTRONICS.is_device_fatal
+        assert not FailureMode.TIP_CRASH.is_device_fatal
+
+    def test_tip_failure_validation(self):
+        with pytest.raises(ValueError):
+            TipFailure(time=-1.0, tip=0, mode=FailureMode.TIP_CRASH)
+        with pytest.raises(ValueError):
+            TipFailure(time=0.0, tip=0, mode=FailureMode.ELECTRONICS)
+
+
+class TestTipFailureProcess:
+    def test_sample_sorted_and_within_horizon(self):
+        process = TipFailureProcess(total_tips=500, tip_mtbf=10.0, seed=1)
+        failures = process.sample(horizon=5.0)
+        assert all(0 <= f.time <= 5.0 for f in failures)
+        times = [f.time for f in failures]
+        assert times == sorted(times)
+
+    def test_each_tip_fails_at_most_once(self):
+        process = TipFailureProcess(total_tips=200, tip_mtbf=0.1, seed=2)
+        failures = process.sample(horizon=10.0)
+        tips = [f.tip for f in failures]
+        assert len(tips) == len(set(tips))
+
+    def test_expected_failures_matches_sampling(self):
+        process = TipFailureProcess(total_tips=2000, tip_mtbf=10.0, seed=3)
+        expected = process.expected_failures(horizon=2.0)
+        observed = len(process.sample(horizon=2.0))
+        assert observed == pytest.approx(expected, rel=0.25)
+
+    def test_zero_horizon_no_failures(self):
+        process = TipFailureProcess(total_tips=100, tip_mtbf=1.0, seed=4)
+        assert process.sample(horizon=0.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TipFailureProcess(total_tips=0, tip_mtbf=1.0)
+        with pytest.raises(ValueError):
+            TipFailureProcess(total_tips=10, tip_mtbf=0.0)

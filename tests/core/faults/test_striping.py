@@ -1,0 +1,71 @@
+"""Unit tests for the striping configuration trade-offs (§6.1.1)."""
+
+import pytest
+
+from repro.core.faults import StripingConfig
+
+
+class TestCapacityFraction:
+    def test_no_redundancy_is_full_capacity(self):
+        config = StripingConfig(ecc_tips=0, spare_tips=0)
+        assert config.capacity_fraction == 1.0
+
+    def test_ecc_tips_cost_capacity(self):
+        config = StripingConfig(ecc_tips=4, spare_tips=0)
+        assert config.capacity_fraction == pytest.approx(64 / 68)
+
+    def test_spares_cost_capacity(self):
+        config = StripingConfig(ecc_tips=0, spare_tips=128, stripe_groups=20)
+        assert config.capacity_fraction == pytest.approx(
+            64 * 20 / (64 * 20 + 128)
+        )
+
+    def test_capacity_bytes(self):
+        config = StripingConfig(ecc_tips=0, spare_tips=0)
+        assert config.capacity_bytes(1000) == 1000.0
+
+    def test_more_redundancy_less_capacity(self):
+        fractions = [
+            StripingConfig(ecc_tips=e, spare_tips=s).capacity_fraction
+            for e, s in ((0, 0), (1, 0), (2, 64), (4, 128))
+        ]
+        assert all(a > b for a, b in zip(fractions, fractions[1:]))
+
+
+class TestTolerance:
+    def test_tolerance_equals_ecc_tips(self):
+        assert StripingConfig(ecc_tips=3).tolerable_losses_per_stripe == 3
+
+    def test_stripe_width(self):
+        assert StripingConfig(ecc_tips=4).stripe_width == 68
+
+
+class TestConversions:
+    def test_sacrifice_capacity_adds_spares(self):
+        config = StripingConfig(ecc_tips=2, spare_tips=10)
+        converted = config.sacrifice_capacity(5)
+        assert converted.spare_tips == 15
+        assert converted.ecc_tips == 2
+        assert converted.capacity_fraction < config.capacity_fraction
+
+    def test_sacrifice_tolerance_trades_ecc_for_spares(self):
+        config = StripingConfig(ecc_tips=2, spare_tips=0, stripe_groups=20)
+        converted = config.sacrifice_tolerance()
+        assert converted.ecc_tips == 1
+        assert converted.spare_tips == 20
+        assert (
+            converted.tolerable_losses_per_stripe
+            < config.tolerable_losses_per_stripe
+        )
+
+    def test_cannot_sacrifice_absent_ecc(self):
+        with pytest.raises(ValueError):
+            StripingConfig(ecc_tips=0).sacrifice_tolerance()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripingConfig(data_tips=0)
+        with pytest.raises(ValueError):
+            StripingConfig(ecc_tips=-1)
+        with pytest.raises(ValueError):
+            StripingConfig(stripe_groups=0)

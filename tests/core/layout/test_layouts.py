@@ -1,0 +1,268 @@
+"""Unit tests for the data placement schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layout import (
+    ColumnarLayout,
+    FileSet,
+    OrganPipeLayout,
+    Placement,
+    SimpleLinearLayout,
+    SubregionedLayout,
+    spread_evenly,
+)
+from repro.mems import DEFAULT_PARAMETERS, MEMSGeometry
+
+GEO = MEMSGeometry(DEFAULT_PARAMETERS)
+CAPACITY = GEO.capacity_sectors
+
+
+def fileset(small=1000, large=50, weights=None):
+    return FileSet(
+        small_blocks=small,
+        large_files=large,
+        small_weights=weights,
+    )
+
+
+class TestFileSet:
+    def test_total_sectors(self):
+        fs = fileset(10, 2)
+        assert fs.total_sectors == 10 * 8 + 2 * 800
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FileSet(small_blocks=3, large_files=0, small_weights=[1.0])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FileSet(small_blocks=-1, large_files=0)
+
+
+class TestSpreadEvenly:
+    def test_respects_bounds(self):
+        lbns = spread_evenly(10, 8, 1000, 2000)
+        assert all(1000 <= lbn <= 2000 - 8 for lbn in lbns)
+
+    def test_alignment(self):
+        lbns = spread_evenly(10, 8, 1000, 2000)
+        assert all(lbn % 8 == 0 for lbn in lbns)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            spread_evenly(100, 8, 0, 100)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=50),
+        unit=st.sampled_from([1, 8, 800]),
+    )
+    def test_units_fit_and_do_not_overlap_much(self, count, unit):
+        span = count * unit * 3
+        lbns = spread_evenly(count, unit, 0, span)
+        assert len(lbns) == count
+        for a, b in zip(lbns, lbns[1:]):
+            assert b >= a  # monotone placement
+
+
+class TestSimpleLinear:
+    def test_placement_complete_and_valid(self):
+        layout = SimpleLinearLayout()
+        fs = fileset()
+        placement = layout.place(fs, CAPACITY)
+        placement.validate(fs, CAPACITY)
+
+    def test_spreads_across_device(self):
+        layout = SimpleLinearLayout()
+        placement = layout.place(fileset(), CAPACITY)
+        lbns = placement.small_lbns + placement.large_lbns
+        assert min(lbns) < CAPACITY * 0.1
+        assert max(lbns) > CAPACITY * 0.85
+
+    def test_too_big_fileset_rejected(self):
+        layout = SimpleLinearLayout()
+        with pytest.raises(ValueError):
+            layout.place(FileSet(small_blocks=10**9, large_files=0), CAPACITY)
+
+    def test_empty_fileset(self):
+        placement = SimpleLinearLayout().place(
+            FileSet(small_blocks=0, large_files=0), CAPACITY
+        )
+        assert placement.small_lbns == [] and placement.large_lbns == []
+
+
+class TestOrganPipe:
+    def test_most_popular_nearest_center(self):
+        layout = OrganPipeLayout()
+        weights = [float(n) for n in range(100, 0, -1)]  # unit 0 hottest
+        fs = fileset(small=100, large=0, weights=weights)
+        placement = layout.place(fs, CAPACITY)
+        center = CAPACITY // 2
+        distances = [abs(lbn - center) for lbn in placement.small_lbns]
+        # The hottest block must be the closest to the center.
+        assert distances[0] == min(distances)
+        # Popularity rank should correlate with distance from center.
+        assert distances[0] < distances[50] < distances[99]
+
+    def test_alternates_sides(self):
+        layout = OrganPipeLayout()
+        weights = [4.0, 3.0, 2.0, 1.0]
+        placement = layout.place(
+            fileset(small=4, large=0, weights=weights), CAPACITY
+        )
+        center = CAPACITY // 2
+        sides = [lbn >= center for lbn in placement.small_lbns]
+        assert sides == [True, False, True, False]
+
+    def test_metadata_overhead_recorded(self):
+        layout = OrganPipeLayout()
+        layout.place(fileset(small=10, large=5), CAPACITY)
+        assert layout.metadata_entries == 15
+
+    def test_mixed_units_valid(self):
+        layout = OrganPipeLayout()
+        fs = fileset(small=500, large=100)
+        placement = layout.place(fs, CAPACITY)
+        placement.validate(fs, CAPACITY)
+
+
+class TestColumnar:
+    def test_small_in_center_column(self):
+        layout = ColumnarLayout()
+        fs = fileset()
+        placement = layout.place(fs, CAPACITY)
+        first, last = layout.column_range(12, CAPACITY)
+        assert all(first <= lbn < last for lbn in placement.small_lbns)
+
+    def test_large_in_edge_columns(self):
+        layout = ColumnarLayout()
+        placement = layout.place(fileset(), CAPACITY)
+        left_end = layout.column_range(9, CAPACITY)[1]
+        right_start = layout.column_range(15, CAPACITY)[0]
+        for lbn in placement.large_lbns:
+            assert lbn < left_end or lbn >= right_start
+
+    def test_large_split_between_sides(self):
+        layout = ColumnarLayout()
+        placement = layout.place(fileset(), CAPACITY)
+        mid = CAPACITY // 2
+        left = sum(1 for lbn in placement.large_lbns if lbn < mid)
+        right = len(placement.large_lbns) - left
+        assert abs(left - right) <= 1
+
+    def test_column_ranges_tile_device(self):
+        layout = ColumnarLayout()
+        cursor = 0
+        for column in range(25):
+            first, last = layout.column_range(column, CAPACITY)
+            assert first == cursor
+            cursor = last
+        assert cursor == CAPACITY
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarLayout(columns=2)
+        with pytest.raises(ValueError):
+            ColumnarLayout(columns=5, large_edge_columns=3)
+
+
+class TestSubregioned:
+    def test_small_confined_to_center_cell(self):
+        layout = SubregionedLayout(GEO)
+        fs = fileset()
+        placement = layout.place(fs, CAPACITY)
+        cyl_first, cyl_last = layout.cylinder_band(2)
+        row_first, row_last = layout.row_band(2)
+        for lbn in placement.small_lbns:
+            address = GEO.decompose(lbn)
+            assert cyl_first <= address.cylinder < cyl_last
+            assert row_first <= address.row < row_last
+
+    def test_large_in_edge_cylinder_bands(self):
+        layout = SubregionedLayout(GEO)
+        placement = layout.place(fileset(), CAPACITY)
+        left_last = layout.cylinder_band(1)[1]
+        right_first = layout.cylinder_band(3)[0]
+        for lbn in placement.large_lbns:
+            cylinder = GEO.decompose(lbn).cylinder
+            assert cylinder < left_last or cylinder >= right_first
+
+    def test_capacity_mismatch_rejected(self):
+        layout = SubregionedLayout(GEO)
+        with pytest.raises(ValueError):
+            layout.place(fileset(), CAPACITY - 1)
+
+    def test_center_cell_capacity_limit(self):
+        layout = SubregionedLayout(GEO)
+        pool = layout.center_subregion_lbns(8)
+        too_many = FileSet(small_blocks=len(pool) + 1, large_files=0)
+        with pytest.raises(ValueError):
+            layout.place(too_many, CAPACITY)
+
+    def test_even_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SubregionedLayout(GEO, grid=4)
+
+    def test_row_bands_tile_track(self):
+        layout = SubregionedLayout(GEO)
+        cursor = 0
+        for band in range(5):
+            first, last = layout.row_band(band)
+            assert first == cursor
+            cursor = last
+        assert cursor == GEO.rows_per_track
+
+
+class TestReshuffleCost:
+    def test_identical_placements_cost_nothing(self):
+        from repro.core.layout import reshuffle_cost
+        from repro.mems import MEMSDevice
+
+        layout = OrganPipeLayout()
+        fs = fileset(small=200, large=5)
+        placement = layout.place(fs, CAPACITY)
+        cost = reshuffle_cost(MEMSDevice(), placement, placement, fs)
+        assert cost == 0.0
+
+    def test_popularity_drift_costs_real_time(self):
+        from repro.core.layout import reshuffle_cost
+        from repro.mems import MEMSDevice
+
+        fs_before = fileset(
+            small=200, large=5, weights=[float(200 - i) for i in range(200)]
+        )
+        fs_after = fileset(
+            small=200, large=5, weights=[float(i + 1) for i in range(200)]
+        )
+        layout = OrganPipeLayout()
+        before = layout.place(fs_before, CAPACITY)
+        after = layout.place(fs_after, CAPACITY)
+        cost = reshuffle_cost(MEMSDevice(), before, after, fs_before)
+        # Reversing popularity moves nearly every block: a full shuffle
+        # costs hundreds of accesses.
+        assert cost > 0.05
+
+    def test_disk_reshuffle_costs_more(self):
+        from repro.core.layout import reshuffle_cost
+        from repro.disk import DiskDevice, atlas_10k
+        from repro.mems import MEMSDevice
+
+        fs_before = fileset(
+            small=60, large=2, weights=[float(60 - i) for i in range(60)]
+        )
+        fs_after = fileset(
+            small=60, large=2, weights=[float(i + 1) for i in range(60)]
+        )
+        layout = OrganPipeLayout()
+
+        mems = MEMSDevice()
+        before = layout.place(fs_before, mems.capacity_sectors)
+        after = layout.place(fs_after, mems.capacity_sectors)
+        mems_cost = reshuffle_cost(mems, before, after, fs_before)
+
+        disk = DiskDevice(atlas_10k())
+        before_d = layout.place(fs_before, disk.capacity_sectors)
+        after_d = layout.place(fs_after, disk.capacity_sectors)
+        disk_cost = reshuffle_cost(disk, before_d, after_d, fs_before)
+        assert disk_cost > mems_cost

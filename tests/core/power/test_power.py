@@ -1,0 +1,184 @@
+"""Unit tests for the power models, idle policies, and startup profiles."""
+
+import pytest
+
+from repro.core.power import (
+    DevicePowerModel,
+    EnergyAccountant,
+    FixedTimeoutPolicy,
+    ImmediateStandbyPolicy,
+    NeverStandbyPolicy,
+    atlas_10k_power_model,
+    disk_startup,
+    mems_power_model,
+    mems_startup,
+    travelstar_power_model,
+)
+from repro.sim import AccessResult, IOKind, Request, RequestRecord
+
+
+def record(arrival, dispatch, completion, bits=46080):
+    request = Request(arrival, lbn=0, sectors=8, kind=IOKind.READ)
+    return RequestRecord(
+        request=request,
+        dispatch_time=dispatch,
+        completion_time=completion,
+        access=AccessResult(total=completion - dispatch, bits_accessed=bits),
+    )
+
+
+SIMPLE_MODEL = DevicePowerModel(
+    name="unit-test",
+    access_energy_per_bit=1e-9,
+    active_power=1.0,
+    idle_power=1.0,
+    standby_power=0.0,
+    wakeup_time=0.1,
+    wakeup_energy=0.5,
+)
+
+
+class TestModels:
+    def test_mems_wakeup_half_millisecond(self):
+        assert mems_power_model().wakeup_time == pytest.approx(0.5e-3)
+
+    def test_disk_wakeups_much_slower(self):
+        assert atlas_10k_power_model().wakeup_time == pytest.approx(25.0)
+        assert travelstar_power_model().wakeup_time == pytest.approx(2.0)
+
+    def test_mems_idle_far_below_disk(self):
+        assert mems_power_model().idle_power < travelstar_power_model().idle_power / 10
+
+    def test_access_energy_linear_in_bits(self):
+        model = mems_power_model()
+        e1 = model.access_energy(1000, 0.0)
+        e2 = model.access_energy(2000, 0.0)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_standby_above_idle_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePowerModel(
+                name="bad",
+                access_energy_per_bit=0.0,
+                active_power=0.0,
+                idle_power=0.1,
+                standby_power=0.2,
+                wakeup_time=0.0,
+                wakeup_energy=0.0,
+            )
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePowerModel(
+                name="bad",
+                access_energy_per_bit=-1.0,
+                active_power=0.0,
+                idle_power=0.0,
+                standby_power=0.0,
+                wakeup_time=0.0,
+                wakeup_energy=0.0,
+            )
+
+
+class TestPolicies:
+    def test_never_policy(self):
+        assert NeverStandbyPolicy().standby_after() is None
+
+    def test_timeout_policy(self):
+        assert FixedTimeoutPolicy(5.0).standby_after() == 5.0
+
+    def test_immediate_policy_is_zero_timeout(self):
+        assert ImmediateStandbyPolicy().standby_after() == 0.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FixedTimeoutPolicy(-1.0)
+
+
+class TestEnergyAccountant:
+    def test_never_policy_charges_idle_for_gaps(self):
+        records = [record(0.0, 0.0, 1.0), record(1.0, 3.0, 4.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        report = accountant.evaluate(records)
+        # 2 s of idle gap at 1 W.
+        assert report.idle_energy == pytest.approx(2.0)
+        assert report.wakeups == 0
+
+    def test_immediate_policy_converts_gaps_to_standby(self):
+        records = [record(0.0, 0.0, 1.0), record(1.0, 3.0, 4.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, ImmediateStandbyPolicy())
+        report = accountant.evaluate(records)
+        assert report.idle_energy == pytest.approx(0.0)
+        assert report.standby_energy == pytest.approx(0.0)  # standby is free
+        assert report.wakeups == 1
+        assert report.wakeup_energy == pytest.approx(0.5)
+        assert report.added_latency_total == pytest.approx(0.1)
+
+    def test_timeout_policy_splits_gap(self):
+        records = [record(0.0, 0.0, 1.0), record(1.0, 3.0, 4.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, FixedTimeoutPolicy(0.5))
+        report = accountant.evaluate(records)
+        assert report.idle_energy == pytest.approx(0.5)
+        assert report.wakeups == 1
+
+    def test_short_gap_does_not_wake(self):
+        records = [record(0.0, 0.0, 1.0), record(1.0, 1.2, 2.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, FixedTimeoutPolicy(0.5))
+        report = accountant.evaluate(records)
+        assert report.wakeups == 0
+
+    def test_access_energy_includes_bits_and_duration(self):
+        records = [record(0.0, 0.0, 2.0, bits=10**9)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        report = accountant.evaluate(records)
+        # 1e9 bits at 1e-9 J/bit + 2 s at (active 1 + idle 1) W.
+        assert report.access_energy == pytest.approx(1.0 + 4.0)
+
+    def test_tail_idle_accounted(self):
+        records = [record(0.0, 0.0, 1.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        report = accountant.evaluate(records, end_time=11.0)
+        assert report.idle_energy == pytest.approx(10.0)
+        assert report.span == pytest.approx(11.0)
+
+    def test_mean_power(self):
+        records = [record(0.0, 0.0, 1.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        report = accountant.evaluate(records, end_time=10.0)
+        assert report.mean_power == pytest.approx(report.total_energy / 10.0)
+
+    def test_empty_records_rejected(self):
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        with pytest.raises(ValueError):
+            accountant.evaluate([])
+
+    def test_unordered_records_rejected(self):
+        records = [record(0.0, 5.0, 6.0), record(0.0, 0.0, 1.0)]
+        accountant = EnergyAccountant(SIMPLE_MODEL, NeverStandbyPolicy())
+        with pytest.raises(ValueError):
+            accountant.evaluate(records)
+
+
+class TestStartup:
+    def test_disk_serializes_spinup(self):
+        profile = disk_startup(travelstar_power_model())
+        assert profile.time_to_ready(8) == pytest.approx(16.0)
+
+    def test_mems_starts_concurrently(self):
+        profile = mems_startup(mems_power_model())
+        assert profile.time_to_ready(8) == pytest.approx(0.5e-3)
+
+    def test_serialization_override(self):
+        profile = disk_startup(travelstar_power_model())
+        assert profile.time_to_ready(8, serialize=False) == pytest.approx(2.0)
+
+    def test_startup_energy_scales_with_devices(self):
+        profile = mems_startup(mems_power_model())
+        assert profile.startup_energy(4) == pytest.approx(
+            4 * mems_power_model().wakeup_energy
+        )
+
+    def test_validation(self):
+        profile = mems_startup(mems_power_model())
+        with pytest.raises(ValueError):
+            profile.time_to_ready(0)

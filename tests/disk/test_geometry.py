@@ -1,0 +1,108 @@
+"""Unit and property tests for the zoned disk geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk import DiskAddress, DiskGeometry, atlas_10k
+
+PARAMS = atlas_10k()
+GEO = DiskGeometry(PARAMS)
+
+lbns = st.integers(min_value=0, max_value=GEO.capacity_sectors - 1)
+
+
+class TestAddressing:
+    def test_lbn_zero_is_outer_edge(self):
+        assert GEO.decompose(0) == DiskAddress(0, 0, 0)
+
+    def test_surface_ordering_within_cylinder(self):
+        spt = GEO.sectors_per_track(0)
+        assert GEO.decompose(spt) == DiskAddress(0, 1, 0)
+
+    def test_cylinder_ordering(self):
+        spt = GEO.sectors_per_track(0)
+        per_cyl = spt * PARAMS.surfaces
+        assert GEO.decompose(per_cyl).cylinder == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            GEO.decompose(GEO.capacity_sectors)
+
+    def test_bad_address(self):
+        with pytest.raises(ValueError):
+            GEO.lbn(DiskAddress(0, PARAMS.surfaces, 0))
+        with pytest.raises(ValueError):
+            GEO.lbn(DiskAddress(0, 0, GEO.sectors_per_track(0)))
+
+    @settings(max_examples=300, deadline=None)
+    @given(lbn=lbns)
+    def test_round_trip(self, lbn):
+        assert GEO.lbn(GEO.decompose(lbn)) == lbn
+
+
+class TestZones:
+    def test_zone_of_first_and_last(self):
+        assert GEO.zone_of_lbn(0) == 0
+        assert GEO.zone_of_lbn(GEO.capacity_sectors - 1) == len(PARAMS.zones) - 1
+
+    def test_sectors_per_track_decreases_inward(self):
+        outer = GEO.sectors_per_track(0)
+        inner = GEO.sectors_per_track(PARAMS.cylinders - 1)
+        assert outer == 334 and inner == 229
+
+    def test_zone_of_cylinder_consistent_with_lbn(self):
+        for lbn in (0, 10**6, 10**7, GEO.capacity_sectors - 1):
+            addr = GEO.decompose(lbn)
+            assert GEO.zone_of_cylinder(addr.cylinder) == GEO.zone_of_lbn(lbn)
+
+
+class TestRotationalPlacement:
+    def test_angle_range(self):
+        for lbn in (0, 12345, 10**7):
+            angle = GEO.sector_angle(GEO.decompose(lbn))
+            assert 0.0 <= angle < 1.0
+
+    def test_consecutive_sectors_adjacent_angles(self):
+        spt = GEO.sectors_per_track(0)
+        a0 = GEO.sector_angle(DiskAddress(0, 0, 0))
+        a1 = GEO.sector_angle(DiskAddress(0, 0, 1))
+        assert (a1 - a0) % 1.0 == pytest.approx(1.0 / spt)
+
+    def test_track_skew_covers_head_switch(self):
+        """Sector 0 of the next surface must trail by at least the head
+        switch time so sequential crossings don't miss a revolution."""
+        rev = PARAMS.revolution_time
+        a_end = GEO.sector_angle(DiskAddress(0, 0, 0))
+        a_next = GEO.sector_angle(DiskAddress(0, 1, 0))
+        lag = (a_next - a_end) % 1.0
+        assert lag * rev >= PARAMS.head_switch_time - 1e-9
+
+
+class TestSegments:
+    def test_within_track(self):
+        segments = GEO.segments(0, 10)
+        assert segments == [(DiskAddress(0, 0, 0), 10)]
+
+    def test_track_crossing(self):
+        spt = GEO.sectors_per_track(0)
+        segments = GEO.segments(spt - 5, 10)
+        assert len(segments) == 2
+        assert segments[0][1] == 5 and segments[1][1] == 5
+        assert segments[1][0].surface == 1
+
+    def test_counts_sum(self):
+        segments = GEO.segments(1000, 5000)
+        assert sum(count for _, count in segments) == 5000
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lbn=st.integers(min_value=0, max_value=GEO.capacity_sectors - 2049),
+        sectors=st.integers(min_value=1, max_value=2048),
+    )
+    def test_segments_are_contiguous_lbns(self, lbn, sectors):
+        segments = GEO.segments(lbn, sectors)
+        cursor = lbn
+        for address, count in segments:
+            assert GEO.lbn(address) == cursor
+            cursor += count
+        assert cursor == lbn + sectors

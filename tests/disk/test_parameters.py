@@ -1,0 +1,151 @@
+"""Unit tests for disk parameters and the Atlas 10K calibration."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.disk import (
+    DiskParameters,
+    SeekCurve,
+    Zone,
+    atlas_10k,
+    atlas_10k_seek_curve,
+    make_linear_zones,
+)
+
+
+class TestZone:
+    def test_cylinder_count(self):
+        assert Zone(0, 9, 300).cylinders == 10
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(5, 4, 300)
+
+    def test_zero_sectors_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(0, 9, 0)
+
+
+class TestMakeLinearZones:
+    def test_tiles_all_cylinders(self):
+        zones = make_linear_zones(1000, 7, 300, 200)
+        assert zones[0].first_cylinder == 0
+        assert zones[-1].last_cylinder == 999
+        for a, b in zip(zones, zones[1:]):
+            assert b.first_cylinder == a.last_cylinder + 1
+
+    def test_monotone_density(self):
+        zones = make_linear_zones(1000, 7, 300, 200)
+        spts = [z.sectors_per_track for z in zones]
+        assert spts[0] == 300 and spts[-1] == 200
+        assert all(a >= b for a, b in zip(spts, spts[1:]))
+
+    def test_single_zone(self):
+        zones = make_linear_zones(100, 1, 300, 200)
+        assert len(zones) == 1
+        assert zones[0].sectors_per_track == 300
+
+    def test_inverted_density_rejected(self):
+        with pytest.raises(ValueError):
+            make_linear_zones(100, 2, 200, 300)
+
+
+class TestSeekCurve:
+    def test_zero_distance_free(self):
+        assert atlas_10k_seek_curve().time(0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            atlas_10k_seek_curve().time(-1)
+
+    def test_monotone(self):
+        curve = atlas_10k_seek_curve()
+        times = [curve.time(d) for d in (1, 10, 100, 1000, 5000, 10041)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestAtlas10KCalibration:
+    """The published [Qua99] numbers the model is calibrated to."""
+
+    def test_revolution_time(self):
+        assert atlas_10k().revolution_time == pytest.approx(
+            60.0 / 10025.0
+        )
+
+    def test_single_cylinder_seek_0_8_ms(self):
+        assert atlas_10k().seek_curve.time(1) == pytest.approx(0.8e-3)
+
+    def test_full_stroke_10_5_ms(self):
+        params = atlas_10k()
+        assert params.seek_curve.time(params.cylinders - 1) == pytest.approx(
+            10.5e-3
+        )
+
+    def test_expected_random_seek_5_ms(self):
+        params = atlas_10k()
+        rng = random.Random(1)
+        n = params.cylinders
+        samples = [
+            params.seek_curve.time(abs(rng.randrange(n) - rng.randrange(n)))
+            for _ in range(50_000)
+        ]
+        assert statistics.fmean(samples) == pytest.approx(5.0e-3, rel=0.05)
+
+    def test_zoned_bandwidth_spread(self):
+        """Section 2.4.12: up to 46% bandwidth difference outer vs inner;
+        the paper quotes 28.5 -> 19.5 MB/s."""
+        params = atlas_10k()
+        outer = params.streaming_bandwidth(0)
+        inner = params.streaming_bandwidth(len(params.zones) - 1)
+        assert outer == pytest.approx(28.5e6, rel=0.02)
+        assert inner == pytest.approx(19.5e6, rel=0.02)
+        assert outer / inner == pytest.approx(1.46, rel=0.03)
+
+    def test_capacity_near_9_gb(self):
+        capacity = atlas_10k().capacity_bytes
+        assert 8e9 < capacity < 9.5e9
+
+    def test_track_extremes(self):
+        params = atlas_10k()
+        assert params.max_sectors_per_track == 334
+        assert params.min_sectors_per_track == 229
+
+
+class TestValidation:
+    def test_zone_gap_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(
+                name="bad",
+                rpm=10000,
+                cylinders=100,
+                surfaces=2,
+                zones=(Zone(0, 49, 300), Zone(60, 99, 200)),
+                seek_curve=atlas_10k_seek_curve(),
+                head_switch_time=1e-3,
+            )
+
+    def test_zone_overrun_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(
+                name="bad",
+                rpm=10000,
+                cylinders=100,
+                surfaces=2,
+                zones=(Zone(0, 109, 300),),
+                seek_curve=atlas_10k_seek_curve(),
+                head_switch_time=1e-3,
+            )
+
+    def test_non_positive_rpm_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(
+                name="bad",
+                rpm=0,
+                cylinders=100,
+                surfaces=2,
+                zones=(Zone(0, 99, 300),),
+                seek_curve=atlas_10k_seek_curve(),
+                head_switch_time=1e-3,
+            )

@@ -1,0 +1,116 @@
+"""Field-axiom and polynomial tests for GF(256)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc import galois as gf
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_multiplication_commutes(self, a, b):
+        assert gf.gf_mul(a, b) == gf.gf_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_multiplication_associates(self, a, b, c):
+        assert gf.gf_mul(gf.gf_mul(a, b), c) == gf.gf_mul(a, gf.gf_mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributes_over_xor(self, a, b, c):
+        left = gf.gf_mul(a, b ^ c)
+        right = gf.gf_mul(a, b) ^ gf.gf_mul(a, c)
+        assert left == right
+
+    @given(a=elements)
+    def test_one_is_identity(self, a):
+        assert gf.gf_mul(a, 1) == a
+
+    @given(a=elements)
+    def test_zero_annihilates(self, a):
+        assert gf.gf_mul(a, 0) == 0
+
+    @given(a=nonzero)
+    def test_inverse(self, a):
+        assert gf.gf_mul(a, gf.gf_inv(a)) == 1
+
+    @given(a=elements, b=nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf.gf_div(a, b) == gf.gf_mul(a, gf.gf_inv(b))
+
+    @given(a=nonzero, p=st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_mul(self, a, p):
+        expected = 1
+        base = a if p >= 0 else gf.gf_inv(a)
+        for _ in range(abs(p)):
+            expected = gf.gf_mul(expected, base)
+        assert gf.gf_pow(a, p) == expected
+
+    def test_generator_has_full_order(self):
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = gf.gf_mul(value, gf.GENERATOR)
+        assert len(seen) == 255
+        assert value == 1  # order exactly 255
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf.gf_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf.gf_inv(0)
+
+
+polys = st.lists(elements, min_size=1, max_size=8)
+
+
+class TestPolynomials:
+    @given(a=polys, b=polys)
+    def test_mul_degree(self, a, b):
+        product = gf.poly_mul(a, b)
+        assert len(product) == len(a) + len(b) - 1
+
+    @given(a=polys, b=polys, x=elements)
+    def test_mul_evaluates_consistently(self, a, b, x):
+        product = gf.poly_mul(a, b)
+        assert gf.poly_eval(product, x) == gf.gf_mul(
+            gf.poly_eval(a, x), gf.poly_eval(b, x)
+        )
+
+    @given(a=polys, b=polys, x=elements)
+    def test_add_evaluates_consistently(self, a, b, x):
+        total = gf.poly_add(a, b)
+        assert gf.poly_eval(total, x) == gf.poly_eval(a, x) ^ gf.poly_eval(b, x)
+
+    @given(dividend=polys, divisor=polys)
+    def test_divmod_reconstructs(self, dividend, divisor):
+        if all(c == 0 for c in divisor):
+            return
+        # Normalize: leading coefficient of the divisor must be nonzero.
+        while divisor and divisor[0] == 0:
+            divisor = divisor[1:]
+        if not divisor or len(dividend) < len(divisor):
+            return
+        quotient, remainder = gf.poly_divmod(dividend, divisor)
+        reconstructed = gf.poly_add(gf.poly_mul(quotient, divisor), remainder)
+        # Strip leading zeros for comparison.
+        def strip(p):
+            p = list(p)
+            while len(p) > 1 and p[0] == 0:
+                p.pop(0)
+            return p
+
+        assert strip(reconstructed) == strip(dividend)
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf.poly_divmod([1, 2, 3], [0])
+
+    def test_eval_constant(self):
+        assert gf.poly_eval([7], 123) == 7
+
+    def test_scale(self):
+        assert gf.poly_scale([1, 2], 3) == [gf.gf_mul(1, 3), gf.gf_mul(2, 3)]

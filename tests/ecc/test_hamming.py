@@ -1,0 +1,93 @@
+"""Unit and property tests for the (40,32) SEC-DED vertical code."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import DecodeStatus, Hamming4032, TipSectorCodec
+
+CODE = Hamming4032()
+CODEC = TipSectorCodec()
+
+data_words = st.integers(min_value=0, max_value=2**32 - 1)
+bit_positions = st.integers(min_value=0, max_value=39)
+
+
+class TestHamming4032:
+    def test_clean_roundtrip(self):
+        word = CODE.encode(0x12345678)
+        result = CODE.decode(word)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == 0x12345678
+
+    def test_out_of_range_data(self):
+        with pytest.raises(ValueError):
+            CODE.encode(1 << 32)
+
+    def test_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            CODE.decode(1 << 40)
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=data_words, bit=bit_positions)
+    def test_single_bit_error_corrected(self, data, bit):
+        word = CODE.encode(data) ^ (1 << bit)
+        result = CODE.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=data_words, data2=st.data())
+    def test_double_bit_error_detected(self, data, data2):
+        b1 = data2.draw(bit_positions)
+        b2 = data2.draw(bit_positions.filter(lambda b: b != b1))
+        word = CODE.encode(data) ^ (1 << b1) ^ (1 << b2)
+        result = CODE.decode(word)
+        assert result.status is DecodeStatus.DETECTED
+
+    def test_exhaustive_double_errors_one_word(self):
+        word = CODE.encode(0xCAFEBABE)
+        for b1 in range(40):
+            for b2 in range(b1 + 1, 40):
+                corrupted = word ^ (1 << b1) ^ (1 << b2)
+                assert CODE.decode(corrupted).status is DecodeStatus.DETECTED
+
+
+class TestTipSectorCodec:
+    def test_roundtrip(self):
+        payload = bytes(range(8))
+        words = CODEC.encode(payload)
+        data, status = CODEC.decode(words)
+        assert data == payload and status is DecodeStatus.CLEAN
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            CODEC.encode(b"short")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.binary(min_size=8, max_size=8),
+        half=st.integers(min_value=0, max_value=1),
+        bit=bit_positions,
+    )
+    def test_single_error_in_either_half(self, payload, half, bit):
+        words = list(CODEC.encode(payload))
+        words[half] ^= 1 << bit
+        data, status = CODEC.decode(tuple(words))
+        assert status is DecodeStatus.CORRECTED
+        assert data == payload
+
+    def test_double_error_becomes_erasure(self):
+        payload = b"ABCDEFGH"
+        words = list(CODEC.encode(payload))
+        words[0] ^= 0b11  # two flipped bits in one half
+        data, status = CODEC.decode(tuple(words))
+        assert status is DecodeStatus.DETECTED
+
+    def test_one_error_per_half_still_corrected(self):
+        payload = b"ABCDEFGH"
+        words = list(CODEC.encode(payload))
+        words[0] ^= 1 << 5
+        words[1] ^= 1 << 17
+        data, status = CODEC.decode(tuple(words))
+        assert status is DecodeStatus.CORRECTED
+        assert data == payload

@@ -1,0 +1,117 @@
+"""Unit and property tests for the layered sector striper (§6.1.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import (
+    DATA_TIPS,
+    SectorStriper,
+    StripedSector,
+    UnrecoverableSectorError,
+)
+
+sector_bytes = st.binary(min_size=512, max_size=512)
+
+
+class TestEncode:
+    def test_tip_count(self):
+        striper = SectorStriper(ecc_tips=4)
+        striped = striper.encode(bytes(512))
+        assert striped.total_tips == DATA_TIPS + 4
+
+    def test_wrong_sector_size_rejected(self):
+        with pytest.raises(ValueError):
+            SectorStriper().encode(bytes(511))
+
+    def test_negative_ecc_rejected(self):
+        with pytest.raises(ValueError):
+            SectorStriper(ecc_tips=-1)
+
+
+class TestDecode:
+    def test_clean_roundtrip(self):
+        striper = SectorStriper(ecc_tips=2)
+        payload = bytes(range(256)) * 2
+        recovered = striper.decode(striper.encode(payload))
+        assert recovered.data == payload
+        assert recovered.erased_tips == ()
+        assert recovered.corrected_bits == 0
+
+    def test_dead_tips_rebuilt(self):
+        striper = SectorStriper(ecc_tips=3)
+        payload = bytes(range(256)) * 2
+        striped = striper.encode(payload)
+        recovered = striper.decode(striped, dead_tips=[0, 31, 63])
+        assert recovered.data == payload
+        assert set(recovered.erased_tips) == {0, 31, 63}
+
+    def test_vertical_detection_feeds_horizontal_erasure(self):
+        """A double-bit error in one tip is detected vertically and the
+        tip sector rebuilt horizontally — the §6.1.2 pipeline."""
+        striper = SectorStriper(ecc_tips=1)
+        payload = bytes(512)
+        striped = striper.encode(payload)
+        words = [list(w) for w in striped.tip_words]
+        words[10][0] ^= 0b101  # two bit flips -> DETECTED
+        corrupted = StripedSector(
+            tuple(tuple(w) for w in words), striped.ecc_tips
+        )
+        recovered = striper.decode(corrupted)
+        assert recovered.data == payload
+        assert recovered.erased_tips == (10,)
+
+    def test_single_bit_errors_fixed_vertically(self):
+        striper = SectorStriper(ecc_tips=0)
+        payload = bytes(512)
+        striped = striper.encode(payload)
+        words = [list(w) for w in striped.tip_words]
+        words[5][1] ^= 1 << 7
+        corrupted = StripedSector(
+            tuple(tuple(w) for w in words), striped.ecc_tips
+        )
+        recovered = striper.decode(corrupted)
+        assert recovered.data == payload
+        assert recovered.corrected_bits == 1
+
+    def test_budget_exceeded_raises(self):
+        striper = SectorStriper(ecc_tips=2)
+        striped = striper.encode(bytes(512))
+        with pytest.raises(UnrecoverableSectorError):
+            striper.decode(striped, dead_tips=[0, 1, 2])
+
+    def test_no_parity_cannot_recover(self):
+        striper = SectorStriper(ecc_tips=0)
+        striped = striper.encode(bytes(512))
+        with pytest.raises(UnrecoverableSectorError):
+            striper.decode(striped, dead_tips=[0])
+
+    def test_mismatched_config_rejected(self):
+        writer = SectorStriper(ecc_tips=2)
+        reader = SectorStriper(ecc_tips=4)
+        with pytest.raises(ValueError):
+            reader.decode(writer.encode(bytes(512)))
+
+    def test_dead_parity_tip_harmless(self):
+        striper = SectorStriper(ecc_tips=2)
+        payload = bytes(range(256)) * 2
+        striped = striper.encode(payload)
+        recovered = striper.decode(striped, dead_tips=[DATA_TIPS])
+        assert recovered.data == payload
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(payload=sector_bytes, data=st.data())
+    def test_survives_up_to_parity_dead_tips(self, payload, data):
+        ecc = data.draw(st.integers(min_value=1, max_value=6))
+        striper = SectorStriper(ecc_tips=ecc)
+        striped = striper.encode(payload)
+        dead = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=DATA_TIPS + ecc - 1),
+                max_size=ecc,
+                unique=True,
+            )
+        )
+        recovered = striper.decode(striped, dead_tips=dead)
+        assert recovered.data == payload

@@ -1,0 +1,102 @@
+"""Unit tests for the shared sweep harness."""
+
+import pytest
+
+from repro.experiments.common import (
+    SweepPoint,
+    random_workload_sweep,
+    run_workload,
+    scheduling_sweep,
+    service_time_loop,
+)
+from repro.mems import MEMSDevice
+from repro.sim import IOKind, Request
+from repro.workloads import RandomWorkload
+
+
+class TestRunWorkload:
+    def test_returns_result(self):
+        device = MEMSDevice()
+        requests = RandomWorkload(
+            device.capacity_sectors, rate=200, seed=1
+        ).generate(100)
+        result = run_workload(device, "FCFS", requests)
+        assert result is not None and len(result) == 100
+
+    def test_saturation_returns_none(self):
+        device = MEMSDevice()
+        requests = RandomWorkload(
+            device.capacity_sectors, rate=100_000, seed=1
+        ).generate(300)
+        result = run_workload(device, "FCFS", requests, max_queue_depth=50)
+        assert result is None
+
+    def test_warmup_dropped(self):
+        device = MEMSDevice()
+        requests = RandomWorkload(
+            device.capacity_sectors, rate=200, seed=1
+        ).generate(100)
+        result = run_workload(device, "FCFS", requests, warmup=40)
+        assert len(result) == 60
+
+
+class TestSweeps:
+    def test_sweep_structure(self):
+        sweep = random_workload_sweep(
+            device_factory=MEMSDevice,
+            algorithms=("FCFS", "SPTF"),
+            rates=(100.0, 300.0),
+            num_requests=80,
+            seed=1,
+            warmup=10,
+        )
+        assert sweep.algorithms() == ["FCFS", "SPTF"]
+        assert sweep.xs() == [100.0, 300.0]
+        for algorithm in sweep.algorithms():
+            for point in sweep.series[algorithm]:
+                assert isinstance(point, SweepPoint)
+                assert not point.saturated
+                assert point.mean_response_time > 0
+
+    def test_saturated_point_marked(self):
+        sweep = random_workload_sweep(
+            device_factory=MEMSDevice,
+            algorithms=("FCFS",),
+            rates=(100_000.0,),
+            num_requests=300,
+            seed=1,
+            warmup=0,
+            max_queue_depth=50,
+        )
+        assert sweep.series["FCFS"][0].saturated
+
+    def test_custom_requests_for_x(self):
+        def requests_for_x(device, x):
+            return [
+                Request(i * 0.01, lbn=int(x), sectors=1, kind=IOKind.READ,
+                        request_id=i)
+                for i in range(20)
+            ]
+
+        sweep = scheduling_sweep(
+            device_factory=MEMSDevice,
+            algorithms=("FCFS",),
+            xs=(0.0, 1000.0),
+            requests_for_x=requests_for_x,
+            x_label="lbn",
+            warmup=0,
+        )
+        assert len(sweep.series["FCFS"]) == 2
+
+
+class TestServiceTimeLoop:
+    def test_returns_per_request_times(self):
+        device = MEMSDevice()
+        requests = [
+            Request(0.0, lbn=i * 1000, sectors=8, kind=IOKind.READ,
+                    request_id=i)
+            for i in range(10)
+        ]
+        times = service_time_loop(device, requests)
+        assert len(times) == 10
+        assert all(t > 0 for t in times)

@@ -1,0 +1,253 @@
+"""Small-scale smoke tests of every experiment module.
+
+Each experiment runs at a reduced size and its *qualitative* paper claims
+are asserted; the full-scale regeneration lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    faults,
+    figure05,
+    figure06,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    power,
+    table02,
+)
+
+
+@pytest.mark.slow
+class TestFigure5:
+    def test_disk_scheduler_ordering(self):
+        result = figure05.run(
+            rates=(60.0, 140.0), num_requests=1200, seed=42
+        )
+        sweep = result.sweep
+        at_high = {
+            name: sweep.series[name][1].mean_response_time
+            for name in sweep.algorithms()
+        }
+        # FCFS worst, SPTF best at the higher rate (Fig. 5a).
+        assert at_high["SPTF"] < at_high["SSTF_LBN"]
+        assert at_high["SSTF_LBN"] < at_high["FCFS"]
+        assert at_high["C-LOOK"] < at_high["FCFS"]
+        # Both tables render.
+        assert "Figure 5(a)" in result.response_time_table()
+        assert "Figure 5(b)" in result.cv2_table()
+
+
+@pytest.mark.slow
+class TestFigure6:
+    def test_mems_scheduler_ordering_and_clook_fairness(self):
+        result = figure06.run(
+            rates=(500.0, 1300.0), num_requests=1500, seed=42
+        )
+        sweep = result.sweep
+        response = {
+            name: sweep.series[name][1].mean_response_time
+            for name in sweep.algorithms()
+        }
+        assert response["SPTF"] <= response["SSTF_LBN"]
+        assert response["SSTF_LBN"] < response["FCFS"]
+        cv2 = {
+            name: sweep.series[name][1].response_time_cv2
+            for name in sweep.algorithms()
+        }
+        # C-LOOK resists starvation better than the greedy policies.
+        assert cv2["C-LOOK"] < cv2["SSTF_LBN"]
+        assert cv2["C-LOOK"] < cv2["SPTF"]
+
+
+@pytest.mark.slow
+class TestFigure7:
+    def test_tpcc_margin_exceeds_cello(self):
+        result = figure07.run(
+            scales=(4.0,), num_requests=1500, seed=42
+        )
+        cello_margin = result.sptf_margin("cello", 0)
+        tpcc_margin = result.sptf_margin("tpcc", 0)
+        assert tpcc_margin > 1.0
+        assert tpcc_margin > cello_margin
+
+
+@pytest.mark.slow
+class TestFigure8:
+    def test_settle_controls_sptf_advantage(self):
+        result = figure08.run(
+            settle_constants=(0.0, 2.0),
+            rates=(1100.0,),
+            num_requests=1500,
+            seed=42,
+        )
+        zero = result.sptf_advantage(0.0, 0)
+        two = result.sptf_advantage(2.0, 0)
+        assert zero is not None and two is not None
+        # With zero settle SPTF wins big; with two constants SSTF_LBN
+        # closely approximates SPTF.
+        assert zero > two
+        assert two < 1.35
+
+
+class TestFigure9:
+    def test_edges_slower_than_center(self):
+        result = figure09.run(num_requests=250, seed=42)
+        ratio = result.edge_to_center_ratio(settled=True)
+        # Paper: 10-20% corner penalty; our spring field gives ~4-9%
+        # (stronger when settle doesn't mask the X seeks) — same shape,
+        # see EXPERIMENTS.md.
+        assert 1.02 < ratio < 1.35
+        assert result.edge_to_center_ratio(settled=False) > ratio
+        no_settle_center = result.without_settle[(0, 0)]
+        settled_center = result.with_settle[(0, 0)]
+        assert settled_center > no_settle_center
+        assert "Figure 9" in result.grid()
+
+    def test_lbn_pool_respects_bounds(self):
+        from repro.mems import MEMSDevice
+
+        device = MEMSDevice()
+        pool = figure09.subregion_lbn_pool(device.geometry, 800, -800)
+        geometry = device.geometry
+        for lbn in pool[::50]:
+            address = geometry.decompose(lbn)
+            x_bits = address.cylinder - (geometry.num_cylinders - 1) / 2
+            assert 600 <= x_bits < 1000
+
+
+class TestFigure10:
+    def test_large_transfers_insensitive_to_x_distance(self):
+        result = figure10.run(
+            distances=(0, 1000), repetitions=4, seed_cylinders=(100, 300)
+        )
+        penalty = result.penalty_at(1000)
+        assert 0.0 < penalty < 0.2
+        assert "Figure 10" in result.table()
+
+    def test_out_of_range_distance_rejected(self):
+        with pytest.raises(ValueError):
+            figure10.run(distances=(3000,), repetitions=1,
+                         seed_cylinders=(100,))
+
+
+@pytest.mark.slow
+class TestFigure11:
+    def test_bipartite_layouts_beat_simple(self):
+        result = figure11.run(
+            num_requests=1200,
+            small_blocks=5000,
+            large_files=120,
+            seed=42,
+        )
+        for layout in ("organ-pipe", "subregioned", "columnar"):
+            gain = result.improvement_over_simple("MEMS", layout)
+            assert gain > 0.05, f"{layout} gained only {gain:.3f}"
+        # Subregioned (optimizing X and Y) is the best without settle.
+        nosettle = result.service_times["MEMS-nosettle"]
+        assert nosettle["subregioned"] == min(nosettle.values())
+        # The disk sees a real organ-pipe gain too.
+        assert result.improvement_over_simple("Atlas 10K", "organ-pipe") > 0.05
+        assert "subregioned" not in result.service_times["Atlas 10K"]
+
+
+class TestTable2:
+    def test_paper_decomposition(self):
+        result = table02.run()
+        mems8 = result.breakdowns[("MEMS", 8)]
+        disk8 = result.breakdowns[("Atlas 10K", 8)]
+        # Table 2's numbers: MEMS 0.13/0.07/0.13 = 0.33 ms; disk ~6.26 ms.
+        assert mems8.total == pytest.approx(0.33e-3, rel=0.1)
+        assert disk8.total == pytest.approx(6.26e-3, rel=0.1)
+        assert result.speedup(8) > 15
+        # Full-track disk RMW repositions for free.
+        disk334 = result.breakdowns[("Atlas 10K", 334)]
+        assert disk334.reposition == pytest.approx(0.0, abs=1e-6)
+        mems334 = result.breakdowns[("MEMS", 334)]
+        assert mems334.total == pytest.approx(4.45e-3, rel=0.05)
+
+
+class TestFaultsExperiment:
+    def test_tables_and_shapes(self):
+        result = faults.run(failure_counts=(1, 8, 32), trials=40, seed=0)
+        assert result.survival["no-ecc"][0] == 0.0
+        assert result.survival["ecc-4+spares"][2] == 1.0
+        assert result.reread_disk > 10 * result.reread_mems
+        assert "survival" in result.survival_table()
+        assert "recovery" in result.recovery_table().lower()
+        capacity = [f for f, _ in result.capacity.values()]
+        assert max(capacity) == 1.0
+
+
+class TestPowerExperiment:
+    def test_policy_preferences(self):
+        result = power.run(rate=0.5, num_requests=400, timeout=1.0, seed=42)
+        assert result.best_policy("MEMS") == "immediate"
+        assert result.best_policy("Travelstar") == "never"
+        mems_immediate = result.reports[("MEMS", "immediate")]
+        mems_never = result.reports[("MEMS", "never")]
+        assert mems_immediate.total_energy < mems_never.total_energy / 10
+        assert (
+            mems_immediate.added_latency_per_request(result.num_requests)
+            < 1e-3
+        )
+        assert result.startup["MEMS"][1] < result.startup["Travelstar"][1] / 100
+
+
+class TestRecoveryExperiment:
+    def test_sync_chain_and_first_io(self):
+        from repro.experiments import recovery
+
+        result = recovery.run(chain_length=16, journal_sectors=2048)
+        assert result.sync_speedup("journal") > 3
+        assert result.first_io["MEMS"] < 0.5
+        assert result.first_io["Atlas 10K"] > 25.0
+        assert "Synchronous" in result.sync_table()
+
+
+class TestAblationsExperiment:
+    def test_sweeps_and_shapes(self):
+        from repro.experiments import ablations
+
+        result = ablations.run(num_requests=300)
+        # Active tips sweep is monotone in both bandwidth and service.
+        tips = result.active_tips
+        assert all(a[2] < b[2] for a, b in zip(tips, tips[1:]))
+        # Wider striping transfers faster.
+        assert result.striping[0][2] < result.striping[-1][2]
+        # Unidirectional access hurts RMW.
+        assert (
+            result.direction["unidirectional"][1]
+            > result.direction["bidirectional"][1]
+        )
+        for table in (
+            result.spring_table(),
+            result.active_tips_table(),
+            result.striping_table(),
+            result.direction_table(),
+        ):
+            assert "Ablation" in table
+
+
+class TestBufferingExperiment:
+    def test_prefetch_helps_sequential_only(self):
+        from repro.experiments import buffering
+
+        result = buffering.run(num_requests=500)
+        assert result.sequential_gain("MEMS") > 0.2
+        assert abs(result.random_gain("MEMS")) < 0.15
+        assert "buffer" in result.table().lower()
+
+
+class TestGenerationsExperiment:
+    def test_roadmap_monotonicity(self):
+        from repro.experiments import generations
+
+        result = generations.run(num_requests=400)
+        capacities = [row[1] for row in result.rows]
+        assert capacities == sorted(capacities)
+        services = [row[3] for row in result.rows]
+        assert services == sorted(services, reverse=True)
+        assert "G2" in result.table()

@@ -1,0 +1,34 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import run_experiments
+
+
+class TestRegistry:
+    def test_every_experiment_has_run_and_main(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert callable(getattr(module, "run", None)), name
+            assert callable(getattr(module, "main", None)), name
+
+    def test_expected_experiments_registered(self):
+        expected = {
+            "figure05", "figure06", "figure07", "figure08", "figure09",
+            "figure10", "figure11", "table02", "faults", "power",
+            "ablations", "recovery", "buffering",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+
+class TestRunner:
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            run_experiments(["not-an-experiment"])
+
+    def test_runs_named_experiment(self, capsys):
+        run_experiments(["table02"])
+        out = capsys.readouterr().out
+        assert "=== table02 ===" in out
+        assert "Table 2" in out
+        assert "done in" in out

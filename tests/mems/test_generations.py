@@ -1,0 +1,66 @@
+"""Tests for the device-generation presets."""
+
+import random
+
+import pytest
+
+from repro.mems import (
+    GENERATIONS,
+    MEMSDevice,
+    generation_1,
+    generation_2,
+    generation_3,
+)
+from repro.sim import IOKind, Request
+
+
+def mean_random_service(params, n=150, seed=5):
+    device = MEMSDevice(params)
+    rng = random.Random(seed)
+    total = 0.0
+    for index in range(n):
+        lbn = rng.randrange(0, device.capacity_sectors - 8)
+        total += device.service(
+            Request(0.0, lbn, 8, IOKind.READ, index)
+        ).total
+    return total / n
+
+
+class TestGenerations:
+    def test_g2_is_table_1(self):
+        assert generation_2().capacity_sectors == 6_750_000
+
+    def test_all_presets_construct_devices(self):
+        for name, factory in GENERATIONS.items():
+            device = MEMSDevice(factory())
+            access = device.service(
+                Request(0.0, device.capacity_sectors // 2, 8, IOKind.READ)
+            )
+            assert access.total > 0, name
+
+    def test_capacity_grows_across_generations(self):
+        g1 = generation_1().capacity_bytes
+        g2 = generation_2().capacity_bytes
+        g3 = generation_3().capacity_bytes
+        assert g1 < g2 < g3
+
+    def test_bandwidth_grows_across_generations(self):
+        g1 = generation_1().streaming_bandwidth
+        g2 = generation_2().streaming_bandwidth
+        g3 = generation_3().streaming_bandwidth
+        assert g1 < g2 < g3
+        assert g2 == pytest.approx(79.6e6, rel=0.01)
+
+    def test_service_time_improves_across_generations(self):
+        t1 = mean_random_service(generation_1())
+        t2 = mean_random_service(generation_2())
+        t3 = mean_random_service(generation_3())
+        assert t1 > t2 > t3
+
+    def test_structural_invariants_hold(self):
+        for factory in GENERATIONS.values():
+            params = factory()
+            assert params.tips_per_sector == 64
+            assert params.tip_sector_bits == 90
+            assert params.active_tips % params.tips_per_sector == 0
+            assert params.total_tips % params.active_tips == 0

@@ -1,0 +1,183 @@
+"""Unit and property tests for the MEMS LBN geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mems import DEFAULT_PARAMETERS, MEMSGeometry, SectorAddress
+
+GEO = MEMSGeometry(DEFAULT_PARAMETERS)
+
+lbns = st.integers(min_value=0, max_value=GEO.capacity_sectors - 1)
+
+
+class TestCounts:
+    def test_capacity(self):
+        assert GEO.capacity_sectors == 6_750_000
+
+    def test_hierarchy_consistency(self):
+        assert (
+            GEO.num_cylinders
+            * GEO.tracks_per_cylinder
+            * GEO.rows_per_track
+            * GEO.sectors_per_row
+            == GEO.capacity_sectors
+        )
+
+
+class TestAddressing:
+    def test_lbn_zero(self):
+        addr = GEO.decompose(0)
+        assert addr == SectorAddress(0, 0, 0, 0)
+
+    def test_sequential_fills_rows_first(self):
+        # LBNs 0..19 share row 0; LBN 20 starts row 1.
+        assert GEO.decompose(19).row == 0
+        assert GEO.decompose(20) == SectorAddress(0, 0, 1, 0)
+
+    def test_track_boundary(self):
+        spt = GEO.sectors_per_track
+        assert GEO.decompose(spt - 1).track == 0
+        assert GEO.decompose(spt) == SectorAddress(0, 1, 0, 0)
+
+    def test_cylinder_boundary(self):
+        spc = GEO.sectors_per_cylinder
+        assert GEO.decompose(spc).cylinder == 1
+        assert GEO.decompose(spc - 1).cylinder == 0
+
+    def test_last_lbn(self):
+        addr = GEO.decompose(GEO.capacity_sectors - 1)
+        assert addr.cylinder == GEO.num_cylinders - 1
+        assert addr.track == GEO.tracks_per_cylinder - 1
+        assert addr.row == GEO.rows_per_track - 1
+        assert addr.slot == GEO.sectors_per_row - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GEO.decompose(GEO.capacity_sectors)
+        with pytest.raises(ValueError):
+            GEO.decompose(-1)
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ValueError):
+            GEO.lbn(SectorAddress(GEO.num_cylinders, 0, 0, 0))
+        with pytest.raises(ValueError):
+            GEO.lbn(SectorAddress(0, GEO.tracks_per_cylinder, 0, 0))
+        with pytest.raises(ValueError):
+            GEO.lbn(SectorAddress(0, 0, GEO.rows_per_track, 0))
+        with pytest.raises(ValueError):
+            GEO.lbn(SectorAddress(0, 0, 0, GEO.sectors_per_row))
+
+    @settings(max_examples=300, deadline=None)
+    @given(lbn=lbns)
+    def test_round_trip(self, lbn):
+        assert GEO.lbn(GEO.decompose(lbn)) == lbn
+
+
+class TestPhysicalCoordinates:
+    def test_x_is_centered_and_monotonic(self):
+        first = GEO.x_of_cylinder(0)
+        last = GEO.x_of_cylinder(GEO.num_cylinders - 1)
+        assert first == pytest.approx(-last)
+        assert first < 0 < last
+        assert abs(last) <= DEFAULT_PARAMETERS.x_max
+
+    def test_adjacent_cylinders_one_bit_apart(self):
+        gap = GEO.x_of_cylinder(101) - GEO.x_of_cylinder(100)
+        assert gap == pytest.approx(DEFAULT_PARAMETERS.bit_width)
+
+    def test_cylinder_of_x_inverts(self):
+        for cylinder in (0, 1, 1250, 2499):
+            x = GEO.x_of_cylinder(cylinder)
+            assert GEO.cylinder_of_x(x) == cylinder
+
+    def test_cylinder_of_x_clamps(self):
+        assert GEO.cylinder_of_x(-1.0) == 0
+        assert GEO.cylinder_of_x(1.0) == GEO.num_cylinders - 1
+
+    def test_row_spans_are_adjacent_and_centered(self):
+        previous_high = None
+        for row in range(GEO.rows_per_track):
+            low, high = GEO.row_span_y(row)
+            assert high - low == pytest.approx(
+                DEFAULT_PARAMETERS.tip_sector_bits * DEFAULT_PARAMETERS.bit_width
+            )
+            if previous_high is not None:
+                assert low == pytest.approx(previous_high)
+            previous_high = high
+        first_low = GEO.row_span_y(0)[0]
+        last_high = GEO.row_span_y(GEO.rows_per_track - 1)[1]
+        assert first_low == pytest.approx(-last_high)
+
+    def test_rows_stay_on_media(self):
+        low = GEO.row_span_y(0)[0]
+        high = GEO.row_span_y(GEO.rows_per_track - 1)[1]
+        assert abs(low) <= DEFAULT_PARAMETERS.x_max
+        assert abs(high) <= DEFAULT_PARAMETERS.x_max
+
+
+class TestSegments:
+    def test_single_row_request(self):
+        segments = GEO.segments(0, 8)
+        assert segments == [(0, 0, 0, 0)]
+
+    def test_two_row_request(self):
+        segments = GEO.segments(15, 8)  # slots 15..19 + 0..2 of row 1
+        assert segments == [(0, 0, 0, 1)]
+
+    def test_track_crossing(self):
+        spt = GEO.sectors_per_track
+        segments = GEO.segments(spt - 10, 20)
+        assert len(segments) == 2
+        assert segments[0][1] == 0 and segments[1][1] == 1
+        assert segments[1][2] == 0  # next track starts at row 0
+
+    def test_cylinder_crossing(self):
+        spc = GEO.sectors_per_cylinder
+        segments = GEO.segments(spc - 10, 20)
+        assert segments[0][0] == 0
+        assert segments[1][0] == 1
+
+    def test_full_track(self):
+        segments = GEO.segments(0, GEO.sectors_per_track)
+        assert segments == [(0, 0, 0, GEO.rows_per_track - 1)]
+
+    def test_sector_count_preserved(self):
+        total = 0
+        for cylinder, track, first_row, last_row in GEO.segments(537, 1100):
+            total += 1  # just count segments here
+        # 1100 sectors starting 3 sectors before a track boundary touch
+        # 4 tracks: 3 + 540 + 540 + 17.
+        assert total == 4
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            GEO.segments(GEO.capacity_sectors - 4, 8)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lbn=st.integers(min_value=0, max_value=GEO.capacity_sectors - 2049),
+        sectors=st.integers(min_value=1, max_value=2048),
+    )
+    def test_segments_cover_request_exactly(self, lbn, sectors):
+        segments = GEO.segments(lbn, sectors)
+        # Segments must be in order, non-overlapping, and the row counts
+        # must equal rows_touched.
+        rows = sum(last - first + 1 for _, _, first, last in segments)
+        assert rows == GEO.rows_touched(lbn, sectors)
+        for (c1, t1, _, _), (c2, t2, _, _) in zip(segments, segments[1:]):
+            assert (c2, t2) > (c1, t1)
+
+
+class TestRowsTouched:
+    def test_aligned_single_row(self):
+        assert GEO.rows_touched(0, 20) == 1
+
+    def test_misaligned_spans_two(self):
+        assert GEO.rows_touched(15, 8) == 2
+
+    def test_full_track_rows(self):
+        assert GEO.rows_touched(0, GEO.sectors_per_track) == GEO.rows_per_track
+
+    def test_table2_334_sectors_is_17_rows(self):
+        # ceil(334/20) = 17 rows -> 17 x 0.1286 ms = 2.19 ms (Table 2).
+        assert GEO.rows_touched(0, 334) == 17

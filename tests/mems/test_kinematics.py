@@ -1,0 +1,257 @@
+"""Unit and property tests for the spring-mass sled kinematics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mems import InfeasibleManeuver, SledKinematics
+
+ACCEL = 803.6
+X_MAX = 50e-6
+OMEGA_SQ = 0.75 * ACCEL / X_MAX
+V_ACCESS = 0.028
+
+
+@pytest.fixture
+def kin():
+    return SledKinematics(ACCEL, OMEGA_SQ, X_MAX)
+
+
+@pytest.fixture
+def kin_nospring():
+    return SledKinematics(ACCEL, 0.0, X_MAX)
+
+
+positions = st.floats(min_value=-X_MAX, max_value=X_MAX)
+
+
+class TestConstruction:
+    def test_spring_stronger_than_actuator_rejected(self):
+        with pytest.raises(ValueError):
+            SledKinematics(ACCEL, 1.1 * ACCEL / X_MAX, X_MAX)
+
+    def test_negative_acceleration_rejected(self):
+        with pytest.raises(ValueError):
+            SledKinematics(-1.0, 0.0, X_MAX)
+
+    def test_negative_omega_rejected(self):
+        with pytest.raises(ValueError):
+            SledKinematics(ACCEL, -1.0, X_MAX)
+
+
+class TestNoSpringClosedForms:
+    """Without springs, bang-bang timing has the textbook closed form."""
+
+    @pytest.mark.parametrize("distance", [1e-6, 5e-6, 20e-6, 100e-6])
+    def test_rest_to_rest_matches_2_sqrt_d_over_a(self, kin_nospring, distance):
+        start = -X_MAX
+        t = kin_nospring.seek_time(start, start + distance)
+        assert t == pytest.approx(2 * math.sqrt(distance / ACCEL), rel=1e-6)
+
+    def test_stop_time_is_v_over_a(self, kin_nospring):
+        stop = kin_nospring.stop(0.0, V_ACCESS)
+        assert stop.time == pytest.approx(V_ACCESS / ACCEL, rel=1e-9)
+        assert stop.position == pytest.approx(
+            V_ACCESS ** 2 / (2 * ACCEL), rel=1e-9
+        )
+
+    def test_turnaround_is_2v_over_a(self, kin_nospring):
+        t = kin_nospring.turnaround_time(0.0, V_ACCESS)
+        assert t == pytest.approx(2 * V_ACCESS / ACCEL, rel=1e-9)
+
+
+class TestSpringEffects:
+    def test_seek_is_mirror_symmetric(self, kin):
+        t_right = kin.seek_time(-30e-6, 10e-6)
+        t_left = kin.seek_time(30e-6, -10e-6)
+        assert t_right == pytest.approx(t_left, rel=1e-9)
+
+    def test_short_seeks_slower_at_edge_than_center(self, kin):
+        """Fig. 9's driver: spring forces penalize edge subregions."""
+        span = 5e-6
+        t_center = kin.seek_time(-span / 2, span / 2)
+        t_edge = kin.seek_time(X_MAX - span, X_MAX)
+        assert t_edge > t_center * 1.2
+
+    def test_turnaround_direction_asymmetry_at_edge(self, kin):
+        """Section 2.4.4: turnarounds near the edges take either less time
+        or more, depending on the direction of sled motion."""
+        outward = kin.turnaround_time(0.98 * X_MAX, V_ACCESS)
+        inward = kin.turnaround_time(0.98 * X_MAX, -V_ACCESS)
+        assert outward < inward
+        center = kin.turnaround_time(0.0, V_ACCESS)
+        assert outward < center < inward
+
+    def test_turnaround_range_matches_paper_order(self, kin):
+        """Table 2 footnote: turnaround 0.036-1.11 ms, 0.063 ms average.
+        Our spring-factor field gives 0.04-0.25 ms with a ~0.07-0.09
+        average — same order, same shape (see DESIGN.md note)."""
+        times = [
+            kin.turnaround_time(x * 1e-6, v)
+            for x in range(-49, 50, 2)
+            for v in (V_ACCESS, -V_ACCESS)
+        ]
+        assert 0.03e-3 < min(times) < 0.05e-3
+        assert 0.15e-3 < max(times) < 0.4e-3
+        average = sum(times) / len(times)
+        assert 0.05e-3 < average < 0.12e-3
+
+    def test_full_stroke_faster_with_springs(self, kin, kin_nospring):
+        """Across the full stroke the spring aids the first half's
+        acceleration from the edge and the second half's deceleration."""
+        assert kin.full_stroke_time() < kin_nospring.full_stroke_time()
+
+
+class TestArrivalVelocity:
+    def test_arrive_at_speed_beats_rest_to_rest(self, kin):
+        t_moving = kin.seek_arrive_time(0.0, 20e-6, V_ACCESS, +1)
+        t_rest = kin.seek_time(0.0, 20e-6)
+        assert t_moving < t_rest
+
+    def test_zero_arrival_speed_equals_seek_time(self, kin):
+        assert kin.seek_arrive_time(0.0, 20e-6, 0.0, +1) == pytest.approx(
+            kin.seek_time(0.0, 20e-6), rel=1e-9
+        )
+
+    def test_target_behind_requires_backtrack(self, kin):
+        t = kin.seek_arrive_time(10e-6, 5e-6, V_ACCESS, +1)
+        direct = kin.seek_arrive_time(0.0, 5e-6, V_ACCESS, +1)
+        assert t > 0
+        # The backtrack costs more than an already-positioned launch.
+        assert t > kin.seek_arrive_time(
+            kin._runup_start(5e-6, V_ACCESS), 5e-6, V_ACCESS, +1
+        )
+
+    def test_too_close_target_uses_runup(self, kin):
+        t = kin.seek_arrive_time(0.0, 0.05e-6, V_ACCESS, +1)
+        assert t > 0.05e-6 / V_ACCESS  # cannot be a pure coast
+
+    def test_direction_must_be_unit(self, kin):
+        with pytest.raises(ValueError):
+            kin.seek_arrive_time(0.0, 1e-6, V_ACCESS, 0)
+
+    def test_negative_speed_rejected(self, kin):
+        with pytest.raises(ValueError):
+            kin.seek_arrive_time(0.0, 1e-6, -1.0, +1)
+
+
+class TestInMotion:
+    def test_continue_to_forward_target(self, kin):
+        t = kin.seek_moving_time(0.0, V_ACCESS, 10e-6, V_ACCESS)
+        assert 0 < t < 10e-6 / V_ACCESS  # bang-bang beats coasting
+
+    def test_backward_target_infeasible(self, kin):
+        with pytest.raises(InfeasibleManeuver):
+            kin.seek_moving_time(10e-6, V_ACCESS, 5e-6, V_ACCESS)
+
+    def test_mirrored_negative_motion(self, kin):
+        t_pos = kin.seek_moving_time(0.0, V_ACCESS, 10e-6, V_ACCESS)
+        t_neg = kin.seek_moving_time(0.0, -V_ACCESS, -10e-6, V_ACCESS)
+        assert t_pos == pytest.approx(t_neg, rel=1e-9)
+
+    def test_zero_velocity_rejected(self, kin):
+        with pytest.raises(InfeasibleManeuver):
+            kin.seek_moving_time(0.0, 0.0, 10e-6, V_ACCESS)
+
+
+class TestStop:
+    def test_stop_from_rest_is_free(self, kin):
+        stop = kin.stop(10e-6, 0.0)
+        assert stop.time == 0.0
+        assert stop.position == 10e-6
+
+    def test_stop_moves_in_travel_direction(self, kin):
+        stop = kin.stop(0.0, V_ACCESS)
+        assert stop.position > 0
+        stop_neg = kin.stop(0.0, -V_ACCESS)
+        assert stop_neg.position < 0
+
+    def test_stop_mirror_symmetry(self, kin):
+        a = kin.stop(20e-6, V_ACCESS)
+        b = kin.stop(-20e-6, -V_ACCESS)
+        assert a.time == pytest.approx(b.time, rel=1e-9)
+        assert a.position == pytest.approx(-b.position, rel=1e-9)
+
+
+# A module-level instance for the hypothesis tests: the kinematics object
+# is stateless, and hypothesis forbids function-scoped fixtures in @given.
+KIN = SledKinematics(ACCEL, OMEGA_SQ, X_MAX)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(x0=positions, x1=positions)
+    def test_seek_time_non_negative_and_zero_iff_same(self, x0, x1):
+        kin = KIN
+        t = kin.seek_time(x0, x1)
+        assert t >= 0.0
+        if abs(x0 - x1) > 1e-9:
+            assert t > 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(x0=positions, x1=positions, direction=st.sampled_from([+1, -1]))
+    def test_arrive_time_finite_everywhere(self, x0, x1, direction):
+        t = KIN.seek_arrive_time(x0, x1, V_ACCESS, direction)
+        assert 0.0 <= t < 0.01  # well under 10 ms for any on-media maneuver
+
+    @settings(max_examples=200, deadline=None)
+    @given(x=positions, v=st.sampled_from([V_ACCESS, -V_ACCESS]))
+    def test_turnaround_positive_and_bounded(self, x, v):
+        t = KIN.turnaround_time(x, v)
+        assert 0.0 < t < 1e-3
+
+    @settings(max_examples=200, deadline=None)
+    @given(x=positions, v=st.sampled_from([V_ACCESS, -V_ACCESS]))
+    def test_stop_position_stays_near_media(self, x, v):
+        stop = KIN.stop(x, v)
+        assert abs(stop.position) <= X_MAX + 3e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(x0=positions, d=st.floats(min_value=1e-7, max_value=2e-5))
+    def test_longer_seeks_take_longer_from_same_start(self, x0, d):
+        x1a = min(x0 + d, X_MAX)
+        x1b = min(x0 + 2 * d, X_MAX)
+        if x1b <= x1a:
+            return
+        assert KIN.seek_time(x0, x1b) >= KIN.seek_time(x0, x1a) - 1e-12
+
+
+class TestPhysicalConsistency:
+    """Physics sanity properties beyond individual maneuvers."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        x0=positions,
+        x2=positions,
+        frac=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_stopping_at_a_waypoint_never_helps(self, x0, x2, frac):
+        """Rest-to-rest via an intermediate stop is never faster than the
+        direct bang-bang seek (time-optimality of the direct arc)."""
+        x1 = x0 + (x2 - x0) * frac
+        direct = KIN.seek_time(x0, x2)
+        via = KIN.seek_time(x0, x1) + KIN.seek_time(x1, x2)
+        assert via >= direct - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(x=positions, v=st.sampled_from([V_ACCESS, -V_ACCESS]))
+    def test_turnaround_is_twice_stop(self, x, v):
+        assert KIN.turnaround_time(x, v) == pytest.approx(
+            2 * KIN.stop(x, v).time, rel=1e-9
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(x0=positions, x1=positions)
+    def test_seek_time_symmetric_under_reversal(self, x0, x1):
+        """The spring field is even in x, so the reversed seek between
+        mirrored endpoints costs the same."""
+        assert KIN.seek_time(x0, x1) == pytest.approx(
+            KIN.seek_time(-x0, -x1), rel=1e-9, abs=1e-15
+        )
+
+    def test_spring_speeds_up_inward_launch(self):
+        """From the media edge toward center, the spring adds thrust."""
+        spring = KIN.seek_time(X_MAX, 0.0)
+        no_spring = SledKinematics(ACCEL, 0.0, X_MAX).seek_time(X_MAX, 0.0)
+        assert spring < no_spring

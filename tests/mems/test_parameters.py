@@ -1,0 +1,110 @@
+"""Table 1 invariants and parameter validation."""
+
+import math
+
+import pytest
+
+from repro.mems import DEFAULT_PARAMETERS, MEMSParameters
+
+
+class TestTable1Defaults:
+    """Every derived quantity the paper states for the Table 1 device."""
+
+    def test_striping_is_64_tips_per_sector(self):
+        assert DEFAULT_PARAMETERS.tips_per_sector == 64
+
+    def test_20_sectors_accessible_simultaneously(self):
+        assert DEFAULT_PARAMETERS.sectors_per_row == 20
+
+    def test_tip_sector_is_90_bits(self):
+        assert DEFAULT_PARAMETERS.tip_sector_bits == 90
+
+    def test_27_tip_sectors_per_track(self):
+        assert DEFAULT_PARAMETERS.tip_sectors_per_track == 27
+
+    def test_2500_cylinders(self):
+        assert DEFAULT_PARAMETERS.num_cylinders == 2500
+
+    def test_5_tracks_per_cylinder(self):
+        assert DEFAULT_PARAMETERS.tracks_per_cylinder == 5
+
+    def test_540_sectors_per_track(self):
+        assert DEFAULT_PARAMETERS.sectors_per_track == 540
+
+    def test_capacity_is_3_plus_gigabytes(self):
+        # Table 1 quotes 3.2 GB usable; raw sequential capacity is 3.456 GB
+        # before sparing/ECC overheads.
+        assert DEFAULT_PARAMETERS.capacity_sectors == 6_750_000
+        assert DEFAULT_PARAMETERS.capacity_bytes == pytest.approx(3.456e9)
+
+    def test_access_velocity_28_mm_per_s(self):
+        assert DEFAULT_PARAMETERS.access_velocity == pytest.approx(0.028)
+
+    def test_tip_sector_time(self):
+        assert DEFAULT_PARAMETERS.tip_sector_time == pytest.approx(
+            90 / 700e3
+        )
+
+    def test_settle_time_approx_0_2_ms(self):
+        # 1 time constant at 739 Hz resonance = 1/(2pi*739) = 0.215 ms,
+        # the paper's "0.2 ms of 0.2-0.7 ms seeks" (section 2.4.2).
+        assert DEFAULT_PARAMETERS.settle_time == pytest.approx(
+            1 / (2 * math.pi * 739), rel=1e-9
+        )
+        assert 0.2e-3 < DEFAULT_PARAMETERS.settle_time < 0.23e-3
+
+    def test_streaming_bandwidth_79_6_mb_per_s(self):
+        assert DEFAULT_PARAMETERS.streaming_bandwidth == pytest.approx(
+            79.6e6, rel=0.01
+        )
+
+    def test_spring_force_is_75_percent_at_edge(self):
+        params = DEFAULT_PARAMETERS
+        edge_spring_accel = params.spring_omega_sq * params.x_max
+        assert edge_spring_accel == pytest.approx(
+            0.75 * params.sled_acceleration
+        )
+
+    def test_x_max_is_half_mobility(self):
+        assert DEFAULT_PARAMETERS.x_max == pytest.approx(50e-6)
+
+
+class TestValidation:
+    def test_spring_factor_one_rejected(self):
+        with pytest.raises(ValueError):
+            MEMSParameters(spring_factor=1.0)
+
+    def test_negative_settle_rejected(self):
+        with pytest.raises(ValueError):
+            MEMSParameters(settle_constants=-1.0)
+
+    def test_uneven_tip_groups_rejected(self):
+        with pytest.raises(ValueError):
+            MEMSParameters(total_tips=6400, active_tips=1000)
+
+    def test_uneven_striping_rejected(self):
+        with pytest.raises(ValueError):
+            MEMSParameters(sector_bytes=500)
+
+    def test_zero_acceleration_rejected(self):
+        with pytest.raises(ValueError):
+            MEMSParameters(sled_acceleration=0.0)
+
+    def test_zero_spring_factor_allowed(self):
+        params = MEMSParameters(spring_factor=0.0)
+        assert params.spring_omega_sq == 0.0
+
+
+class TestCopies:
+    def test_with_settle_constants(self):
+        copy = DEFAULT_PARAMETERS.with_settle_constants(2.0)
+        assert copy.settle_constants == 2.0
+        assert copy.settle_time == pytest.approx(
+            2 * DEFAULT_PARAMETERS.settle_time
+        )
+        assert DEFAULT_PARAMETERS.settle_constants == 1.0
+
+    def test_with_spring_factor(self):
+        copy = DEFAULT_PARAMETERS.with_spring_factor(0.5)
+        assert copy.spring_factor == 0.5
+        assert copy.capacity_sectors == DEFAULT_PARAMETERS.capacity_sectors

@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event engine, using a deterministic stub
+device so timings are exactly predictable."""
+
+import pytest
+
+from repro.core.scheduling import FCFSScheduler
+from repro.sim import (
+    AccessResult,
+    EventKind,
+    EventQueue,
+    IOKind,
+    QueueOverflowError,
+    Request,
+    Simulation,
+    SimulationObserver,
+    StorageDevice,
+    simulate,
+)
+
+
+class ConstantDevice(StorageDevice):
+    """Serves every request in a fixed time; records service order."""
+
+    def __init__(self, service_time=1.0, capacity=1000):
+        self.service_time = service_time
+        self.capacity = capacity
+        self.served = []
+        self._last_lbn = 0
+
+    @property
+    def capacity_sectors(self):
+        return self.capacity
+
+    @property
+    def last_lbn(self):
+        return self._last_lbn
+
+    def service(self, request, now=0.0):
+        self.served.append(request.lbn)
+        self._last_lbn = request.last_lbn
+        return AccessResult(total=self.service_time)
+
+    def estimate_positioning(self, request, now=0.0):
+        return self.service_time / 2
+
+
+def req(arrival, lbn=0, rid=0):
+    return Request(arrival, lbn=lbn, sectors=1, kind=IOKind.READ, request_id=rid)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.ARRIVAL, "b")
+        queue.push(1.0, EventKind.ARRIVAL, "a")
+        assert queue.pop().payload == "a"
+        assert queue.pop().payload == "b"
+
+    def test_completion_before_arrival_at_same_time(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.ARRIVAL, "arrival")
+        queue.push(1.0, EventKind.COMPLETION, "completion")
+        assert queue.pop().payload == "completion"
+
+    def test_fifo_among_equal_events(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.ARRIVAL, "first")
+        queue.push(1.0, EventKind.ARRIVAL, "second")
+        assert queue.pop().payload == "first"
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, EventKind.ARRIVAL, None)
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, EventKind.ARRIVAL, None)
+        assert queue and len(queue) == 1
+
+
+class TestSimulation:
+    def test_single_request_timing(self):
+        device = ConstantDevice(service_time=0.5)
+        result = simulate(device, FCFSScheduler(), [req(1.0)])
+        assert len(result) == 1
+        record = result.records[0]
+        assert record.dispatch_time == pytest.approx(1.0)
+        assert record.completion_time == pytest.approx(1.5)
+        assert record.response_time == pytest.approx(0.5)
+
+    def test_queueing_delay(self):
+        device = ConstantDevice(service_time=1.0)
+        requests = [req(0.0, rid=0), req(0.1, lbn=1, rid=1)]
+        result = simulate(device, FCFSScheduler(), requests)
+        second = result.records[1]
+        assert second.dispatch_time == pytest.approx(1.0)
+        assert second.queue_time == pytest.approx(0.9)
+
+    def test_idle_gap_between_requests(self):
+        device = ConstantDevice(service_time=0.5)
+        requests = [req(0.0, rid=0), req(10.0, lbn=1, rid=1)]
+        result = simulate(device, FCFSScheduler(), requests)
+        assert result.records[1].dispatch_time == pytest.approx(10.0)
+
+    def test_unsorted_input_is_sorted(self):
+        device = ConstantDevice()
+        requests = [req(5.0, lbn=2, rid=1), req(0.0, lbn=1, rid=0)]
+        result = simulate(device, FCFSScheduler(), requests)
+        assert device.served == [1, 2]
+
+    def test_out_of_capacity_request_rejected(self):
+        device = ConstantDevice(capacity=10)
+        with pytest.raises(ValueError):
+            simulate(device, FCFSScheduler(), [req(0.0, lbn=10)])
+
+    def test_queue_overflow_raises(self):
+        device = ConstantDevice(service_time=100.0)
+        requests = [req(i * 0.001, lbn=i, rid=i) for i in range(10)]
+        with pytest.raises(QueueOverflowError):
+            simulate(device, FCFSScheduler(), requests, max_queue_depth=4)
+
+    def test_arrival_at_completion_instant_dispatches_immediately(self):
+        device = ConstantDevice(service_time=1.0)
+        requests = [req(0.0, rid=0), req(1.0, lbn=1, rid=1)]
+        result = simulate(device, FCFSScheduler(), requests)
+        assert result.records[1].dispatch_time == pytest.approx(1.0)
+        assert result.records[1].queue_time == pytest.approx(0.0)
+
+    def test_end_time_is_last_completion(self):
+        device = ConstantDevice(service_time=0.25)
+        result = simulate(device, FCFSScheduler(), [req(0.0), ])
+        assert result.end_time == pytest.approx(0.25)
+
+
+class RecordingObserver(SimulationObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_dispatch(self, time, record):
+        self.events.append(("dispatch", time))
+
+    def on_complete(self, time, record):
+        self.events.append(("complete", time))
+
+    def on_idle(self, time):
+        self.events.append(("idle", time))
+
+    def on_end(self, time):
+        self.events.append(("end", time))
+
+
+class TestObservers:
+    def test_observer_sequence(self):
+        device = ConstantDevice(service_time=1.0)
+        observer = RecordingObserver()
+        simulate(
+            device,
+            FCFSScheduler(),
+            [req(0.0, rid=0), req(0.2, lbn=1, rid=1)],
+            observers=[observer],
+        )
+        kinds = [kind for kind, _ in observer.events]
+        assert kinds == [
+            "dispatch",
+            "complete",
+            "dispatch",
+            "complete",
+            "idle",
+            "end",
+        ]
+
+    def test_idle_only_when_queue_empty(self):
+        device = ConstantDevice(service_time=1.0)
+        observer = RecordingObserver()
+        simulate(
+            device,
+            FCFSScheduler(),
+            [req(0.0, rid=0), req(0.1, lbn=1, rid=1)],
+            observers=[observer],
+        )
+        idles = [e for e in observer.events if e[0] == "idle"]
+        assert len(idles) == 1

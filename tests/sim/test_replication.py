@@ -1,0 +1,96 @@
+"""Tests for replication and confidence intervals."""
+
+import pytest
+
+from repro.sim import ReplicationResult, replicate
+
+
+class TestReplicate:
+    def test_deterministic_experiment(self):
+        result = replicate(lambda seed: 5.0, seeds=range(4))
+        assert result.mean == 5.0
+        assert result.stdev == 0.0
+        assert result.half_width == 0.0
+        assert result.contains(5.0)
+
+    def test_known_interval(self):
+        # Samples 1..5: mean 3, stdev sqrt(2.5); t(0.975, 4) = 2.776.
+        result = replicate(lambda seed: float(seed), seeds=range(1, 6))
+        assert result.mean == pytest.approx(3.0)
+        assert result.half_width == pytest.approx(
+            2.776 * (2.5 ** 0.5) / (5 ** 0.5), rel=1e-3
+        )
+        low, high = result.interval
+        assert low < 3.0 < high
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        narrow = replicate(lambda s: samples[s], seeds=range(4),
+                           confidence=0.90)
+        wide = replicate(lambda s: samples[s], seeds=range(4),
+                         confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_single_run_has_no_interval(self):
+        result = replicate(lambda seed: 1.0, seeds=[0])
+        assert result.mean == 1.0
+        with pytest.raises(ValueError):
+            _ = result.half_width
+        assert "single run" in str(result)
+
+    def test_str_formats(self):
+        result = replicate(lambda seed: float(seed), seeds=range(3))
+        assert "95% CI" in str(result)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, seeds=[])
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, seeds=[1], confidence=1.5)
+
+    def test_with_real_simulation(self):
+        from repro import MEMSDevice, RandomWorkload, Simulation
+        from repro.core.scheduling import FCFSScheduler
+
+        def run(seed):
+            device = MEMSDevice()
+            workload = RandomWorkload(
+                device.capacity_sectors, rate=300.0, seed=seed
+            )
+            result = Simulation(device, FCFSScheduler()).run(
+                workload.generate(200)
+            )
+            return result.mean_response_time
+
+        summary = replicate(run, seeds=range(4))
+        assert 0.3e-3 < summary.mean < 3e-3
+        assert summary.half_width < summary.mean  # reasonably tight
+
+
+class TestUtilization:
+    def test_utilization_between_zero_and_one(self):
+        from repro import MEMSDevice, RandomWorkload, Simulation
+        from repro.core.scheduling import FCFSScheduler
+
+        device = MEMSDevice()
+        workload = RandomWorkload(device.capacity_sectors, rate=500.0, seed=1)
+        result = Simulation(device, FCFSScheduler()).run(
+            workload.generate(300)
+        )
+        assert 0.0 < result.utilization < 1.0
+
+    def test_utilization_grows_with_load(self):
+        from repro import MEMSDevice, RandomWorkload, Simulation
+        from repro.core.scheduling import FCFSScheduler
+
+        def utilization(rate):
+            device = MEMSDevice()
+            workload = RandomWorkload(
+                device.capacity_sectors, rate=rate, seed=2
+            )
+            result = Simulation(device, FCFSScheduler()).run(
+                workload.generate(300)
+            )
+            return result.utilization
+
+        assert utilization(800.0) > utilization(100.0)

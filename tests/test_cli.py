@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.device == "mems"
+        assert args.scheduler == "SPTF"
+        assert args.rate == 800.0
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--device", "floppy"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "6,750,000 sectors" in out
+        assert "Quantum Atlas 10K" in out
+        assert "79.6 MB/s" in out
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--device", "mems",
+                "--scheduler", "FCFS",
+                "--rate", "200",
+                "--requests", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean response" in out
+
+    def test_simulate_sxtf_on_disk(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--device", "atlas10k",
+                "--scheduler", "SXTF",
+                "--rate", "40",
+                "--requests", "150",
+            ]
+        )
+        assert code == 0
+        assert "SXTF" in capsys.readouterr().out
+
+    def test_simulate_saturation_exit_code(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--device", "mems",
+                "--scheduler", "FCFS",
+                "--rate", "1000000",
+                "--requests", "25000",
+            ]
+        )
+        assert code == 1
+        assert "saturated" in capsys.readouterr().out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure05", "table02", "ablations"):
+            assert name in out
+
+    def test_experiments_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figure99"])
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

@@ -1,0 +1,141 @@
+"""Unit tests for the paper's random workload generator (§3)."""
+
+import statistics
+
+import pytest
+
+from repro.workloads import RandomWorkload, UniformFixedWorkload
+
+CAPACITY = 1_000_000
+
+
+class TestRandomWorkload:
+    def test_deterministic_given_seed(self):
+        a = RandomWorkload(CAPACITY, rate=100, seed=7).generate(100)
+        b = RandomWorkload(CAPACITY, rate=100, seed=7).generate(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomWorkload(CAPACITY, rate=100, seed=7).generate(100)
+        b = RandomWorkload(CAPACITY, rate=100, seed=8).generate(100)
+        assert a != b
+
+    def test_arrival_rate(self):
+        requests = RandomWorkload(CAPACITY, rate=200, seed=1).generate(5000)
+        duration = requests[-1].arrival_time
+        assert 5000 / duration == pytest.approx(200, rel=0.1)
+
+    def test_read_fraction_67_percent(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=2).generate(5000)
+        reads = sum(1 for r in requests if r.kind.is_read)
+        assert reads / 5000 == pytest.approx(0.67, abs=0.03)
+
+    def test_mean_size_4kb(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=3).generate(5000)
+        mean = statistics.fmean(r.sectors for r in requests)
+        assert mean == pytest.approx(8.0, rel=0.1)
+
+    def test_locations_cover_device(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=4).generate(2000)
+        lbns = [r.lbn for r in requests]
+        assert min(lbns) < CAPACITY * 0.05
+        assert max(lbns) > CAPACITY * 0.9
+
+    def test_requests_fit_device(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=5).generate(5000)
+        assert all(r.last_lbn < CAPACITY for r in requests)
+
+    def test_arrivals_sorted(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=6).generate(1000)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+
+    def test_request_ids_sequential(self):
+        requests = RandomWorkload(CAPACITY, rate=100, seed=6).generate(100)
+        assert [r.request_id for r in requests] == list(range(100))
+
+    def test_size_truncation(self):
+        workload = RandomWorkload(
+            CAPACITY, rate=100, mean_size_sectors=100, max_size_sectors=64,
+            seed=7,
+        )
+        assert max(r.sectors for r in workload.generate(2000)) <= 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWorkload(0, rate=1)
+        with pytest.raises(ValueError):
+            RandomWorkload(CAPACITY, rate=0)
+        with pytest.raises(ValueError):
+            RandomWorkload(CAPACITY, rate=1, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            RandomWorkload(CAPACITY, rate=1, max_size_sectors=CAPACITY + 1)
+        with pytest.raises(ValueError):
+            RandomWorkload(CAPACITY, rate=1).generate(-1)
+
+
+class TestUniformFixedWorkload:
+    def test_all_arrive_at_zero(self):
+        requests = UniformFixedWorkload(CAPACITY, sectors=8, seed=1).generate(50)
+        assert all(r.arrival_time == 0.0 for r in requests)
+
+    def test_fixed_size(self):
+        requests = UniformFixedWorkload(CAPACITY, sectors=16, seed=1).generate(50)
+        assert all(r.sectors == 16 for r in requests)
+
+    def test_pool_restriction(self):
+        pool = [0, 800, 1600]
+        requests = UniformFixedWorkload(
+            CAPACITY, sectors=8, lbn_pool=pool, seed=2
+        ).generate(100)
+        assert set(r.lbn for r in requests) <= set(pool)
+
+    def test_read_fraction(self):
+        requests = UniformFixedWorkload(
+            CAPACITY, sectors=8, read_fraction=0.0, seed=3
+        ).generate(50)
+        assert all(not r.kind.is_read for r in requests)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            UniformFixedWorkload(CAPACITY, sectors=8, lbn_pool=[])
+
+
+class TestSequentialWorkload:
+    def test_lbns_march_in_order(self):
+        from repro.workloads import SequentialWorkload
+
+        workload = SequentialWorkload(CAPACITY, rate=100, request_sectors=16,
+                                      seed=1)
+        requests = workload.generate(10)
+        lbns = [r.lbn for r in requests]
+        assert lbns == [i * 16 for i in range(10)]
+
+    def test_wraps_at_extent_end(self):
+        from repro.workloads import SequentialWorkload
+
+        workload = SequentialWorkload(
+            CAPACITY, rate=100, request_sectors=16, extent_sectors=48, seed=1
+        )
+        requests = workload.generate(5)
+        assert [r.lbn for r in requests] == [0, 16, 32, 0, 16]
+
+    def test_write_stream(self):
+        from repro.sim import IOKind
+        from repro.workloads import SequentialWorkload
+
+        workload = SequentialWorkload(
+            CAPACITY, rate=100, kind=IOKind.WRITE, seed=2
+        )
+        assert all(not r.kind.is_read for r in workload.generate(5))
+
+    def test_validation(self):
+        from repro.workloads import SequentialWorkload
+
+        with pytest.raises(ValueError):
+            SequentialWorkload(CAPACITY, rate=0)
+        with pytest.raises(ValueError):
+            SequentialWorkload(CAPACITY, rate=1, request_sectors=16,
+                               extent_sectors=8)
+        with pytest.raises(ValueError):
+            SequentialWorkload(100, rate=1, start_lbn=90, extent_sectors=20)

@@ -1,0 +1,116 @@
+"""Unit tests for the trace container, scaling, and I/O."""
+
+import io
+
+import pytest
+
+from repro.sim import IOKind, Request
+from repro.workloads import Trace, read_trace, write_trace
+
+
+def make_trace(times=(0.0, 1.0, 3.0)):
+    requests = [
+        Request(t, lbn=i * 100, sectors=8, kind=IOKind.READ, request_id=i)
+        for i, t in enumerate(times)
+    ]
+    return Trace(name="unit", requests=requests)
+
+
+class TestTrace:
+    def test_unsorted_rejected(self):
+        requests = [
+            Request(1.0, lbn=0, sectors=1, kind=IOKind.READ, request_id=0),
+            Request(0.5, lbn=0, sectors=1, kind=IOKind.READ, request_id=1),
+        ]
+        with pytest.raises(ValueError):
+            Trace(name="bad", requests=requests)
+
+    def test_scale_arrivals_halves_interarrivals(self):
+        trace = make_trace()
+        scaled = trace.scale_arrivals(2.0)
+        assert [r.arrival_time for r in scaled] == [0.0, 0.5, 1.5]
+
+    def test_scale_factor_one_is_identity(self):
+        trace = make_trace()
+        scaled = trace.scale_arrivals(1.0)
+        assert [r.arrival_time for r in scaled] == [0.0, 1.0, 3.0]
+
+    def test_scale_preserves_everything_else(self):
+        trace = make_trace()
+        scaled = trace.scale_arrivals(4.0)
+        assert [r.lbn for r in scaled] == [r.lbn for r in trace]
+        assert [r.sectors for r in scaled] == [r.sectors for r in trace]
+
+    def test_scale_rate_doubles(self):
+        trace = make_trace(times=tuple(float(i) for i in range(100)))
+        assert trace.scale_arrivals(2.0).mean_arrival_rate == pytest.approx(
+            2 * trace.mean_arrival_rate
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace().scale_arrivals(0.0)
+
+    def test_fit_to_device_wraps(self):
+        trace = make_trace()
+        fitted = trace.fit_to_device(150)
+        assert all(r.last_lbn < 150 for r in fitted)
+
+    def test_statistics(self):
+        trace = make_trace()
+        assert trace.duration == pytest.approx(3.0)
+        assert trace.read_fraction == 1.0
+        assert trace.mean_size_sectors == 8.0
+        assert trace.footprint_sectors == 208
+
+
+class TestTraceIO:
+    def test_roundtrip(self):
+        trace = make_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer, name="unit")
+        assert len(loaded) == len(trace)
+        for original, parsed in zip(trace, loaded):
+            assert parsed.lbn == original.lbn
+            assert parsed.sectors == original.sectors
+            assert parsed.kind == original.kind
+            assert parsed.arrival_time == pytest.approx(original.arrival_time)
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0.5 100 8 W\n"
+        trace = read_trace(io.StringIO(text))
+        assert len(trace) == 1
+        assert not trace.requests[0].kind.is_read
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("0.5 100 8\n"))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("0.5 100 8 X\n"))
+
+
+class TestMergeTraces:
+    def test_interleaves_by_time(self):
+        from repro.workloads import merge_traces
+
+        a = make_trace(times=(0.0, 2.0))
+        b = make_trace(times=(1.0, 3.0))
+        merged = merge_traces([a, b])
+        assert [r.arrival_time for r in merged] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_request_ids_unique(self):
+        from repro.workloads import merge_traces
+
+        merged = merge_traces([make_trace(), make_trace()])
+        ids = [r.request_id for r in merged]
+        assert ids == list(range(len(ids)))
+
+    def test_empty_rejected(self):
+        from repro.workloads import merge_traces
+
+        with pytest.raises(ValueError):
+            merge_traces([])
