@@ -1,0 +1,278 @@
+"""Perf-regression harness for the simulator's hot paths.
+
+Two measurements, emitted as machine-readable JSON (``BENCH_hotpath.json``
+at the repo root) so regressions are diffable across commits:
+
+* **SPTF dispatch** at fixed queue depths 16/64/256 — a steady-state
+  pop/service/refill loop, timed with the geometry/profile/estimate caches
+  on versus the uncached baseline (``MEMSDevice(memoize=False)`` +
+  ``SPTFScheduler(cache=False)``, which reproduces the pre-optimization
+  hot path).  The dispatch order is asserted identical between the two.
+* **Figure-6 sweep wall-clock** — the end-to-end scheduler-comparison sweep
+  run sequentially and with ``jobs=N`` through the process-pool sweep
+  layer, plus the SPTF-only sweep against the uncached baseline.  Sweep
+  results are asserted equal between the legs.
+
+Run it as a script::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI subset
+
+Parallel speedup is bounded by the machine: the harness records
+``available_parallelism`` next to the timings, and the sweep layer never
+runs more workers than cores (see ``repro/experiments/parallel.py``), so on
+a 1-core container the ``jobs=N`` leg degrades to the sequential path
+instead of thrashing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+
+DISPATCH_DEPTHS = (16, 64, 256)
+SWEEP_RATES = (200.0, 500.0, 800.0, 1100.0, 1400.0, 1700.0, 2000.0)
+SWEEP_ALGORITHMS = ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF")
+
+
+def _make_device(memoize: bool):
+    from repro.mems import MEMSDevice
+
+    return MEMSDevice(memoize=memoize)
+
+
+def dispatch_loop(depth: int, dispatches: int, memoize: bool, cache: bool):
+    """Steady-state SPTF dispatch at constant queue depth.
+
+    Pops the scheduler's choice, services it, and refills the queue from a
+    seeded request stream, so every dispatch prices exactly ``depth``
+    pending requests.  Returns (seconds, dispatch order as LBNs).
+    """
+    from repro.core.scheduling.sptf import SPTFScheduler
+    from repro.sim.request import IOKind, Request
+
+    rng = random.Random(20260806)
+    device = _make_device(memoize)
+    scheduler = SPTFScheduler(device, cache=cache)
+    capacity = device.capacity_sectors
+
+    def fresh_request(index: int) -> Request:
+        sectors = rng.choice((1, 2, 4, 8, 16, 64))
+        lbn = rng.randrange(0, capacity - sectors)
+        return Request(float(index), lbn=lbn, sectors=sectors, kind=IOKind.READ)
+
+    for index in range(depth):
+        scheduler.add(fresh_request(index))
+
+    order = []
+    now = 0.0
+    start = time.perf_counter()
+    for index in range(dispatches):
+        request = scheduler.pop_next(now)
+        order.append(request.lbn)
+        now += device.service(request, now).total
+        scheduler.add(fresh_request(depth + index))
+    elapsed = time.perf_counter() - start
+    return elapsed, order
+
+
+def bench_dispatch(depth: int, dispatches: int, repeats: int) -> dict:
+    cached_best = uncached_best = float("inf")
+    cached_order = uncached_order = None
+    for _ in range(repeats):
+        seconds, order = dispatch_loop(depth, dispatches, True, True)
+        cached_best = min(cached_best, seconds)
+        cached_order = order
+        seconds, order = dispatch_loop(depth, dispatches, False, False)
+        uncached_best = min(uncached_best, seconds)
+        uncached_order = order
+    if cached_order != uncached_order:
+        raise AssertionError(
+            f"dispatch order diverged at depth {depth}: caches changed "
+            f"the SPTF selection"
+        )
+    return {
+        "depth": depth,
+        "dispatches": dispatches,
+        "cached_s": round(cached_best, 6),
+        "uncached_s": round(uncached_best, 6),
+        "speedup": round(uncached_best / cached_best, 3),
+    }
+
+
+def _run_sweep(jobs, rates, algorithms, num_requests):
+    from repro.experiments.common import random_workload_sweep
+
+    start = time.perf_counter()
+    sweep = random_workload_sweep(
+        device_factory=lambda: _make_device(True),
+        algorithms=algorithms,
+        rates=rates,
+        num_requests=num_requests,
+        jobs=jobs,
+    )
+    return time.perf_counter() - start, sweep
+
+
+def _run_sptf_sweep_uncached(rates, num_requests):
+    """SPTF-only sweep with every cache off — the seed-equivalent baseline.
+
+    ``random_workload_sweep`` builds cached schedulers, so this mirrors its
+    per-point loop with ``SPTFScheduler(cache=False)`` on an uncached
+    device.
+    """
+    from repro.core.scheduling.sptf import SPTFScheduler
+    from repro.experiments.common import SweepPoint
+    from repro.sim import QueueOverflowError, Simulation
+    from repro.workloads import RandomWorkload
+
+    points = []
+    start = time.perf_counter()
+    for rate in rates:
+        device = _make_device(False)
+        workload = RandomWorkload(device.capacity_sectors, rate=rate, seed=42)
+        requests = workload.generate(num_requests)
+        scheduler = SPTFScheduler(device, cache=False)
+        sim = Simulation(device, scheduler, max_queue_depth=4000)
+        try:
+            result = sim.run(requests).drop_warmup(200)
+        except QueueOverflowError:
+            points.append(SweepPoint(rate, None, None))
+            continue
+        points.append(
+            SweepPoint(
+                rate, result.mean_response_time, result.response_time_cv2
+            )
+        )
+    return time.perf_counter() - start, points
+
+
+def bench_sweep(jobs: int, rates, algorithms, num_requests: int) -> dict:
+    from repro.experiments.parallel import available_parallelism
+
+    sequential_s, sequential = _run_sweep(1, rates, algorithms, num_requests)
+    parallel_s, parallel = _run_sweep(jobs, rates, algorithms, num_requests)
+    if sequential.series != parallel.series:
+        raise AssertionError(
+            "parallel sweep results differ from the sequential sweep"
+        )
+    baseline_s, baseline_points = _run_sptf_sweep_uncached(rates, num_requests)
+    if baseline_points != sequential.series["SPTF"]:
+        raise AssertionError(
+            "uncached-baseline SPTF sweep results differ from the cached sweep"
+        )
+    optimized_sptf_s, _ = _run_sptf_sweep_optimized(rates, num_requests)
+    return {
+        "rates": list(rates),
+        "algorithms": list(algorithms),
+        "num_requests": num_requests,
+        "jobs_requested": jobs,
+        "workers_used": min(
+            jobs, len(rates) * len(algorithms), available_parallelism()
+        ),
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup_parallel": round(sequential_s / parallel_s, 3),
+        "sptf_uncached_baseline_s": round(baseline_s, 3),
+        "sptf_optimized_s": round(optimized_sptf_s, 3),
+        "speedup_sptf_vs_baseline": round(baseline_s / optimized_sptf_s, 3),
+    }
+
+
+def _run_sptf_sweep_optimized(rates, num_requests):
+    from repro.experiments.common import random_workload_sweep
+
+    start = time.perf_counter()
+    sweep = random_workload_sweep(
+        device_factory=lambda: _make_device(True),
+        algorithms=("SPTF",),
+        rates=rates,
+        num_requests=num_requests,
+        jobs=1,
+    )
+    return time.perf_counter() - start, sweep
+
+
+def collect(smoke: bool = False, jobs: int = 4) -> dict:
+    from repro.experiments.parallel import available_parallelism
+
+    dispatches = 128 if smoke else 512
+    repeats = 1 if smoke else 3
+    depths = DISPATCH_DEPTHS[:2] if smoke else DISPATCH_DEPTHS
+    rates = SWEEP_RATES[:3] if smoke else SWEEP_RATES
+    num_requests = 800 if smoke else 6000
+
+    report = {
+        "schema": "repro-hotpath-bench/1",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "available_parallelism": available_parallelism(),
+        },
+        "config": {"smoke": smoke, "jobs": jobs},
+        "sptf_dispatch": [
+            bench_dispatch(depth, dispatches, repeats) for depth in depths
+        ],
+        "figure06_sweep": bench_sweep(
+            jobs, rates, SWEEP_ALGORITHMS, num_requests
+        ),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the SPTF dispatch and sweep hot paths."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI subset (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker processes for the parallel sweep leg (default 4)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"JSON report path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = collect(smoke=args.smoke, jobs=args.jobs)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\n[written to {args.output}]")
+    return 0
+
+
+def test_hotpath_smoke():
+    """Pytest entry: tiny subset, asserts the order/result invariants."""
+    report = collect_smoke_subset()
+    for row in report["sptf_dispatch"]:
+        assert row["cached_s"] > 0 and row["uncached_s"] > 0
+    assert report["figure06_sweep"]["sequential_s"] > 0
+
+
+def collect_smoke_subset() -> dict:
+    """Smallest meaningful run (used by the pytest smoke entry)."""
+    return {
+        "sptf_dispatch": [bench_dispatch(16, 32, 1)],
+        "figure06_sweep": bench_sweep(
+            2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
+        ),
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from repro import (
     atlas_10k,
     make_scheduler,
 )
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, runner
 from repro.experiments.runner import run_experiments
 from repro.sim import QueueOverflowError
 
@@ -100,7 +100,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             print(name)
         return 0
     names = args.names or list(ALL_EXPERIMENTS)
-    run_experiments(names)
+    run_experiments(names, jobs=args.jobs)
     return 0
 
 
@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", metavar="name")
     experiments.add_argument(
         "--list", action="store_true", help="list experiment names"
+    )
+    experiments.add_argument(
+        "--jobs",
+        type=runner.positive_int,
+        default=None,
+        metavar="N",
+        help="fan sweep points out over N worker processes",
     )
     experiments.set_defaults(func=cmd_experiments)
     return parser

@@ -13,57 +13,111 @@ Two variants are provided:
   request's predicted positioning time is discounted by ``age_weight`` ×
   its queue wait), trading a little average performance for starvation
   resistance.  Not in the paper; included as an ablation.
+
+Both variants memoize positioning estimates between dispatches: the device's
+mechanical state only changes when a request is dispatched (``pop_next``), so
+an estimate computed while the queue is stable stays valid until then.  The
+cache is invalidated on every dispatch and never changes which request is
+selected (see ``tests/core/scheduling/test_sptf_cache.py``); pass
+``cache=False`` to get the uncached reference behaviour.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.scheduling.base import ListScheduler
 from repro.sim.device import StorageDevice
+from repro.sim.request import Request
 
 
-class SPTFScheduler(ListScheduler):
+class _EstimateCachingScheduler(ListScheduler):
+    """Shared estimate-memoization plumbing for the SPTF variants.
+
+    The cache maps a pending request (by object identity — requests stay
+    alive in the queue, so ids are stable) to its predicted positioning time
+    for the device's *current* mechanical state.  It assumes the device
+    state mutates only via dispatches through this scheduler, which holds
+    for the simulation engine: ``device.service`` is called exactly once per
+    ``pop_next``.
+    """
+
+    def __init__(self, device: StorageDevice, cache: bool = True) -> None:
+        super().__init__()
+        self._device = device
+        self._estimates: Optional[Dict[int, float]] = {} if cache else None
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        request = super().pop_next(now)
+        # Dispatching mutates the device's mechanical state, so every
+        # memoized estimate is stale from here on.
+        if self._estimates is not None:
+            self._estimates.clear()
+        return request
+
+
+class SPTFScheduler(_EstimateCachingScheduler):
     """Greedy minimum-positioning-time selection using the device oracle."""
 
     name = "SPTF"
 
-    def __init__(self, device: StorageDevice) -> None:
-        super().__init__()
-        self._device = device
-
     def select_index(self, now: float) -> int:
+        cache = self._estimates
+        estimate = self._device.estimate_positioning
         best_index = 0
         best_time = None
         for index, request in enumerate(self._queue):
-            predicted = self._device.estimate_positioning(request, now)
+            if cache is None:
+                predicted = estimate(request, now)
+            else:
+                key = id(request)
+                predicted = cache.get(key)
+                if predicted is None:
+                    predicted = cache[key] = estimate(request, now)
             if best_time is None or predicted < best_time:
                 best_time = predicted
                 best_index = index
         return best_index
 
 
-class AgedSPTFScheduler(ListScheduler):
+class AgedSPTFScheduler(_EstimateCachingScheduler):
     """SPTF with linear aging: priority = positioning − age_weight · wait.
 
     ``age_weight`` = 0 degenerates to pure SPTF; a few milliseconds per
-    second of wait is typically enough to bound starvation.
+    second of wait is typically enough to bound starvation.  Only the
+    positioning estimate is memoized; the aging term is recomputed from
+    ``now`` on every selection.
     """
 
     name = "ASPTF"
 
-    def __init__(self, device: StorageDevice, age_weight: float = 0.01) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        device: StorageDevice,
+        age_weight: float = 0.01,
+        cache: bool = True,
+    ) -> None:
+        super().__init__(device, cache=cache)
         if age_weight < 0:
             raise ValueError(f"negative age_weight: {age_weight}")
-        self._device = device
         self.age_weight = age_weight
 
     def select_index(self, now: float) -> int:
+        cache = self._estimates
+        estimate = self._device.estimate_positioning
+        age_weight = self.age_weight
         best_index = 0
         best_score = None
         for index, request in enumerate(self._queue):
-            predicted = self._device.estimate_positioning(request, now)
+            if cache is None:
+                predicted = estimate(request, now)
+            else:
+                key = id(request)
+                predicted = cache.get(key)
+                if predicted is None:
+                    predicted = cache[key] = estimate(request, now)
             wait = max(0.0, now - request.arrival_time)
-            score = predicted - self.age_weight * wait
+            score = predicted - age_weight * wait
             if best_score is None or score < best_score:
                 best_score = score
                 best_index = index

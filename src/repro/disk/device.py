@@ -13,6 +13,8 @@ positioning oracle.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.disk.geometry import DiskAddress, DiskGeometry
 from repro.disk.parameters import DiskParameters
 from repro.sim.device import StorageDevice
@@ -32,12 +34,20 @@ class DiskDevice(StorageDevice):
         True
     """
 
-    def __init__(self, params: DiskParameters) -> None:
+    def __init__(self, params: DiskParameters, memoize: bool = True) -> None:
         self.params = params
-        self.geometry = DiskGeometry(params)
+        self.geometry = DiskGeometry(
+            params, cache_size=(1 << 16) if memoize else 0
+        )
         self._cylinder = 0
         self._surface = 0
         self._last_lbn = 0
+        # Seek times depend only on the (integer) cylinder distance, and the
+        # SPTF oracle prices every pending request at every dispatch, so a
+        # distance-keyed cache turns the seek-curve evaluation into a dict
+        # lookup.  ``None`` disables it (the uncached benchmark baseline).
+        self._seek_time_by_distance: Optional[dict] = {} if memoize else None
+        self._memoize = memoize
 
     # -- StorageDevice interface ------------------------------------------- #
 
@@ -60,8 +70,13 @@ class DiskDevice(StorageDevice):
         return result
 
     def estimate_positioning(self, request: Request, now: float = 0.0) -> float:
-        self.validate(request)
-        first, _ = self.geometry.segments(request.lbn, request.sectors)[0]
+        # With memoization on the explicit validation is elided: the engine
+        # validates at ingest and the geometry bounds-checks whenever the
+        # per-track split is actually derived, so an out-of-range request
+        # still raises ``ValueError``.
+        if not self._memoize:
+            self.validate(request)
+        first, _ = self.geometry.segments_tuple(request.lbn, request.sectors)[0]
         seek = self._seek_time(self._cylinder, first, request.kind)
         arrive = now + seek
         latency = self._rotational_latency(first, arrive)
@@ -69,9 +84,18 @@ class DiskDevice(StorageDevice):
 
     # -- internals -------------------------------------------------------------- #
 
+    def _curve_time(self, distance: int) -> float:
+        cache = self._seek_time_by_distance
+        if cache is None:
+            return self.params.seek_curve.time(distance)
+        time = cache.get(distance)
+        if time is None:
+            time = cache[distance] = self.params.seek_curve.time(distance)
+        return time
+
     def _seek_time(self, from_cyl: int, target: DiskAddress, kind: IOKind) -> float:
         distance = abs(target.cylinder - from_cyl)
-        seek = self.params.seek_curve.time(distance)
+        seek = self._curve_time(distance)
         if distance == 0 and target.surface != self._surface:
             seek += self.params.head_switch_time
         if kind is IOKind.WRITE:
@@ -86,7 +110,7 @@ class DiskDevice(StorageDevice):
 
     def _access(self, request: Request, now: float, mutate: bool) -> AccessResult:
         rev = self.params.revolution_time
-        segments = self.geometry.segments(request.lbn, request.sectors)
+        segments = self.geometry.segments_tuple(request.lbn, request.sectors)
 
         time = now
         first, _ = segments[0]
@@ -101,9 +125,7 @@ class DiskDevice(StorageDevice):
         for index, (addr, count) in enumerate(segments):
             if index > 0:
                 if addr.cylinder != cylinder:
-                    step = self.params.seek_curve.time(
-                        abs(addr.cylinder - cylinder)
-                    )
+                    step = self._curve_time(abs(addr.cylinder - cylinder))
                     time += step
                     switch_total += step
                 elif addr.surface != surface:

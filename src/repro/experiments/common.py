@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.scheduling import make_scheduler
+from repro.experiments.parallel import parallel_map, resolve_jobs
 from repro.sim import (
     QueueOverflowError,
     Request,
@@ -76,6 +77,35 @@ def run_workload(
     return result.drop_warmup(warmup)
 
 
+def _sweep_point(
+    device_factory: Callable[[], StorageDevice],
+    algorithm: str,
+    x: float,
+    requests_for_x: Callable[[StorageDevice, float], Sequence[Request]],
+    warmup: int,
+    max_queue_depth: Optional[int],
+    sectors_per_cylinder: Optional[int],
+) -> SweepPoint:
+    """Measure one (algorithm, x) point on a fresh device.
+
+    Shared verbatim by the sequential and process-pool sweep paths, so the
+    two are bit-identical by construction.
+    """
+    device = device_factory()
+    requests = requests_for_x(device, x)
+    result = run_workload(
+        device,
+        algorithm,
+        requests,
+        warmup=warmup,
+        max_queue_depth=max_queue_depth,
+        sectors_per_cylinder=sectors_per_cylinder,
+    )
+    if result is None or len(result) == 0:
+        return SweepPoint(x, None, None)
+    return SweepPoint(x, result.mean_response_time, result.response_time_cv2)
+
+
 def scheduling_sweep(
     device_factory: Callable[[], StorageDevice],
     algorithms: Sequence[str],
@@ -85,33 +115,35 @@ def scheduling_sweep(
     warmup: int = 200,
     max_queue_depth: Optional[int] = 4000,
     sectors_per_cylinder: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
-    """Run every algorithm at every x value with a fresh device each time."""
+    """Run every algorithm at every x value with a fresh device each time.
+
+    Each (algorithm, x) point is an independent simulation, so with
+    ``jobs > 1`` the grid is fanned out over a process pool (see
+    :mod:`repro.experiments.parallel`); ``jobs=None`` uses the process-wide
+    default (the CLI's ``--jobs``, else sequential).  Results are identical
+    to the sequential path.
+    """
     sweep = SweepResult(x_label=x_label)
-    for algorithm in algorithms:
-        points: List[SweepPoint] = []
-        for x in xs:
-            device = device_factory()
-            requests = requests_for_x(device, x)
-            result = run_workload(
-                device,
-                algorithm,
-                requests,
-                warmup=warmup,
-                max_queue_depth=max_queue_depth,
-                sectors_per_cylinder=sectors_per_cylinder,
-            )
-            if result is None or len(result) == 0:
-                points.append(SweepPoint(x, None, None))
-            else:
-                points.append(
-                    SweepPoint(
-                        x,
-                        result.mean_response_time,
-                        result.response_time_cv2,
-                    )
-                )
-        sweep.series[algorithm] = points
+
+    def point(algorithm: str, x: float) -> SweepPoint:
+        return _sweep_point(
+            device_factory,
+            algorithm,
+            x,
+            requests_for_x,
+            warmup,
+            max_queue_depth,
+            sectors_per_cylinder,
+        )
+
+    tasks = [(algorithm, x) for algorithm in algorithms for x in xs]
+    points = parallel_map(point, tasks, jobs=resolve_jobs(jobs))
+    for index, algorithm in enumerate(algorithms):
+        sweep.series[algorithm] = list(
+            points[index * len(xs) : (index + 1) * len(xs)]
+        )
     return sweep
 
 
@@ -123,6 +155,7 @@ def random_workload_sweep(
     seed: int = 42,
     warmup: int = 200,
     max_queue_depth: Optional[int] = 4000,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The Figs. 5/6/8 sweep: the paper's random workload over arrival rates."""
 
@@ -140,6 +173,7 @@ def random_workload_sweep(
         x_label="arrival rate (requests/sec)",
         warmup=warmup,
         max_queue_depth=max_queue_depth,
+        jobs=jobs,
     )
 
 
@@ -179,5 +213,11 @@ def format_sweep_table(
 def service_time_loop(
     device: StorageDevice, requests: Iterable[Request]
 ) -> List[float]:
-    """Back-to-back service times (no queueing): the Figs. 9–11 measurement."""
-    return [device.service(request).total for request in requests]
+    """Back-to-back service times (no queueing): the Figs. 9–11 measurement.
+
+    Each request is serviced at a fixed ``now`` of 0.0 — the measurement is
+    deliberately *state-carrying* (the device's mechanical state after one
+    request is the starting state of the next) but time-free, isolating the
+    mechanical service cost from any arrival process.
+    """
+    return [device.service(request, 0.0).total for request in requests]

@@ -11,7 +11,7 @@ Two panels over the *random* workload at increasing arrival rates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.scheduling import PAPER_ALGORITHMS
 from repro.disk import DiskDevice, atlas_10k
@@ -50,6 +50,7 @@ def run(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     num_requests: int = 6000,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5's data."""
     sweep = random_workload_sweep(
@@ -58,6 +59,7 @@ def run(
         rates=rates,
         num_requests=num_requests,
         seed=seed,
+        jobs=jobs,
     )
     return Figure5Result(sweep=sweep)
 

@@ -60,6 +60,7 @@ def run(
     num_requests: int = 6000,
     seed: int = 42,
     params: Optional[MEMSParameters] = None,
+    jobs: Optional[int] = None,
 ) -> Figure6Result:
     """Regenerate Figure 6's data (also reused by Figure 8 with different
     settle settings)."""
@@ -70,6 +71,7 @@ def run(
         rates=rates,
         num_requests=num_requests,
         seed=seed,
+        jobs=jobs,
     )
     return Figure6Result(
         sweep=sweep, settle_constants=device_params.settle_constants

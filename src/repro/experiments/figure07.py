@@ -14,7 +14,7 @@ generators (see DESIGN.md §2); the observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.scheduling import PAPER_ALGORITHMS
 from repro.experiments.common import (
@@ -71,6 +71,7 @@ def run(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     num_requests: int = 6000,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Figure7Result:
     """Regenerate Figure 7's data."""
     sweeps: Dict[str, SweepResult] = {}
@@ -85,6 +86,7 @@ def run(
             xs=scales,
             requests_for_x=requests_for_scale,
             x_label="trace scale factor",
+            jobs=jobs,
         )
     return Figure7Result(cello=sweeps["cello"], tpcc=sweeps["tpcc"])
 

@@ -49,6 +49,7 @@ def run(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     num_requests: int = 6000,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8's data (both panels)."""
     by_settle = {}
@@ -60,6 +61,7 @@ def run(
             num_requests=num_requests,
             seed=seed,
             params=params,
+            jobs=jobs,
         )
     return Figure8Result(by_settle=by_settle)
 

@@ -2,20 +2,26 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner               # everything
     python -m repro.experiments.runner figure06 table02
+    python -m repro.experiments.runner --jobs 4      # parallel sweeps
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.parallel import set_default_jobs
 
 
-def run_experiments(names: Sequence[str]) -> None:
+def run_experiments(names: Sequence[str], jobs: Optional[int] = None) -> None:
+    """Run experiments by name; ``jobs`` sets the process-wide sweep
+    parallelism default for the duration of the run."""
+    if jobs is not None:
+        set_default_jobs(jobs)
     for name in names:
         module = ALL_EXPERIMENTS.get(name)
         if module is None:
@@ -30,9 +36,30 @@ def run_experiments(names: Sequence[str]) -> None:
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
 
 
-def main() -> None:
-    names = sys.argv[1:] or list(ALL_EXPERIMENTS)
-    run_experiments(names)
+def positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate paper figures/tables."
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="name", help="experiments to run (all)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="fan sweep points out over N worker processes",
+    )
+    args = parser.parse_args(argv)
+    run_experiments(args.names or list(ALL_EXPERIMENTS), jobs=args.jobs)
 
 
 if __name__ == "__main__":

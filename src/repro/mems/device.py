@@ -19,14 +19,33 @@ kinematics (§2.3) into a :class:`repro.sim.StorageDevice`:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.mems.geometry import MEMSGeometry
 from repro.mems.parameters import DEFAULT_PARAMETERS, MEMSParameters
 from repro.mems.seek import PositioningPlan, SeekPlanner, SledState
 from repro.sim.device import StorageDevice
 from repro.sim.request import AccessResult, Request
+
+
+@dataclass(frozen=True)
+class _RequestProfile:
+    """Geometry of one (lbn, sectors) request, independent of sled state.
+
+    Everything here is a pure function of the request address, so the device
+    memoizes it: under SPTF a queued request is re-priced at every dispatch,
+    and re-deriving these coordinates dominated the oracle's cost.
+    """
+
+    segments: Tuple[Tuple[int, int, int, int], ...]
+    x_target: float
+    """Sled X offset of the first segment's cylinder."""
+    y_first_low: float
+    """Low edge of the first row of the request's first segment."""
+    y_first_high: float
+    """High edge of the last row of the request's first segment."""
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,11 @@ class MEMSDevice(StorageDevice):
 
     Args:
         params: Device design point; defaults to the paper's Table 1.
+        memoize: Enable the geometry and per-request-profile caches that
+            accelerate ``service`` and the SPTF ``estimate_positioning``
+            oracle.  Results are identical either way (the cached values are
+            pure functions of the request address); the benchmark harness
+            passes ``False`` to measure the uncached baseline.
 
     Example:
         >>> device = MEMSDevice()
@@ -62,10 +86,17 @@ class MEMSDevice(StorageDevice):
         True
     """
 
-    def __init__(self, params: Optional[MEMSParameters] = None) -> None:
+    def __init__(
+        self, params: Optional[MEMSParameters] = None, memoize: bool = True
+    ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
-        self.geometry = MEMSGeometry(self.params)
+        self.geometry = MEMSGeometry(
+            self.params, cache_size=(1 << 16) if memoize else 0
+        )
         self.planner = SeekPlanner(self.params)
+        self._memoize = memoize
+        if memoize:
+            self._profile = functools.lru_cache(maxsize=1 << 16)(self._profile)
         # The sled starts at rest over LBN 0's cylinder, at the top edge.
         self._state = SledState(
             x=self.geometry.x_of_cylinder(0),
@@ -110,37 +141,32 @@ class MEMSDevice(StorageDevice):
 
         Avoids the full multi-segment plan: only the first segment matters
         for the pre-transfer delay, and both access directions are tried.
+        The request's physical coordinates come from the memoized
+        :meth:`_profile`, so repeated pricing of a queued request only pays
+        for the (state-dependent, planner-cached) seek computations.  With
+        memoization on, the explicit ``validate`` call is elided: the engine
+        validates every request at ingest, and the geometry re-checks the
+        bounds whenever a profile is actually derived, so an out-of-range
+        request still raises ``ValueError``.
         """
-        self.validate(request)
-        geometry = self.geometry
+        if not self._memoize:
+            self.validate(request)
         planner = self.planner
-        addr = geometry.decompose(request.lbn)
-        sectors_into_track = addr.row * geometry.sectors_per_row + addr.slot
-        in_first_track = min(
-            request.sectors, geometry.sectors_per_track - sectors_into_track
-        )
-        last_row = geometry.decompose(request.lbn + in_first_track - 1).row
-
-        x_target = geometry.x_of_cylinder(addr.cylinder)
-        x_time = planner.x_seek_time(self._state.x, x_target)
-        settle = planner.settle_time(self._state.x, x_target)
+        state = self._state
+        profile = self._profile(request.lbn, request.sectors)
+        x_time, settle = planner.x_seek_and_settle(state.x, profile.x_target)
         x_component = x_time + settle
-
-        y_low = geometry.row_span_y(addr.row)[0]
-        y_high = geometry.row_span_y(last_row)[1]
-        candidates = (
-            ((+1, y_low), (-1, y_high))
-            if self.params.bidirectional_access
-            else ((+1, y_low),)
-        )
-        best = None
-        for direction, y_start in candidates:
-            y_time = planner.y_seek_time(
-                self._state.y, self._state.vy, y_start, direction
+        best = planner.y_seek_time(state.y, state.vy, profile.y_first_low, +1)
+        if x_component > best:
+            best = x_component
+        if self.params.bidirectional_access:
+            reverse = planner.y_seek_time(
+                state.y, state.vy, profile.y_first_high, -1
             )
-            positioning = max(x_component, y_time)
-            if best is None or positioning < best:
-                best = positioning
+            if x_component > reverse:
+                reverse = x_component
+            if reverse < best:
+                best = reverse
         return best
 
     # -- other controls ----------------------------------------------------- #
@@ -157,18 +183,55 @@ class MEMSDevice(StorageDevice):
 
     # -- planning ------------------------------------------------------------ #
 
+    def _profile(self, lbn: int, sectors: int) -> _RequestProfile:
+        """Resolve the state-independent geometry of one request (memoized)."""
+        geometry = self.geometry
+        segments = geometry.segments_tuple(lbn, sectors)
+        first_cyl, _, first_row, last_row = segments[0]
+        return _RequestProfile(
+            segments=segments,
+            x_target=geometry.x_of_cylinder(first_cyl),
+            y_first_low=geometry.row_span_y(first_row)[0],
+            y_first_high=geometry.row_span_y(last_row)[1],
+        )
+
     def _best_plan(self, request: Request) -> _AccessPlan:
-        segments = self.geometry.segments(request.lbn, request.sectors)
+        profile = self._profile(request.lbn, request.sectors)
+        segments = profile.segments
+        directions = self._directions
+        if len(directions) == 1:
+            return self._plan_for_direction(request, segments, directions[0])
+        if len(segments) == 1:
+            # Single-pass request: both directions transfer the same rows in
+            # the same time and incur no boundary costs, so the cheaper
+            # direction is decided by positioning alone — price both Y
+            # approaches (the X component is shared) and build only the
+            # winning plan.  Ties go to +1, matching ``min`` over the
+            # (+1, −1) plan list.
+            planner = self.planner
+            state = self._state
+            x_time, settle = planner.x_seek_and_settle(state.x, profile.x_target)
+            x_component = x_time + settle
+            forward = planner.y_seek_time(
+                state.y, state.vy, profile.y_first_low, +1
+            )
+            reverse = planner.y_seek_time(
+                state.y, state.vy, profile.y_first_high, -1
+            )
+            direction = +1 if max(x_component, forward) <= max(
+                x_component, reverse
+            ) else -1
+            return self._plan_for_direction(request, segments, direction)
         plans = [
             self._plan_for_direction(request, segments, direction)
-            for direction in self._directions
+            for direction in directions
         ]
         return min(plans, key=lambda p: p.total)
 
     def _plan_for_direction(
         self,
         request: Request,
-        segments: List[Tuple[int, int, int, int]],
+        segments: Sequence[Tuple[int, int, int, int]],
         direction: int,
     ) -> _AccessPlan:
         geometry = self.geometry

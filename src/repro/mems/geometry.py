@@ -24,9 +24,13 @@ leaving 35 bits of guard space at each end.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.mems.parameters import MEMSParameters
+
+DEFAULT_GEOMETRY_CACHE = 1 << 16
+"""Default per-instance LRU size for the address-arithmetic caches."""
 
 
 @dataclass(frozen=True)
@@ -44,9 +48,21 @@ class SectorAddress:
 
 
 class MEMSGeometry:
-    """Address arithmetic for the sequentially-optimized LBN mapping."""
+    """Address arithmetic for the sequentially-optimized LBN mapping.
 
-    def __init__(self, params: MEMSParameters) -> None:
+    Args:
+        params: Device design point.
+        cache_size: Per-instance LRU size for the pure address-arithmetic
+            methods (``decompose``, ``x_of_cylinder``, ``row_span_y``,
+            ``segments_tuple``).  The SPTF oracle re-derives the same small
+            set of coordinates at every dispatch, so memoization removes
+            most of its per-call cost; pass 0 to disable (the benchmark
+            harness uses this for its uncached baseline).
+    """
+
+    def __init__(
+        self, params: MEMSParameters, cache_size: int = DEFAULT_GEOMETRY_CACHE
+    ) -> None:
         self.params = params
         self._sectors_per_row = params.sectors_per_row
         self._rows_per_track = params.tip_sectors_per_track
@@ -57,6 +73,12 @@ class MEMSGeometry:
         # split evenly between the two ends so the used area is centered.
         used_bits = self._rows_per_track * params.tip_sector_bits
         self._guard_bits = (params.bits_per_tip_region_y - used_bits) / 2.0
+        if cache_size:
+            cached = functools.lru_cache(maxsize=cache_size)
+            self.decompose = cached(self.decompose)
+            self.x_of_cylinder = cached(self.x_of_cylinder)
+            self.row_span_y = cached(self.row_span_y)
+            self.segments_tuple = cached(self.segments_tuple)
 
     # -- counts --------------------------------------------------------- #
 
@@ -169,6 +191,12 @@ class MEMSGeometry:
         Returns a list of ``(cylinder, track, first_row, last_row)`` tuples
         in LBN order; each segment is transferable in a single sled pass.
         """
+        return list(self.segments_tuple(lbn, sectors))
+
+    def segments_tuple(self, lbn: int, sectors: int) -> tuple:
+        """:meth:`segments` as an immutable tuple (memoized; the device
+        model's hot path uses this to avoid rebuilding the per-track split
+        on every service and SPTF estimate)."""
         if sectors < 1:
             raise ValueError(f"non-positive request size: {sectors}")
         if lbn + sectors > self._capacity:
@@ -185,4 +213,4 @@ class MEMSGeometry:
             result.append((addr.cylinder, addr.track, addr.row, last_addr.row))
             current += take
             remaining -= take
-        return result
+        return tuple(result)

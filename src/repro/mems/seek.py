@@ -64,20 +64,45 @@ class SeekPlanner:
             omega_sq=params.spring_omega_sq,
             x_max=params.x_max,
         )
+        self._settle_threshold = params.bit_width / 2.0
+        self._settle_cost = params.settle_time
         # Positions the device model passes in are drawn from small discrete
         # sets (cylinder offsets, row edges, ±access velocity), so memoizing
         # the closed-form maneuvers pays off heavily under SPTF, which
-        # evaluates every queued request at every dispatch.
+        # evaluates every queued request at every dispatch.  Every maneuver
+        # mirrors leftward motion onto rightward motion through x → −x with
+        # *identical* floating-point operations (see kinematics module
+        # docstring), so cache keys are canonicalized to the rightward form
+        # before lookup — halving the key space without changing any result.
         if cache_size:
-            self.x_seek_time = functools.lru_cache(maxsize=cache_size)(
-                self.x_seek_time
-            )
-            self.y_seek_time = functools.lru_cache(maxsize=cache_size)(
-                self.y_seek_time
-            )
-            self.turnaround_time = functools.lru_cache(maxsize=cache_size)(
-                self.turnaround_time
-            )
+            cached = functools.lru_cache(maxsize=cache_size)
+            x_inner = cached(self.kinematics.seek_time)
+            pair_inner = cached(self._x_seek_and_settle_canonical)
+            y_inner = cached(self._y_seek_rightward)
+
+            def x_seek_time(x0: float, x1: float) -> float:
+                if x1 < x0:
+                    x0, x1 = -x0, -x1
+                return x_inner(x0, x1)
+
+            def x_seek_and_settle(x0: float, x1: float):
+                if x1 < x0:
+                    x0, x1 = -x0, -x1
+                return pair_inner(x0, x1)
+
+            def y_seek_time(
+                y0: float, vy0: float, y_target: float, direction: int
+            ) -> float:
+                if direction < 0:
+                    y0, vy0, y_target = -y0, -vy0, -y_target
+                return y_inner(y0, vy0, y_target)
+
+            x_seek_time.cache_info = x_inner.cache_info
+            y_seek_time.cache_info = y_inner.cache_info
+            self.x_seek_time = x_seek_time
+            self.x_seek_and_settle = x_seek_and_settle
+            self.y_seek_time = y_seek_time
+            self.turnaround_time = cached(self.turnaround_time)
 
     # -- component maneuvers --------------------------------------------- #
 
@@ -87,26 +112,52 @@ class SeekPlanner:
 
     def settle_time(self, x0: float, x1: float) -> float:
         """Settle delay: charged whenever the sled moved in X."""
-        if abs(x1 - x0) < self.params.bit_width / 2.0:
+        if abs(x1 - x0) < self._settle_threshold:
             return 0.0
-        return self.params.settle_time
+        return self._settle_cost
+
+    def x_seek_and_settle(self, x0: float, x1: float):
+        """(X seek time, settle time) as one (cacheable) lookup.
+
+        The hot paths always need both; fusing them halves the cache
+        traffic versus separate :meth:`x_seek_time` / :meth:`settle_time`
+        calls.
+        """
+        return self._x_seek_and_settle_canonical(x0, x1)
+
+    def _x_seek_and_settle_canonical(self, x0: float, x1: float):
+        return (
+            self.kinematics.seek_time(x0, x1),
+            0.0 if abs(x1 - x0) < self._settle_threshold else self._settle_cost,
+        )
 
     def y_seek_time(
         self, y0: float, vy0: float, y_target: float, direction: int
     ) -> float:
         """Time until the sled crosses ``y_target`` at access velocity in
         ``direction``, starting from (y0, vy0)."""
+        if direction < 0:
+            y0, vy0, y_target = -y0, -vy0, -y_target
+        return self._y_seek_rightward(y0, vy0, y_target)
+
+    def _y_seek_rightward(self, y0: float, vy0: float, y_target: float) -> float:
+        """Y seek with the access direction canonicalized to +1.
+
+        Identical to the pre-canonicalization code path: the kinematics
+        methods themselves mirror a −1-direction maneuver through exactly
+        this negation before computing anything.
+        """
         v = self.params.access_velocity
         kin = self.kinematics
         if abs(vy0) < 1e-12:
-            return kin.seek_arrive_time(y0, y_target, v, direction)
-        if (vy0 > 0) == (direction > 0):
+            return kin.seek_arrive_time(y0, y_target, v, +1)
+        if vy0 > 0:
             try:
                 return kin.seek_moving_time(y0, vy0, y_target, v)
             except InfeasibleManeuver:
                 pass
         stop = kin.stop(y0, vy0)
-        return stop.time + kin.seek_arrive_time(stop.position, y_target, v, direction)
+        return stop.time + kin.seek_arrive_time(stop.position, y_target, v, +1)
 
     def turnaround_time(self, y: float, vy: float) -> float:
         """Reverse the sled's Y velocity in place."""
@@ -123,8 +174,7 @@ class SeekPlanner:
     ) -> PositioningPlan:
         """Position from ``state`` to cross ``y_target`` moving ``direction``
         with the tips over ``x_target``."""
-        x_time = self.x_seek_time(state.x, x_target)
-        settle = self.settle_time(state.x, x_target)
+        x_time, settle = self.x_seek_and_settle(state.x, x_target)
         y_time = self.y_seek_time(state.y, state.vy, y_target, direction)
         return PositioningPlan(
             x_time=x_time, y_time=y_time, settle=settle, direction=direction

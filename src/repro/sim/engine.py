@@ -54,20 +54,25 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Entries are stored as plain ``(time, kind, seq, payload)`` tuples so the
+    heap sifts compare in C instead of through the dataclass ``__lt__``; the
+    :class:`Event` object is materialized on :meth:`pop`.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq = 0
 
     def push(self, time: float, kind: EventKind, payload: object = None) -> None:
         if time < 0:
             raise ValueError(f"cannot schedule an event at negative time {time}")
-        heapq.heappush(self._heap, Event(time, kind, self._seq, payload))
+        heapq.heappush(self._heap, (time, kind, self._seq, payload))
         self._seq += 1
 
     def pop(self) -> Event:
-        return heapq.heappop(self._heap)
+        return Event(*heapq.heappop(self._heap))
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -124,11 +129,27 @@ class Simulation:
         self._records: List[RequestRecord] = []
 
     def run(self, requests: Iterable[Request]) -> SimulationResult:
-        """Run to completion over an arrival-ordered request stream."""
+        """Run to completion over a request stream.
+
+        The stream is validated in a single pass that simultaneously checks
+        arrival ordering; every workload generator in this package already
+        emits ``(arrival_time, request_id)``-ordered streams, so the sort is
+        skipped unless an out-of-order request is actually seen.
+        """
         queue = EventQueue()
-        ordered = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        ordered = list(requests)
+        validate = self.device.validate
+        previous_key = None
+        pre_sorted = True
         for request in ordered:
-            self.device.validate(request)
+            validate(request)
+            key = (request.arrival_time, request.request_id)
+            if previous_key is not None and key < previous_key:
+                pre_sorted = False
+            previous_key = key
+        if not pre_sorted:
+            ordered.sort(key=lambda r: (r.arrival_time, r.request_id))
+        for request in ordered:
             queue.push(request.arrival_time, EventKind.ARRIVAL, request)
 
         self.now = 0.0

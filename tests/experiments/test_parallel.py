@@ -1,0 +1,105 @@
+"""Parallel sweep execution must be invisible in the results.
+
+Every sweep point is an independent simulation (fresh device, request
+stream regenerated from its seed), so fanning the grid out over a process
+pool has to return bit-identical ``SweepPoint`` values in the same order as
+the sequential loop — these tests pin that, plus the job-count plumbing.
+"""
+
+import pytest
+
+from repro.disk.atlas10k import atlas_10k
+from repro.disk.device import DiskDevice
+from repro.experiments.common import random_workload_sweep
+from repro.experiments.parallel import (
+    available_parallelism,
+    fork_available,
+    get_default_jobs,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.mems.device import MEMSDevice
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method"
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_matches_sequential_order(self):
+        tasks = [(x,) for x in range(20)]
+        assert parallel_map(_square, tasks, jobs=4) == [
+            x * x for x in range(20)
+        ]
+
+    def test_pool_path_matches_sequential_order(self, monkeypatch):
+        # Force the pool even on single-core machines (parallel_map caps
+        # workers at the machine's parallelism).
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "available_parallelism", lambda: 4
+        )
+        tasks = [(x,) for x in range(20)]
+        assert parallel_module.parallel_map(_square, tasks, jobs=4) == [
+            x * x for x in range(20)
+        ]
+
+    def test_single_job_runs_in_process(self):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        assert parallel_map(record, [(1,), (2,)], jobs=1) == [1, 2]
+        assert calls == [1, 2]  # closures only work in-process
+
+    def test_rejects_bad_job_counts(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_default_jobs_round_trip(self):
+        old = get_default_jobs()
+        try:
+            set_default_jobs(3)
+            assert resolve_jobs(None) == 3
+            set_default_jobs(None)
+            assert resolve_jobs(None) == 1
+        finally:
+            set_default_jobs(old)
+
+    def test_available_parallelism_positive(self):
+        assert available_parallelism() >= 1
+
+
+@pytest.mark.slow
+class TestSweepDeterminism:
+    def test_mems_sweep_identical_with_jobs(self):
+        kwargs = dict(
+            device_factory=lambda: MEMSDevice(),
+            algorithms=("FCFS", "SPTF"),
+            rates=(300.0, 900.0),
+            num_requests=400,
+            warmup=50,
+        )
+        sequential = random_workload_sweep(jobs=1, **kwargs)
+        parallel = random_workload_sweep(jobs=4, **kwargs)
+        assert sequential.series == parallel.series
+
+    def test_disk_sweep_identical_with_jobs(self):
+        kwargs = dict(
+            device_factory=lambda: DiskDevice(atlas_10k()),
+            algorithms=("C-LOOK", "SPTF"),
+            rates=(100.0, 250.0),
+            num_requests=300,
+            warmup=50,
+        )
+        sequential = random_workload_sweep(jobs=1, **kwargs)
+        parallel = random_workload_sweep(jobs=4, **kwargs)
+        assert sequential.series == parallel.series
