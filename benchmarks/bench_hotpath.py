@@ -49,12 +49,16 @@ def _make_device(memoize: bool):
     return MEMSDevice(memoize=memoize)
 
 
-def dispatch_loop(depth: int, dispatches: int, memoize: bool, cache: bool):
+def dispatch_loop(
+    depth: int, dispatches: int, memoize: bool, cache: bool, tracer=None
+):
     """Steady-state SPTF dispatch at constant queue depth.
 
     Pops the scheduler's choice, services it, and refills the queue from a
     seeded request stream, so every dispatch prices exactly ``depth``
-    pending requests.  Returns (seconds, dispatch order as LBNs).
+    pending requests.  ``tracer`` optionally attaches an obs sink to the
+    device and scheduler (the engine-less analogue of what ``Simulation``
+    does).  Returns (seconds, dispatch order as LBNs).
     """
     from repro.core.scheduling.sptf import SPTFScheduler
     from repro.sim.request import IOKind, Request
@@ -62,6 +66,9 @@ def dispatch_loop(depth: int, dispatches: int, memoize: bool, cache: bool):
     rng = random.Random(20260806)
     device = _make_device(memoize)
     scheduler = SPTFScheduler(device, cache=cache)
+    if tracer is not None:
+        device.tracer = tracer
+        scheduler.tracer = tracer
     capacity = device.capacity_sectors
 
     def fresh_request(index: int) -> Request:
@@ -105,6 +112,56 @@ def bench_dispatch(depth: int, dispatches: int, repeats: int) -> dict:
         "cached_s": round(cached_best, 6),
         "uncached_s": round(uncached_best, 6),
         "speedup": round(uncached_best / cached_best, 3),
+    }
+
+
+def bench_tracing(depth: int, dispatches: int, repeats: int) -> dict:
+    """Cost of the obs layer on the cached dispatch loop.
+
+    Three legs: the default null tracer (``enabled`` is False, every
+    emission site short-circuits), a live :class:`RingBufferTracer`, and a
+    :class:`JsonlTracer` writing to a scratch file.  The dispatch order is
+    asserted identical across legs — tracing must never change scheduling.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.tracer import JsonlTracer, RingBufferTracer
+
+    null_best = ring_best = jsonl_best = float("inf")
+    null_order = ring_order = None
+    for _ in range(repeats):
+        seconds, null_order = dispatch_loop(depth, dispatches, True, True)
+        null_best = min(null_best, seconds)
+        ring = RingBufferTracer(capacity=4096)
+        seconds, ring_order = dispatch_loop(
+            depth, dispatches, True, True, tracer=ring
+        )
+        ring_best = min(ring_best, seconds)
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            jsonl = JsonlTracer(path)
+            seconds, jsonl_order = dispatch_loop(
+                depth, dispatches, True, True, tracer=jsonl
+            )
+            jsonl.close()
+        finally:
+            os.unlink(path)
+        jsonl_best = min(jsonl_best, seconds)
+        if not (null_order == ring_order == jsonl_order):
+            raise AssertionError(
+                f"dispatch order diverged at depth {depth}: tracing changed "
+                f"the SPTF selection"
+            )
+    return {
+        "depth": depth,
+        "dispatches": dispatches,
+        "null_s": round(null_best, 6),
+        "ring_s": round(ring_best, 6),
+        "jsonl_s": round(jsonl_best, 6),
+        "ring_overhead": round(ring_best / null_best, 3),
+        "jsonl_overhead": round(jsonl_best / null_best, 3),
     }
 
 
@@ -221,6 +278,9 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "sptf_dispatch": [
             bench_dispatch(depth, dispatches, repeats) for depth in depths
         ],
+        "tracing": [
+            bench_tracing(depth, dispatches, repeats) for depth in depths
+        ],
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
         ),
@@ -264,10 +324,41 @@ def test_hotpath_smoke():
     assert report["figure06_sweep"]["sequential_s"] > 0
 
 
+def test_null_tracer_overhead():
+    """The disabled tracer must not slow the dispatch hot path.
+
+    Two checks: (a) the order-identity invariant of :func:`bench_tracing`
+    on a small loop, and (b) the null-tracer dispatch time against the
+    committed ``BENCH_hotpath.json`` baseline with a generous noise margin
+    (the <3 % acceptance bound is checked by regenerating the JSON on the
+    baseline machine; a shared CI runner is too noisy for that).
+    """
+    row = bench_tracing(16, 128, 2)
+    assert row["null_s"] > 0 and row["ring_s"] > 0 and row["jsonl_s"] > 0
+
+    import pytest
+
+    if not DEFAULT_OUTPUT.exists():
+        pytest.skip("no committed BENCH_hotpath.json baseline")
+    baseline = json.loads(DEFAULT_OUTPUT.read_text())
+    by_depth = {r["depth"]: r for r in baseline.get("sptf_dispatch", ())}
+    if 16 not in by_depth:
+        pytest.skip("baseline has no depth-16 dispatch row")
+    base = by_depth[16]
+    timed, _ = dispatch_loop(16, base["dispatches"], True, True)
+    best = min(timed, dispatch_loop(16, base["dispatches"], True, True)[0])
+    assert best < base["cached_s"] * 1.5, (
+        f"null-tracer dispatch took {best:.4f}s vs baseline "
+        f"{base['cached_s']:.4f}s (+50% margin) — tracing hooks likely "
+        f"slowed the hot path"
+    )
+
+
 def collect_smoke_subset() -> dict:
     """Smallest meaningful run (used by the pytest smoke entry)."""
     return {
         "sptf_dispatch": [bench_dispatch(16, 32, 1)],
+        "tracing": [bench_tracing(16, 32, 1)],
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),

@@ -28,11 +28,13 @@ Quickstart::
 
 from repro.array import ArrayLevel, StorageArray
 from repro.core.buffer import BufferCache, CachedDevice, PrefetchPolicy
+from repro.core.layout import LAYOUTS, make_layout
 from repro.core.scheduling import (
     AgedSPTFScheduler,
     CLOOKScheduler,
     FCFSScheduler,
     PAPER_ALGORITHMS,
+    SCHEDULERS,
     SPTFScheduler,
     SSTFScheduler,
     Scheduler,
@@ -41,14 +43,25 @@ from repro.core.scheduling import (
 )
 from repro.disk import DiskDevice, DiskParameters, atlas_10k
 from repro.mems import DEFAULT_PARAMETERS, MEMSDevice, MEMSParameters
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    MetricsTracer,
+    NullTracer,
+    RingBufferTracer,
+    Tracer,
+)
 from repro.sim import (
     AccessResult,
+    DEVICES,
     IOKind,
     Request,
     RequestRecord,
+    SimConfig,
     Simulation,
     SimulationResult,
     StorageDevice,
+    make_device,
     simulate,
 )
 from repro.workloads import (
@@ -70,20 +83,29 @@ __all__ = [
     "CLOOKScheduler",
     "CelloLikeWorkload",
     "DEFAULT_PARAMETERS",
+    "DEVICES",
     "DiskDevice",
     "DiskParameters",
     "FCFSScheduler",
     "IOKind",
+    "JsonlTracer",
+    "LAYOUTS",
     "MEMSDevice",
     "MEMSParameters",
+    "MetricsRegistry",
+    "MetricsTracer",
+    "NullTracer",
     "PAPER_ALGORITHMS",
     "RandomWorkload",
     "Request",
     "RequestRecord",
+    "RingBufferTracer",
+    "SCHEDULERS",
     "SPTFScheduler",
     "PrefetchPolicy",
     "SSTFScheduler",
     "Scheduler",
+    "SimConfig",
     "StorageArray",
     "ShortestXFirstScheduler",
     "Simulation",
@@ -91,8 +113,11 @@ __all__ = [
     "StorageDevice",
     "TPCCLikeWorkload",
     "Trace",
+    "Tracer",
     "UniformFixedWorkload",
     "atlas_10k",
+    "make_device",
+    "make_layout",
     "make_scheduler",
     "simulate",
 ]

@@ -14,12 +14,12 @@ import argparse
 import sys
 
 from repro import (
-    DiskDevice,
+    DEVICES,
     MEMSDevice,
-    RandomWorkload,
-    Simulation,
+    MetricsRegistry,
+    SCHEDULERS,
+    SimConfig,
     atlas_10k,
-    make_scheduler,
 )
 from repro.experiments import ALL_EXPERIMENTS, runner
 from repro.experiments.runner import run_experiments
@@ -62,35 +62,36 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    if args.device == "mems":
-        device = MEMSDevice()
-    else:
-        device = DiskDevice(atlas_10k())
-    spc = None
-    if args.scheduler.upper() == "SXTF":
-        if args.device == "mems":
-            spc = device.geometry.sectors_per_cylinder
-        else:
-            spc = device.capacity_sectors // device.params.cylinders
-    scheduler = make_scheduler(args.scheduler, device, sectors_per_cylinder=spc)
-    workload = RandomWorkload(
-        device.capacity_sectors, rate=args.rate, seed=args.seed
+    config = SimConfig(
+        device=args.device,
+        scheduler=args.scheduler,
+        rate=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        warmup=min(args.requests // 10, 500),
+        max_queue_depth=10_000,
+        trace_path=args.trace,
     )
-    sim = Simulation(device, scheduler, max_queue_depth=10_000)
     try:
-        result = sim.run(workload.generate(args.requests))
+        trimmed = config.run()
     except QueueOverflowError:
         print(f"saturated: queue exceeded 10,000 pending requests at "
               f"{args.rate:g} req/s")
         return 1
-    trimmed = result.drop_warmup(min(args.requests // 10, 500))
-    print(f"{args.device} + {scheduler.name} @ {args.rate:g} req/s, "
+    scheduler_name = SCHEDULERS.canonical_name(args.scheduler)
+    print(f"{args.device} + {scheduler_name} @ {args.rate:g} req/s, "
           f"{args.requests} requests:")
     print(f"  mean response : {trimmed.mean_response_time * 1e3:9.3f} ms")
     print(f"  mean service  : {trimmed.mean_service_time * 1e3:9.3f} ms")
     print(f"  95th pct      : "
           f"{trimmed.response_time_percentile(95) * 1e3:9.3f} ms")
     print(f"  sigma^2/mu^2  : {trimmed.response_time_cv2:9.3f}")
+    if args.trace:
+        print(f"  trace         : {args.trace}")
+    if args.metrics:
+        print()
+        metrics = MetricsRegistry.from_result(trimmed)
+        print(metrics.render_text(title="metrics"))
     return 0
 
 
@@ -100,7 +101,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             print(name)
         return 0
     names = args.names or list(ALL_EXPERIMENTS)
-    run_experiments(names, jobs=args.jobs)
+    run_experiments(names, jobs=args.jobs, report_path=args.report)
     return 0
 
 
@@ -120,16 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run the random workload against a device"
     )
     simulate.add_argument(
-        "--device", choices=("mems", "atlas10k"), default="mems"
+        "--device", choices=tuple(DEVICES.names()), default="mems"
     )
     simulate.add_argument(
         "--scheduler",
         default="SPTF",
-        help="FCFS | SSTF_LBN | C-LOOK | SPTF | ASPTF | SXTF",
+        help=" | ".join(SCHEDULERS.names()),
     )
     simulate.add_argument("--rate", type=float, default=800.0)
     simulate.add_argument("--requests", type=int, default=5000)
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace (see repro.obs) to PATH",
+    )
+    simulate.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a counter/percentile metrics report after the run",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     experiments = sub.add_parser(
@@ -145,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="fan sweep points out over N worker processes",
+    )
+    experiments.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable JSON run report to PATH",
     )
     experiments.set_defaults(func=cmd_experiments)
     return parser

@@ -9,22 +9,96 @@
 
 Shared types live in :mod:`repro.core.layout.base`: :class:`FileSet`,
 :class:`Placement`, and the :class:`Layout` interface.
+
+Every scheme is registered in :data:`LAYOUTS`; :func:`make_layout` builds
+one by name.  Device-agnostic layouts ignore the ``device`` argument;
+the subregioned layout needs a MEMS device for its geometry and raises
+:class:`UnsupportedLayoutError` on anything else.
 """
+
+from typing import Optional
 
 from repro.core.layout.base import FileSet, Layout, Placement, spread_evenly
 from repro.core.layout.columnar import ColumnarLayout
 from repro.core.layout.linear import SimpleLinearLayout
 from repro.core.layout.organ_pipe import OrganPipeLayout, reshuffle_cost
 from repro.core.layout.subregion import SubregionedLayout
+from repro.core.registry import Registry
+
+
+class UnsupportedLayoutError(ValueError):
+    """The named layout cannot be built for the given device."""
+
+
+LAYOUTS = Registry("layout")
+"""String-keyed registry of layout factories.
+
+Each factory takes ``(device=None)`` and returns a :class:`Layout`;
+register new schemes here to make them reachable from :func:`make_layout`
+and the Figure 11 experiment.
+"""
+
+
+@LAYOUTS.register("simple")
+def _make_simple(device=None) -> Layout:
+    return SimpleLinearLayout()
+
+
+@LAYOUTS.register("organ-pipe")
+def _make_organ_pipe(device=None) -> Layout:
+    return OrganPipeLayout()
+
+
+@LAYOUTS.register("columnar")
+def _make_columnar(device=None) -> Layout:
+    return ColumnarLayout()
+
+
+@LAYOUTS.register("subregioned")
+def _make_subregioned(device=None) -> Layout:
+    geometry = getattr(device, "geometry", None)
+    if geometry is None or not hasattr(geometry, "sectors_per_cylinder"):
+        raise UnsupportedLayoutError(
+            "layout 'subregioned' constrains placement in X and Y and needs "
+            "a MEMS device (got "
+            f"{type(device).__name__ if device is not None else 'no device'})"
+        )
+    return SubregionedLayout(geometry)
+
+
+def make_layout(name: str, device: Optional[object] = None) -> Layout:
+    """Build a layout scheme by name via :data:`LAYOUTS`.
+
+    Args:
+        name: ``simple``, ``organ-pipe``, ``subregioned``, or ``columnar``
+            (any spelling; see :func:`repro.core.registry.fold_name`).
+        device: The target device; only geometry-aware layouts consult it.
+
+    Raises:
+        ValueError: Unknown name.
+        UnsupportedLayoutError: The scheme cannot serve ``device``.
+    """
+    try:
+        factory = LAYOUTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout: {name!r}; registered: "
+            f"{', '.join(LAYOUTS.names())}"
+        ) from None
+    return factory(device)
+
 
 __all__ = [
     "ColumnarLayout",
     "FileSet",
+    "LAYOUTS",
     "Layout",
     "OrganPipeLayout",
     "Placement",
     "SimpleLinearLayout",
     "SubregionedLayout",
+    "UnsupportedLayoutError",
+    "make_layout",
     "reshuffle_cost",
     "spread_evenly",
 ]

@@ -2,12 +2,18 @@
 
 The paper's four algorithms — FCFS, SSTF_LBN, C-LOOK, SPTF — plus two
 extensions (aged SPTF and the settle-aware Shortest-X-First the conclusion
-hints at).  :func:`make_scheduler` builds one by name, which the experiment
-harness uses for its sweeps.
+hints at).  Every policy is registered in :data:`SCHEDULERS` under its
+paper name; :func:`make_scheduler` (and the CLI, and the experiment sweeps)
+resolve names through that registry, so adding a policy is one
+``SCHEDULERS.register`` call with no dispatch ladder to update.
+
+Lookup is spelling-tolerant: ``"C-LOOK"``, ``"clook"``, and ``"c_look"``
+all resolve to the same factory.
 """
 
 from typing import Optional
 
+from repro.core.registry import Registry
 from repro.core.scheduling.base import ListScheduler, Scheduler
 from repro.core.scheduling.clook import CLOOKScheduler
 from repro.core.scheduling.fcfs import FCFSScheduler
@@ -20,38 +26,110 @@ from repro.sim.device import StorageDevice
 PAPER_ALGORITHMS = ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF")
 """The four policies evaluated in Figs. 5–8."""
 
+SCHEDULERS = Registry("scheduler")
+"""String-keyed registry of scheduler factories.
+
+Each factory takes ``(device, **kwargs)`` and returns a
+:class:`Scheduler`; register new policies here to make them reachable from
+:func:`make_scheduler`, the CLI, and the experiment sweeps.
+"""
+
+
+def default_sectors_per_cylinder(device: StorageDevice) -> int:
+    """Derive the LBN→cylinder mapping constant from a device model.
+
+    Capability-based: a MEMS device exposes it on its geometry; a disk
+    derives an average from its parameter block (zoned disks have no single
+    exact value, and SXTF only needs a distance proxy).
+    """
+    geometry = getattr(device, "geometry", None)
+    spc = getattr(geometry, "sectors_per_cylinder", None)
+    if spc:
+        return spc
+    params = getattr(device, "params", None)
+    cylinders = getattr(params, "cylinders", None)
+    if cylinders:
+        return max(1, device.capacity_sectors // cylinders)
+    raise ValueError(
+        f"cannot derive sectors_per_cylinder for {type(device).__name__}; "
+        f"pass it explicitly"
+    )
+
+
+@SCHEDULERS.register("FCFS")
+def _make_fcfs(device: StorageDevice, **kwargs) -> Scheduler:
+    return FCFSScheduler()
+
+
+@SCHEDULERS.register("SSTF_LBN", aliases=("SSTF",))
+def _make_sstf(device: StorageDevice, **kwargs) -> Scheduler:
+    return SSTFScheduler(device)
+
+
+@SCHEDULERS.register("C-LOOK")
+def _make_clook(device: StorageDevice, **kwargs) -> Scheduler:
+    return CLOOKScheduler(device)
+
+
+@SCHEDULERS.register("SCAN")
+def _make_scan(device: StorageDevice, **kwargs) -> Scheduler:
+    return SCANScheduler(device)
+
+
+@SCHEDULERS.register("SPTF")
+def _make_sptf(device: StorageDevice, cache: bool = True, **kwargs) -> Scheduler:
+    return SPTFScheduler(device, cache=cache)
+
+
+@SCHEDULERS.register("ASPTF")
+def _make_asptf(
+    device: StorageDevice,
+    age_weight: float = 0.01,
+    cache: bool = True,
+    **kwargs,
+) -> Scheduler:
+    return AgedSPTFScheduler(device, age_weight=age_weight, cache=cache)
+
+
+@SCHEDULERS.register("SXTF")
+def _make_sxtf(
+    device: StorageDevice,
+    sectors_per_cylinder: Optional[int] = None,
+    **kwargs,
+) -> Scheduler:
+    if sectors_per_cylinder is None:
+        sectors_per_cylinder = default_sectors_per_cylinder(device)
+    return ShortestXFirstScheduler(device, sectors_per_cylinder)
+
 
 def make_scheduler(
     name: str,
     device: StorageDevice,
     sectors_per_cylinder: Optional[int] = None,
+    **kwargs,
 ) -> Scheduler:
-    """Build a scheduler by its paper name.
+    """Build a scheduler by its paper name via :data:`SCHEDULERS`.
 
     Args:
-        name: One of ``FCFS``, ``SSTF_LBN``, ``C-LOOK``, ``SPTF``,
-            ``SCAN``, ``ASPTF``, or ``SXTF``.
+        name: One of ``FCFS``, ``SSTF_LBN``, ``C-LOOK``, ``SPTF``, ``SCAN``,
+            ``ASPTF``, or ``SXTF`` (any spelling; see
+            :func:`repro.core.registry.fold_name`).
         device: The device the scheduler will serve.
-        sectors_per_cylinder: Required for ``SXTF`` only.
+        sectors_per_cylinder: ``SXTF`` mapping constant; derived from the
+            device when omitted.
+        **kwargs: Policy-specific options (e.g. ``cache=False`` for the
+            SPTF variants, ``age_weight=`` for ASPTF).
     """
-    key = name.upper().replace("-", "").replace("_", "")
-    if key == "FCFS":
-        return FCFSScheduler()
-    if key in ("SSTF", "SSTFLBN"):
-        return SSTFScheduler(device)
-    if key == "CLOOK":
-        return CLOOKScheduler(device)
-    if key == "SCAN":
-        return SCANScheduler(device)
-    if key == "SPTF":
-        return SPTFScheduler(device)
-    if key == "ASPTF":
-        return AgedSPTFScheduler(device)
-    if key == "SXTF":
-        if sectors_per_cylinder is None:
-            raise ValueError("SXTF needs sectors_per_cylinder")
-        return ShortestXFirstScheduler(device, sectors_per_cylinder)
-    raise ValueError(f"unknown scheduler: {name!r}")
+    if sectors_per_cylinder is not None:
+        kwargs["sectors_per_cylinder"] = sectors_per_cylinder
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler: {name!r}; registered: "
+            f"{', '.join(SCHEDULERS.names())}"
+        ) from None
+    return factory(device, **kwargs)
 
 
 __all__ = [
@@ -61,9 +139,11 @@ __all__ = [
     "ListScheduler",
     "PAPER_ALGORITHMS",
     "SCANScheduler",
+    "SCHEDULERS",
     "SPTFScheduler",
     "SSTFScheduler",
     "Scheduler",
     "ShortestXFirstScheduler",
+    "default_sectors_per_cylinder",
     "make_scheduler",
 ]

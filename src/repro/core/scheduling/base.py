@@ -17,6 +17,7 @@ from __future__ import annotations
 import abc
 from typing import List
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.request import Request
 
 
@@ -24,6 +25,15 @@ class Scheduler(abc.ABC):
     """Queue discipline for pending requests."""
 
     name: str = "base"
+
+    tracer: Tracer = NULL_TRACER
+    """Event sink for selection telemetry (``sched.dispatch`` events).
+
+    Defaults to the shared null tracer; :class:`repro.sim.Simulation`
+    attaches its tracer here.  Implementations of :meth:`pop_next` call
+    :meth:`_trace_dispatch` after removing a request, guarded by
+    ``self.tracer.enabled`` so the untraced hot path pays one branch.
+    """
 
     @abc.abstractmethod
     def add(self, request: Request) -> None:
@@ -44,6 +54,28 @@ class Scheduler(abc.ABC):
         """Snapshot of pending requests (order unspecified); for tests and
         instrumentation only."""
         raise NotImplementedError
+
+    def _trace_dispatch(self, now: float, candidates: int) -> None:
+        """Emit one ``sched.dispatch`` event (call only when tracing is on).
+
+        ``candidates`` is the pending-queue size the selection scanned.
+        Subclasses with extra telemetry override :meth:`_dispatch_telemetry`
+        rather than this method.
+        """
+        event = {
+            "kind": "sched.dispatch",
+            "t": now,
+            "scheduler": self.name,
+            "candidates": candidates,
+        }
+        extra = self._dispatch_telemetry()
+        if extra:
+            event.update(extra)
+        self.tracer.emit(event)
+
+    def _dispatch_telemetry(self) -> dict:
+        """Extra fields for ``sched.dispatch`` events (e.g. cache counters)."""
+        return {}
 
 
 class ListScheduler(Scheduler):
@@ -68,8 +100,12 @@ class ListScheduler(Scheduler):
     def pop_next(self, now: float = 0.0) -> Request:
         if not self._queue:
             raise IndexError("scheduler queue is empty")
+        candidates = len(self._queue)
         index = self.select_index(now)
-        return self._queue.pop(index)
+        request = self._queue.pop(index)
+        if self.tracer.enabled:
+            self._trace_dispatch(now, candidates)
+        return request
 
     @abc.abstractmethod
     def select_index(self, now: float) -> int:

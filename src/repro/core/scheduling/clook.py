@@ -41,6 +41,8 @@ class CLOOKScheduler(Scheduler):
         if index >= len(self._sorted):
             index = 0  # wrap the sweep to the lowest pending LBN
         _, _, request = self._sorted.pop(index)
+        if self.tracer.enabled:
+            self._trace_dispatch(now, len(self._sorted) + 1)
         return request
 
     def __len__(self) -> int:

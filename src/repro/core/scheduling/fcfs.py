@@ -28,7 +28,10 @@ class FCFSScheduler(Scheduler):
     def pop_next(self, now: float = 0.0) -> Request:
         if not self._queue:
             raise IndexError("scheduler queue is empty")
-        return self._queue.popleft()
+        request = self._queue.popleft()
+        if self.tracer.enabled:
+            self._trace_dispatch(now, len(self._queue) + 1)
+        return request
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -49,6 +49,8 @@ class SCANScheduler(Scheduler):
                 index -= 1
         index = min(index, len(self._sorted) - 1)
         _, _, request = self._sorted.pop(index)
+        if self.tracer.enabled:
+            self._trace_dispatch(now, len(self._sorted) + 1)
         return request
 
     def __len__(self) -> int:

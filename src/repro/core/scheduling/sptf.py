@@ -46,6 +46,12 @@ class _EstimateCachingScheduler(ListScheduler):
         super().__init__()
         self._device = device
         self._estimates: Optional[Dict[int, float]] = {} if cache else None
+        #: Cumulative estimate-cache hits/misses across the scheduler's
+        #: lifetime, maintained by bulk length deltas in ``select_index``
+        #: (never per-candidate work) and reported in ``sched.dispatch``
+        #: trace events.  With ``cache=False`` every pricing is a miss.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def pop_next(self, now: float = 0.0) -> Request:
         request = super().pop_next(now)
@@ -55,6 +61,22 @@ class _EstimateCachingScheduler(ListScheduler):
             self._estimates.clear()
         return request
 
+    def _count_pricings(self, cached_before: int) -> None:
+        """Fold one selection's pricing work into the hit/miss counters."""
+        candidates = len(self._queue)
+        if self._estimates is None:
+            self.cache_misses += candidates
+        else:
+            misses = len(self._estimates) - cached_before
+            self.cache_misses += misses
+            self.cache_hits += candidates - misses
+
+    def _dispatch_telemetry(self) -> dict:
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
 
 class SPTFScheduler(_EstimateCachingScheduler):
     """Greedy minimum-positioning-time selection using the device oracle."""
@@ -63,6 +85,7 @@ class SPTFScheduler(_EstimateCachingScheduler):
 
     def select_index(self, now: float) -> int:
         cache = self._estimates
+        cached_before = 0 if cache is None else len(cache)
         estimate = self._device.estimate_positioning
         best_index = 0
         best_time = None
@@ -77,6 +100,7 @@ class SPTFScheduler(_EstimateCachingScheduler):
             if best_time is None or predicted < best_time:
                 best_time = predicted
                 best_index = index
+        self._count_pricings(cached_before)
         return best_index
 
 
@@ -104,6 +128,7 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
 
     def select_index(self, now: float) -> int:
         cache = self._estimates
+        cached_before = 0 if cache is None else len(cache)
         estimate = self._device.estimate_positioning
         age_weight = self.age_weight
         best_index = 0
@@ -121,4 +146,5 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
             if best_score is None or score < best_score:
                 best_score = score
                 best_index = index
+        self._count_pricings(cached_before)
         return best_index

@@ -67,6 +67,28 @@ class DiskDevice(StorageDevice):
         self.validate(request)
         result = self._access(request, now, mutate=True)
         self._last_lbn = request.last_lbn
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                {
+                    "kind": "dev.access",
+                    "t": now,
+                    "device": "disk",
+                    "lbn": request.lbn,
+                    "sectors": request.sectors,
+                    "io": request.kind.value,
+                    "seek_x": result.seek_x,
+                    "seek_y": 0.0,
+                    "settle": 0.0,
+                    "rotational_latency": result.rotational_latency,
+                    "transfer": result.transfer,
+                    "turnarounds": result.turnarounds,
+                    # Seek then rotational latency serialize on a disk.
+                    "positioning": result.seek_x + result.rotational_latency,
+                    "total": result.total,
+                    "bits": result.bits_accessed,
+                }
+            )
         return result
 
     def estimate_positioning(self, request: Request, now: float = 0.0) -> float:

@@ -11,13 +11,15 @@ paper's plots that simply run off the top of the axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.scheduling import make_scheduler
 from repro.experiments.parallel import parallel_map, resolve_jobs
+from repro.obs.tracer import Tracer
 from repro.sim import (
     QueueOverflowError,
     Request,
+    SimConfig,
     Simulation,
     SimulationResult,
     StorageDevice,
@@ -60,21 +62,65 @@ def run_workload(
     warmup: int = 0,
     max_queue_depth: Optional[int] = 4000,
     sectors_per_cylinder: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Optional[SimulationResult]:
     """Simulate one (device, algorithm, request stream) combination.
 
     Returns ``None`` when the workload saturates the device (pending queue
-    exceeded ``max_queue_depth``).
+    exceeded ``max_queue_depth``).  ``tracer`` instruments the run (see
+    :mod:`repro.obs`); the default null tracer costs nothing.
     """
     scheduler = make_scheduler(
         algorithm, device, sectors_per_cylinder=sectors_per_cylinder
     )
-    sim = Simulation(device, scheduler, max_queue_depth=max_queue_depth)
+    sim = Simulation(
+        device, scheduler, max_queue_depth=max_queue_depth, tracer=tracer
+    )
     try:
         result = sim.run(requests)
     except QueueOverflowError:
         return None
     return result.drop_warmup(warmup)
+
+
+def run_sim_config(config: SimConfig) -> Optional[SimulationResult]:
+    """Run one :class:`~repro.sim.SimConfig` to completion.
+
+    The saturation-tolerant twin of ``SimConfig.run``: returns ``None``
+    instead of raising when the pending queue overflows, which is how the
+    sweep harness records a saturated point.
+    """
+    try:
+        return config.run()
+    except QueueOverflowError:
+        return None
+
+
+def _config_point(config: SimConfig) -> SweepPoint:
+    """Measure one sweep point described entirely by a picklable config."""
+    result = run_sim_config(config)
+    if result is None or len(result) == 0:
+        return SweepPoint(config.rate, None, None)
+    return SweepPoint(
+        config.rate, result.mean_response_time, result.response_time_cv2
+    )
+
+
+def sweep_sim_configs(
+    configs: Sequence[SimConfig], jobs: Optional[int] = None
+) -> List[SweepPoint]:
+    """Measure every config, fanning out over worker processes.
+
+    Unlike the closure-based :func:`scheduling_sweep` spec, a config list is
+    plain picklable data, so this path works with any multiprocessing start
+    method — each worker receives one :class:`SimConfig` and rebuilds the
+    device/scheduler/workload stack locally.
+    """
+    return parallel_map(
+        _config_point,
+        [(config,) for config in configs],
+        jobs=resolve_jobs(jobs),
+    )
 
 
 def _sweep_point(
@@ -148,7 +194,7 @@ def scheduling_sweep(
 
 
 def random_workload_sweep(
-    device_factory: Callable[[], StorageDevice],
+    device_factory: Union[str, Callable[[], StorageDevice]],
     algorithms: Sequence[str],
     rates: Sequence[float],
     num_requests: int,
@@ -157,7 +203,37 @@ def random_workload_sweep(
     max_queue_depth: Optional[int] = 4000,
     jobs: Optional[int] = None,
 ) -> SweepResult:
-    """The Figs. 5/6/8 sweep: the paper's random workload over arrival rates."""
+    """The Figs. 5/6/8 sweep: the paper's random workload over arrival rates.
+
+    ``device_factory`` may be a no-argument callable or a device registry
+    name (:data:`repro.sim.DEVICES`, e.g. ``"mems"``, ``"atlas10k"``).  A
+    registry name routes each grid point through a picklable
+    :class:`~repro.sim.SimConfig`; a callable keeps the closure path for
+    parameterized devices (e.g. figure 6's tip-substrate variants).  Both
+    paths produce identical results — they run the same workload, scheduler
+    factory, and warmup through the same engine.
+    """
+    if isinstance(device_factory, str):
+        base = SimConfig(
+            device=device_factory,
+            workload="random",
+            num_requests=num_requests,
+            seed=seed,
+            warmup=warmup,
+            max_queue_depth=max_queue_depth,
+        )
+        configs = [
+            base.replace(scheduler=algorithm, rate=rate)
+            for algorithm in algorithms
+            for rate in rates
+        ]
+        points = sweep_sim_configs(configs, jobs=jobs)
+        sweep = SweepResult(x_label="arrival rate (requests/sec)")
+        for index, algorithm in enumerate(algorithms):
+            sweep.series[algorithm] = list(
+                points[index * len(rates) : (index + 1) * len(rates)]
+            )
+        return sweep
 
     def requests_for_rate(device: StorageDevice, rate: float):
         workload = RandomWorkload(

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.scheduling import PAPER_ALGORITHMS
-from repro.disk import DiskDevice, atlas_10k
 from repro.experiments.common import (
     SweepResult,
     format_sweep_table,
@@ -54,7 +53,7 @@ def run(
 ) -> Figure5Result:
     """Regenerate Figure 5's data."""
     sweep = random_workload_sweep(
-        device_factory=lambda: DiskDevice(atlas_10k()),
+        device_factory="atlas10k",
         algorithms=algorithms,
         rates=rates,
         num_requests=num_requests,

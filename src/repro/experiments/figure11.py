@@ -28,16 +28,14 @@ import itertools
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.layout import (
-    ColumnarLayout,
     FileSet,
-    Layout,
-    OrganPipeLayout,
+    LAYOUTS,
     Placement,
-    SimpleLinearLayout,
-    SubregionedLayout,
+    UnsupportedLayoutError,
+    make_layout,
 )
 from repro.disk import DiskDevice, atlas_10k
 from repro.experiments.formatting import format_table
@@ -175,19 +173,12 @@ def run(
     results: Dict[str, Dict[str, float]] = {}
     for device_name, factory in devices.items():
         probe = factory()
-        layouts: Dict[str, Optional[Layout]] = {
-            "simple": SimpleLinearLayout(),
-            "organ-pipe": OrganPipeLayout(),
-            "subregioned": (
-                SubregionedLayout(probe.geometry)
-                if isinstance(probe, MEMSDevice)
-                else None
-            ),
-            "columnar": ColumnarLayout(),
-        }
         by_layout: Dict[str, float] = {}
-        for layout_name, layout in layouts.items():
-            if layout is None:
+        for layout_name in LAYOUTS.names():
+            try:
+                layout = make_layout(layout_name, probe)
+            except UnsupportedLayoutError:
+                # e.g. subregioned on a device without MEMS geometry
                 continue
             place_fileset = (
                 organ_fileset if layout_name == "organ-pipe" else fileset

@@ -10,18 +10,30 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from typing import Optional, Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.parallel import set_default_jobs
 
+REPORT_SCHEMA = "repro-report/1"
 
-def run_experiments(names: Sequence[str], jobs: Optional[int] = None) -> None:
+
+def run_experiments(
+    names: Sequence[str],
+    jobs: Optional[int] = None,
+    report_path: Optional[str] = None,
+) -> None:
     """Run experiments by name; ``jobs`` sets the process-wide sweep
-    parallelism default for the duration of the run."""
+    parallelism default for the duration of the run.  With ``report_path``
+    a machine-readable JSON summary (experiment names and wall-clock
+    durations) is written after the run.
+    """
     if jobs is not None:
         set_default_jobs(jobs)
+    entries = []
+    run_start = time.time()
     for name in names:
         module = ALL_EXPERIMENTS.get(name)
         if module is None:
@@ -33,7 +45,20 @@ def run_experiments(names: Sequence[str], jobs: Optional[int] = None) -> None:
         print(banner)
         start = time.time()
         module.main()
-        print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+        duration = time.time() - start
+        entries.append({"name": name, "duration_s": round(duration, 3)})
+        print(f"--- {name} done in {duration:.1f}s ---\n")
+    if report_path is not None:
+        report = {
+            "schema": REPORT_SCHEMA,
+            "jobs": jobs,
+            "total_s": round(time.time() - run_start, 3),
+            "experiments": entries,
+        }
+        with open(report_path, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"report written to {report_path}")
 
 
 def positive_int(text: str) -> int:
@@ -58,8 +83,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         metavar="N",
         help="fan sweep points out over N worker processes",
     )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable JSON run report to PATH",
+    )
     args = parser.parse_args(argv)
-    run_experiments(args.names or list(ALL_EXPERIMENTS), jobs=args.jobs)
+    run_experiments(
+        args.names or list(ALL_EXPERIMENTS),
+        jobs=args.jobs,
+        report_path=args.report,
+    )
 
 
 if __name__ == "__main__":

@@ -126,6 +126,30 @@ class MEMSDevice(StorageDevice):
         plan = self._best_plan(request)
         self._state = plan.end_state
         self._last_lbn = request.last_lbn
+        tracer = self.tracer
+        if tracer.enabled:
+            positioning = plan.positioning
+            tracer.emit(
+                {
+                    "kind": "dev.access",
+                    "t": now,
+                    "device": "mems",
+                    "lbn": request.lbn,
+                    "sectors": request.sectors,
+                    "io": request.kind.value,
+                    "seek_x": positioning.x_time,
+                    "seek_y": positioning.y_time,
+                    "settle": positioning.settle,
+                    "rotational_latency": 0.0,
+                    "transfer": plan.transfer_time,
+                    "turnarounds": plan.boundary_time,
+                    # X (plus settle) overlaps Y, so the serialized
+                    # positioning component is their max, not their sum.
+                    "positioning": positioning.total,
+                    "total": plan.total,
+                    "bits": plan.bits_accessed,
+                }
+            )
         return AccessResult(
             total=plan.total,
             seek_x=plan.positioning.x_time,

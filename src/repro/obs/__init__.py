@@ -1,0 +1,66 @@
+"""repro.obs — observability for the simulation stack.
+
+Event tracing (:mod:`repro.obs.tracer`) and metrics aggregation
+(:mod:`repro.obs.metrics`) over :class:`~repro.sim.Simulation`, both device
+models, and the schedulers.  The default :data:`NULL_TRACER` short-circuits
+every emission site, so an untraced simulation pays one branch per site
+(measured in ``benchmarks/bench_hotpath.py``).
+
+Quickstart::
+
+    from repro import MEMSDevice, Simulation, make_scheduler, RandomWorkload
+    from repro.obs import RingBufferTracer
+
+    tracer = RingBufferTracer()
+    device = MEMSDevice()
+    sim = Simulation(device, make_scheduler("SPTF", device), tracer=tracer)
+    sim.run(RandomWorkload(device.capacity_sectors, rate=500.0,
+                           seed=1).generate(1000))
+    accesses = tracer.by_kind("dev.access")   # per-request phase breakdowns
+
+See ``docs/observability.md`` for the record schema and sink API.
+"""
+
+from repro.obs.metrics import (
+    ACCESS_PHASES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsTracer,
+    replay_metrics,
+)
+from repro.obs.tracer import (
+    EVENT_FIELDS,
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    RingBufferTracer,
+    TeeTracer,
+    TRACE_SCHEMA,
+    Tracer,
+    iter_trace,
+    read_trace,
+)
+from repro.obs.validate import diff_traces, validate_events, validate_file
+
+__all__ = [
+    "ACCESS_PHASES",
+    "Counter",
+    "EVENT_FIELDS",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "MetricsTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferTracer",
+    "TRACE_SCHEMA",
+    "TeeTracer",
+    "Tracer",
+    "diff_traces",
+    "iter_trace",
+    "read_trace",
+    "replay_metrics",
+    "validate_events",
+    "validate_file",
+]

@@ -1,0 +1,242 @@
+"""Event tracing: structured per-request records from the simulation stack.
+
+The simulator's components emit flat dict *events* to a :class:`Tracer`
+sink.  Emission sites are guarded by ``tracer.enabled`` so the default
+:class:`NullTracer` costs one attribute load and a branch per site — the
+event dict is never even built when tracing is off (see
+``benchmarks/bench_hotpath.py``'s null-tracer overhead measurement).
+
+Every event is a JSON-serializable dict with two required keys:
+
+* ``kind`` — the event type (see :data:`EVENT_FIELDS` for the schema);
+* ``t`` — simulated time in seconds.
+
+Event kinds emitted by the stack:
+
+``sim.start`` / ``sim.end``
+    Run boundaries from :class:`repro.sim.Simulation` (request count /
+    completion count and end time).
+``sim.arrival``
+    A request entered the pending queue: request id, address, direction,
+    and the queue depth *after* the arrival.
+``sim.dispatch``
+    A request began service: request id, wait (time in queue), and the
+    queue depth before the pick.
+``sim.complete``
+    A request finished: request id, queue/service/response decomposition.
+``dev.access``
+    One media access, emitted by the device model, with the full phase
+    breakdown: ``seek_x``, ``seek_y``, ``settle``, ``rotational_latency``,
+    ``transfer``, ``turnarounds``, plus the serialized ``positioning``
+    component.  The invariant ``positioning + transfer + turnarounds ==
+    total`` holds for both device models (X/Y seeks and settle overlap
+    inside ``positioning``; on disks ``positioning`` is seek + rotational
+    latency).
+``sched.dispatch``
+    The scheduler's pick, with the candidate-set size it scanned and — for
+    the estimate-caching SPTF variants — cumulative estimate-cache
+    hit/miss counters.
+
+Sinks: :class:`RingBufferTracer` (in-memory, bounded), :class:`JsonlTracer`
+(one JSON object per line, with a ``trace.meta`` header), :class:`TeeTracer`
+(fan-out), and :class:`~repro.obs.metrics.MetricsTracer` (folds events into
+a :class:`~repro.obs.metrics.MetricsRegistry` online).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+TRACE_SCHEMA = "repro-trace/1"
+"""Schema identifier written in every JSONL trace header."""
+
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "trace.meta": ("schema",),
+    "sim.start": ("requests",),
+    "sim.end": ("completed",),
+    "sim.arrival": ("rid", "lbn", "sectors", "io", "queue_depth"),
+    "sim.dispatch": ("rid", "wait", "queue_depth"),
+    "sim.complete": ("rid", "queue", "service", "response"),
+    "dev.access": (
+        "lbn",
+        "sectors",
+        "io",
+        "seek_x",
+        "seek_y",
+        "settle",
+        "rotational_latency",
+        "transfer",
+        "turnarounds",
+        "positioning",
+        "total",
+    ),
+    "sched.dispatch": ("scheduler", "candidates"),
+}
+"""Required fields per event kind (beyond ``kind`` and ``t``).
+
+Emitters may add extra fields (``dev.access`` adds ``device`` and ``bits``;
+``sched.dispatch`` adds ``cache_hits``/``cache_misses`` on caching
+schedulers); the validator checks only for the required ones.
+"""
+
+
+class Tracer:
+    """Base event sink.
+
+    ``enabled`` is the hot-path gate: emission sites must check it before
+    building the event dict, so a disabled tracer's cost is a single branch.
+    Sinks that always consume events leave it ``True``.
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: dict) -> None:
+        """Consume one event dict (must contain ``kind`` and ``t``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources; idempotent."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default no-op sink; ``enabled`` is ``False`` so emission sites
+    short-circuit before any event formatting."""
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - guarded out
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""Shared no-op tracer instance; the default everywhere."""
+
+
+class RingBufferTracer(Tracer):
+    """Keep the most recent ``capacity`` events in memory.
+
+    ``capacity=None`` keeps everything (tests and small runs); a bound makes
+    it safe to leave attached to long simulations as a flight recorder.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None: {capacity}")
+        self._events: deque = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[dict]:
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._events)
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return [event for event in self._events if event["kind"] == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._events)
+
+
+class JsonlTracer(Tracer):
+    """Write events as JSON Lines to ``path`` (or any text stream).
+
+    The first line is a ``trace.meta`` header carrying the schema id, so a
+    reader can reject traces from an incompatible writer.  Events are
+    serialized with sorted keys, making traces byte-diffable across runs of
+    a deterministic simulation.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike", io.TextIOBase]) -> None:
+        if isinstance(path, io.TextIOBase):
+            self._stream = path
+            self._owns_stream = False
+            self.path = None
+        else:
+            self.path = os.fspath(path)
+            self._stream = open(self.path, "w", encoding="utf-8")
+            self._owns_stream = True
+        self._closed = False
+        self.emit({"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA})
+
+    def emit(self, event: dict) -> None:
+        self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class TeeTracer(Tracer):
+    """Fan every event out to several sinks (e.g. JSONL file + metrics)."""
+
+    def __init__(self, *sinks: Tracer) -> None:
+        self.sinks = [sink for sink in sinks if sink.enabled]
+        self.enabled = bool(self.sinks)
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_trace(path: Union[str, "os.PathLike"]) -> List[dict]:
+    """Load a JSONL trace written by :class:`JsonlTracer`.
+
+    Returns every event including the ``trace.meta`` header; raises
+    ``ValueError`` on a malformed line or a missing/mismatched schema header.
+    """
+    events = list(iter_trace(path))
+    if not events or events[0].get("kind") != "trace.meta":
+        raise ValueError(f"{os.fspath(path)}: missing trace.meta header")
+    schema = events[0].get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"{os.fspath(path)}: schema {schema!r} != {TRACE_SCHEMA!r}"
+        )
+    return events
+
+
+def iter_trace(path: Union[str, "os.PathLike"]) -> Iterable[dict]:
+    """Yield raw events from a JSONL trace without schema checks."""
+    with open(os.fspath(path), "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{os.fspath(path)}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{os.fspath(path)}:{lineno}: event is not an object"
+                )
+            yield event

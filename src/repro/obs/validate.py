@@ -1,0 +1,160 @@
+"""Validate and diff JSONL trace files.
+
+Usage::
+
+    python -m repro.obs.validate trace.jsonl            # schema check
+    python -m repro.obs.validate --diff a.jsonl b.jsonl # structural diff
+
+Validation checks the ``trace.meta`` header, that every event carries
+``kind``/``t`` with sane types, that required per-kind fields are present
+(:data:`repro.obs.tracer.EVENT_FIELDS`), that time never runs backwards,
+and that every ``dev.access`` event's serialized phases sum to its total
+(``positioning + transfer + turnarounds == total``).
+
+The diff mode compares two traces of (supposedly) the same scenario: it
+reports per-kind event-count deltas and the first event at which the two
+streams structurally diverge — ``t`` is compared too, since the simulator
+is deterministic.  CI uses validation on a tiny traced run; the diff is the
+debugging tool for "this scheduler change altered behaviour, where?".
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import math
+import sys
+from collections import Counter as _Counter
+from typing import List, Optional, Sequence
+
+from repro.obs.tracer import EVENT_FIELDS, TRACE_SCHEMA, iter_trace
+
+PHASE_SUM_REL_TOL = 1e-9
+
+
+def validate_events(events: Sequence[dict], source: str = "<trace>") -> List[str]:
+    """Return a list of problems (empty when the trace is valid)."""
+    errors: List[str] = []
+    if not events:
+        return [f"{source}: empty trace"]
+    head = events[0]
+    if head.get("kind") != "trace.meta":
+        errors.append(f"{source}: first event is not trace.meta")
+    elif head.get("schema") != TRACE_SCHEMA:
+        errors.append(
+            f"{source}: schema {head.get('schema')!r} != {TRACE_SCHEMA!r}"
+        )
+    last_t = -math.inf
+    for index, event in enumerate(events):
+        where = f"{source}[{index}]"
+        kind = event.get("kind")
+        if not isinstance(kind, str):
+            errors.append(f"{where}: missing/invalid 'kind'")
+            continue
+        t = event.get("t")
+        if not isinstance(t, (int, float)) or t < 0:
+            errors.append(f"{where}: {kind}: missing/invalid 't'")
+            continue
+        if t < last_t - 1e-12:
+            errors.append(
+                f"{where}: {kind}: time runs backwards ({t} < {last_t})"
+            )
+        last_t = max(last_t, t)
+        required = EVENT_FIELDS.get(kind)
+        if required is None:
+            errors.append(f"{where}: unknown event kind {kind!r}")
+            continue
+        missing = [field for field in required if field not in event]
+        if missing:
+            errors.append(
+                f"{where}: {kind}: missing fields {', '.join(missing)}"
+            )
+            continue
+        if kind == "dev.access":
+            total = event["total"]
+            serialized = (
+                event["positioning"] + event["transfer"] + event["turnarounds"]
+            )
+            if not math.isclose(
+                serialized, total, rel_tol=PHASE_SUM_REL_TOL, abs_tol=1e-12
+            ):
+                errors.append(
+                    f"{where}: dev.access phases sum to {serialized!r}, "
+                    f"total is {total!r}"
+                )
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate one JSONL trace file; returns problems (empty = valid)."""
+    try:
+        events = list(iter_trace(path))
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return validate_events(events, source=path)
+
+
+def diff_traces(path_a: str, path_b: str) -> List[str]:
+    """Structural differences between two traces (empty = identical)."""
+    events_a = list(iter_trace(path_a))
+    events_b = list(iter_trace(path_b))
+    differences: List[str] = []
+
+    counts_a = _Counter(event.get("kind") for event in events_a)
+    counts_b = _Counter(event.get("kind") for event in events_b)
+    for kind in sorted(set(counts_a) | set(counts_b)):
+        if counts_a[kind] != counts_b[kind]:
+            differences.append(
+                f"event count: {kind}: {counts_a[kind]} vs {counts_b[kind]}"
+            )
+
+    for index, (event_a, event_b) in enumerate(
+        itertools.zip_longest(events_a, events_b)
+    ):
+        if event_a != event_b:
+            differences.append(
+                f"first divergence at event {index}:\n"
+                f"  a: {json.dumps(event_a, sort_keys=True)}\n"
+                f"  b: {json.dumps(event_b, sort_keys=True)}"
+            )
+            break
+    return differences
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate (or diff) repro JSONL trace files."
+    )
+    parser.add_argument("paths", nargs="+", metavar="trace.jsonl")
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare exactly two traces instead of validating each",
+    )
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        if len(args.paths) != 2:
+            parser.error("--diff takes exactly two trace files")
+        differences = diff_traces(*args.paths)
+        if differences:
+            print("\n".join(differences))
+            return 1
+        print(f"{args.paths[0]} == {args.paths[1]} (structurally identical)")
+        return 0
+
+    status = 0
+    for path in args.paths:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            print("\n".join(errors))
+        else:
+            count = sum(1 for _ in iter_trace(path))
+            print(f"{path}: OK ({count} events, schema {TRACE_SCHEMA})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

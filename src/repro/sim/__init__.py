@@ -12,6 +12,7 @@ Public surface:
 * :class:`~repro.sim.statistics.SimulationResult` — run metrics.
 """
 
+from repro.sim.config import DEVICES, SimConfig, WORKLOADS, make_device
 from repro.sim.device import StorageDevice
 from repro.sim.engine import (
     EventKind,
@@ -26,6 +27,7 @@ from repro.sim.request import SECTOR_BYTES, AccessResult, IOKind, Request, Reque
 from repro.sim.statistics import SimulationResult, squared_coefficient_of_variation
 
 __all__ = [
+    "DEVICES",
     "SECTOR_BYTES",
     "AccessResult",
     "EventKind",
@@ -35,10 +37,13 @@ __all__ = [
     "ReplicationResult",
     "Request",
     "RequestRecord",
+    "SimConfig",
     "Simulation",
     "SimulationObserver",
     "SimulationResult",
     "StorageDevice",
+    "WORKLOADS",
+    "make_device",
     "replicate",
     "simulate",
     "squared_coefficient_of_variation",

@@ -1,0 +1,217 @@
+"""Declarative simulation configuration: one picklable object per run.
+
+:class:`SimConfig` names every ingredient of a simulation — device,
+scheduler, workload (all resolved through string-keyed registries), seed,
+queue bound, and an optional JSONL trace destination — as a frozen
+dataclass of plain values.  That makes a run *shippable*: the parallel
+sweep layer sends one config per worker instead of loose positional
+arguments and closures, and an experiment's exact setup can be logged,
+diffed, or round-tripped through JSON.
+
+Live objects (an open trace sink, a pre-built device) deliberately stay
+out of the config; builders construct them on the worker that runs the
+config.  ``trace_path`` is the picklable stand-in for a tracer — a live
+:class:`~repro.obs.Tracer` can still be passed to :meth:`SimConfig.run`.
+
+The :data:`DEVICES` registry also serves the CLI (``--device``), replacing
+the if/elif device dispatch that used to live there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.registry import Registry
+from repro.obs.tracer import JsonlTracer, NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.device import StorageDevice
+    from repro.sim.engine import Simulation
+    from repro.sim.statistics import SimulationResult
+
+
+DEVICES = Registry("device")
+"""String-keyed registry of device-model factories (no-argument)."""
+
+
+@DEVICES.register("mems")
+def _make_mems() -> "StorageDevice":
+    from repro.mems import MEMSDevice
+
+    return MEMSDevice()
+
+
+@DEVICES.register("atlas10k", aliases=("disk", "atlas-10k"))
+def _make_atlas10k() -> "StorageDevice":
+    from repro.disk import DiskDevice, atlas_10k
+
+    return DiskDevice(atlas_10k())
+
+
+def make_device(name: str) -> "StorageDevice":
+    """Build a registered device model by name."""
+    try:
+        factory = DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device: {name!r}; registered: "
+            f"{', '.join(DEVICES.names())}"
+        ) from None
+    return factory()
+
+
+WORKLOADS = Registry("workload")
+"""String-keyed registry of workload builders.
+
+Each builder takes ``(device, config)`` and returns a generator with a
+``generate(count)`` method; ``config.rate`` maps onto the workload's
+intensity knob (arrival rate, burst rate, transaction rate) and
+``config.workload_params`` carries everything else.
+"""
+
+
+@WORKLOADS.register("random")
+def _random_workload(device: "StorageDevice", config: "SimConfig"):
+    from repro.workloads import RandomWorkload
+
+    return RandomWorkload(
+        device.capacity_sectors,
+        rate=config.rate,
+        seed=config.seed,
+        **config.workload_params,
+    )
+
+
+@WORKLOADS.register("uniform")
+def _uniform_workload(device: "StorageDevice", config: "SimConfig"):
+    from repro.workloads import UniformFixedWorkload
+
+    return UniformFixedWorkload(
+        device.capacity_sectors, seed=config.seed, **config.workload_params
+    )
+
+
+@WORKLOADS.register("cello")
+def _cello_workload(device: "StorageDevice", config: "SimConfig"):
+    from repro.workloads import CelloLikeWorkload
+
+    return CelloLikeWorkload(
+        device.capacity_sectors,
+        burst_rate=config.rate,
+        seed=config.seed,
+        **config.workload_params,
+    )
+
+
+@WORKLOADS.register("tpcc")
+def _tpcc_workload(device: "StorageDevice", config: "SimConfig"):
+    from repro.workloads import TPCCLikeWorkload
+
+    return TPCCLikeWorkload(
+        device.capacity_sectors,
+        transaction_rate=config.rate,
+        seed=config.seed,
+        **config.workload_params,
+    )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete, picklable description of one simulation run.
+
+    Attributes:
+        device: Device registry name (:data:`DEVICES`): ``mems``,
+            ``atlas10k``.
+        scheduler: Scheduler registry name
+            (:data:`repro.core.scheduling.SCHEDULERS`), e.g. ``SPTF``.
+        workload: Workload registry name (:data:`WORKLOADS`).
+        rate: Workload intensity (requests/s for the random workload).
+        num_requests: Stream length to generate.
+        seed: Workload RNG seed.
+        warmup: Completed requests dropped from the front of the result.
+        max_queue_depth: Saturation bound
+            (see :class:`repro.sim.engine.QueueOverflowError`).
+        jobs: Worker-process count for sweep fan-out (``None`` = default).
+        trace_path: When set, :meth:`run` writes a JSONL event trace here.
+        scheduler_params: Extra keyword arguments for the scheduler factory.
+        workload_params: Extra keyword arguments for the workload builder.
+    """
+
+    device: str = "mems"
+    scheduler: str = "SPTF"
+    workload: str = "random"
+    rate: float = 800.0
+    num_requests: int = 5000
+    seed: int = 42
+    warmup: int = 0
+    max_queue_depth: Optional[int] = 4000
+    jobs: Optional[int] = None
+    trace_path: Optional[str] = None
+    scheduler_params: Dict[str, Any] = field(default_factory=dict)
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise ValueError(f"negative num_requests: {self.num_requests}")
+        if self.warmup < 0:
+            raise ValueError(f"negative warmup: {self.warmup}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {self.jobs}")
+
+    # -- builders ----------------------------------------------------------- #
+
+    def build_device(self) -> "StorageDevice":
+        return make_device(self.device)
+
+    def build_scheduler(self, device: "StorageDevice"):
+        from repro.core.scheduling import make_scheduler
+
+        return make_scheduler(self.scheduler, device, **self.scheduler_params)
+
+    def build_requests(self, device: "StorageDevice") -> List:
+        workload = WORKLOADS[self.workload](device, self)
+        return workload.generate(self.num_requests)
+
+    def build_tracer(self) -> Tracer:
+        """A fresh sink for :attr:`trace_path` (null tracer when unset)."""
+        if self.trace_path is None:
+            return NULL_TRACER
+        return JsonlTracer(self.trace_path)
+
+    def build_simulation(self, tracer: Optional[Tracer] = None) -> "Simulation":
+        from repro.sim.engine import Simulation
+
+        return Simulation.from_config(self, tracer=tracer)
+
+    # -- execution ---------------------------------------------------------- #
+
+    def run(self, tracer: Optional[Tracer] = None) -> "SimulationResult":
+        """Build the full stack and run it to completion.
+
+        Opens (and closes) the :attr:`trace_path` sink unless a live
+        ``tracer`` overrides it.  Raises
+        :class:`~repro.sim.engine.QueueOverflowError` on saturation, like
+        ``Simulation.run``; the sweep helpers map that to a saturated point.
+        """
+        own_tracer = tracer is None and self.trace_path is not None
+        if tracer is None:
+            tracer = self.build_tracer()
+        try:
+            simulation = self.build_simulation(tracer=tracer)
+            result = simulation.run(
+                self.build_requests(simulation.device)
+            )
+        finally:
+            if own_tracer:
+                tracer.close()
+        return result.drop_warmup(self.warmup)
+
+    def replace(self, **changes) -> "SimConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (inverse of ``SimConfig(**d)``)."""
+        return dataclasses.asdict(self)

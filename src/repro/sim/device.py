@@ -16,11 +16,20 @@ from __future__ import annotations
 
 import abc
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.request import AccessResult, Request
 
 
 class StorageDevice(abc.ABC):
     """Base class for mechanical storage device models."""
+
+    tracer: Tracer = NULL_TRACER
+    """Event sink for per-access phase breakdowns (``dev.access`` events).
+
+    The class-level default is the shared null tracer, so an uninstrumented
+    device pays one branch per access.  :class:`repro.sim.Simulation`
+    attaches its tracer here when one is supplied.
+    """
 
     @property
     @abc.abstractmethod
@@ -55,7 +64,24 @@ class StorageDevice(abc.ABC):
         """
 
     def validate(self, request: Request) -> None:
-        """Raise ``ValueError`` if the request falls outside the device."""
+        """Raise ``ValueError`` if the request cannot be serviced.
+
+        Rejects requests that start before LBN 0, transfer no sectors, or
+        run past the end of the device.  :class:`repro.sim.Request` enforces
+        the first two at construction, but requests can reach a device from
+        other sources (trace replayers, array controllers re-mapping
+        addresses), so the device re-checks them with explicit messages.
+        """
+        if request.sectors < 1:
+            raise ValueError(
+                f"zero-length request at LBN {request.lbn}: transfer size "
+                f"must be >= 1 sector, got {request.sectors}"
+            )
+        if request.lbn < 0:
+            raise ValueError(
+                f"negative start LBN {request.lbn}: requests must begin at "
+                f"or after LBN 0"
+            )
         if request.last_lbn >= self.capacity_sectors:
             raise ValueError(
                 f"request [{request.lbn}, {request.last_lbn}] exceeds device "

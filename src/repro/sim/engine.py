@@ -27,6 +27,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.request import Request, RequestRecord
 from repro.sim.device import StorageDevice
 from repro.sim.statistics import SimulationResult
@@ -111,6 +112,13 @@ class Simulation:
         max_queue_depth: If set, arrivals beyond this pending-queue depth
             raise :class:`QueueOverflowError`; the experiment harness uses
             this to detect saturation instead of simulating unbounded queues.
+        tracer: Optional :class:`repro.obs.Tracer` sink.  When given (and
+            enabled) it is also attached to ``device`` and ``scheduler`` so
+            one argument wires the whole stack: the engine emits
+            ``sim.arrival``/``sim.dispatch``/``sim.complete`` events, the
+            device its per-access phase breakdown (``dev.access``), and the
+            scheduler its selection telemetry (``sched.dispatch``).  The
+            default null tracer short-circuits every emission site.
     """
 
     def __init__(
@@ -119,14 +127,40 @@ class Simulation:
         scheduler: "Scheduler",
         observers: Sequence[SimulationObserver] = (),
         max_queue_depth: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.device = device
         self.scheduler = scheduler
         self.observers = list(observers)
         self.max_queue_depth = max_queue_depth
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            device.tracer = self.tracer
+            scheduler.tracer = self.tracer
         self.now = 0.0
         self._busy = False
         self._records: List[RequestRecord] = []
+
+    @classmethod
+    def from_config(
+        cls, config: "SimConfig", tracer: Optional["Tracer"] = None
+    ) -> "Simulation":
+        """Build a simulation from a :class:`repro.sim.config.SimConfig`.
+
+        ``tracer`` overrides the config's ``trace_path``-derived sink; when
+        neither is set the null tracer applies.  The caller owns closing a
+        tracer it passes in (``SimConfig.run`` manages the whole lifecycle).
+        """
+        device = config.build_device()
+        scheduler = config.build_scheduler(device)
+        if tracer is None and config.trace_path is not None:
+            tracer = config.build_tracer()
+        return cls(
+            device,
+            scheduler,
+            max_queue_depth=config.max_queue_depth,
+            tracer=tracer,
+        )
 
     def run(self, requests: Iterable[Request]) -> SimulationResult:
         """Run to completion over a request stream.
@@ -156,6 +190,12 @@ class Simulation:
         self._busy = False
         self._records = []
 
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                {"kind": "sim.start", "t": 0.0, "requests": len(ordered)}
+            )
+
         while queue:
             event = queue.pop()
             if event.time < self.now - 1e-12:
@@ -170,6 +210,14 @@ class Simulation:
 
         for observer in self.observers:
             observer.on_end(self.now)
+        if tracer.enabled:
+            tracer.emit(
+                {
+                    "kind": "sim.end",
+                    "t": self.now,
+                    "completed": len(self._records),
+                }
+            )
         return SimulationResult(records=self._records, end_time=self.now)
 
     # ------------------------------------------------------------------ #
@@ -184,11 +232,36 @@ class Simulation:
                 f"t={self.now:.4f}s — workload saturates the device"
             )
         self.scheduler.add(request)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                {
+                    "kind": "sim.arrival",
+                    "t": self.now,
+                    "rid": request.request_id,
+                    "lbn": request.lbn,
+                    "sectors": request.sectors,
+                    "io": request.kind.value,
+                    "queue_depth": len(self.scheduler),
+                }
+            )
         if not self._busy:
             self._dispatch_next(queue)
 
     def _handle_completion(self, record: RequestRecord, queue: EventQueue) -> None:
         self._records.append(record)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                {
+                    "kind": "sim.complete",
+                    "t": self.now,
+                    "rid": record.request.request_id,
+                    "queue": record.queue_time,
+                    "service": record.service_time,
+                    "response": record.response_time,
+                }
+            )
         for observer in self.observers:
             observer.on_complete(self.now, record)
         self._busy = False
@@ -199,6 +272,9 @@ class Simulation:
                 observer.on_idle(self.now)
 
     def _dispatch_next(self, queue: EventQueue) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            depth_before = len(self.scheduler)
         request = self.scheduler.pop_next(self.now)
         access = self.device.service(request, self.now)
         record = RequestRecord(
@@ -207,6 +283,16 @@ class Simulation:
             completion_time=self.now + access.total,
             access=access,
         )
+        if tracer.enabled:
+            tracer.emit(
+                {
+                    "kind": "sim.dispatch",
+                    "t": self.now,
+                    "rid": request.request_id,
+                    "wait": self.now - request.arrival_time,
+                    "queue_depth": depth_before,
+                }
+            )
         self._busy = True
         for observer in self.observers:
             observer.on_dispatch(self.now, record)

@@ -7,9 +7,11 @@ The paper evaluates schedulers with two metrics (§4.1):
   starvation-resistance ("fairness") metric of Teorey & Pinkerton [TP72] and
   Worthington et al. [WGP94]; lower is better.
 
-:class:`SimulationResult` carries the raw per-request records so experiments
-can compute anything else they need (percentiles, per-phase breakdowns,
-throughput).
+:class:`SimulationResult` carries the raw per-request records, but callers
+should prefer the summary accessors (:meth:`SimulationResult.percentiles`,
+:meth:`SimulationResult.to_dict`, the mean/throughput properties) over
+iterating ``.records`` directly — the record list is an implementation
+detail that summary-level code should not depend on.
 """
 
 from __future__ import annotations
@@ -84,6 +86,53 @@ class SimulationResult:
             return ordered[lo]
         frac = rank - lo
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def percentiles(self, *pcts: float) -> dict:
+        """Several response-time percentiles from one sort.
+
+        Returns ``{"p50": ..., "p95": ...}`` keyed by the requested
+        percentiles (defaults to 50/95/99), using the same linear
+        interpolation as :meth:`response_time_percentile` — the two always
+        agree.  Prefer this over reaching into ``.records``.
+        """
+        if not pcts:
+            pcts = (50.0, 95.0, 99.0)
+        ordered = sorted(self.response_times)
+        out = {}
+        for pct in pcts:
+            if not 0 < pct <= 100:
+                raise ValueError(f"percentile out of range: {pct}")
+            if len(ordered) == 1:
+                value = ordered[0]
+            else:
+                rank = (pct / 100.0) * (len(ordered) - 1)
+                lo = math.floor(rank)
+                hi = math.ceil(rank)
+                frac = rank - lo
+                value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+            out[f"p{pct:g}"] = value
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary of the run (no per-request records).
+
+        The stable exchange format for experiment results — covers the
+        means, percentiles, throughput/utilization, and the per-phase
+        breakdown, so downstream code need not touch ``.records``.
+        """
+        return {
+            "completed": len(self.records),
+            "end_time_s": self.end_time,
+            "mean_response_time_s": self.mean_response_time,
+            "mean_service_time_s": self.mean_service_time,
+            "mean_queue_time_s": self.mean_queue_time,
+            "max_response_time_s": self.max_response_time,
+            "response_time_cv2": self.response_time_cv2,
+            "response_time_percentiles_s": self.percentiles(),
+            "throughput_rps": self.throughput,
+            "utilization": self.utilization,
+            "mean_phase_breakdown_s": self.mean_phase_breakdown(),
+        }
 
     @property
     def throughput(self) -> float:

@@ -1,0 +1,57 @@
+"""Tests for the layout registry (LAYOUTS / make_layout)."""
+
+import pytest
+
+from repro.core.layout import (
+    ColumnarLayout,
+    LAYOUTS,
+    OrganPipeLayout,
+    SimpleLinearLayout,
+    SubregionedLayout,
+    UnsupportedLayoutError,
+    make_layout,
+)
+from repro.disk import DiskDevice, atlas_10k
+from repro.mems import MEMSDevice
+
+
+class TestRegistryContents:
+    def test_names(self):
+        assert LAYOUTS.names() == [
+            "simple",
+            "organ-pipe",
+            "columnar",
+            "subregioned",
+        ]
+
+    def test_device_agnostic_layouts(self):
+        assert isinstance(make_layout("simple"), SimpleLinearLayout)
+        assert isinstance(make_layout("organ-pipe"), OrganPipeLayout)
+        assert isinstance(make_layout("columnar"), ColumnarLayout)
+
+    @pytest.mark.parametrize("spelling", ["organ_pipe", "ORGAN PIPE", "OrganPipe"])
+    def test_spelling_tolerance(self, spelling):
+        assert isinstance(make_layout(spelling), OrganPipeLayout)
+
+
+class TestSubregioned:
+    def test_needs_mems_geometry(self):
+        layout = make_layout("subregioned", MEMSDevice())
+        assert isinstance(layout, SubregionedLayout)
+
+    def test_rejected_without_device(self):
+        with pytest.raises(UnsupportedLayoutError, match="subregioned"):
+            make_layout("subregioned")
+
+    def test_rejected_on_disk(self):
+        with pytest.raises(UnsupportedLayoutError, match="DiskDevice"):
+            make_layout("subregioned", DiskDevice(atlas_10k()))
+
+    def test_unsupported_is_value_error(self):
+        assert issubclass(UnsupportedLayoutError, ValueError)
+
+
+class TestMakeLayout:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            make_layout("striped")

@@ -100,3 +100,43 @@ class TestServiceTimeLoop:
         times = service_time_loop(device, requests)
         assert len(times) == 10
         assert all(t > 0 for t in times)
+
+
+class TestSimConfigSweep:
+    def test_registry_name_path_matches_callable_path(self):
+        from repro.experiments.common import random_workload_sweep
+
+        kwargs = dict(
+            algorithms=("FCFS", "SPTF"),
+            rates=(300.0, 600.0),
+            num_requests=250,
+            warmup=25,
+        )
+        by_name = random_workload_sweep(device_factory="mems", **kwargs)
+        by_callable = random_workload_sweep(device_factory=MEMSDevice, **kwargs)
+        assert by_name.series == by_callable.series
+        assert by_name.x_label == by_callable.x_label
+
+    def test_run_sim_config_maps_overflow_to_none(self):
+        from repro.experiments.common import run_sim_config
+        from repro.sim import SimConfig
+
+        saturating = SimConfig(
+            scheduler="FCFS",
+            rate=1e6,
+            num_requests=20_000,
+            max_queue_depth=300,
+        )
+        assert run_sim_config(saturating) is None
+        assert run_sim_config(SimConfig(num_requests=50)) is not None
+
+    def test_sweep_sim_configs(self):
+        from repro.experiments.common import sweep_sim_configs
+        from repro.sim import SimConfig
+
+        base = SimConfig(num_requests=150, warmup=10)
+        points = sweep_sim_configs(
+            [base.replace(rate=rate) for rate in (200.0, 400.0)]
+        )
+        assert [point.x for point in points] == [200.0, 400.0]
+        assert all(not point.saturated for point in points)

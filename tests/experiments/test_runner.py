@@ -32,3 +32,14 @@ class TestRunner:
         assert "=== table02 ===" in out
         assert "Table 2" in out
         assert "done in" in out
+
+    def test_report_written(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        run_experiments(["table02"], report_path=str(report_path))
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro-report/1"
+        assert [entry["name"] for entry in report["experiments"]] == ["table02"]
+        assert report["experiments"][0]["duration_s"] >= 0
+        assert report["total_s"] >= report["experiments"][0]["duration_s"]

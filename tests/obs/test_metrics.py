@@ -1,0 +1,161 @@
+"""Unit tests for counters/histograms/metrics (repro.obs.metrics)."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    ACCESS_PHASES,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsTracer,
+    replay_metrics,
+)
+from repro.sim import SimConfig
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+
+class TestHistogram:
+    def test_exact_percentile_matches_sorted_interpolation(self):
+        rng = random.Random(7)
+        values = [rng.random() for _ in range(500)]
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        assert histogram.exact
+        ordered = sorted(values)
+        # p50 with 500 samples: rank 0.5*499 = 249.5 -> midpoint
+        expected = (ordered[249] + ordered[250]) / 2
+        assert histogram.percentile(50) == pytest.approx(expected, rel=1e-12)
+        assert histogram.percentile(100) == max(values)
+
+    def test_min_max_mean_count(self):
+        histogram = Histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_reservoir_degrades_deterministically(self):
+        def build():
+            histogram = Histogram("h", reservoir=32)
+            for value in range(1000):
+                histogram.observe(float(value))
+            return histogram
+
+        a, b = build(), build()
+        assert not a.exact
+        assert a.count == 1000
+        assert a.percentile(50) == b.percentile(50)
+        # exact stats survive sampling
+        assert a.min == 0.0 and a.max == 999.0 and a.mean == 499.5
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(50)
+        with pytest.raises(ValueError):
+            Histogram("h").mean
+
+    def test_bad_percentile(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_to_dict(self):
+        histogram = Histogram("h")
+        assert histogram.to_dict() == {"count": 0}
+        histogram.observe(1.0)
+        summary = histogram.to_dict()
+        assert summary["count"] == 1
+        assert summary["p50"] == 1.0
+        assert summary["exact"] is True
+
+
+class TestMetricsRegistry:
+    def test_create_on_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        registry.set_gauge("c", 2.0)
+        assert registry.counter("a") is registry.counters["a"]
+        assert registry.to_dict()["gauges"]["c"] == 2.0
+
+    def test_from_result_matches_result_percentiles(self):
+        result = SimConfig(rate=500.0, num_requests=400, warmup=50).run()
+        registry = MetricsRegistry.from_result(result)
+        histogram = registry.histograms["response_time_s"]
+        for pct in (50, 95, 99):
+            assert histogram.percentile(pct) == result.response_time_percentile(
+                pct
+            )
+        expected = result.percentiles(50, 95, 99)
+        assert histogram.percentiles(50, 95, 99) == expected
+
+    def test_from_result_phase_totals(self):
+        result = SimConfig(rate=500.0, num_requests=200).run()
+        registry = MetricsRegistry.from_result(result)
+        for phase in ACCESS_PHASES:
+            counter = registry.counters[f"phase.{phase}_s"]
+            total = sum(getattr(r.access, phase) for r in result.records)
+            assert counter.value == pytest.approx(total, rel=1e-12)
+        assert registry.counters["requests"].value == len(result.records)
+        assert registry.gauges["utilization"] == pytest.approx(
+            result.utilization
+        )
+
+    def test_render_text(self):
+        result = SimConfig(rate=500.0, num_requests=200).run()
+        text = MetricsRegistry.from_result(result).render_text(title="run")
+        assert "=== run ===" in text
+        assert "response_time_s" in text
+        assert "phase.seek_x_s" in text
+        assert "p95" in text
+
+
+class TestMetricsTracer:
+    def test_online_matches_offline(self):
+        sink = MetricsTracer()
+        config = SimConfig(rate=800.0, num_requests=600)
+        result = config.run(tracer=sink)
+        registry = sink.registry
+        offline = MetricsRegistry.from_result(result)
+        assert (
+            registry.counters["completions"].value
+            == offline.counters["requests"].value
+        )
+        assert registry.histograms["response_time_s"].percentile(
+            95
+        ) == offline.histograms["response_time_s"].percentile(95)
+        assert registry.gauges["utilization"] == pytest.approx(
+            result.utilization
+        )
+        # online-only signals
+        assert registry.counters["arrivals"].value == 600
+        assert registry.histograms["queue_depth"].count == 600
+
+    def test_replay_from_ring_buffer(self):
+        from repro.obs.tracer import RingBufferTracer
+
+        ring = RingBufferTracer()
+        config = SimConfig(rate=800.0, num_requests=300)
+        config.run(tracer=ring)
+        registry = replay_metrics(ring.events)
+        assert registry.counters["completions"].value == 300
+        assert registry.counters["device_busy_s"].value > 0

@@ -1,0 +1,164 @@
+"""Unit tests for the tracer sinks (repro.obs.tracer)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    EVENT_FIELDS,
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    RingBufferTracer,
+    TRACE_SCHEMA,
+    TeeTracer,
+    Tracer,
+    iter_trace,
+    read_trace,
+)
+
+
+def ev(kind="sim.arrival", t=0.0, **extra):
+    event = {"kind": kind, "t": t}
+    event.update(extra)
+    return event
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NullTracer().enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_emit_is_noop(self):
+        NULL_TRACER.emit(ev())
+        NULL_TRACER.close()
+
+    def test_base_tracer_is_enabled(self):
+        assert Tracer.enabled is True
+
+
+class TestRingBufferTracer:
+    def test_collects_in_order(self):
+        tracer = RingBufferTracer()
+        for t in (0.0, 1.0, 2.0):
+            tracer.emit(ev(t=t))
+        assert [e["t"] for e in tracer.events] == [0.0, 1.0, 2.0]
+        assert len(tracer) == 3
+
+    def test_capacity_bound_keeps_newest(self):
+        tracer = RingBufferTracer(capacity=2)
+        for t in range(5):
+            tracer.emit(ev(t=float(t)))
+        assert [e["t"] for e in tracer.events] == [3.0, 4.0]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferTracer(capacity=0)
+
+    def test_by_kind(self):
+        tracer = RingBufferTracer()
+        tracer.emit(ev("sim.arrival", 0.0))
+        tracer.emit(ev("sim.complete", 1.0))
+        tracer.emit(ev("sim.arrival", 2.0))
+        assert len(tracer.by_kind("sim.arrival")) == 2
+        assert len(tracer.by_kind("sim.complete")) == 1
+
+    def test_clear_and_iter(self):
+        tracer = RingBufferTracer()
+        tracer.emit(ev())
+        assert list(tracer) == tracer.events
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestJsonlTracer:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(ev("sim.start", 0.0, requests=2))
+            tracer.emit(ev("sim.end", 1.5, completed=2))
+        events = read_trace(path)
+        assert events[0]["kind"] == "trace.meta"
+        assert events[0]["schema"] == TRACE_SCHEMA
+        assert [e["kind"] for e in events[1:]] == ["sim.start", "sim.end"]
+        assert events[-1]["t"] == 1.5
+
+    def test_writes_sorted_keys(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit({"kind": "sim.start", "t": 0.0, "requests": 1})
+        line = path.read_text().splitlines()[1]
+        assert list(json.loads(line)) == sorted(json.loads(line))
+
+    def test_stream_not_closed_when_borrowed(self):
+        stream = io.StringIO()
+        tracer = JsonlTracer(stream)
+        tracer.emit(ev("sim.start", 0.0, requests=0))
+        tracer.close()
+        assert not stream.getvalue().startswith("\n")
+        # borrowed streams stay open so the caller can keep using them
+        stream.write("x")
+
+    def test_close_idempotent(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+
+    def test_read_trace_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(ev("sim.start", 0.0, requests=1)) + "\n")
+        with pytest.raises(ValueError, match="trace.meta"):
+            read_trace(path)
+
+    def test_read_trace_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace.meta", "t": 0.0, "schema": "other/9"})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_trace(path)
+
+    def test_iter_trace_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace.meta"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_trace(path))
+
+    def test_iter_trace_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            list(iter_trace(path))
+
+
+class TestTeeTracer:
+    def test_fans_out(self):
+        a, b = RingBufferTracer(), RingBufferTracer()
+        tee = TeeTracer(a, b)
+        tee.emit(ev())
+        assert len(a) == len(b) == 1
+
+    def test_filters_disabled_sinks(self):
+        ring = RingBufferTracer()
+        tee = TeeTracer(NULL_TRACER, ring)
+        assert tee.sinks == [ring]
+        assert tee.enabled
+
+    def test_empty_tee_is_disabled(self):
+        assert TeeTracer().enabled is False
+        assert TeeTracer(NULL_TRACER).enabled is False
+
+
+class TestEventSchema:
+    def test_every_kind_has_required_fields(self):
+        for kind, fields in EVENT_FIELDS.items():
+            assert isinstance(kind, str) and kind
+            assert isinstance(fields, tuple)
+
+    def test_known_kinds(self):
+        assert "sim.arrival" in EVENT_FIELDS
+        assert "dev.access" in EVENT_FIELDS
+        assert "sched.dispatch" in EVENT_FIELDS
+        assert "total" in EVENT_FIELDS["dev.access"]

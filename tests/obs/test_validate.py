@@ -1,0 +1,137 @@
+"""Tests for trace validation and diffing (repro.obs.validate)."""
+
+import json
+
+from repro.obs.tracer import TRACE_SCHEMA
+from repro.obs.validate import (
+    diff_traces,
+    main,
+    validate_events,
+    validate_file,
+)
+from repro.sim import SimConfig
+
+
+def meta():
+    return {"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA}
+
+
+def write_trace(path, events):
+    path.write_text(
+        "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    )
+
+
+class TestValidateEvents:
+    def test_empty(self):
+        assert validate_events([]) == ["<trace>: empty trace"]
+
+    def test_valid_minimal(self):
+        events = [
+            meta(),
+            {"kind": "sim.start", "t": 0.0, "requests": 1},
+            {"kind": "sim.end", "t": 1.0, "completed": 1},
+        ]
+        assert validate_events(events) == []
+
+    def test_missing_header(self):
+        errors = validate_events([{"kind": "sim.start", "t": 0.0, "requests": 1}])
+        assert any("trace.meta" in error for error in errors)
+
+    def test_wrong_schema(self):
+        bad = dict(meta(), schema="other/1")
+        errors = validate_events([bad])
+        assert any("schema" in error for error in errors)
+
+    def test_time_backwards(self):
+        events = [
+            meta(),
+            {"kind": "sim.start", "t": 5.0, "requests": 1},
+            {"kind": "sim.end", "t": 1.0, "completed": 1},
+        ]
+        errors = validate_events(events)
+        assert any("backwards" in error for error in errors)
+
+    def test_unknown_kind(self):
+        errors = validate_events([meta(), {"kind": "weird", "t": 0.0}])
+        assert any("unknown event kind" in error for error in errors)
+
+    def test_missing_required_field(self):
+        errors = validate_events([meta(), {"kind": "sim.start", "t": 0.0}])
+        assert any("missing fields requests" in error for error in errors)
+
+    def test_phase_sum_violation(self):
+        access = {
+            "kind": "dev.access",
+            "t": 0.0,
+            "lbn": 0,
+            "sectors": 1,
+            "io": "R",
+            "seek_x": 0.0,
+            "seek_y": 0.0,
+            "settle": 0.0,
+            "rotational_latency": 0.0,
+            "transfer": 1.0,
+            "turnarounds": 0.0,
+            "positioning": 0.5,
+            "total": 1.0,  # but positioning+transfer+turnarounds == 1.5
+        }
+        errors = validate_events([meta(), access])
+        assert any("phases sum" in error for error in errors)
+
+
+class TestValidateFile:
+    def test_real_trace_is_valid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        SimConfig(
+            rate=600.0, num_requests=150, trace_path=str(path)
+        ).run()
+        assert validate_file(str(path)) == []
+
+    def test_missing_file(self, tmp_path):
+        errors = validate_file(str(tmp_path / "nope.jsonl"))
+        assert errors and "nope.jsonl" in errors[0]
+
+
+class TestDiffTraces:
+    def test_identical_runs_diff_clean(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        config = SimConfig(rate=600.0, num_requests=100)
+        config.replace(trace_path=str(a)).run()
+        config.replace(trace_path=str(b)).run()
+        assert diff_traces(str(a), str(b)) == []
+
+    def test_different_schedulers_diverge(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        config = SimConfig(rate=900.0, num_requests=100)
+        config.replace(trace_path=str(a)).run()
+        config.replace(trace_path=str(b), scheduler="FCFS").run()
+        differences = diff_traces(str(a), str(b))
+        assert any("first divergence" in d for d in differences)
+
+    def test_count_delta_reported(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(a, [meta(), {"kind": "sim.start", "t": 0.0, "requests": 1}])
+        write_trace(b, [meta()])
+        differences = diff_traces(str(a), str(b))
+        assert any("event count: sim.start" in d for d in differences)
+
+
+class TestCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        SimConfig(rate=600.0, num_requests=50, trace_path=str(path)).run()
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_bad_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        write_trace(path, [{"kind": "sim.start", "t": 0.0, "requests": 1}])
+        assert main([str(path)]) == 1
+
+    def test_diff_mode(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(a, [meta()])
+        write_trace(b, [meta()])
+        assert main(["--diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Tests for SimConfig and the device/workload registries."""
+
+import pickle
+
+import pytest
+
+from repro.core.scheduling import make_scheduler
+from repro.obs.tracer import read_trace
+from repro.sim import (
+    DEVICES,
+    QueueOverflowError,
+    SimConfig,
+    Simulation,
+    WORKLOADS,
+    make_device,
+)
+from repro.workloads import RandomWorkload
+
+
+class TestDeviceRegistry:
+    def test_names(self):
+        assert DEVICES.names() == ["mems", "atlas10k"]
+
+    def test_make_mems(self):
+        device = make_device("mems")
+        assert device.capacity_sectors == 6_750_000
+
+    def test_aliases(self):
+        assert type(make_device("disk")) is type(make_device("atlas10k"))
+        assert type(make_device("Atlas-10K")) is type(make_device("atlas10k"))
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            make_device("floppy")
+
+    def test_fresh_instance_per_call(self):
+        assert make_device("mems") is not make_device("mems")
+
+
+class TestWorkloadRegistry:
+    def test_names(self):
+        assert set(WORKLOADS.names()) == {"random", "uniform", "cello", "tpcc"}
+
+    @pytest.mark.parametrize("name", ["random", "cello", "tpcc"])
+    def test_builders_generate(self, name):
+        config = SimConfig(workload=name, rate=100.0, num_requests=10)
+        device = config.build_device()
+        requests = config.build_requests(device)
+        assert len(requests) == 10
+
+    def test_uniform_takes_params(self):
+        config = SimConfig(
+            workload="uniform",
+            num_requests=5,
+            workload_params={"sectors": 8},
+        )
+        requests = config.build_requests(config.build_device())
+        assert all(r.sectors == 8 for r in requests)
+
+
+class TestSimConfig:
+    def test_defaults_run(self):
+        result = SimConfig(num_requests=100).run()
+        assert len(result) == 100
+
+    def test_matches_manual_construction(self):
+        config = SimConfig(rate=600.0, num_requests=300, warmup=50)
+        via_config = config.run()
+
+        device = make_device("mems")
+        scheduler = make_scheduler("SPTF", device)
+        workload = RandomWorkload(device.capacity_sectors, rate=600.0, seed=42)
+        manual = (
+            Simulation(device, scheduler, max_queue_depth=4000)
+            .run(workload.generate(300))
+            .drop_warmup(50)
+        )
+        assert via_config.mean_response_time == manual.mean_response_time
+        assert via_config.end_time == manual.end_time
+
+    def test_picklable(self):
+        config = SimConfig(
+            scheduler="ASPTF",
+            scheduler_params={"age_weight": 0.02},
+            workload_params={"read_fraction": 0.5},
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_replace(self):
+        config = SimConfig()
+        faster = config.replace(rate=2000.0)
+        assert faster.rate == 2000.0
+        assert config.rate == 800.0
+        assert faster.device == config.device
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SimConfig().rate = 1.0
+
+    def test_to_dict_round_trip(self):
+        config = SimConfig(rate=123.0, seed=7)
+        assert SimConfig(**config.to_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_requests=-1)
+        with pytest.raises(ValueError):
+            SimConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            SimConfig(jobs=0)
+
+    def test_warmup_applied(self):
+        config = SimConfig(rate=500.0, num_requests=200)
+        assert len(config.replace(warmup=50).run()) == len(config.run()) - 50
+
+    def test_saturation_propagates(self):
+        config = SimConfig(
+            scheduler="FCFS",
+            rate=1e6,
+            num_requests=20_000,
+            max_queue_depth=500,
+        )
+        with pytest.raises(QueueOverflowError):
+            config.run()
+
+    def test_scheduler_params_forwarded(self):
+        config = SimConfig(
+            scheduler="ASPTF", scheduler_params={"age_weight": 0.05}
+        )
+        scheduler = config.build_scheduler(config.build_device())
+        assert scheduler.age_weight == 0.05
+
+    def test_trace_path_writes_valid_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        config = SimConfig(rate=600.0, num_requests=50, trace_path=str(path))
+        config.run()
+        events = read_trace(path)
+        assert events[-1]["kind"] == "sim.end"
+        assert events[-1]["completed"] == 50
+
+    def test_from_config(self):
+        config = SimConfig(device="atlas10k", scheduler="C-LOOK")
+        sim = Simulation.from_config(config)
+        assert sim.device.capacity_sectors == make_device("atlas10k").capacity_sectors
+        assert sim.scheduler.name == "C-LOOK"
+        assert sim.max_queue_depth == 4000
+        assert not sim.tracer.enabled

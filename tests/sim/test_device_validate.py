@@ -1,0 +1,68 @@
+"""StorageDevice.validate must reject malformed requests with clear errors.
+
+``Request.__post_init__`` already rejects negative LBNs and zero-length
+transfers at construction, so these tests drive ``validate`` with
+duck-typed stand-ins — the defensive layer matters for requests built by
+other means (deserialized traces, hand-rolled test doubles).
+"""
+
+import pytest
+
+from repro.disk import DiskDevice, atlas_10k
+from repro.mems import MEMSDevice
+from repro.sim import IOKind, Request
+
+
+class FakeRequest:
+    """Duck-typed request that skips Request's constructor checks."""
+
+    def __init__(self, lbn, sectors):
+        self.lbn = lbn
+        self.sectors = sectors
+
+    @property
+    def last_lbn(self):
+        return self.lbn + self.sectors - 1
+
+
+@pytest.fixture(params=["mems", "disk"])
+def device(request):
+    if request.param == "mems":
+        return MEMSDevice()
+    return DiskDevice(atlas_10k())
+
+
+class TestValidate:
+    def test_accepts_good_request(self, device):
+        device.validate(Request(0.0, lbn=0, sectors=8, kind=IOKind.READ))
+        device.validate(
+            Request(
+                0.0,
+                lbn=device.capacity_sectors - 1,
+                sectors=1,
+                kind=IOKind.READ,
+            )
+        )
+
+    def test_rejects_negative_lbn(self, device):
+        with pytest.raises(ValueError, match="negative start LBN -5"):
+            device.validate(FakeRequest(lbn=-5, sectors=4))
+
+    def test_rejects_zero_length(self, device):
+        with pytest.raises(ValueError, match="zero-length request at LBN 10"):
+            device.validate(FakeRequest(lbn=10, sectors=0))
+
+    def test_rejects_negative_length(self, device):
+        with pytest.raises(ValueError, match="zero-length"):
+            device.validate(FakeRequest(lbn=10, sectors=-3))
+
+    def test_zero_length_checked_before_lbn_sign(self, device):
+        # both invalid: the transfer-size message should win
+        with pytest.raises(ValueError, match="zero-length"):
+            device.validate(FakeRequest(lbn=-1, sectors=0))
+
+    def test_rejects_past_capacity(self, device):
+        with pytest.raises(ValueError, match="capacity"):
+            device.validate(
+                FakeRequest(lbn=device.capacity_sectors - 1, sectors=2)
+            )

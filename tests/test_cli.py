@@ -69,6 +69,48 @@ class TestCommands:
         assert code == 1
         assert "saturated" in capsys.readouterr().out
 
+    def test_simulate_with_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs.validate import validate_file
+
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--scheduler", "SPTF",
+                "--rate", "600",
+                "--requests", "200",
+                "--trace", str(trace),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out
+        assert "=== metrics ===" in out
+        assert "response_time_s" in out
+        assert validate_file(str(trace)) == []
+
+    def test_simulate_metrics_match_percentiles(self, capsys):
+        from repro.sim import SimConfig
+
+        code = main(
+            [
+                "simulate",
+                "--rate", "600",
+                "--requests", "300",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        config = SimConfig(
+            rate=600.0, num_requests=300, warmup=30, max_queue_depth=10_000
+        )
+        expected = config.run().percentiles(50, 95, 99)
+        # the metrics table renders times in ms with 3 decimals
+        for value in expected.values():
+            assert f"{value * 1e3:.3f}" in out
+
     def test_experiments_list(self, capsys):
         assert main(["experiments", "--list"]) == 0
         out = capsys.readouterr().out
