@@ -1,17 +1,27 @@
 """Perf-regression harness for the simulator's hot paths.
 
-Two measurements, emitted as machine-readable JSON (``BENCH_hotpath.json``
+Three measurements, emitted as machine-readable JSON (``BENCH_hotpath.json``
 at the repo root) so regressions are diffable across commits:
 
 * **SPTF dispatch** at fixed queue depths 16/64/256 — a steady-state
   pop/service/refill loop, timed with the geometry/profile/estimate caches
   on versus the uncached baseline (``MEMSDevice(memoize=False)`` +
   ``SPTFScheduler(cache=False)``, which reproduces the pre-optimization
-  hot path).  The dispatch order is asserted identical between the two.
+  hot path).  Both legs use the full scan (``prune=False``) so the rows
+  isolate the caching layers; the dispatch order is asserted identical
+  between the two.
+* **Pruned SPTF dispatch** at depths 16/64/256/1024 — the lower-bound
+  bucket walk (``prune=True``, the production default) against the cached
+  full scan, with the priced/pruned candidate split read back from the
+  scheduler's telemetry counters.  The dispatch order is asserted
+  bit-identical, and at depth >= 64 the pruned leg must price strictly
+  fewer candidates than it had pending.
 * **Figure-6 sweep wall-clock** — the end-to-end scheduler-comparison sweep
   run sequentially and with ``jobs=N`` through the process-pool sweep
   layer, plus the SPTF-only sweep against the uncached baseline.  Sweep
-  results are asserted equal between the legs.
+  results are asserted equal between the legs; on a single-core host the
+  parallel leg is skipped (it would rerun the sequential path and report
+  timing jitter as a speedup) and the sequential timing is reused.
 
 Run it as a script::
 
@@ -39,6 +49,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
 
 DISPATCH_DEPTHS = (16, 64, 256)
+PRUNED_DEPTHS = (16, 64, 256, 1024)
 SWEEP_RATES = (200.0, 500.0, 800.0, 1100.0, 1400.0, 1700.0, 2000.0)
 SWEEP_ALGORITHMS = ("FCFS", "SSTF_LBN", "C-LOOK", "SPTF")
 
@@ -50,22 +61,29 @@ def _make_device(memoize: bool):
 
 
 def dispatch_loop(
-    depth: int, dispatches: int, memoize: bool, cache: bool, tracer=None
+    depth: int,
+    dispatches: int,
+    memoize: bool,
+    cache: bool,
+    prune: bool = False,
+    tracer=None,
 ):
     """Steady-state SPTF dispatch at constant queue depth.
 
     Pops the scheduler's choice, services it, and refills the queue from a
-    seeded request stream, so every dispatch prices exactly ``depth``
-    pending requests.  ``tracer`` optionally attaches an obs sink to the
-    device and scheduler (the engine-less analogue of what ``Simulation``
-    does).  Returns (seconds, dispatch order as LBNs).
+    seeded request stream, so every dispatch selects among exactly
+    ``depth`` pending requests (the full scan prices all of them; the
+    ``prune=True`` walk prices a subset).  ``tracer`` optionally attaches
+    an obs sink to the device and scheduler (the engine-less analogue of
+    what ``Simulation`` does).  Returns (seconds, dispatch order as LBNs,
+    scheduler) — the scheduler exposes the cumulative pricing counters.
     """
     from repro.core.scheduling.sptf import SPTFScheduler
     from repro.sim.request import IOKind, Request
 
     rng = random.Random(20260806)
     device = _make_device(memoize)
-    scheduler = SPTFScheduler(device, cache=cache)
+    scheduler = SPTFScheduler(device, cache=cache, prune=prune)
     if tracer is not None:
         device.tracer = tracer
         scheduler.tracer = tracer
@@ -88,17 +106,17 @@ def dispatch_loop(
         now += device.service(request, now).total
         scheduler.add(fresh_request(depth + index))
     elapsed = time.perf_counter() - start
-    return elapsed, order
+    return elapsed, order, scheduler
 
 
 def bench_dispatch(depth: int, dispatches: int, repeats: int) -> dict:
     cached_best = uncached_best = float("inf")
     cached_order = uncached_order = None
     for _ in range(repeats):
-        seconds, order = dispatch_loop(depth, dispatches, True, True)
+        seconds, order, _ = dispatch_loop(depth, dispatches, True, True)
         cached_best = min(cached_best, seconds)
         cached_order = order
-        seconds, order = dispatch_loop(depth, dispatches, False, False)
+        seconds, order, _ = dispatch_loop(depth, dispatches, False, False)
         uncached_best = min(uncached_best, seconds)
         uncached_order = order
     if cached_order != uncached_order:
@@ -112,6 +130,53 @@ def bench_dispatch(depth: int, dispatches: int, repeats: int) -> dict:
         "cached_s": round(cached_best, 6),
         "uncached_s": round(uncached_best, 6),
         "speedup": round(uncached_best / cached_best, 3),
+    }
+
+
+def bench_pruned(depth: int, dispatches: int, repeats: int) -> dict:
+    """Lower-bound-pruned selection against the cached full scan.
+
+    Both legs run the caches-on configuration, so the row isolates the
+    pruning walk itself.  The pruned scheduler's cumulative pricing
+    counters (every pricing is a cache hit or miss) give the fraction of
+    candidates whose exact estimate was ever consulted; the pruning is
+    only correct if the dispatch orders are bit-identical, which is
+    asserted every repeat.
+    """
+    pruned_best = scan_best = float("inf")
+    pruned_sched = None
+    for _ in range(repeats):
+        seconds, pruned_order, sched = dispatch_loop(
+            depth, dispatches, True, True, prune=True
+        )
+        pruned_best = min(pruned_best, seconds)
+        pruned_sched = sched
+        seconds, scan_order, _ = dispatch_loop(
+            depth, dispatches, True, True, prune=False
+        )
+        scan_best = min(scan_best, seconds)
+        if pruned_order != scan_order:
+            raise AssertionError(
+                f"dispatch order diverged at depth {depth}: pruning changed "
+                f"the SPTF selection"
+            )
+    candidates = depth * dispatches
+    priced = pruned_sched.cache_hits + pruned_sched.cache_misses
+    if depth >= 64 and priced >= candidates:
+        raise AssertionError(
+            f"pruned SPTF priced {priced}/{candidates} candidates at depth "
+            f"{depth}: the lower-bound walk never pruned anything"
+        )
+    return {
+        "depth": depth,
+        "dispatches": dispatches,
+        "pruned_s": round(pruned_best, 6),
+        "cached_scan_s": round(scan_best, 6),
+        "speedup_vs_cached_scan": round(scan_best / pruned_best, 3),
+        "candidates": candidates,
+        "candidates_priced": priced,
+        "priced_fraction": round(priced / candidates, 4),
+        "mean_priced_per_dispatch": round(priced / dispatches, 2),
     }
 
 
@@ -131,10 +196,10 @@ def bench_tracing(depth: int, dispatches: int, repeats: int) -> dict:
     null_best = ring_best = jsonl_best = float("inf")
     null_order = ring_order = None
     for _ in range(repeats):
-        seconds, null_order = dispatch_loop(depth, dispatches, True, True)
+        seconds, null_order, _ = dispatch_loop(depth, dispatches, True, True)
         null_best = min(null_best, seconds)
         ring = RingBufferTracer(capacity=4096)
-        seconds, ring_order = dispatch_loop(
+        seconds, ring_order, _ = dispatch_loop(
             depth, dispatches, True, True, tracer=ring
         )
         ring_best = min(ring_best, seconds)
@@ -142,7 +207,7 @@ def bench_tracing(depth: int, dispatches: int, repeats: int) -> dict:
         os.close(fd)
         try:
             jsonl = JsonlTracer(path)
-            seconds, jsonl_order = dispatch_loop(
+            seconds, jsonl_order, _ = dispatch_loop(
                 depth, dispatches, True, True, tracer=jsonl
             )
             jsonl.close()
@@ -213,28 +278,35 @@ def _run_sptf_sweep_uncached(rates, num_requests):
 
 
 def bench_sweep(jobs: int, rates, algorithms, num_requests: int) -> dict:
-    from repro.experiments.parallel import available_parallelism
+    from repro.experiments.parallel import effective_workers
 
+    workers = effective_workers(jobs, len(rates) * len(algorithms))
     sequential_s, sequential = _run_sweep(1, rates, algorithms, num_requests)
-    parallel_s, parallel = _run_sweep(jobs, rates, algorithms, num_requests)
-    if sequential.series != parallel.series:
-        raise AssertionError(
-            "parallel sweep results differ from the sequential sweep"
-        )
+    if workers > 1:
+        parallel_s, parallel = _run_sweep(jobs, rates, algorithms, num_requests)
+        if sequential.series != parallel.series:
+            raise AssertionError(
+                "parallel sweep results differ from the sequential sweep"
+            )
+        note = None
+    else:
+        # One effective worker: parallel_map runs the identical in-process
+        # loop, so timing it again would only report run-to-run jitter as a
+        # "speedup".  Reuse the sequential measurement instead.
+        parallel_s = sequential_s
+        note = "single worker: parallel leg skipped, sequential time reused"
     baseline_s, baseline_points = _run_sptf_sweep_uncached(rates, num_requests)
     if baseline_points != sequential.series["SPTF"]:
         raise AssertionError(
             "uncached-baseline SPTF sweep results differ from the cached sweep"
         )
     optimized_sptf_s, _ = _run_sptf_sweep_optimized(rates, num_requests)
-    return {
+    report = {
         "rates": list(rates),
         "algorithms": list(algorithms),
         "num_requests": num_requests,
         "jobs_requested": jobs,
-        "workers_used": min(
-            jobs, len(rates) * len(algorithms), available_parallelism()
-        ),
+        "workers_used": workers,
         "sequential_s": round(sequential_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup_parallel": round(sequential_s / parallel_s, 3),
@@ -242,6 +314,9 @@ def bench_sweep(jobs: int, rates, algorithms, num_requests: int) -> dict:
         "sptf_optimized_s": round(optimized_sptf_s, 3),
         "speedup_sptf_vs_baseline": round(baseline_s / optimized_sptf_s, 3),
     }
+    if note is not None:
+        report["note"] = note
+    return report
 
 
 def _run_sptf_sweep_optimized(rates, num_requests):
@@ -277,6 +352,10 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "config": {"smoke": smoke, "jobs": jobs},
         "sptf_dispatch": [
             bench_dispatch(depth, dispatches, repeats) for depth in depths
+        ],
+        "sptf_pruned": [
+            bench_pruned(depth, dispatches, repeats)
+            for depth in (PRUNED_DEPTHS[:2] if smoke else PRUNED_DEPTHS)
         ],
         "tracing": [
             bench_tracing(depth, dispatches, repeats) for depth in depths
@@ -321,6 +400,14 @@ def test_hotpath_smoke():
     report = collect_smoke_subset()
     for row in report["sptf_dispatch"]:
         assert row["cached_s"] > 0 and row["uncached_s"] > 0
+    for row in report["sptf_pruned"]:
+        assert row["pruned_s"] > 0 and row["cached_scan_s"] > 0
+        assert 0 < row["candidates_priced"] <= row["candidates"]
+        if row["depth"] >= 64:
+            # The lower-bound walk must actually prune on a random workload
+            # (bench_pruned also raises on this, so the CLI smoke run in CI
+            # enforces it too).
+            assert row["candidates_priced"] < row["candidates"]
     assert report["figure06_sweep"]["sequential_s"] > 0
 
 
@@ -345,7 +432,7 @@ def test_null_tracer_overhead():
     if 16 not in by_depth:
         pytest.skip("baseline has no depth-16 dispatch row")
     base = by_depth[16]
-    timed, _ = dispatch_loop(16, base["dispatches"], True, True)
+    timed, _, _ = dispatch_loop(16, base["dispatches"], True, True)
     best = min(timed, dispatch_loop(16, base["dispatches"], True, True)[0])
     assert best < base["cached_s"] * 1.5, (
         f"null-tracer dispatch took {best:.4f}s vs baseline "
@@ -358,6 +445,7 @@ def collect_smoke_subset() -> dict:
     """Smallest meaningful run (used by the pytest smoke entry)."""
     return {
         "sptf_dispatch": [bench_dispatch(16, 32, 1)],
+        "sptf_pruned": [bench_pruned(16, 32, 1), bench_pruned(64, 48, 1)],
         "tracing": [bench_tracing(16, 32, 1)],
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400

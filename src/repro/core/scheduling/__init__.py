@@ -77,8 +77,10 @@ def _make_scan(device: StorageDevice, **kwargs) -> Scheduler:
 
 
 @SCHEDULERS.register("SPTF")
-def _make_sptf(device: StorageDevice, cache: bool = True, **kwargs) -> Scheduler:
-    return SPTFScheduler(device, cache=cache)
+def _make_sptf(
+    device: StorageDevice, cache: bool = True, prune: bool = True, **kwargs
+) -> Scheduler:
+    return SPTFScheduler(device, cache=cache, prune=prune)
 
 
 @SCHEDULERS.register("ASPTF")
@@ -86,9 +88,12 @@ def _make_asptf(
     device: StorageDevice,
     age_weight: float = 0.01,
     cache: bool = True,
+    prune: bool = True,
     **kwargs,
 ) -> Scheduler:
-    return AgedSPTFScheduler(device, age_weight=age_weight, cache=cache)
+    return AgedSPTFScheduler(
+        device, age_weight=age_weight, cache=cache, prune=prune
+    )
 
 
 @SCHEDULERS.register("SXTF")
@@ -117,8 +122,9 @@ def make_scheduler(
         device: The device the scheduler will serve.
         sectors_per_cylinder: ``SXTF`` mapping constant; derived from the
             device when omitted.
-        **kwargs: Policy-specific options (e.g. ``cache=False`` for the
-            SPTF variants, ``age_weight=`` for ASPTF).
+        **kwargs: Policy-specific options (e.g. ``cache=False`` or
+            ``prune=False`` for the SPTF variants, ``age_weight=`` for
+            ASPTF).
     """
     if sectors_per_cylinder is not None:
         kwargs["sectors_per_cylinder"] = sectors_per_cylinder

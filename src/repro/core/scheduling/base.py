@@ -58,9 +58,11 @@ class Scheduler(abc.ABC):
     def _trace_dispatch(self, now: float, candidates: int) -> None:
         """Emit one ``sched.dispatch`` event (call only when tracing is on).
 
-        ``candidates`` is the pending-queue size the selection scanned.
-        Subclasses with extra telemetry override :meth:`_dispatch_telemetry`
-        rather than this method.
+        ``candidates`` is the pending-queue size the selection chose from
+        (pruning schedulers may price only a subset of them and report the
+        split via ``candidates_priced``/``candidates_pruned``).  Subclasses
+        with extra telemetry override :meth:`_dispatch_telemetry` rather
+        than this method.
         """
         event = {
             "kind": "sched.dispatch",

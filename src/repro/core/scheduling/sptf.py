@@ -20,19 +20,51 @@ an estimate computed while the queue is stable stays valid until then.  The
 cache is invalidated on every dispatch and never changes which request is
 selected (see ``tests/core/scheduling/test_sptf_cache.py``); pass
 ``cache=False`` to get the uncached reference behaviour.
+
+On top of the cache, selection is made **sub-linear in queue depth** by
+lower-bound pruning (``prune=True``, the default whenever the device exposes
+the pruning oracle).  Pending requests are bucketed by target cylinder; the
+selection walk visits buckets in increasing cylinder distance from the
+current sled/arm position and stops as soon as the next bucket's admissible
+lower bound (``device.positioning_lower_bounds``, a dense per-distance table
+with a monotone suffix-min envelope) *strictly* exceeds the best exact
+estimate found so far.  Because the bound never exceeds the exact estimate
+and ties are resolved by arrival order exactly as the naive scan does, the
+pruned walk dispatches the *bit-identical* request sequence — it only prices
+fewer candidates (see ``tests/core/scheduling/test_sptf_prune.py``).  When
+every bucket bound stays at or below the incumbent (e.g. a queue parked on
+one cylinder) the walk degenerates gracefully to the full scan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.scheduling.base import ListScheduler
 from repro.sim.device import StorageDevice
 from repro.sim.request import Request
 
 
+def device_supports_pruning(device: StorageDevice) -> bool:
+    """True when ``device`` exposes the lower-bound pruning oracle.
+
+    The scheduler needs three pieces of narrow state: the dense
+    ``positioning_lower_bounds`` table, the bucket key for a request
+    (``request_cylinder``), and the current mechanical position
+    (``current_cylinder``).  Devices without them (or test doubles) fall
+    back to the plain full scan transparently.
+    """
+    return (
+        getattr(device, "positioning_lower_bounds", None) is not None
+        and callable(getattr(device, "request_cylinder", None))
+        and getattr(device, "current_cylinder", None) is not None
+    )
+
+
 class _EstimateCachingScheduler(ListScheduler):
-    """Shared estimate-memoization plumbing for the SPTF variants.
+    """Shared estimate-memoization and pruning plumbing for the SPTF variants.
 
     The cache maps a pending request (by object identity — requests stay
     alive in the queue, so ids are stable) to its predicted positioning time
@@ -40,18 +72,58 @@ class _EstimateCachingScheduler(ListScheduler):
     state mutates only via dispatches through this scheduler, which holds
     for the simulation engine: ``device.service`` is called exactly once per
     ``pop_next``.
+
+    With pruning enabled the scheduler additionally maintains, per pending
+    request, a cylinder-keyed bucket (insertion-ordered, so bucket order is
+    arrival order) and a monotone arrival sequence number.  The pending
+    list itself stays append-ordered, hence sorted by sequence number —
+    which lets the pruned walk recover the queue index of its winner with a
+    binary search instead of a linear scan.
     """
 
-    def __init__(self, device: StorageDevice, cache: bool = True) -> None:
+    def __init__(
+        self, device: StorageDevice, cache: bool = True, prune: bool = True
+    ) -> None:
         super().__init__()
         self._device = device
         self._estimates: Optional[Dict[int, float]] = {} if cache else None
+        self._prune = bool(prune) and device_supports_pruning(device)
         #: Cumulative estimate-cache hits/misses across the scheduler's
         #: lifetime, maintained by bulk length deltas in ``select_index``
         #: (never per-candidate work) and reported in ``sched.dispatch``
         #: trace events.  With ``cache=False`` every pricing is a miss.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Telemetry for the most recent selection: how many requests were
+        #: pending, how many had their exact estimate consulted, and how
+        #: many the lower-bound walk never priced.  ``candidates ==
+        #: priced + pruned`` always; without pruning ``pruned`` is 0.
+        self.last_candidates = 0
+        self.last_priced = 0
+        self.last_pruned = 0
+        if self._prune:
+            self._buckets: Dict[int, List[Request]] = {}
+            self._bucket_keys: List[int] = []
+            self._arrival_seq: Dict[int, int] = {}
+            self._next_seq = 0
+
+    @property
+    def prune_enabled(self) -> bool:
+        """Whether selection uses the lower-bound bucket walk."""
+        return self._prune
+
+    def add(self, request: Request) -> None:
+        super().add(request)
+        if self._prune:
+            self._arrival_seq[id(request)] = self._next_seq
+            self._next_seq += 1
+            key = self._device.request_cylinder(request)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [request]
+                insort(self._bucket_keys, key)
+            else:
+                bucket.append(request)
 
     def pop_next(self, now: float = 0.0) -> Request:
         request = super().pop_next(now)
@@ -59,22 +131,140 @@ class _EstimateCachingScheduler(ListScheduler):
         # memoized estimate is stale from here on.
         if self._estimates is not None:
             self._estimates.clear()
+        if self._prune:
+            self._forget(request)
         return request
 
-    def _count_pricings(self, cached_before: int) -> None:
-        """Fold one selection's pricing work into the hit/miss counters."""
-        candidates = len(self._queue)
-        if self._estimates is None:
-            self.cache_misses += candidates
+    def _forget(self, request: Request) -> int:
+        """Drop a dispatched request from the pruning indexes; returns its
+        arrival sequence number for subclasses with extra bookkeeping."""
+        seq = self._arrival_seq.pop(id(request))
+        key = self._device.request_cylinder(request)
+        bucket = self._buckets[key]
+        if len(bucket) == 1:
+            del self._buckets[key]
+            self._bucket_keys.remove(key)
         else:
-            misses = len(self._estimates) - cached_before
+            # Remove by identity: equal-valued duplicates are distinct
+            # pending entries with their own sequence numbers.
+            for index, pending in enumerate(bucket):
+                if pending is request:
+                    del bucket[index]
+                    break
+        return seq
+
+    def _queue_index_of_seq(self, seq: int) -> int:
+        """Queue index of the pending request with arrival sequence ``seq``.
+
+        The queue is append-only between pops, so it is always sorted by
+        sequence number — a binary search over ``id``-keyed lookups beats
+        ``list.index`` (which would compare dataclass values linearly).
+        """
+        queue = self._queue
+        seq_of = self._arrival_seq
+        lo, hi = 0, len(queue)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if seq_of[id(queue[mid])] < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _pruned_select(
+        self, now: float, age_weight: float = 0.0, discount_cap: float = 0.0
+    ) -> Tuple[int, int]:
+        """Lower-bound-pruned argmin over the pending queue.
+
+        Walks the cylinder buckets outward from the device's current
+        cylinder (two pointers over the sorted key list, always expanding
+        the nearer side) and prices candidates with the exact oracle.  The
+        walk stops at the first bucket whose lower bound — discounted by
+        ``discount_cap``, an upper bound on any candidate's aging credit —
+        strictly exceeds the best exact score so far; the suffix-min
+        envelope of the bound table makes every remaining bucket at least
+        as expensive.  The strict ``>`` keeps equal-bound candidates alive,
+        so ties are settled by the same (score, arrival) order as the naive
+        scan and the selected request is bit-identical.
+
+        Returns ``(queue_index, candidates_priced)``.
+        """
+        device = self._device
+        estimate = device.estimate_positioning
+        cache = self._estimates
+        bounds = device.positioning_lower_bounds
+        keys = self._bucket_keys
+        buckets = self._buckets
+        seq_of = self._arrival_seq
+        current = device.current_cylinder
+        right = bisect_left(keys, current)
+        left = right - 1
+        nkeys = len(keys)
+        best_score = 0.0
+        best_seq = -1
+        priced = 0
+        while left >= 0 or right < nkeys:
+            if left < 0:
+                take_left = False
+                delta = keys[right] - current
+            elif right >= nkeys:
+                take_left = True
+                delta = current - keys[left]
+            else:
+                dist_left = current - keys[left]
+                dist_right = keys[right] - current
+                take_left = dist_left <= dist_right
+                delta = dist_left if take_left else dist_right
+            if best_seq >= 0 and bounds[delta] - discount_cap > best_score:
+                break
+            key = keys[left] if take_left else keys[right]
+            for request in buckets[key]:
+                rid = id(request)
+                if cache is None:
+                    predicted = estimate(request, now)
+                else:
+                    predicted = cache.get(rid)
+                    if predicted is None:
+                        predicted = cache[rid] = estimate(request, now)
+                priced += 1
+                if age_weight:
+                    score = predicted - age_weight * max(
+                        0.0, now - request.arrival_time
+                    )
+                else:
+                    score = predicted
+                if best_seq < 0 or score < best_score:
+                    best_score = score
+                    best_seq = seq_of[rid]
+                elif score == best_score and seq_of[rid] < best_seq:
+                    best_seq = seq_of[rid]
+            if take_left:
+                left -= 1
+            else:
+                right += 1
+        return self._queue_index_of_seq(best_seq), priced
+
+    def _record_selection(
+        self, candidates: int, priced: int, cached_before: int
+    ) -> None:
+        """Fold one selection's pricing work into the telemetry counters."""
+        self.last_candidates = candidates
+        self.last_priced = priced
+        self.last_pruned = candidates - priced
+        cache = self._estimates
+        if cache is None:
+            self.cache_misses += priced
+        else:
+            misses = len(cache) - cached_before
             self.cache_misses += misses
-            self.cache_hits += candidates - misses
+            self.cache_hits += priced - misses
 
     def _dispatch_telemetry(self) -> dict:
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "candidates_priced": self.last_priced,
+            "candidates_pruned": self.last_pruned,
         }
 
 
@@ -84,8 +274,13 @@ class SPTFScheduler(_EstimateCachingScheduler):
     name = "SPTF"
 
     def select_index(self, now: float) -> int:
+        candidates = len(self._queue)
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
+        if self._prune and candidates > 1:
+            index, priced = self._pruned_select(now)
+            self._record_selection(candidates, priced, cached_before)
+            return index
         estimate = self._device.estimate_positioning
         best_index = 0
         best_time = None
@@ -100,7 +295,7 @@ class SPTFScheduler(_EstimateCachingScheduler):
             if best_time is None or predicted < best_time:
                 best_time = predicted
                 best_index = index
-        self._count_pricings(cached_before)
+        self._record_selection(candidates, candidates, cached_before)
         return best_index
 
 
@@ -111,6 +306,11 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
     second of wait is typically enough to bound starvation.  Only the
     positioning estimate is memoized; the aging term is recomputed from
     ``now`` on every selection.
+
+    Pruning still applies: the bucket bound is discounted by the *largest
+    possible* aging credit — ``age_weight`` × the wait of the oldest
+    pending arrival (tracked with a lazy-deletion heap) — which keeps it an
+    admissible lower bound on every candidate's aged score.
     """
 
     name = "ASPTF"
@@ -120,17 +320,57 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
         device: StorageDevice,
         age_weight: float = 0.01,
         cache: bool = True,
+        prune: bool = True,
     ) -> None:
-        super().__init__(device, cache=cache)
+        super().__init__(device, cache=cache, prune=prune)
         if age_weight < 0:
             raise ValueError(f"negative age_weight: {age_weight}")
         self.age_weight = age_weight
+        if self._prune:
+            # Min-heap of (arrival_time, seq) with lazy deletion: entries
+            # whose seq left ``_live_seqs`` are skipped at peek time.  The
+            # pending list is not arrival-sorted in general (callers may
+            # add out of order), so the heap — not the queue head — tracks
+            # the oldest pending arrival.
+            self._arrival_heap: List[Tuple[float, int]] = []
+            self._live_seqs: Set[int] = set()
+
+    def add(self, request: Request) -> None:
+        super().add(request)
+        if self._prune:
+            seq = self._arrival_seq[id(request)]
+            self._live_seqs.add(seq)
+            heapq.heappush(self._arrival_heap, (request.arrival_time, seq))
+
+    def _forget(self, request: Request) -> int:
+        seq = super()._forget(request)
+        self._live_seqs.discard(seq)
+        return seq
+
+    def _max_wait(self, now: float) -> float:
+        """Upper bound on any pending request's queue wait."""
+        heap = self._arrival_heap
+        live = self._live_seqs
+        while heap and heap[0][1] not in live:
+            heapq.heappop(heap)
+        if not heap:
+            return 0.0
+        return max(0.0, now - heap[0][0])
 
     def select_index(self, now: float) -> int:
+        candidates = len(self._queue)
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
-        estimate = self._device.estimate_positioning
         age_weight = self.age_weight
+        if self._prune and candidates > 1:
+            index, priced = self._pruned_select(
+                now,
+                age_weight=age_weight,
+                discount_cap=age_weight * self._max_wait(now),
+            )
+            self._record_selection(candidates, priced, cached_before)
+            return index
+        estimate = self._device.estimate_positioning
         best_index = 0
         best_score = None
         for index, request in enumerate(self._queue):
@@ -146,5 +386,5 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
             if best_score is None or score < best_score:
                 best_score = score
                 best_index = index
-        self._count_pricings(cached_before)
+        self._record_selection(candidates, candidates, cached_before)
         return best_index

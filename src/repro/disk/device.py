@@ -13,12 +13,42 @@ positioning oracle.
 
 from __future__ import annotations
 
-from typing import Optional
+import functools
+from typing import Optional, Tuple
 
 from repro.disk.geometry import DiskAddress, DiskGeometry
-from repro.disk.parameters import DiskParameters
+from repro.disk.parameters import DiskParameters, SeekCurve
 from repro.sim.device import StorageDevice
 from repro.sim.request import AccessResult, IOKind, Request
+
+
+@functools.lru_cache(maxsize=16)
+def seek_time_table(curve: SeekCurve, cylinders: int) -> Tuple[float, ...]:
+    """Dense seek-curve table (:meth:`SeekCurve.table`), memoized at module
+    level so every device built from the same curve — in this process or a
+    forked sweep worker — shares one array instead of growing a per-device
+    distance dict."""
+    return curve.table(cylinders)
+
+
+@functools.lru_cache(maxsize=16)
+def seek_lower_bounds(curve: SeekCurve, cylinders: int) -> Tuple[float, ...]:
+    """Monotone lower-bound envelope of the dense seek table.
+
+    ``seek_lower_bounds(curve, n)[d]`` is the cheapest seek at distance
+    ``>= d`` — an admissible bound on the full positioning delay of any
+    request ``d`` cylinders away (the exact estimate adds head-switch,
+    write-settle, and rotational latency on top, all non-negative).  The
+    suffix-min envelope makes the table monotone even if a curve's
+    sqrt/linear crossover dips, so a candidate walk ordered by cylinder
+    distance can stop at the first bucket whose bound exceeds the best
+    exact estimate.
+    """
+    bounds = list(seek_time_table(curve, cylinders))
+    for distance in range(cylinders - 2, -1, -1):
+        if bounds[distance] > bounds[distance + 1]:
+            bounds[distance] = bounds[distance + 1]
+    return tuple(bounds)
 
 
 class DiskDevice(StorageDevice):
@@ -42,11 +72,22 @@ class DiskDevice(StorageDevice):
         self._cylinder = 0
         self._surface = 0
         self._last_lbn = 0
-        # Seek times depend only on the (integer) cylinder distance, and the
-        # SPTF oracle prices every pending request at every dispatch, so a
-        # distance-keyed cache turns the seek-curve evaluation into a dict
-        # lookup.  ``None`` disables it (the uncached benchmark baseline).
-        self._seek_time_by_distance: Optional[dict] = {} if memoize else None
+        # Seek times depend only on the (integer) cylinder distance, so the
+        # whole curve collapses into one dense float array indexed by
+        # distance — cheaper than the distance-keyed dict it replaces, and
+        # shared across devices built from the same curve.  ``None``
+        # disables it (the uncached benchmark baseline).
+        self._curve_table: Optional[Tuple[float, ...]] = (
+            seek_time_table(params.seek_curve, params.cylinders)
+            if memoize
+            else None
+        )
+        #: Dense admissible per-cylinder-delta lower bounds on positioning
+        #: (see :func:`seek_lower_bounds`); built once per curve and shared
+        #: between devices.
+        self.positioning_lower_bounds = seek_lower_bounds(
+            params.seek_curve, params.cylinders
+        )
         self._memoize = memoize
 
     # -- StorageDevice interface ------------------------------------------- #
@@ -62,6 +103,22 @@ class DiskDevice(StorageDevice):
     @property
     def current_cylinder(self) -> int:
         return self._cylinder
+
+    def request_cylinder(self, request: Request) -> int:
+        """Cylinder of ``request``'s first segment — the pruning bucket key,
+        and exactly the cylinder :meth:`estimate_positioning` seeks to."""
+        return self.geometry.cylinder_of_lbn(request.lbn)
+
+    def positioning_lower_bound(self, request: Request, now: float = 0.0) -> float:
+        """Admissible lower bound on :meth:`estimate_positioning`.
+
+        The seek-curve envelope at the cylinder distance, ignoring
+        rotational latency, head switches, and write settle (all
+        non-negative add-ons in the exact estimate) — so it never exceeds
+        the exact estimate for the same (state, request, now) triple.
+        """
+        delta = self.geometry.cylinder_of_lbn(request.lbn) - self._cylinder
+        return self.positioning_lower_bounds[delta if delta >= 0 else -delta]
 
     def service(self, request: Request, now: float = 0.0) -> AccessResult:
         self.validate(request)
@@ -107,13 +164,10 @@ class DiskDevice(StorageDevice):
     # -- internals -------------------------------------------------------------- #
 
     def _curve_time(self, distance: int) -> float:
-        cache = self._seek_time_by_distance
-        if cache is None:
+        table = self._curve_table
+        if table is None:
             return self.params.seek_curve.time(distance)
-        time = cache.get(distance)
-        if time is None:
-            time = cache[distance] = self.params.seek_curve.time(distance)
-        return time
+        return table[distance]
 
     def _seek_time(self, from_cyl: int, target: DiskAddress, kind: IOKind) -> float:
         distance = abs(target.cylinder - from_cyl)

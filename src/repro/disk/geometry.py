@@ -111,6 +111,17 @@ class DiskGeometry:
         surface, sector = divmod(rem, spt)
         return DiskAddress(zone.first_cylinder + cyl_local, surface, sector)
 
+    def cylinder_of_lbn(self, lbn: int) -> int:
+        """Cylinder holding ``lbn`` — the first-segment cylinder of any
+        request starting there (``decompose(lbn).cylinder`` without
+        building the full address).  The SPTF pruning layer buckets
+        pending requests with this."""
+        zone_index = self.zone_of_lbn(lbn)
+        zone = self.params.zones[zone_index]
+        offset = lbn - self._zone_start_lbn[zone_index]
+        per_cylinder = zone.sectors_per_track * self.params.surfaces
+        return zone.first_cylinder + offset // per_cylinder
+
     def lbn(self, address: DiskAddress) -> int:
         """Inverse of :meth:`decompose`."""
         zone_index = self.zone_of_cylinder(address.cylinder)

@@ -63,6 +63,20 @@ class SeekCurve:
             return self.sqrt_coeff_a + self.sqrt_coeff_b * math.sqrt(distance)
         return self.linear_coeff_c + self.linear_coeff_e * distance
 
+    def table(self, cylinders: int) -> Tuple[float, ...]:
+        """Dense seek-time table: ``table(n)[d] == time(d)`` for every
+        cylinder distance ``d < n``.
+
+        Seek time is a pure function of the integer distance, so the whole
+        curve collapses into one flat array — the device model indexes it
+        on every exact seek evaluation instead of re-running the piecewise
+        fit, and the SPTF pruning layer derives its lower-bound envelope
+        from it.
+        """
+        if cylinders < 1:
+            raise ValueError(f"need at least one cylinder: {cylinders}")
+        return tuple(self.time(distance) for distance in range(cylinders))
+
 
 @dataclass(frozen=True)
 class DiskParameters:

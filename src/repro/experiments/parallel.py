@@ -91,6 +91,23 @@ if _env_jobs:
 # -- the pool map ------------------------------------------------------------- #
 
 
+def effective_workers(jobs: Optional[int], tasks: int) -> int:
+    """Worker-process count :func:`parallel_map` would actually use.
+
+    Resolves defaulted ``jobs``, caps at the task count and
+    :func:`available_parallelism`, and collapses to 1 when ``fork`` is
+    unavailable.  A result of 1 means the map runs sequentially in-process
+    — callers measuring parallel speedup (the benchmark harness) should
+    skip the redundant "parallel" leg entirely in that case rather than
+    timing a second sequential run and reporting its jitter as a speedup.
+    """
+    if tasks < 1:
+        return 0
+    if not fork_available():
+        return 1
+    return max(1, min(resolve_jobs(jobs), tasks, available_parallelism()))
+
+
 def parallel_map(
     point_fn: Callable,
     tasks: Sequence[Tuple],
@@ -108,9 +125,8 @@ def parallel_map(
     without any wall-clock benefit.
     """
     global _POINT_FN
-    jobs = resolve_jobs(jobs)
-    workers = min(jobs, len(tasks), available_parallelism())
-    if workers <= 1 or len(tasks) <= 1 or not fork_available():
+    workers = effective_workers(jobs, len(tasks))
+    if workers <= 1:
         return [point_fn(*task) for task in tasks]
     context = multiprocessing.get_context("fork")
     _POINT_FN = point_fn

@@ -25,7 +25,12 @@ from typing import Optional, Sequence, Tuple
 
 from repro.mems.geometry import MEMSGeometry
 from repro.mems.parameters import DEFAULT_PARAMETERS, MEMSParameters
-from repro.mems.seek import PositioningPlan, SeekPlanner, SledState
+from repro.mems.seek import (
+    PositioningPlan,
+    SeekPlanner,
+    SledState,
+    x_seek_lower_bounds,
+)
 from repro.sim.device import StorageDevice
 from repro.sim.request import AccessResult, Request
 
@@ -57,6 +62,7 @@ class _AccessPlan:
     boundary_time: float
     rows: int
     end_state: SledState
+    end_cylinder: int
     bits_accessed: int
 
     @property
@@ -103,8 +109,13 @@ class MEMSDevice(StorageDevice):
             y=self.geometry.row_span_y(0)[0],
             vy=0.0,
         )
+        self._cylinder = 0
         self._last_lbn = 0
         self._directions = (+1, -1) if self.params.bidirectional_access else (+1,)
+        #: Dense admissible per-cylinder-delta lower bounds on X seek +
+        #: settle (see :func:`repro.mems.seek.x_seek_lower_bounds`); built
+        #: once per parameter set and shared between devices.
+        self.positioning_lower_bounds = x_seek_lower_bounds(self.params)
 
     # -- StorageDevice interface ------------------------------------------ #
 
@@ -121,10 +132,35 @@ class MEMSDevice(StorageDevice):
         """Current mechanical state (read-only view)."""
         return self._state
 
+    @property
+    def current_cylinder(self) -> int:
+        """Cylinder the tips rest over (the sled parks on cylinder centers
+        between accesses)."""
+        return self._cylinder
+
+    def request_cylinder(self, request: Request) -> int:
+        """Cylinder of ``request``'s first segment — the pruning bucket key,
+        and exactly the cylinder :meth:`estimate_positioning` seeks to."""
+        return self.geometry.cylinder_of_lbn(request.lbn)
+
+    def positioning_lower_bound(self, request: Request, now: float = 0.0) -> float:
+        """Admissible lower bound on :meth:`estimate_positioning`.
+
+        Prices only the X component from the cylinder distance: the exact
+        positioning delay is ``max(x_seek + settle, y_seek)``, which the
+        dense :attr:`positioning_lower_bounds` table bounds from below
+        regardless of the sled's Y state.  Never exceeds the exact estimate
+        for the same (state, request) pair, so SPTF can skip any candidate
+        whose bound already exceeds the best exact price found.
+        """
+        delta = self.geometry.cylinder_of_lbn(request.lbn) - self._cylinder
+        return self.positioning_lower_bounds[delta if delta >= 0 else -delta]
+
     def service(self, request: Request, now: float = 0.0) -> AccessResult:
         self.validate(request)
         plan = self._best_plan(request)
         self._state = plan.end_state
+        self._cylinder = plan.end_cylinder
         self._last_lbn = request.last_lbn
         tracer = self.tracer
         if tracer.enabled:
@@ -314,6 +350,7 @@ class MEMSDevice(StorageDevice):
             boundary_time=boundary_time,
             rows=rows_total,
             end_state=end_state,
+            end_cylinder=current_cyl,
             bits_accessed=bits,
         )
 

@@ -121,6 +121,15 @@ class MEMSGeometry:
         row, slot = divmod(rem, self._sectors_per_row)
         return SectorAddress(cylinder, track, row, slot)
 
+    def cylinder_of_lbn(self, lbn: int) -> int:
+        """Cylinder holding ``lbn`` — the first-segment cylinder of any
+        request starting there.  One integer division; the SPTF pruning
+        layer buckets pending requests with this, so it deliberately skips
+        the full :meth:`decompose`."""
+        if not 0 <= lbn < self._capacity:
+            raise ValueError(f"LBN {lbn} outside device (0..{self._capacity - 1})")
+        return lbn // self._sectors_per_cylinder
+
     def lbn(self, address: SectorAddress) -> int:
         """Inverse of :meth:`decompose`."""
         if address.cylinder >= self.num_cylinders:

@@ -315,6 +315,15 @@ class MetricsTracer:
                 # Cumulative counters: keep the latest snapshot as gauges.
                 registry.set_gauge("sched.cache_hits", event["cache_hits"])
                 registry.set_gauge("sched.cache_misses", event["cache_misses"])
+            if "candidates_priced" in event:
+                # Per-dispatch pruning split: accumulate so the final
+                # priced/(priced+pruned) ratio summarizes the whole run.
+                registry.counter("sched.candidates_priced").inc(
+                    event["candidates_priced"]
+                )
+                registry.counter("sched.candidates_pruned").inc(
+                    event["candidates_pruned"]
+                )
         elif kind == "sim.end":
             end_time = event["t"]
             registry.set_gauge("end_time_s", end_time)

@@ -33,9 +33,11 @@ Event kinds emitted by the stack:
     inside ``positioning``; on disks ``positioning`` is seek + rotational
     latency).
 ``sched.dispatch``
-    The scheduler's pick, with the candidate-set size it scanned and — for
-    the estimate-caching SPTF variants — cumulative estimate-cache
-    hit/miss counters.
+    The scheduler's pick, with the candidate-set size it chose from and —
+    for the estimate-caching SPTF variants — cumulative estimate-cache
+    hit/miss counters plus the per-dispatch pruning split
+    (``candidates_priced``/``candidates_pruned``; always summing to
+    ``candidates``).
 
 Sinks: :class:`RingBufferTracer` (in-memory, bounded), :class:`JsonlTracer`
 (one JSON object per line, with a ``trace.meta`` header), :class:`TeeTracer`
@@ -79,8 +81,11 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
 """Required fields per event kind (beyond ``kind`` and ``t``).
 
 Emitters may add extra fields (``dev.access`` adds ``device`` and ``bits``;
-``sched.dispatch`` adds ``cache_hits``/``cache_misses`` on caching
-schedulers); the validator checks only for the required ones.
+``sched.dispatch`` adds ``cache_hits``/``cache_misses`` and
+``candidates_priced``/``candidates_pruned`` on the SPTF variants); the
+validator checks only for the required ones, plus the cross-field
+invariants it knows (``dev.access`` phase sums; ``candidates_priced +
+candidates_pruned == candidates`` when the pruning fields are present).
 """
 
 

@@ -8,8 +8,11 @@ Usage::
 Validation checks the ``trace.meta`` header, that every event carries
 ``kind``/``t`` with sane types, that required per-kind fields are present
 (:data:`repro.obs.tracer.EVENT_FIELDS`), that time never runs backwards,
-and that every ``dev.access`` event's serialized phases sum to its total
-(``positioning + transfer + turnarounds == total``).
+that every ``dev.access`` event's serialized phases sum to its total
+(``positioning + transfer + turnarounds == total``), and that every
+``sched.dispatch`` event carrying the lower-bound-pruning telemetry
+accounts for each candidate exactly once (``candidates_priced +
+candidates_pruned == candidates``).
 
 The diff mode compares two traces of (supposedly) the same scenario: it
 reports per-kind event-count deltas and the first event at which the two
@@ -82,6 +85,24 @@ def validate_events(events: Sequence[dict], source: str = "<trace>") -> List[str
                 errors.append(
                     f"{where}: dev.access phases sum to {serialized!r}, "
                     f"total is {total!r}"
+                )
+        elif kind == "sched.dispatch" and "candidates_priced" in event:
+            candidates = event["candidates"]
+            priced = event["candidates_priced"]
+            pruned = event.get("candidates_pruned")
+            if pruned is None:
+                errors.append(
+                    f"{where}: sched.dispatch has candidates_priced "
+                    f"without candidates_pruned"
+                )
+            elif (
+                priced < 0
+                or pruned < 0
+                or priced + pruned != candidates
+            ):
+                errors.append(
+                    f"{where}: sched.dispatch prices {priced} + prunes "
+                    f"{pruned} != {candidates} candidates"
                 )
     return errors
 

@@ -135,7 +135,12 @@ class SimConfig:
             (see :class:`repro.sim.engine.QueueOverflowError`).
         jobs: Worker-process count for sweep fan-out (``None`` = default).
         trace_path: When set, :meth:`run` writes a JSONL event trace here.
-        scheduler_params: Extra keyword arguments for the scheduler factory.
+        scheduler_params: Extra keyword arguments for the scheduler factory
+            (e.g. ``{"cache": False}`` or ``{"prune": False}`` for the SPTF
+            variants).  The dense seek/lower-bound tables the pruned SPTF
+            path indexes are memoized at module level on the (frozen)
+            device parameters, so sweep workers forked from one parent
+            share a single copy instead of rebuilding them per config.
         workload_params: Extra keyword arguments for the workload builder.
     """
 

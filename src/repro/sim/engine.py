@@ -58,8 +58,12 @@ class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects.
 
     Entries are stored as plain ``(time, kind, seq, payload)`` tuples so the
-    heap sifts compare in C instead of through the dataclass ``__lt__``; the
-    :class:`Event` object is materialized on :meth:`pop`.
+    heap sifts compare in C instead of through the dataclass ``__lt__``.
+    The run loop drains via :meth:`pop_raw`, which hands back the heap tuple
+    as-is — one event per simulated request completion/arrival makes the
+    dataclass construction in :meth:`pop` measurable, so the engine skips
+    it; :meth:`pop` stays as the public API for callers that want the typed
+    :class:`Event` view.
     """
 
     def __init__(self) -> None:
@@ -74,6 +78,10 @@ class EventQueue:
 
     def pop(self) -> Event:
         return Event(*heapq.heappop(self._heap))
+
+    def pop_raw(self) -> tuple:
+        """Remove and return the next ``(time, kind, seq, payload)`` tuple."""
+        return heapq.heappop(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -197,16 +205,16 @@ class Simulation:
             )
 
         while queue:
-            event = queue.pop()
-            if event.time < self.now - 1e-12:
+            time, kind, _seq, payload = queue.pop_raw()
+            if time < self.now - 1e-12:
                 raise RuntimeError(
-                    f"event time {event.time} precedes clock {self.now}"
+                    f"event time {time} precedes clock {self.now}"
                 )
-            self.now = max(self.now, event.time)
-            if event.kind is EventKind.ARRIVAL:
-                self._handle_arrival(event.payload, queue)
+            self.now = max(self.now, time)
+            if kind is EventKind.ARRIVAL:
+                self._handle_arrival(payload, queue)
             else:
-                self._handle_completion(event.payload, queue)
+                self._handle_completion(payload, queue)
 
         for observer in self.observers:
             observer.on_end(self.now)

@@ -13,6 +13,7 @@ from repro.disk.device import DiskDevice
 from repro.experiments.common import random_workload_sweep
 from repro.experiments.parallel import (
     available_parallelism,
+    effective_workers,
     fork_available,
     get_default_jobs,
     parallel_map,
@@ -76,6 +77,59 @@ class TestParallelMap:
 
     def test_available_parallelism_positive(self):
         assert available_parallelism() >= 1
+
+
+class TestEffectiveWorkers:
+    """``effective_workers`` must predict exactly when ``parallel_map``
+    falls back to the in-process loop, so harnesses timing "parallel vs
+    sequential" can skip the redundant leg instead of measuring jitter."""
+
+    def test_caps_at_task_count(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "available_parallelism", lambda: 8
+        )
+        assert parallel_module.effective_workers(4, tasks=2) == 2
+        assert parallel_module.effective_workers(4, tasks=100) == 4
+
+    def test_caps_at_machine_parallelism(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "available_parallelism", lambda: 1
+        )
+        assert parallel_module.effective_workers(8, tasks=100) == 1
+
+    def test_single_task_or_job_is_sequential(self):
+        assert effective_workers(8, tasks=1) == 1
+        assert effective_workers(1, tasks=100) == 1
+        assert effective_workers(None, tasks=100) >= 1
+
+    def test_no_tasks(self):
+        assert effective_workers(4, tasks=0) == 0
+
+    def test_resolves_default_jobs(self):
+        old = get_default_jobs()
+        try:
+            set_default_jobs(1)
+            assert effective_workers(None, tasks=100) == 1
+        finally:
+            set_default_jobs(old)
+
+    def test_matches_parallel_map_fallback(self, monkeypatch):
+        # Whenever effective_workers says 1, parallel_map must run the
+        # closure in-process (observable through shared mutable state).
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        tasks = [(1,), (2,), (3,)]
+        if effective_workers(1, len(tasks)) == 1:
+            parallel_map(record, tasks, jobs=1)
+            assert calls == [1, 2, 3]
 
 
 @pytest.mark.slow

@@ -123,11 +123,13 @@ class TestSchedulerTelemetry:
 
     def test_cache_hits_counted_between_dispatches(self):
         # Two selection passes over a stable queue: the second is all hits.
+        # prune=False isolates the cache layer — a full scan prices every
+        # candidate, so the counters are exact.
         from repro.core.scheduling import make_scheduler
         from repro.sim import make_device
 
         device = make_device("mems")
-        scheduler = make_scheduler("SPTF", device)
+        scheduler = make_scheduler("SPTF", device, prune=False)
         config = SimConfig(rate=800.0, num_requests=32)
         for request in config.build_requests(device):
             scheduler.add(request)
@@ -138,12 +140,38 @@ class TestSchedulerTelemetry:
         assert scheduler.cache_misses == 32
         assert scheduler.cache_hits == 32
 
+    def test_cache_hits_with_pruning_cover_repriced_subset(self):
+        # With pruning on, only the priced subset lands in the cache; a
+        # second pass over the unchanged queue re-prices the same subset
+        # from cache (the walk is deterministic for fixed device state).
+        from repro.core.scheduling import make_scheduler
+        from repro.sim import make_device
+
+        device = make_device("mems")
+        scheduler = make_scheduler("SPTF", device)
+        config = SimConfig(rate=800.0, num_requests=32)
+        for request in config.build_requests(device):
+            scheduler.add(request)
+        scheduler.select_index(0.0)
+        priced = scheduler.last_priced
+        assert 0 < priced < 32
+        assert scheduler.last_pruned == 32 - priced
+        assert scheduler.cache_misses == priced
+        assert scheduler.cache_hits == 0
+        scheduler.select_index(0.0)
+        assert scheduler.cache_misses == priced
+        assert scheduler.cache_hits == priced
+
     def test_candidate_counts_match_queue_depth(self):
         ring, _ = run_traced("mems", rate=1000.0, num_requests=400)
         for dispatch, sched in zip(
             ring.by_kind("sim.dispatch"), ring.by_kind("sched.dispatch")
         ):
             assert sched["candidates"] == dispatch["queue_depth"]
+            assert (
+                sched["candidates_priced"] + sched["candidates_pruned"]
+                == sched["candidates"]
+            )
 
     def test_fcfs_emits_dispatch_telemetry(self):
         ring, _ = run_traced(
