@@ -333,6 +333,38 @@ def _run_sptf_sweep_optimized(rates, num_requests):
     return time.perf_counter() - start, sweep
 
 
+LINT_BUDGET_S = 5.0
+"""CI-gate budget for the determinism linter over all of src/.
+
+The `lint` job runs `python -m repro.analysis src` on every PR; keeping the
+full-tree analysis under this bound keeps that gate effectively free.
+"""
+
+
+def bench_lint(budget_s: float = LINT_BUDGET_S) -> dict:
+    """Time `repro.analysis` over all of src/; raise if over ``budget_s``.
+
+    Run from the repo root so the allowlist's root-relative path patterns
+    line up (the harness passes absolute paths, relative to REPO_ROOT).
+    """
+    from repro.analysis import analyze_paths
+
+    start = time.perf_counter()
+    report = analyze_paths([str(REPO_ROOT / "src")], root=str(REPO_ROOT))
+    elapsed = time.perf_counter() - start
+    if elapsed > budget_s:
+        raise AssertionError(
+            f"repro.analysis took {elapsed:.2f}s on src/ "
+            f"(budget {budget_s:.1f}s) — the CI lint gate is no longer cheap"
+        )
+    return {
+        "files_analyzed": report.files_analyzed,
+        "findings": len(report.findings),
+        "elapsed_s": round(elapsed, 3),
+        "budget_s": budget_s,
+    }
+
+
 def collect(smoke: bool = False, jobs: int = 4) -> dict:
     from repro.experiments.parallel import available_parallelism
 
@@ -363,6 +395,9 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
         ),
+        # Smoke mode doubles as the CI guard that the static-analysis gate
+        # stays cheap: bench_lint raises if src/ takes > LINT_BUDGET_S.
+        "static_analysis": bench_lint(),
     }
     return report
 
@@ -409,6 +444,9 @@ def test_hotpath_smoke():
             # enforces it too).
             assert row["candidates_priced"] < row["candidates"]
     assert report["figure06_sweep"]["sequential_s"] > 0
+    lint = report["static_analysis"]
+    assert lint["files_analyzed"] > 0
+    assert lint["elapsed_s"] <= lint["budget_s"]
 
 
 def test_null_tracer_overhead():
@@ -450,6 +488,7 @@ def collect_smoke_subset() -> dict:
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),
+        "static_analysis": bench_lint(),
     }
 
 

@@ -78,6 +78,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"saturated: queue exceeded 10,000 pending requests at "
               f"{args.rate:g} req/s")
         return 1
+    except (ValueError, KeyError) as exc:
+        # Unknown scheduler/device/workload names: the registries raise
+        # with the component list and a did-you-mean suggestion — print
+        # that instead of a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     scheduler_name = SCHEDULERS.canonical_name(args.scheduler)
     print(f"{args.device} + {scheduler_name} @ {args.rate:g} req/s, "
           f"{args.requests} requests:")

@@ -1,0 +1,65 @@
+"""repro.analysis — AST-based determinism & invariant linter.
+
+The simulator's results are bit-deterministic only as long as a handful of
+coding conventions hold: every RNG is seeded, simulated code never reads
+the host clock, tracing sites stay behind ``tracer.enabled`` guards,
+component dispatch goes through the registries, time units don't silently
+mix, and frozen configs stay frozen.  This package machine-enforces those
+conventions over the Python ``ast``:
+
+* six project-specific rules (``R1``–``R6``, see
+  :mod:`repro.analysis.visitors` and ``docs/static-analysis.md``);
+* a rule registry built on :class:`repro.core.registry.Registry`
+  (:data:`~repro.analysis.rules.ANALYSIS_RULES`);
+* inline ``# repro: noqa[RULE]`` suppressions and a path-scoped allowlist
+  (:mod:`repro.analysis.suppress`);
+* a fingerprint-based baseline workflow and a CLI gate
+  (``python -m repro.analysis``) that exits nonzero on new findings;
+* a built-in known-good/known-bad fixture corpus (``--self-test``) so CI
+  notices when a rule itself regresses.
+
+Quickstart::
+
+    from repro.analysis import analyze_source
+
+    findings = analyze_source("import random\\nx = random.random()\\n")
+    assert findings[0].rule == "R1"
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import (
+    Baseline,
+    Finding,
+    Severity,
+    sort_findings,
+    split_new,
+)
+from repro.analysis.rules import ANALYSIS_RULES, Rule, all_rules
+from repro.analysis.selftest import FIXTURES, run_selftest
+from repro.analysis.suppress import DEFAULT_ALLOWLIST, path_allowlisted
+from repro.analysis.cli import main
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisReport",
+    "Baseline",
+    "DEFAULT_ALLOWLIST",
+    "FIXTURES",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "main",
+    "path_allowlisted",
+    "run_selftest",
+    "sort_findings",
+    "split_new",
+]

@@ -1,0 +1,186 @@
+"""``python -m repro.analysis`` — the determinism & invariant lint gate.
+
+Usage::
+
+    python -m repro.analysis [paths...]          # default: src (text report)
+    python -m repro.analysis --format json src
+    python -m repro.analysis --baseline lint-baseline.json src
+    python -m repro.analysis --write-baseline lint-baseline.json src
+    python -m repro.analysis --self-test         # fixture-corpus canary
+    python -m repro.analysis --list-rules
+
+Exit codes: 0 = clean (no new findings / self-test passed), 1 = new
+findings (or self-test failure), 2 = usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import AnalysisReport, analyze_paths
+from repro.analysis.findings import (
+    Baseline,
+    Finding,
+    REPORT_SCHEMA,
+    split_new,
+)
+from repro.analysis.rules import all_rules
+from repro.analysis.selftest import run_selftest
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if os.path.isdir("src") else ["."]
+
+
+def _render_text(
+    report: AnalysisReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    lines = [finding.render() for finding in new]
+    summary = (
+        f"{report.files_analyzed} files analyzed: "
+        f"{len(new)} new finding{'s' if len(new) != 1 else ''}"
+    )
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    if new:
+        by_rule: dict = {}
+        for finding in new:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        summary += " (" + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        ) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(
+    report: AnalysisReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "files_analyzed": report.files_analyzed,
+        "counts_by_rule": report.counts_by_rule(),
+        "new": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _cmd_list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.slug:<24} {rule.severity:<7}  "
+              f"{rule.description}")
+    return 0
+
+
+def _cmd_selftest() -> int:
+    failures = run_selftest()
+    if failures:
+        for failure in failures:
+            print(f"self-test FAIL: {failure}", file=sys.stderr)
+        print(f"{len(failures)} self-test failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all rule fixtures behave")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="AST-based determinism & invariant linter for the "
+        "simulator (rules R1-R6; see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="accepted-findings file; only findings not in it fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="snapshot current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--no-noqa",
+        action="store_true",
+        help="ignore inline '# repro: noqa' suppressions (audit mode)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in known-good/known-bad fixture corpus",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _cmd_list_rules()
+    if args.self_test:
+        return _cmd_selftest()
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro.analysis: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(
+            args.paths or _default_paths(),
+            root=args.root,
+            respect_noqa=not args.no_noqa,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(
+            f"baseline with {len(report.findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    new, baselined = split_new(report.findings, baseline)
+    if args.format == "json":
+        print(_render_json(report, new, baselined))
+    else:
+        print(_render_text(report, new, baselined))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

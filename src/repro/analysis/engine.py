@@ -1,0 +1,222 @@
+"""Analysis driver: file discovery, rule execution, suppression filtering.
+
+:func:`analyze_source` runs the rule set over one module's source text;
+:func:`analyze_paths` walks files/directories deterministically (sorted,
+skipping ``__pycache__`` and hidden directories) and aggregates an
+:class:`AnalysisReport`.  The engine owns everything rules shouldn't see:
+``# repro: noqa`` directives, the path allowlist, parse errors, and the
+occurrence numbering that keeps fingerprints unique.
+
+Two engine-level pseudo-rules surface in reports alongside R1–R6:
+
+* ``R0`` (*unknown-suppression*, warning) — a ``noqa[...]`` directive names
+  a rule that doesn't exist, so the suppression is dead and a typo cannot
+  silently disable checking;
+* ``E0`` (*parse-error*, error) — a file failed to parse; nothing in it was
+  analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.astutil import ModuleSource
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    assign_occurrences,
+    sort_findings,
+)
+from repro.analysis.rules import Rule, all_rules
+from repro.analysis.suppress import (
+    DEFAULT_ALLOWLIST,
+    Suppressions,
+    path_allowlisted,
+)
+from repro.core.registry import fold_name
+
+SKIP_DIR_NAMES = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+
+def _rule_tokens(rule: Rule) -> FrozenSet[str]:
+    return frozenset({fold_name(rule.id), fold_name(rule.slug)})
+
+
+def _known_tokens(rules: Sequence[Rule]) -> FrozenSet[str]:
+    tokens = set()
+    for rule in rules:
+        tokens |= _rule_tokens(rule)
+    return frozenset(tokens)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Tuple[str, ...]]] = None,
+    respect_noqa: bool = True,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one module's source.
+
+    ``path`` is both the display location and the allowlist matching key;
+    pass ``allowlist={}`` to disable path exemptions (the fixture tests do,
+    so known-bad snippets trigger regardless of their fake paths).
+    """
+    if rules is None:
+        rules = all_rules()
+    if allowlist is None:
+        allowlist = DEFAULT_ALLOWLIST
+    try:
+        module = ModuleSource.parse(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="E0",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                source_line=(exc.text or "").strip(),
+            )
+        ]
+
+    suppressions = Suppressions.scan(source, _known_tokens(rules))
+    findings: List[Finding] = []
+    for lineno, token in suppressions.unknown:
+        findings.append(
+            Finding(
+                rule="R0",
+                severity=Severity.WARNING,
+                path=path,
+                line=lineno,
+                col=0,
+                message=(
+                    f"noqa names unknown rule {token!r}; the suppression "
+                    f"has no effect"
+                ),
+                source_line=module.line_text(lineno),
+            )
+        )
+
+    for rule in rules:
+        if path_allowlisted(rule.id, path, allowlist):
+            continue
+        tokens = _rule_tokens(rule)
+        for node, message in rule.check(module):
+            lineno = getattr(node, "lineno", 1)
+            if respect_noqa and suppressions.suppresses(lineno, tokens):
+                continue
+            findings.append(
+                Finding(
+                    rule=rule.id,
+                    severity=rule.severity,
+                    path=path,
+                    line=lineno,
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    source_line=module.line_text(lineno),
+                )
+            )
+    return assign_occurrences(findings)
+
+
+def iter_python_files(
+    paths: Sequence[str], root: Optional[str] = None
+) -> List[Tuple[str, str]]:
+    """Resolve files/directories to sorted ``(abspath, display)`` pairs.
+
+    ``display`` is the path relative to ``root`` (default: the current
+    directory) with POSIX separators — the form fingerprints, allowlist
+    patterns, and reports all use.
+    """
+    if root is None:
+        root = os.getcwd()
+    root = os.path.abspath(root)
+
+    collected: List[str] = []
+    for path in paths:
+        absolute = os.path.abspath(path)
+        if os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if d not in SKIP_DIR_NAMES and not d.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(dirpath, filename))
+        elif absolute.endswith(".py") or os.path.isfile(absolute):
+            collected.append(absolute)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+    pairs = []
+    for absolute in collected:
+        display = os.path.relpath(absolute, root).replace(os.sep, "/")
+        pairs.append((absolute, display))
+    pairs.sort(key=lambda pair: pair[1])
+    return pairs
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Tuple[str, ...]]] = None,
+    respect_noqa: bool = True,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths``; deterministic order."""
+    if rules is None:
+        rules = all_rules()
+    report = AnalysisReport()
+    for absolute, display in iter_python_files(paths, root=root):
+        with open(absolute, "r", encoding="utf-8") as stream:
+            source = stream.read()
+        report.findings.extend(
+            analyze_source(
+                source,
+                path=display,
+                rules=rules,
+                allowlist=allowlist,
+                respect_noqa=respect_noqa,
+            )
+        )
+        report.files_analyzed += 1
+    report.findings = sort_findings(report.findings)
+    return report

@@ -1,0 +1,201 @@
+"""Finding and baseline types for the static-analysis framework.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: they sort deterministically (path, line, column, rule)
+so linter output is byte-stable across runs, and they carry a *fingerprint*
+that survives unrelated line-number churn — the baseline workflow matches
+findings across commits by fingerprint, not by position.
+
+The fingerprint hashes the rule id, the file's path relative to the
+analysis root, the *text* of the offending line, and an occurrence index
+(for several identical lines in one file).  Editing anything else in the
+file leaves the fingerprint unchanged; editing the flagged line itself
+makes the finding "new" again, which is exactly when a human should re-look.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
+"""Schema identifier written in every baseline file."""
+
+REPORT_SCHEMA = "repro-analysis/1"
+"""Schema identifier written in every ``--format json`` report."""
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break determinism or performance invariants the
+    simulator's results depend on; ``WARNING`` findings are convention
+    drift (dispatch ladders, unit-suffix mixing) that wants a human look.
+    Both fail the CI gate when new — the distinction is for readers.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule identifier (``R1`` .. ``R6``).
+        severity: See :class:`Severity`.
+        path: File path, relative to the analysis root, POSIX separators.
+        line: 1-based line number of the offending node.
+        col: 0-based column offset of the offending node.
+        message: Human-readable description of the violation.
+        source_line: The stripped text of the offending line (fingerprint
+            input and context for the text report).
+        occurrence: 0-based index among findings of the same rule with the
+            same ``source_line`` text in the same file (disambiguates
+            repeated identical lines in the fingerprint).
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Position-independent identity used by the baseline workflow."""
+        payload = "\x1f".join(
+            (self.rule, self.path, self.source_line, str(self.occurrence))
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        text = (
+            f"{self.location()}: {self.severity} [{self.rule}] {self.message}"
+        )
+        if self.source_line:
+            text += f"\n    {self.source_line}"
+        return text
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by file, position, then rule."""
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.occurrence)
+    )
+
+
+def assign_occurrences(findings: Sequence[Finding]) -> List[Finding]:
+    """Number findings that share (rule, path, source_line), in line order.
+
+    Keeps fingerprints unique when the same offending line appears several
+    times in one file.
+    """
+    ordered = sort_findings(findings)
+    seen: Dict[tuple, int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.source_line)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        if index != finding.occurrence:
+            finding = Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                source_line=finding.source_line,
+                occurrence=index,
+            )
+        out.append(finding)
+    return out
+
+
+@dataclass
+class Baseline:
+    """A set of accepted (grandfathered) finding fingerprints.
+
+    The gate workflow: ``--baseline FILE`` marks any finding whose
+    fingerprint appears in the file as *baselined*; only the remaining
+    findings count as new and fail the run.  ``--write-baseline`` snapshots
+    the current findings.  An empty baseline (the committed state of this
+    repository) means every finding fails.
+    """
+
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            fingerprints={
+                f.fingerprint: f"{f.rule} {f.location()}" for f in findings
+            }
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: baseline is not a JSON object")
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: baseline schema {schema!r} != {BASELINE_SCHEMA!r}"
+            )
+        fingerprints = payload.get("fingerprints", {})
+        if not isinstance(fingerprints, dict):
+            raise ValueError(f"{path}: 'fingerprints' is not an object")
+        return cls(fingerprints=dict(fingerprints))
+
+    def save(self, path: str) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+
+def split_new(
+    findings: Sequence[Finding], baseline: Optional[Baseline]
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition ``findings`` into (new, baselined) against ``baseline``."""
+    if baseline is None:
+        return list(findings), []
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding in baseline else new).append(finding)
+    return new, old

@@ -1,0 +1,73 @@
+"""Rule interface and registry for the static-analysis framework.
+
+Rules are registered in :data:`ANALYSIS_RULES` — the same
+:class:`repro.core.registry.Registry` machinery the simulator uses for
+schedulers and layouts — under their short id (``R1``) with their slug
+(``unseeded-rng``) as an alias, so ``# repro: noqa[R1]`` and
+``# repro: noqa[unseeded-rng]`` both resolve, case-insensitively.
+
+A rule is a class with metadata (id, slug, severity, description,
+rationale) and a ``check(module)`` generator that yields raw findings
+against a parsed :class:`~repro.analysis.engine.ModuleSource`.  Rules never
+see suppression comments or allowlists — the engine filters those — so a
+rule implementation stays a pure AST query.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple, Type
+
+from repro.analysis.findings import Severity
+from repro.core.registry import Registry
+
+ANALYSIS_RULES = Registry("analysis rule")
+"""String-keyed registry of :class:`Rule` subclasses (id + slug aliases)."""
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``check`` yields ``(node, message)`` pairs; the engine turns them into
+    :class:`~repro.analysis.findings.Finding` objects with the rule's id
+    and severity attached.
+    """
+
+    id: str = ""
+    slug: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, module: "ModuleSource") -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    @classmethod
+    def register(cls) -> Type["Rule"]:
+        """Add this rule class to :data:`ANALYSIS_RULES` (id + slug)."""
+        ANALYSIS_RULES.register(cls.id, cls, aliases=(cls.slug,))
+        return cls
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: ``@register_rule`` above a :class:`Rule` subclass."""
+    return cls.register()
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, in registration order.
+
+    Importing :mod:`repro.analysis.visitors` populates the registry; this
+    helper does that import so callers can't observe an empty registry.
+    """
+    import repro.analysis.visitors  # noqa: F401  (registration side effect)
+
+    return [ANALYSIS_RULES.create(rule_id) for rule_id in ANALYSIS_RULES]
+
+
+def known_rule_ids() -> List[str]:
+    """Canonical rule ids (``R1`` ..), in registration order."""
+    import repro.analysis.visitors  # noqa: F401  (registration side effect)
+
+    return ANALYSIS_RULES.names()

@@ -1,0 +1,230 @@
+"""Built-in fixture corpus and self-test mode.
+
+Each rule ships *known-bad* snippets (must produce at least one finding of
+that rule) and *known-good* snippets (must produce none).  The corpus runs
+in two places:
+
+* ``python -m repro.analysis --self-test`` — the CI gate's canary.  If a
+  rule regresses and stops firing on its known-bad fixture (or starts
+  firing on known-good code), the self-test exits nonzero and the ``lint``
+  job fails even though ``src/`` itself is clean.
+* ``tests/analysis/test_selftest.py`` — the same corpus under pytest, so
+  tier-1 runs it too.
+
+Snippets are analyzed with the allowlist disabled and a neutral path, so
+only the rule logic is under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.rules import all_rules
+
+
+@dataclass(frozen=True)
+class RuleFixtures:
+    """Known-bad and known-good snippets for one rule."""
+
+    bad: Tuple[str, ...]
+    good: Tuple[str, ...]
+
+
+FIXTURES: Dict[str, RuleFixtures] = {
+    "R1": RuleFixtures(
+        bad=(
+            "import random\n"
+            "rng = random.Random()\n",
+            "import random\n"
+            "value = random.randint(0, 7)\n",
+            "from random import shuffle\n"
+            "shuffle(items)\n",
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n",
+            "import random\n"
+            "rng = random.SystemRandom()\n",
+        ),
+        good=(
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "value = rng.randint(0, 7)\n",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(2000)\n",
+            "import random\n"
+            "def generate(rng: random.Random):\n"
+            "    return rng.random()\n",
+        ),
+    ),
+    "R2": RuleFixtures(
+        bad=(
+            "import time\n"
+            "def service(self, request):\n"
+            "    start = time.time()\n",
+            "from time import perf_counter\n"
+            "elapsed = perf_counter()\n",
+            "from datetime import datetime\n"
+            "stamp = datetime.now()\n",
+            "import time as clock\n"
+            "t0 = clock.monotonic()\n",
+        ),
+        good=(
+            "def service(self, request, now=0.0):\n"
+            "    return now + self.estimate(request)\n",
+            "import time\n"
+            "def pause():\n"
+            "    time.sleep(0.1)\n",
+        ),
+    ),
+    "R3": RuleFixtures(
+        bad=(
+            "def pop_next(self, now):\n"
+            "    self.tracer.emit({'kind': 'sched.dispatch', 't': now})\n",
+            "def run(tracer, now):\n"
+            "    tracer.emit({'kind': 'sim.start', 't': now})\n",
+            # Guard on a *different* tracer object does not count.
+            "def run(self, tracer, now):\n"
+            "    if self.tracer.enabled:\n"
+            "        tracer.emit({'kind': 'sim.start', 't': now})\n",
+            # A negated guard around the emit is not a guard.
+            "def run(tracer, now):\n"
+            "    if not tracer.enabled:\n"
+            "        tracer.emit({'kind': 'sim.start', 't': now})\n",
+        ),
+        good=(
+            "def run(tracer, now):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'sim.start', 't': now})\n",
+            "def pop_next(self, now):\n"
+            "    tracer = self.tracer\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'sched.dispatch', 't': now})\n",
+            "def trace(self, now):\n"
+            "    if not self.tracer.enabled:\n"
+            "        return\n"
+            "    self.tracer.emit({'kind': 'x', 't': now})\n",
+            "def run(tracer, now):\n"
+            "    if not tracer.enabled:\n"
+            "        pass\n"
+            "    else:\n"
+            "        tracer.emit({'kind': 'sim.start', 't': now})\n",
+        ),
+    ),
+    "R4": RuleFixtures(
+        bad=(
+            "def make(name, device):\n"
+            "    if name == 'fcfs':\n"
+            "        return FCFSScheduler()\n"
+            "    elif name == 'sptf':\n"
+            "        return SPTFScheduler(device)\n",
+            "def pick(layout):\n"
+            "    if layout in ('simple', 'columnar'):\n"
+            "        return 1\n"
+            "    elif layout == 'organ-pipe':\n"
+            "        return 2\n",
+        ),
+        good=(
+            "def make(name, device):\n"
+            "    return SCHEDULERS.create(name, device)\n",
+            # Event-kind dispatch is not component dispatch.
+            "def fold(event):\n"
+            "    kind = event['kind']\n"
+            "    if kind == 'sim.arrival':\n"
+            "        return 1\n"
+            "    elif kind == 'sim.complete':\n"
+            "        return 2\n",
+            # A single component-name comparison is a feature gate, not a
+            # dispatch ladder.
+            "def tune(name):\n"
+            "    if name == 'sptf':\n"
+            "        return {'cache': True}\n"
+            "    return {}\n",
+        ),
+    ),
+    "R5": RuleFixtures(
+        bad=(
+            "total = latency_ms + timeout_s\n",
+            "def over(budget_us, elapsed_ms):\n"
+            "    return elapsed_ms > budget_us\n",
+            "elapsed_s += delta_ms\n",
+        ),
+        good=(
+            "MS_PER_S = 1000.0\n"
+            "total_ms = latency_ms + timeout_s * MS_PER_S\n",
+            "total_s = wait_s + service_s\n",
+            "ratio = seek_ms / settle_ms\n",
+        ),
+    ),
+    "R6": RuleFixtures(
+        bad=(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Point:\n"
+            "    x: int = 0\n"
+            "    def shift(self):\n"
+            "        self.x = 1\n",
+            "def tune(config: SimConfig):\n"
+            "    config.rate = 900.0\n",
+            "def build():\n"
+            "    config = SimConfig(rate=800.0)\n"
+            "    config.seed = 7\n"
+            "    return config\n",
+        ),
+        good=(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Point:\n"
+            "    x: int = 0\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', abs(self.x))\n",
+            "def tune(config: SimConfig):\n"
+            "    return config.replace(rate=900.0)\n",
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Mutable:\n"
+            "    x: int = 0\n"
+            "    def shift(self):\n"
+            "        self.x = 1\n",
+        ),
+    ),
+}
+
+
+def run_selftest() -> List[str]:
+    """Run every fixture; return a list of failure descriptions (empty =
+    pass).  Bad snippets must yield >= 1 finding of their rule and no
+    findings of other rules are checked (rules may legitimately overlap);
+    good snippets must yield zero findings of their rule.
+    """
+    failures: List[str] = []
+    rules = all_rules()
+    rule_ids = {rule.id for rule in rules}
+    for rule_id in sorted(FIXTURES):
+        if rule_id not in rule_ids:
+            failures.append(f"{rule_id}: fixtures exist but rule is missing")
+            continue
+        fixtures = FIXTURES[rule_id]
+        for index, snippet in enumerate(fixtures.bad):
+            found = analyze_source(
+                snippet, path=f"<{rule_id}-bad-{index}>", allowlist={}
+            )
+            if not any(f.rule == rule_id for f in found):
+                failures.append(
+                    f"{rule_id} bad fixture #{index}: expected a {rule_id} "
+                    f"finding, got {[f.rule for f in found]}"
+                )
+        for index, snippet in enumerate(fixtures.good):
+            found = analyze_source(
+                snippet, path=f"<{rule_id}-good-{index}>", allowlist={}
+            )
+            hits = [f for f in found if f.rule == rule_id]
+            if hits:
+                failures.append(
+                    f"{rule_id} good fixture #{index}: unexpected "
+                    f"finding(s): {[f.message for f in hits]}"
+                )
+    for rule in rules:
+        if rule.id not in FIXTURES:
+            failures.append(f"{rule.id}: rule has no fixture coverage")
+    return failures

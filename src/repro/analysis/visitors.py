@@ -1,0 +1,708 @@
+"""The project-specific analysis rules (R1–R6).
+
+Each rule encodes a convention the simulator's reproducibility or
+performance depends on; ``docs/static-analysis.md`` gives the full
+rationale and examples for every rule.  Rules are pure AST queries over a
+:class:`~repro.analysis.astutil.ModuleSource`; suppression comments and the
+path allowlist are applied by the engine afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import (
+    ModuleSource,
+    ancestry,
+    dotted_origin,
+    enclosing_class,
+    enclosing_function,
+)
+from repro.analysis.findings import Severity
+from repro.analysis.rules import Rule, register_rule
+from repro.core.registry import fold_name
+
+RawFinding = Tuple[ast.AST, str]
+
+
+# --------------------------------------------------------------------------- #
+# R1 — unseeded / global RNG
+# --------------------------------------------------------------------------- #
+
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+_GLOBAL_NUMPY_FUNCS = frozenset(
+    {
+        "choice",
+        "exponential",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "seed",
+        "shuffle",
+        "uniform",
+    }
+)
+
+
+@register_rule
+class UnseededRNGRule(Rule):
+    """No unseeded RNG construction, no shared-global RNG calls.
+
+    Every stochastic component takes an explicit seed (``random.Random(seed)``)
+    so runs are bit-reproducible and sweep workers don't share hidden state.
+    """
+
+    id = "R1"
+    slug = "unseeded-rng"
+    severity = Severity.ERROR
+    description = "unseeded RNG construction or module-level random.* call"
+    rationale = (
+        "Figures 5-11 are reproducible because every random stream is "
+        "seeded per component; the process-global RNG breaks replay and "
+        "races across sweep workers."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = dotted_origin(node.func, module.imports)
+            if origin is None:
+                continue
+            unseeded = not node.args and not node.keywords
+            if origin in ("random.Random", "numpy.random.RandomState"):
+                if unseeded:
+                    yield node, (
+                        f"unseeded {origin}() — pass an explicit seed so "
+                        f"runs are reproducible"
+                    )
+            elif origin == "numpy.random.default_rng":
+                if unseeded:
+                    yield node, (
+                        "unseeded numpy.random.default_rng() — pass an "
+                        "explicit seed so runs are reproducible"
+                    )
+            elif origin == "random.SystemRandom":
+                yield node, (
+                    "random.SystemRandom is unseedable (OS entropy) and "
+                    "can never reproduce a run"
+                )
+            elif origin.startswith("random."):
+                func = origin.split(".", 1)[1]
+                if func in _GLOBAL_RANDOM_FUNCS:
+                    yield node, (
+                        f"{origin}() uses the process-global RNG; construct "
+                        f"random.Random(seed) and call it instead"
+                    )
+            elif origin.startswith("numpy.random."):
+                func = origin.rsplit(".", 1)[1]
+                if func in _GLOBAL_NUMPY_FUNCS:
+                    yield node, (
+                        f"{origin}() uses numpy's global RNG; use "
+                        f"numpy.random.default_rng(seed) instead"
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# R2 — wall-clock reads in simulated code
+# --------------------------------------------------------------------------- #
+
+_WALL_CLOCK_ORIGINS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.time",
+        "time.time_ns",
+        "datetime.date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock reads where time must be *simulated* time.
+
+    Device models, schedulers, and the engine operate on the simulation
+    clock (`now` parameters); reading the host clock couples results to
+    machine speed.  Wall-clock timing is legal only in the allowlisted
+    reporting paths (``experiments/runner.py``, benchmark harnesses).
+    """
+
+    id = "R2"
+    slug = "wall-clock"
+    severity = Severity.ERROR
+    description = "wall-clock read (time.time / monotonic / datetime.now)"
+    rationale = (
+        "Simulated components must be functions of the simulation clock "
+        "alone; host-clock reads make service times machine-dependent."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = dotted_origin(node.func, module.imports)
+            if origin in _WALL_CLOCK_ORIGINS:
+                yield node, (
+                    f"{origin}() reads the host clock inside simulated "
+                    f"code; use the simulation clock (`now`) or move the "
+                    f"timing to an allowlisted reporting path"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R3 — tracer.emit must be dominated by a tracer.enabled guard
+# --------------------------------------------------------------------------- #
+
+
+def _tracer_like(expr: ast.AST) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id == "tracer" or expr.id.endswith("tracer")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "tracer" or expr.attr.endswith("tracer")
+    return False
+
+
+def _not_depth(node: ast.AST, root: ast.AST) -> int:
+    """Number of ``not`` operators wrapping ``node`` inside ``root``."""
+    depth = 0
+    for child, parent in ancestry(node):
+        if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.Not):
+            depth += 1
+        if parent is root:
+            break
+    return depth
+
+
+def _enabled_polarity(test: ast.AST, base_dump: str) -> Tuple[bool, bool]:
+    """(has positive ``<base>.enabled``, has negated one) inside ``test``."""
+    positive = negative = False
+    for sub in ast.walk(test):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "enabled"
+            and ast.dump(sub.value) == base_dump
+        ):
+            if _not_depth(sub, test) % 2 == 0:
+                positive = True
+            else:
+                negative = True
+    return positive, negative
+
+
+def _is_early_exit_guard(stmt: ast.stmt, base_dump: str) -> bool:
+    """``if not <base>.enabled: return`` (or raise/continue/break)."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    _, negative = _enabled_polarity(stmt.test, base_dump)
+    if not negative:
+        return False
+    return bool(stmt.body) and isinstance(
+        stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _emit_is_guarded(call: ast.Call, base: ast.AST) -> bool:
+    base_dump = ast.dump(base)
+    for child, parent in ancestry(call):
+        if isinstance(parent, ast.If):
+            positive, negative = _enabled_polarity(parent.test, base_dump)
+            if child in parent.body and positive:
+                return True
+            if child in parent.orelse and negative:
+                return True
+        # An earlier `if not tracer.enabled: return` in any enclosing block
+        # dominates everything after it.
+        for block_name in ("body", "orelse", "finalbody"):
+            stmts = getattr(parent, block_name, None)
+            if isinstance(stmts, list) and child in stmts:
+                for prior in stmts[: stmts.index(child)]:
+                    if _is_early_exit_guard(prior, base_dump):
+                        return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Guards don't propagate across function boundaries: a helper
+            # that emits must re-check (callers checking for it is exactly
+            # the convention drift this rule exists to catch).
+            break
+    return False
+
+
+@register_rule
+class UnguardedTraceEmitRule(Rule):
+    """Every ``tracer.emit(...)`` must sit under a ``tracer.enabled`` guard.
+
+    The observability contract (PR 2) is that disabled tracing costs one
+    attribute load and a branch per site; an unguarded emit builds the
+    event dict unconditionally and silently re-slows the dispatch hot loop
+    PR 1–3 optimized.
+    """
+
+    id = "R3"
+    slug = "unguarded-trace-emit"
+    severity = Severity.ERROR
+    description = "tracer.emit(...) not dominated by a tracer.enabled guard"
+    rationale = (
+        "The null tracer's cost model (one branch per site) only holds "
+        "when emission sites are guarded; see docs/observability.md."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            if not _tracer_like(func.value):
+                continue
+            if not _emit_is_guarded(node, func.value):
+                yield node, (
+                    "tracer.emit() without a dominating tracer.enabled "
+                    "guard — the event dict is built even when tracing is "
+                    "off (guard it: `if tracer.enabled: tracer.emit(...)`)"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R4 — string-dispatch ladders where a registry exists
+# --------------------------------------------------------------------------- #
+
+_FALLBACK_COMPONENT_KEYS: Dict[str, str] = {
+    key: kind
+    for kind, keys in {
+        "scheduler": ("fcfs", "sstflbn", "sstf", "clook", "scan", "sptf",
+                      "asptf", "sxtf"),
+        "layout": ("simple", "organpipe", "columnar"),
+        "device": ("mems", "atlas10k", "disk"),
+        "workload": ("random", "uniform", "cello", "tpcc"),
+    }.items()
+    for key in keys
+}
+
+_component_keys_cache: Optional[Dict[str, str]] = None
+
+
+def component_name_keys() -> Dict[str, str]:
+    """Folded component-name lookup keys -> registry kind.
+
+    Sourced live from the four registries so a newly registered scheduler
+    is recognized without touching this rule; falls back to a pinned
+    snapshot if the registries can't be imported (e.g. numpy missing).
+    """
+    global _component_keys_cache
+    if _component_keys_cache is None:
+        keys: Dict[str, str] = {}
+        try:
+            from repro.core.layout import LAYOUTS
+            from repro.core.scheduling import SCHEDULERS
+            from repro.sim.config import DEVICES, WORKLOADS
+        except Exception:  # pragma: no cover - import-degraded environment
+            keys = dict(_FALLBACK_COMPONENT_KEYS)
+        else:
+            for registry in (SCHEDULERS, LAYOUTS, DEVICES, WORKLOADS):
+                for key in registry.registered_keys():
+                    keys.setdefault(key, registry.kind)
+        _component_keys_cache = keys
+    return _component_keys_cache
+
+
+def _dispatch_test(test: ast.AST) -> Optional[Tuple[str, List[str]]]:
+    """(subject dump, string literals) for ``x == "lit"`` / ``x in (...)``."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    op = test.ops[0]
+    comparator = test.comparators[0]
+    if isinstance(op, ast.Eq):
+        if isinstance(comparator, ast.Constant) and isinstance(
+            comparator.value, str
+        ):
+            return ast.dump(test.left), [comparator.value]
+        return None
+    if isinstance(op, ast.In) and isinstance(
+        comparator, (ast.Tuple, ast.List, ast.Set)
+    ):
+        literals = []
+        for element in comparator.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            literals.append(element.value)
+        return ast.dump(test.left), literals
+    return None
+
+
+@register_rule
+class RegistryDispatchRule(Rule):
+    """No if/elif ladders over component names that a registry already owns.
+
+    PR 2 replaced every scheduler/layout/device/workload name ladder with
+    registry lookup; a new ladder re-forks the component list and won't see
+    components registered later.
+    """
+
+    id = "R4"
+    slug = "registry-string-dispatch"
+    severity = Severity.WARNING
+    description = "if/elif string dispatch over registered component names"
+    rationale = (
+        "SCHEDULERS/LAYOUTS/DEVICES/WORKLOADS are the single source of "
+        "truth for component names; ladders drift out of sync with them."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        keys = component_name_keys()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.If):
+                continue
+            parent = getattr(node, "_repro_parent", None)
+            if isinstance(parent, ast.If) and parent.orelse == [node]:
+                continue  # elif link; the chain head reports once
+            tests: List[ast.AST] = []
+            chain = node
+            while True:
+                tests.append(chain.test)
+                if len(chain.orelse) == 1 and isinstance(
+                    chain.orelse[0], ast.If
+                ):
+                    chain = chain.orelse[0]
+                else:
+                    break
+            if len(tests) < 2:
+                continue
+            by_subject: Dict[str, List[str]] = {}
+            subject_arms: Dict[str, int] = {}
+            for test in tests:
+                parsed = _dispatch_test(test)
+                if parsed is None:
+                    continue
+                subject, literals = parsed
+                by_subject.setdefault(subject, []).extend(literals)
+                subject_arms[subject] = subject_arms.get(subject, 0) + 1
+            for subject, literals in by_subject.items():
+                if subject_arms[subject] < 2:
+                    continue
+                matched = sorted(
+                    {
+                        literal
+                        for literal in literals
+                        if fold_name(literal) in keys
+                    }
+                )
+                if len(matched) >= 2:
+                    kinds = sorted(
+                        {keys[fold_name(literal)] for literal in matched}
+                    )
+                    yield node, (
+                        f"if/elif dispatch on {kinds[0]} names "
+                        f"({', '.join(matched)}) — resolve through the "
+                        f"component registry instead (see "
+                        f"repro.core.registry)"
+                    )
+                    break
+
+
+# --------------------------------------------------------------------------- #
+# R5 — unit-suffix hygiene
+# --------------------------------------------------------------------------- #
+
+_UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_seconds", "s"),
+    ("_secs", "s"),
+    ("_sec", "s"),
+    ("_usec", "us"),
+    ("_msec", "ms"),
+    ("_nsec", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_ns", "ns"),
+    ("_s", "s"),
+)
+
+
+def _unit_of_identifier(name: str) -> Optional[str]:
+    for suffix, unit in _UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return unit
+    return None
+
+
+def _operand_unit(node: ast.AST) -> Tuple[Optional[str], str]:
+    """(unit, identifier) carried by a *leaf* operand.
+
+    Only bare names and attributes carry a unit; any compound expression
+    (a multiplication by a conversion constant, a call) is treated as
+    unit-unknown, which is exactly the documented escape hatch:
+    ``latency_ms + timeout_s * MS_PER_S`` does not flag.
+    """
+    while isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    if isinstance(node, ast.Name):
+        return _unit_of_identifier(node.id), node.id
+    if isinstance(node, ast.Attribute):
+        return _unit_of_identifier(node.attr), node.attr
+    return None, ""
+
+
+@register_rule
+class UnitSuffixMixRule(Rule):
+    """Additive arithmetic must not mix ``*_s`` / ``*_ms`` / ``*_us`` names.
+
+    The codebase stores times in seconds and converts at the edges; adding
+    a ``_ms`` quantity to a ``_s`` quantity without a visible conversion is
+    the classic silent 1000x bug.
+    """
+
+    id = "R5"
+    slug = "unit-suffix-mix"
+    severity = Severity.WARNING
+    description = "arithmetic mixes different time-unit suffixes"
+    rationale = (
+        "Mixed-unit addition/comparison is a silent 1000x error; an "
+        "explicit conversion factor (e.g. `* MS_PER_S`) both fixes and "
+        "unflags it."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        for node in ast.walk(module.tree):
+            pairs: List[Tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.target, node.value))
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(
+                    node.ops[0],
+                    (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq),
+                ):
+                    pairs.append((node.left, node.comparators[0]))
+            for left, right in pairs:
+                left_unit, left_name = _operand_unit(left)
+                right_unit, right_name = _operand_unit(right)
+                if (
+                    left_unit is not None
+                    and right_unit is not None
+                    and left_unit != right_unit
+                ):
+                    yield node, (
+                        f"mixes `{left_name}` ({left_unit}) with "
+                        f"`{right_name}` ({right_unit}) without an explicit "
+                        f"conversion constant"
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# R6 — attribute assignment to frozen dataclasses
+# --------------------------------------------------------------------------- #
+
+KNOWN_FROZEN_CLASSES = frozenset(
+    {
+        "AccessResult",
+        "DiskParameters",
+        "MEMSParameters",
+        "Request",
+        "SeekCurve",
+        "SimConfig",
+        "Zone",
+    }
+)
+"""Frozen value types other modules construct; assignment through a local
+variable of one of these types is flagged even though the class definition
+lives in another file."""
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value.rsplit(".", 1)[-1]
+    return None
+
+
+def _assign_targets(node: ast.stmt) -> List[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+@register_rule
+class FrozenMutationRule(Rule):
+    """No attribute assignment to frozen dataclass instances.
+
+    ``SimConfig`` and the device parameter sets are frozen so they hash,
+    share across sweep workers, and key the module-level seek-table caches;
+    a setattr would either raise at runtime or (via ``object.__setattr__``)
+    silently invalidate those caches.  Mutation is legal only in
+    ``__post_init__`` via ``object.__setattr__``.
+    """
+
+    id = "R6"
+    slug = "frozen-mutation"
+    severity = Severity.ERROR
+    description = "attribute assignment to a frozen dataclass instance"
+    rationale = (
+        "Frozen configs/parameter sets key module-level caches and cross "
+        "process boundaries; use .replace(...) to derive a changed copy."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        frozen_here: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node):
+                frozen_here.add(node.name)
+        frozen_names = frozen_here | KNOWN_FROZEN_CLASSES
+
+        # (a) self.<attr> = ... inside a frozen dataclass body.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            for target in _assign_targets(node):
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                cls = enclosing_class(target)
+                if cls is None or cls.name not in frozen_here:
+                    continue
+                if not _is_frozen_dataclass(cls):
+                    continue
+                function = enclosing_function(target)
+                if function is not None and function.name == "__post_init__":
+                    continue
+                yield node, (
+                    f"assignment to self.{target.attr} inside frozen "
+                    f"dataclass {cls.name}; use object.__setattr__ in "
+                    f"__post_init__ or redesign the field"
+                )
+
+        # (b) mutation through a local variable of known-frozen type.
+        for function in ast.walk(module.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            local_types: Dict[str, str] = {}
+            args = function.args
+            for arg in (
+                list(getattr(args, "posonlyargs", []))
+                + args.args
+                + args.kwonlyargs
+            ):
+                cls = _annotation_class(arg.annotation)
+                if cls in frozen_names and arg.arg != "self":
+                    local_types[arg.arg] = cls
+            for node in ast.walk(function):
+                if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call
+                ):
+                    func = node.value.func
+                    cls = (
+                        func.id
+                        if isinstance(func, ast.Name)
+                        else func.attr
+                        if isinstance(func, ast.Attribute)
+                        else None
+                    )
+                    if cls in frozen_names:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                local_types[target.id] = cls
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    cls = _annotation_class(node.annotation)
+                    if cls in frozen_names:
+                        local_types[node.target.id] = cls
+            for node in ast.walk(function):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                for target in _assign_targets(node):
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in local_types
+                    ):
+                        cls = local_types[target.value.id]
+                        yield node, (
+                            f"assignment to {target.value.id}."
+                            f"{target.attr} mutates frozen dataclass "
+                            f"{cls}; use {target.value.id}.replace(...) "
+                            f"or dataclasses.replace"
+                        )

@@ -80,11 +80,10 @@ def make_layout(name: str, device: Optional[object] = None) -> Layout:
     """
     try:
         factory = LAYOUTS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown layout: {name!r}; registered: "
-            f"{', '.join(LAYOUTS.names())}"
-        ) from None
+    except KeyError as exc:
+        # Reuse the registry's message: it lists registered names and adds
+        # a did-you-mean suggestion for near-miss spellings.
+        raise ValueError(exc.args[0]) from None
     return factory(device)
 
 

@@ -16,7 +16,8 @@ spellings at call sites without multiplying alias tables.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Mapping, Optional
+import difflib
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 
 def fold_name(name: str) -> str:
@@ -24,7 +25,7 @@ def fold_name(name: str) -> str:
     return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
 
 
-class Registry(Mapping):
+class Registry(Mapping[str, Callable[..., Any]]):
     """A mapping of canonical component names to factory callables.
 
     Args:
@@ -39,7 +40,7 @@ class Registry(Mapping):
     ) -> None:
         self.kind = kind
         self._normalize = normalize
-        self._factories: Dict[str, Callable] = {}
+        self._factories: Dict[str, Callable[..., Any]] = {}
         self._canonical: Dict[str, str] = {}
 
     # -- registration ------------------------------------------------------ #
@@ -47,10 +48,10 @@ class Registry(Mapping):
     def register(
         self,
         name: str,
-        factory: Optional[Callable] = None,
+        factory: Optional[Callable[..., Any]] = None,
         *,
-        aliases: tuple = (),
-    ) -> Callable:
+        aliases: Tuple[str, ...] = (),
+    ) -> Callable[..., Any]:
         """Register ``factory`` under ``name`` (and ``aliases``).
 
         Usable directly (``registry.register("FCFS", make_fcfs)``) or as a
@@ -71,7 +72,7 @@ class Registry(Mapping):
 
     # -- lookup ------------------------------------------------------------ #
 
-    def create(self, name: str, *args, **kwargs):
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Instantiate the component registered under ``name``."""
         return self[name](*args, **kwargs)
 
@@ -84,21 +85,47 @@ class Registry(Mapping):
 
     def names(self) -> List[str]:
         """Canonical display names, in registration order (no aliases)."""
-        seen = []
+        seen: List[str] = []
         for canonical in self._canonical.values():
             if canonical not in seen:
                 seen.append(canonical)
         return seen
 
-    def _unknown(self, name: str) -> str:
-        return (
-            f"unknown {self.kind}: {name!r}; registered: "
-            f"{', '.join(self.names())}"
+    def registered_keys(self) -> List[str]:
+        """Every normalized lookup key, aliases included, sorted.
+
+        The static-analysis rules use this to recognize component-name
+        string literals without hard-coding the component list.
+        """
+        return sorted(self._factories)
+
+    def suggest(self, name: str) -> Optional[str]:
+        """The closest registered display name to a misspelled ``name``.
+
+        Lookup is already spelling-tolerant to separators and case (see
+        :func:`fold_name`); this catches the next tier of typos —
+        transposed or dropped letters (``spft`` -> ``SPTF``) — so error
+        messages can say *did you mean*.  Returns ``None`` when nothing is
+        plausibly close.
+        """
+        key = self._normalize(name)
+        matches = difflib.get_close_matches(
+            key, list(self._factories), n=1, cutoff=0.6
         )
+        if not matches:
+            return None
+        return self._canonical[matches[0]]
+
+    def _unknown(self, name: str) -> str:
+        message = f"unknown {self.kind}: {name!r}"
+        suggestion = self.suggest(name)
+        if suggestion is not None:
+            message += f" (did you mean {suggestion!r}?)"
+        return message + f"; registered: {', '.join(self.names())}"
 
     # -- Mapping interface ------------------------------------------------- #
 
-    def __getitem__(self, name: str) -> Callable:
+    def __getitem__(self, name: str) -> Callable[..., Any]:
         try:
             return self._factories[self._normalize(name)]
         except KeyError:

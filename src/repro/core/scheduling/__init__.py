@@ -130,11 +130,10 @@ def make_scheduler(
         kwargs["sectors_per_cylinder"] = sectors_per_cylinder
     try:
         factory = SCHEDULERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler: {name!r}; registered: "
-            f"{', '.join(SCHEDULERS.names())}"
-        ) from None
+    except KeyError as exc:
+        # Reuse the registry's message: it lists registered names and adds
+        # a did-you-mean suggestion for near-miss spellings.
+        raise ValueError(exc.args[0]) from None
     return factory(device, **kwargs)
 
 

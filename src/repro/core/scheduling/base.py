@@ -15,7 +15,7 @@ device firmware — §2.4.10).
 from __future__ import annotations
 
 import abc
-from typing import List
+from typing import Any, Dict, List
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.request import Request
@@ -56,15 +56,22 @@ class Scheduler(abc.ABC):
         raise NotImplementedError
 
     def _trace_dispatch(self, now: float, candidates: int) -> None:
-        """Emit one ``sched.dispatch`` event (call only when tracing is on).
+        """Emit one ``sched.dispatch`` event.
 
-        ``candidates`` is the pending-queue size the selection chose from
-        (pruning schedulers may price only a subset of them and report the
-        split via ``candidates_priced``/``candidates_pruned``).  Subclasses
-        with extra telemetry override :meth:`_dispatch_telemetry` rather
-        than this method.
+        Re-checks ``tracer.enabled`` itself, so the emit stays guarded even
+        if a caller forgets the hot-path short-circuit (callers still check
+        before calling to keep the untraced path at one branch, with no
+        method call).  ``candidates`` is the pending-queue size the
+        selection chose from (pruning schedulers may price only a subset of
+        them and report the split via
+        ``candidates_priced``/``candidates_pruned``).  Subclasses with
+        extra telemetry override :meth:`_dispatch_telemetry` rather than
+        this method.
         """
-        event = {
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        event: Dict[str, Any] = {
             "kind": "sched.dispatch",
             "t": now,
             "scheduler": self.name,
@@ -73,9 +80,9 @@ class Scheduler(abc.ABC):
         extra = self._dispatch_telemetry()
         if extra:
             event.update(extra)
-        self.tracer.emit(event)
+        tracer.emit(event)
 
-    def _dispatch_telemetry(self) -> dict:
+    def _dispatch_telemetry(self) -> Dict[str, Any]:
         """Extra fields for ``sched.dispatch`` events (e.g. cache counters)."""
         return {}
 

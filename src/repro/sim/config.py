@@ -54,11 +54,10 @@ def make_device(name: str) -> "StorageDevice":
     """Build a registered device model by name."""
     try:
         factory = DEVICES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown device: {name!r}; registered: "
-            f"{', '.join(DEVICES.names())}"
-        ) from None
+    except KeyError as exc:
+        # Reuse the registry's message: it lists registered names and adds
+        # a did-you-mean suggestion for near-miss spellings.
+        raise ValueError(exc.args[0]) from None
     return factory()
 
 

@@ -1,0 +1,145 @@
+"""CLI gate behavior: exit codes, formats, baseline flags, self-test."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import main
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+BAD = "import random\nx = random.random()\n"
+CLEAN = "import random\nrng = random.Random(42)\nx = rng.random()\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        assert "0 new findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_file, capsys):
+        code = main([str(bad_file), "--root", str(bad_file.parent)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out
+        assert "[R1]" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main([str(tmp_path / "absent"), "--root", str(tmp_path)])
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, bad_file, tmp_path, capsys):
+        code = main(
+            [
+                str(bad_file),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 2
+
+
+class TestFormats:
+    def test_text_summary_counts_by_rule(self, bad_file, capsys):
+        main([str(bad_file), "--root", str(bad_file.parent)])
+        out = capsys.readouterr().out
+        assert "1 new finding (R1: 1)" in out
+
+    def test_json_schema_and_payload(self, bad_file, capsys):
+        code = main(
+            [str(bad_file), "--root", str(bad_file.parent), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-analysis/1"
+        assert payload["files_analyzed"] == 1
+        assert payload["counts_by_rule"] == {"R1": 1}
+        (finding,) = payload["new"]
+        assert finding["rule"] == "R1"
+        assert finding["path"] == "bad.py"
+        assert finding["fingerprint"]
+        assert payload["baselined"] == []
+
+
+class TestBaselineFlags:
+    def test_write_then_gate(self, bad_file, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        root = str(bad_file.parent)
+        assert (
+            main(
+                [
+                    str(bad_file),
+                    "--root",
+                    root,
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        code = main(
+            [str(bad_file), "--root", root, "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_fails(self, bad_file, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        root = str(bad_file.parent)
+        main([str(bad_file), "--root", root, "--write-baseline", str(baseline)])
+        bad_file.write_text(BAD + "import time\nt = time.time()\n")
+        code = main(
+            [str(bad_file), "--root", root, "--baseline", str(baseline)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[R2]" in out
+        assert "1 baselined" in out
+
+
+class TestNoqaFlag:
+    def test_no_noqa_audit_mode(self, tmp_path, capsys):
+        target = tmp_path / "sup.py"
+        target.write_text(
+            "import random\nx = random.random()  # repro: noqa[R1]\n"
+        )
+        assert main([str(target), "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main([str(target), "--root", str(tmp_path), "--no-noqa"]) == 1
+
+
+class TestIntrospection:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+        assert "unseeded-rng" in out
+
+    def test_self_test_passes(self, capsys):
+        assert main(["--self-test"]) == 0
+        assert "self-test" in capsys.readouterr().out
+
+
+class TestAcceptance:
+    def test_src_tree_is_clean(self, capsys):
+        """The shipped tree passes its own gate with an empty baseline."""
+        src = os.path.join(REPO_ROOT, "src")
+        code = main([src, "--root", REPO_ROOT])
+        out = capsys.readouterr().out
+        assert code == 0, f"lint gate failed on src/:\n{out}"
+        assert "0 new findings" in out

@@ -1,0 +1,158 @@
+"""Engine behavior: file discovery, parse errors, fingerprints, reports."""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import (
+    Baseline,
+    Finding,
+    Severity,
+    assign_occurrences,
+    split_new,
+)
+
+
+class TestIterPythonFiles:
+    def _make_tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        (tmp_path / ".hidden" / "c.py").write_text("x = 1\n")
+        return tmp_path
+
+    def test_sorted_and_filtered(self, tmp_path):
+        root = self._make_tree(tmp_path)
+        pairs = iter_python_files([str(root)], root=str(root))
+        assert [display for _, display in pairs] == ["pkg/a.py", "pkg/b.py"]
+
+    def test_deterministic_across_calls(self, tmp_path):
+        root = self._make_tree(tmp_path)
+        first = iter_python_files([str(root)], root=str(root))
+        second = iter_python_files([str(root)], root=str(root))
+        assert first == second
+
+    def test_explicit_file(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        pairs = iter_python_files([str(target)], root=str(tmp_path))
+        assert [display for _, display in pairs] == ["one.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([str(tmp_path / "nope")], root=str(tmp_path))
+
+    def test_display_paths_are_posix(self, tmp_path):
+        root = self._make_tree(tmp_path)
+        for _, display in iter_python_files([str(root)], root=str(root)):
+            assert os.sep == "/" or "\\" not in display
+
+
+class TestParseError:
+    def test_syntax_error_becomes_e0(self):
+        findings = analyze_source("def broken(:\n", path="bad.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "E0"
+        assert finding.severity is Severity.ERROR
+        assert finding.path == "bad.py"
+        assert "does not parse" in finding.message
+
+    def test_parse_error_does_not_abort_the_run(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "good.py").write_text("import random\nx = random.random()\n")
+        report = analyze_paths([str(tmp_path)], root=str(tmp_path), allowlist={})
+        assert report.files_analyzed == 2
+        assert sorted(f.rule for f in report.findings) == ["E0", "R1"]
+
+
+class TestFingerprints:
+    SOURCE = "import random\nx = random.random()\n"
+
+    def test_stable_under_line_shift(self):
+        shifted = "# a new leading comment\n\n" + self.SOURCE
+        original = analyze_source(self.SOURCE, path="m.py", allowlist={})
+        moved = analyze_source(shifted, path="m.py", allowlist={})
+        assert [f.rule for f in original] == [f.rule for f in moved] == ["R1"]
+        assert original[0].line != moved[0].line
+        assert original[0].fingerprint == moved[0].fingerprint
+
+    def test_changes_when_line_edited(self):
+        edited = "import random\nx = random.random() + 1\n"
+        original = analyze_source(self.SOURCE, path="m.py", allowlist={})
+        changed = analyze_source(edited, path="m.py", allowlist={})
+        assert original[0].fingerprint != changed[0].fingerprint
+
+    def test_changes_with_path(self):
+        a = analyze_source(self.SOURCE, path="a.py", allowlist={})
+        b = analyze_source(self.SOURCE, path="b.py", allowlist={})
+        assert a[0].fingerprint != b[0].fingerprint
+
+    def test_identical_lines_disambiguated_by_occurrence(self):
+        source = (
+            "import random\n"
+            "x = random.random()\n"
+            "x = random.random()\n"
+        )
+        findings = analyze_source(source, path="m.py", allowlist={})
+        assert [f.occurrence for f in findings] == [0, 1]
+        assert len({f.fingerprint for f in findings}) == 2
+
+
+class TestBaselineWorkflow:
+    def test_round_trip(self, tmp_path):
+        findings = analyze_source(
+            "import random\nx = random.random()\n", path="m.py", allowlist={}
+        )
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(str(path))
+        loaded = Baseline.load(str(path))
+        new, baselined = split_new(findings, loaded)
+        assert new == []
+        assert baselined == findings
+
+    def test_new_findings_are_not_baselined(self, tmp_path):
+        old = analyze_source(
+            "import random\nx = random.random()\n", path="m.py", allowlist={}
+        )
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(old).save(str(path))
+        grown = analyze_source(
+            "import random, time\n"
+            "x = random.random()\n"
+            "t = time.time()\n",
+            path="m.py",
+            allowlist={},
+        )
+        new, baselined = split_new(grown, Baseline.load(str(path)))
+        assert [f.rule for f in new] == ["R2"]
+        assert [f.rule for f in baselined] == ["R1"]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema": "something-else/9", "fingerprints": {}}\n')
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+class TestReport:
+    def test_counts_and_severity_split(self):
+        findings = [
+            Finding("R1", Severity.ERROR, "a.py", 1, 0, "m"),
+            Finding("R1", Severity.ERROR, "b.py", 1, 0, "m"),
+            Finding("R5", Severity.WARNING, "a.py", 2, 0, "m"),
+        ]
+        report = AnalysisReport(findings=assign_occurrences(findings), files_analyzed=2)
+        assert report.counts_by_rule() == {"R1": 2, "R5": 1}
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1

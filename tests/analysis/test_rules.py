@@ -1,0 +1,260 @@
+"""Per-rule behavior tests beyond the built-in fixture corpus.
+
+Every rule also has at least one failing and one passing fixture in
+``repro.analysis.selftest.FIXTURES`` (exercised by ``test_selftest.py``);
+the cases here pin the trickier resolution and guard-domination behavior.
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+
+
+def rules_hit(source, path="<test>"):
+    return [f.rule for f in analyze_source(source, path=path, allowlist={})]
+
+
+class TestR1UnseededRNG:
+    def test_aliased_module_import(self):
+        source = "import random as rnd\nx = rnd.randint(0, 9)\n"
+        assert "R1" in rules_hit(source)
+
+    def test_from_import_function(self):
+        source = "from random import choice\npick = choice([1, 2])\n"
+        assert "R1" in rules_hit(source)
+
+    def test_unseeded_construction_flagged_seeded_ok(self):
+        assert "R1" in rules_hit("import random\nr = random.Random()\n")
+        assert "R1" not in rules_hit("import random\nr = random.Random(7)\n")
+
+    def test_seed_via_keyword_ok(self):
+        source = "import numpy as np\nr = np.random.default_rng(seed=3)\n"
+        assert "R1" not in rules_hit(source)
+
+    def test_instance_methods_not_flagged(self):
+        # rng.random() on a local instance is the sanctioned pattern.
+        source = (
+            "import random\n"
+            "rng = random.Random(1)\n"
+            "x = rng.random()\n"
+            "y = rng.shuffle([1, 2])\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_unrelated_module_random_attr_not_flagged(self):
+        source = "import mylib\nx = mylib.random()\n"
+        assert "R1" not in rules_hit(source)
+
+
+class TestR2WallClock:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.perf_counter_ns()\n",
+            "from time import monotonic\nt = monotonic()\n",
+            "import datetime\nt = datetime.datetime.utcnow()\n",
+            "from datetime import date\nt = date.today()\n",
+        ],
+    )
+    def test_wall_clock_reads_flagged(self, snippet):
+        assert "R2" in rules_hit(snippet)
+
+    def test_simulated_clock_ok(self):
+        source = (
+            "def service(self, request, now=0.0):\n"
+            "    return now + 0.001\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_allowlisted_path_exempt(self):
+        source = "import time\nstart = time.time()\n"
+        findings = analyze_source(
+            source, path="src/repro/experiments/runner.py"
+        )
+        assert [f for f in findings if f.rule == "R2"] == []
+        # Same code in device-model territory is an error.
+        findings = analyze_source(source, path="src/repro/mems/device.py")
+        assert [f.rule for f in findings] == ["R2"]
+
+
+class TestR3UnguardedEmit:
+    def test_guard_must_match_same_tracer_object(self):
+        source = (
+            "def run(self, other_tracer, now):\n"
+            "    if self.tracer.enabled:\n"
+            "        other_tracer.emit({'kind': 'x', 't': now})\n"
+        )
+        assert "R3" in rules_hit(source)
+
+    def test_guard_through_local_rebinding(self):
+        source = (
+            "def run(self, now):\n"
+            "    tracer = self.tracer\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'x', 't': now})\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_early_return_guard(self):
+        source = (
+            "def run(tracer, now):\n"
+            "    if not tracer.enabled:\n"
+            "        return\n"
+            "    tracer.emit({'kind': 'x', 't': now})\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_guard_does_not_cross_function_boundary(self):
+        # The helper must re-check; the caller's guard doesn't dominate it.
+        source = (
+            "def outer(tracer, now):\n"
+            "    if tracer.enabled:\n"
+            "        def helper():\n"
+            "            tracer.emit({'kind': 'x', 't': now})\n"
+            "        helper()\n"
+        )
+        assert "R3" in rules_hit(source)
+
+    def test_emit_in_else_of_negated_guard_ok(self):
+        source = (
+            "def run(tracer, now):\n"
+            "    if not tracer.enabled:\n"
+            "        pass\n"
+            "    else:\n"
+            "        tracer.emit({'kind': 'x', 't': now})\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_non_tracer_emit_ignored(self):
+        assert rules_hit("def f(bus):\n    bus.emit('signal')\n") == []
+
+
+class TestR4RegistryDispatch:
+    def test_scheduler_ladder_flagged(self):
+        source = (
+            "def make(name):\n"
+            "    if name == 'FCFS':\n"
+            "        return 1\n"
+            "    elif name == 'C-LOOK':\n"
+            "        return 2\n"
+            "    elif name == 'SPTF':\n"
+            "        return 3\n"
+        )
+        assert "R4" in rules_hit(source)
+
+    def test_membership_test_counts(self):
+        source = (
+            "def pick(dev):\n"
+            "    if dev in ('mems',):\n"
+            "        return 1\n"
+            "    elif dev == 'atlas10k':\n"
+            "        return 2\n"
+        )
+        assert "R4" in rules_hit(source)
+
+    def test_single_arm_is_not_a_ladder(self):
+        source = (
+            "def tune(name):\n"
+            "    if name == 'sptf':\n"
+            "        return {'cache': True}\n"
+            "    return {}\n"
+        )
+        assert "R4" not in rules_hit(source)
+
+    def test_non_component_strings_ok(self):
+        source = (
+            "def fold(kind):\n"
+            "    if kind == 'sim.arrival':\n"
+            "        return 1\n"
+            "    elif kind == 'dev.access':\n"
+            "        return 2\n"
+        )
+        assert "R4" not in rules_hit(source)
+
+    def test_mixed_subjects_not_conflated(self):
+        source = (
+            "def f(a, b):\n"
+            "    if a == 'fcfs':\n"
+            "        return 1\n"
+            "    elif b == 'sptf':\n"
+            "        return 2\n"
+        )
+        assert "R4" not in rules_hit(source)
+
+
+class TestR5UnitSuffixMix:
+    def test_add_and_compare_flagged(self):
+        assert "R5" in rules_hit("t = wait_ms + service_s\n")
+        assert "R5" in rules_hit("late = elapsed_us > budget_ms\n")
+
+    def test_augassign_flagged(self):
+        assert "R5" in rules_hit("total_s += delta_ms\n")
+
+    def test_same_unit_ok(self):
+        assert rules_hit("t = wait_ms + service_ms\n") == []
+
+    def test_conversion_constant_unflags(self):
+        source = "MS_PER_S = 1000.0\nt_ms = wait_ms + service_s * MS_PER_S\n"
+        assert rules_hit(source) == []
+
+    def test_multiplicative_mixing_is_conversion_territory(self):
+        assert rules_hit("ratio = seek_ms / rotation_s\n") == []
+
+    def test_suffix_requires_stem(self):
+        # A bare `_s` name is not a unit-carrying identifier.
+        assert rules_hit("x = _s + wait_ms\n") == []
+
+
+class TestR6FrozenMutation:
+    def test_self_assignment_in_frozen_class(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class P:\n"
+            "    x: int = 0\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+        )
+        assert "R6" in rules_hit(source)
+
+    def test_post_init_exempt(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class P:\n"
+            "    x: int = 0\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', 1)\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_known_frozen_param_annotation(self):
+        source = "def tune(config: SimConfig):\n    config.rate = 1.0\n"
+        assert "R6" in rules_hit(source)
+
+    def test_locally_constructed_config(self):
+        source = (
+            "def build():\n"
+            "    cfg = SimConfig(rate=800.0)\n"
+            "    cfg.seed = 1\n"
+        )
+        assert "R6" in rules_hit(source)
+
+    def test_replace_is_the_sanctioned_path(self):
+        source = (
+            "def tune(config: SimConfig):\n"
+            "    return config.replace(rate=1.0)\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_unfrozen_dataclass_ok(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Rec:\n"
+            "    x: int = 0\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+        )
+        assert rules_hit(source) == []

@@ -1,0 +1,44 @@
+"""The fixture-corpus canary: every rule has working good/bad snippets."""
+
+from repro.analysis import FIXTURES, all_rules, analyze_source, run_selftest
+from repro.analysis.rules import known_rule_ids
+
+
+def test_selftest_passes():
+    assert run_selftest() == []
+
+
+def test_every_rule_has_fixture_coverage():
+    rule_ids = {rule.id for rule in all_rules()}
+    assert set(FIXTURES) == rule_ids
+    for rule_id, fixtures in FIXTURES.items():
+        assert fixtures.bad, f"{rule_id} has no known-bad fixture"
+        assert fixtures.good, f"{rule_id} has no known-good fixture"
+
+
+def test_bad_fixtures_fire_their_rule():
+    for rule_id, fixtures in FIXTURES.items():
+        for snippet in fixtures.bad:
+            rules = {
+                f.rule
+                for f in analyze_source(snippet, allowlist={})
+            }
+            assert rule_id in rules, (
+                f"known-bad {rule_id} fixture did not fire:\n{snippet}"
+            )
+
+
+def test_good_fixtures_stay_clean():
+    for rule_id, fixtures in FIXTURES.items():
+        for snippet in fixtures.good:
+            rules = {
+                f.rule
+                for f in analyze_source(snippet, allowlist={})
+            }
+            assert rule_id not in rules, (
+                f"known-good {rule_id} fixture fired:\n{snippet}"
+            )
+
+
+def test_rule_registry_is_complete():
+    assert list(known_rule_ids()) == ["R1", "R2", "R3", "R4", "R5", "R6"]

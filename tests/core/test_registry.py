@@ -72,3 +72,41 @@ class TestRegistry:
             return 1
 
         assert make_thing() == 1
+
+
+class TestTypoSuggestions:
+    def make(self):
+        registry = Registry("scheduler")
+        for name in ("FCFS", "SPTF", "SXTF", "C-LOOK", "SSTF"):
+            registry.register(name, lambda n=name: n)
+        return registry
+
+    def test_registered_keys_are_sorted_folded(self):
+        registry = self.make()
+        assert registry.registered_keys() == sorted(registry.registered_keys())
+        assert "clook" in registry.registered_keys()
+        assert "sptf" in registry.registered_keys()
+
+    def test_suggest_close_transposition(self):
+        registry = self.make()
+        assert registry.suggest("SPFT") == "SPTF"
+        assert registry.suggest("cloook") == "C-LOOK"
+
+    def test_suggest_returns_canonical_spelling(self):
+        assert self.make().suggest("c_look") == "C-LOOK"
+
+    def test_suggest_gives_up_on_garbage(self):
+        assert self.make().suggest("elevator9000") is None
+
+    def test_unknown_error_includes_did_you_mean(self):
+        registry = self.make()
+        with pytest.raises(KeyError, match="did you mean 'SPTF'"):
+            registry["SPFT"]
+
+    def test_unknown_error_without_suggestion_lists_registered(self):
+        registry = self.make()
+        with pytest.raises(KeyError) as excinfo:
+            registry["elevator9000"]
+        message = excinfo.value.args[0]
+        assert "did you mean" not in message
+        assert "FCFS" in message

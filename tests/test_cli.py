@@ -125,3 +125,44 @@ class TestCommands:
         assert main(["experiments", "table02"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+
+class TestUnknownComponentNames:
+    """Unknown component names surface registry did-you-mean messages."""
+
+    def test_unknown_scheduler_exits_two_with_suggestion(self, capsys):
+        code = main(["simulate", "--scheduler", "SPFT", "--requests", "10"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler: 'SPFT'" in err
+        assert "did you mean 'SPTF'?" in err
+        assert "Traceback" not in err
+
+    def test_unknown_scheduler_without_suggestion_lists_registered(
+        self, capsys
+    ):
+        code = main(
+            ["simulate", "--scheduler", "elevator9000", "--requests", "10"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler" in err
+        assert "registered:" in err
+
+    def test_make_scheduler_error_message(self):
+        from repro.core.scheduling import make_scheduler
+
+        with pytest.raises(ValueError, match="did you mean 'SPTF'"):
+            make_scheduler("SPFT", device=None)
+
+    def test_make_layout_error_message(self):
+        from repro.core.layout import make_layout
+
+        with pytest.raises(ValueError, match="unknown layout"):
+            make_layout("zigzag", device=None)
+
+    def test_make_device_error_message(self):
+        from repro.sim.config import make_device
+
+        with pytest.raises(ValueError, match="unknown device: 'floppy'"):
+            make_device("floppy")
