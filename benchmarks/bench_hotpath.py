@@ -23,6 +23,13 @@ at the repo root) so regressions are diffable across commits:
   parallel leg is skipped (it would rerun the sequential path and report
   timing jitter as a speedup) and the sequential timing is reused.
 
+Plus three guards that ride along: **tracing overhead** (null / ring /
+JSONL sinks on the dispatch loop — tracing must never change scheduling),
+**streaming trace analysis** (``repro.obs.analyze`` one-pass throughput,
+floored at ``ANALYZE_MIN_EVENTS_PER_S`` in the smoke test), and the
+**static-analysis budget** (``repro.analysis`` over src/ must stay under
+``LINT_BUDGET_S``).
+
 Run it as a script::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
@@ -333,6 +340,65 @@ def _run_sptf_sweep_optimized(rates, num_requests):
     return time.perf_counter() - start, sweep
 
 
+ANALYZE_MIN_EVENTS_PER_S = 50_000.0
+"""CI floor for the streaming trace-analysis pass (events/second).
+
+``repro.obs.analyze`` folds a trace into spans, time-series, and dispatch
+stats in one pass; below this rate a multi-GB trace stops being analyzable
+in CI-scale time.  The smoke test asserts the floor; the full run just
+records the measured rate.
+"""
+
+
+def bench_analyze(num_requests: int, repeats: int) -> dict:
+    """Streaming-analysis throughput over an in-memory trace.
+
+    Runs one traced simulation (unbounded ring buffer, so the event list is
+    complete), then times :func:`repro.obs.analyze.analyze_events` — the
+    single pass shared by spans, time-series, and dispatch stats — over the
+    captured events.  The span reconciliation inside ``analyze_events``
+    doubles as a correctness check: every completed request must fold into
+    exactly one span.
+    """
+    from repro.core.scheduling import make_scheduler
+    from repro.obs.analyze import analyze_events
+    from repro.obs.tracer import RingBufferTracer
+    from repro.sim import Simulation
+    from repro.workloads import RandomWorkload
+
+    device = _make_device(True)
+    tracer = RingBufferTracer()
+    sim = Simulation(
+        device,
+        make_scheduler("SPTF", device),
+        max_queue_depth=10_000,
+        tracer=tracer,
+    )
+    workload = RandomWorkload(device.capacity_sectors, rate=900.0, seed=11)
+    sim.run(workload.generate(num_requests))
+    events = tracer.events
+
+    best = float("inf")
+    analysis = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        analysis = analyze_events(iter(events))
+        best = min(best, time.perf_counter() - start)
+    if analysis.summary.count != num_requests:
+        raise AssertionError(
+            f"analyze folded {analysis.summary.count} spans from "
+            f"{num_requests} completed requests"
+        )
+    return {
+        "requests": num_requests,
+        "events": len(events),
+        "spans": analysis.summary.count,
+        "best_s": round(best, 6),
+        "events_per_s": round(len(events) / best, 1),
+        "floor_events_per_s": ANALYZE_MIN_EVENTS_PER_S,
+    }
+
+
 LINT_BUDGET_S = 5.0
 """CI-gate budget for the determinism linter over all of src/.
 
@@ -392,6 +458,7 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "tracing": [
             bench_tracing(depth, dispatches, repeats) for depth in depths
         ],
+        "analyze": bench_analyze(1500 if smoke else 10_000, repeats),
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
         ),
@@ -444,6 +511,13 @@ def test_hotpath_smoke():
             # enforces it too).
             assert row["candidates_priced"] < row["candidates"]
     assert report["figure06_sweep"]["sequential_s"] > 0
+    analyze = report["analyze"]
+    assert analyze["spans"] == analyze["requests"]
+    assert analyze["events_per_s"] >= ANALYZE_MIN_EVENTS_PER_S, (
+        f"streaming analysis ran at {analyze['events_per_s']:.0f} events/s "
+        f"(floor {ANALYZE_MIN_EVENTS_PER_S:.0f}) — the one-pass trace fold "
+        f"got too slow for CI-scale traces"
+    )
     lint = report["static_analysis"]
     assert lint["files_analyzed"] > 0
     assert lint["elapsed_s"] <= lint["budget_s"]
@@ -485,6 +559,7 @@ def collect_smoke_subset() -> dict:
         "sptf_dispatch": [bench_dispatch(16, 32, 1)],
         "sptf_pruned": [bench_pruned(16, 32, 1), bench_pruned(64, 48, 1)],
         "tracing": [bench_tracing(16, 32, 1)],
+        "analyze": bench_analyze(1500, 1),
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),

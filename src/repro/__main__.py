@@ -71,6 +71,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         warmup=min(args.requests // 10, 500),
         max_queue_depth=10_000,
         trace_path=args.trace,
+        trace_sample=args.trace_sample,
     )
     try:
         trimmed = config.run()
@@ -142,7 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         default=None,
-        help="write a JSONL event trace (see repro.obs) to PATH",
+        help="write a JSONL event trace (see repro.obs) to PATH "
+        "(gzipped when PATH ends in .gz)",
+    )
+    simulate.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace every N-th request (plus head/tail windows); 1 traces "
+        "everything — see repro.obs.SamplingTracer",
     )
     simulate.add_argument(
         "--metrics",

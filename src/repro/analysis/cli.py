@@ -96,7 +96,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="AST-based determinism & invariant linter for the "
-        "simulator (rules R1-R6; see docs/static-analysis.md)",
+        "simulator (rules R1-R7; see docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths",

@@ -7,7 +7,7 @@ skipping ``__pycache__`` and hidden directories) and aggregates an
 ``# repro: noqa`` directives, the path allowlist, parse errors, and the
 occurrence numbering that keeps fingerprints unique.
 
-Two engine-level pseudo-rules surface in reports alongside R1–R6:
+Two engine-level pseudo-rules surface in reports alongside R1–R7:
 
 * ``R0`` (*unknown-suppression*, warning) — a ``noqa[...]`` directive names
   a rule that doesn't exist, so the suppression is dead and a typo cannot

@@ -188,6 +188,50 @@ FIXTURES: Dict[str, RuleFixtures] = {
             "        self.x = 1\n",
         ),
     ),
+    "R7": RuleFixtures(
+        bad=(
+            # Inline event literal missing almost every dev.access field.
+            "def service(self, request, now):\n"
+            "    if self.tracer.enabled:\n"
+            "        self.tracer.emit({'kind': 'dev.access', 't': now,\n"
+            "                          'rid': request.rid})\n",
+            # Local dict resolved through the enclosing function.
+            "def arrive(tracer, now, rid):\n"
+            "    event = {'kind': 'sim.arrival', 't': now, 'rid': rid}\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit(event)\n",
+            # No kind at all.
+            "def ping(tracer, now):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'t': now})\n",
+        ),
+        good=(
+            # Complete sim.complete event.
+            "def complete(tracer, now, rid, q, s):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'sim.complete', 't': now,\n"
+            "                     'rid': rid, 'queue': q, 'service': s,\n"
+            "                     'response': q + s})\n",
+            # Required fields assembled via literal extensions.
+            "def dispatch(tracer, now, rid, wait, depth):\n"
+            "    event = {'kind': 'sim.dispatch', 't': now}\n"
+            "    event['rid'] = rid\n"
+            "    event.update({'wait': wait, 'queue_depth': depth})\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit(event)\n",
+            # Dynamic extension: the event is opaque, left to the
+            # runtime validator.
+            "def access(tracer, now, extra):\n"
+            "    event = {'kind': 'dev.access', 't': now}\n"
+            "    event.update(extra)\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit(event)\n",
+            # Unknown kinds are not this rule's business.
+            "def custom(tracer, now):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'custom.marker', 't': now})\n",
+        ),
+    ),
 }
 
 

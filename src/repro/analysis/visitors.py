@@ -1,4 +1,4 @@
-"""The project-specific analysis rules (R1–R6).
+"""The project-specific analysis rules (R1–R7).
 
 Each rule encodes a convention the simulator's reproducibility or
 performance depends on; ``docs/static-analysis.md`` gives the full
@@ -299,6 +299,159 @@ class UnguardedTraceEmitRule(Rule):
                     "guard — the event dict is built even when tracing is "
                     "off (guard it: `if tracer.enabled: tracer.emit(...)`)"
                 )
+
+
+# --------------------------------------------------------------------------- #
+# R7 — trace events must carry every field their kind's schema requires
+# (helpers here; the rule class itself registers last, after R6)
+# --------------------------------------------------------------------------- #
+
+_FALLBACK_EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "trace.meta": ("schema",),
+    "sim.start": ("requests",),
+    "sim.end": ("completed",),
+    "sim.arrival": ("rid", "lbn", "sectors", "io", "queue_depth"),
+    "sim.dispatch": ("rid", "wait", "queue_depth"),
+    "sim.complete": ("rid", "queue", "service", "response"),
+    "dev.access": (
+        "rid", "lbn", "sectors", "io", "seek_x", "seek_y", "settle",
+        "rotational_latency", "transfer", "turnarounds", "positioning",
+        "total",
+    ),
+    "sched.dispatch": ("rid", "scheduler", "candidates"),
+}
+
+_event_fields_cache: Optional[Dict[str, Tuple[str, ...]]] = None
+
+
+def trace_event_fields() -> Dict[str, Tuple[str, ...]]:
+    """Required trace-event fields per kind.
+
+    Sourced live from :data:`repro.obs.tracer.EVENT_FIELDS` so a schema
+    change is picked up without touching this rule; falls back to a pinned
+    snapshot if the import fails (degraded environment).
+    """
+    global _event_fields_cache
+    if _event_fields_cache is None:
+        try:
+            from repro.obs.tracer import EVENT_FIELDS
+        except Exception:  # pragma: no cover - import-degraded environment
+            _event_fields_cache = dict(_FALLBACK_EVENT_FIELDS)
+        else:
+            _event_fields_cache = dict(EVENT_FIELDS)
+    return _event_fields_cache
+
+
+def _literal_dict_keys(node: ast.Dict) -> Optional[Set[str]]:
+    """String keys of a dict literal; None when any key is dynamic/``**``."""
+    keys: Set[str] = set()
+    for key in node.keys:
+        if key is None:  # ** expansion
+            return None
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.add(key.value)
+    return keys
+
+
+def _literal_kind(node: ast.Dict) -> Optional[str]:
+    for key, value in zip(node.keys, node.values):
+        if (
+            isinstance(key, ast.Constant)
+            and key.value == "kind"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return value.value
+    return None
+
+
+def _resolve_emit_event(
+    call: ast.Call,
+) -> Optional[Tuple[Optional[str], Set[str]]]:
+    """(kind, known keys) for an ``emit(...)`` argument, or None if opaque.
+
+    Handles a dict literal inline, or a local name bound to one dict
+    literal in the enclosing function, extended only by literal
+    ``event["key"] = ...`` / ``event.update({...literal...})`` statements.
+    Any dynamic extension (``event.update(extra)``) makes the event opaque
+    — the emitter may be adding the required fields at runtime, so the
+    rule stays silent rather than guessing.
+    """
+    if len(call.args) != 1 or call.keywords:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Dict):
+        keys = _literal_dict_keys(arg)
+        if keys is None:
+            return None
+        return _literal_kind(arg), keys
+    if not isinstance(arg, ast.Name):
+        return None
+    function = enclosing_function(call)
+    if function is None:
+        return None
+    name = arg.id
+    dict_assigns: List[ast.Dict] = []
+    extensions: List[ast.stmt] = []
+    opaque = False
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(node.value, ast.Dict):
+                        dict_assigns.append(node.value)
+                    else:
+                        opaque = True
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name
+                ):
+                    key = target.slice
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        extensions.append(node)
+                    else:
+                        opaque = True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "update"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                if (
+                    len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Dict)
+                    and _literal_dict_keys(node.args[0]) is not None
+                ):
+                    extensions.append(node)  # type: ignore[arg-type]
+                else:
+                    opaque = True
+    if opaque or len(dict_assigns) != 1:
+        return None
+    keys = _literal_dict_keys(dict_assigns[0])
+    if keys is None:
+        return None
+    for extension in extensions:
+        if isinstance(extension, ast.Call):
+            extra = _literal_dict_keys(extension.args[0])
+            keys |= extra or set()
+        else:
+            target = (
+                extension.targets[0]
+                if isinstance(extension, ast.Assign)
+                else extension.target
+            )
+            keys.add(target.slice.value)  # type: ignore[union-attr]
+    return _literal_kind(dict_assigns[0]), keys
 
 
 # --------------------------------------------------------------------------- #
@@ -706,3 +859,66 @@ class FrozenMutationRule(Rule):
                             f"{cls}; use {target.value.id}.replace(...) "
                             f"or dataclasses.replace"
                         )
+
+
+@register_rule
+class IncompleteTraceEventRule(Rule):
+    """Emitted trace events must carry their kind's required fields.
+
+    The span builder (:mod:`repro.obs.spans`) folds ``sim.*`` /
+    ``dev.access`` / ``sched.dispatch`` events into per-request spans; an
+    emission site that drops a required field (``rid``, a phase component)
+    produces traces that validate only at analyze time, long after the run.
+    This rule checks statically resolvable ``tracer.emit({...})`` sites
+    against :data:`repro.obs.tracer.EVENT_FIELDS`; events built dynamically
+    (e.g. extended via a non-literal ``.update``) are left to the runtime
+    validator.
+    """
+
+    id = "R7"
+    slug = "incomplete-trace-event"
+    severity = Severity.ERROR
+    description = "tracer.emit() event missing fields its kind requires"
+    rationale = (
+        "repro.obs.spans needs every required field of every event kind "
+        "to attribute request lifecycles; schema drift at an emission "
+        "site should fail the lint, not the analyze step."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[RawFinding]:
+        fields = trace_event_fields()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            if not _tracer_like(func.value):
+                continue
+            resolved = _resolve_emit_event(node)
+            if resolved is None:
+                continue
+            kind, keys = resolved
+            if kind is None:
+                if "kind" not in keys:
+                    yield node, (
+                        "trace event has no 'kind' field — every event "
+                        "must carry kind and t (see "
+                        "repro.obs.tracer.EVENT_FIELDS)"
+                    )
+                continue
+            required = fields.get(kind)
+            if required is None:
+                continue
+            missing = [
+                field
+                for field in ("t",) + tuple(required)
+                if field not in keys
+            ]
+            if missing:
+                yield node, (
+                    f"{kind!r} event missing required field(s) "
+                    f"{', '.join(missing)} — the span builder "
+                    f"(repro.obs.spans) cannot attribute it (see "
+                    f"repro.obs.tracer.EVENT_FIELDS)"
+                )

@@ -55,7 +55,9 @@ class Scheduler(abc.ABC):
         instrumentation only."""
         raise NotImplementedError
 
-    def _trace_dispatch(self, now: float, candidates: int) -> None:
+    def _trace_dispatch(
+        self, now: float, candidates: int, request: Request
+    ) -> None:
         """Emit one ``sched.dispatch`` event.
 
         Re-checks ``tracer.enabled`` itself, so the emit stays guarded even
@@ -64,9 +66,11 @@ class Scheduler(abc.ABC):
         method call).  ``candidates`` is the pending-queue size the
         selection chose from (pruning schedulers may price only a subset of
         them and report the split via
-        ``candidates_priced``/``candidates_pruned``).  Subclasses with
-        extra telemetry override :meth:`_dispatch_telemetry` rather than
-        this method.
+        ``candidates_priced``/``candidates_pruned``); ``request`` is the
+        pick itself, recorded as ``rid`` so the span builder can attribute
+        the selection to the request it dispatched.  Subclasses with extra
+        telemetry override :meth:`_dispatch_telemetry` rather than this
+        method.
         """
         tracer = self.tracer
         if not tracer.enabled:
@@ -74,6 +78,7 @@ class Scheduler(abc.ABC):
         event: Dict[str, Any] = {
             "kind": "sched.dispatch",
             "t": now,
+            "rid": request.request_id,
             "scheduler": self.name,
             "candidates": candidates,
         }
@@ -113,7 +118,7 @@ class ListScheduler(Scheduler):
         index = self.select_index(now)
         request = self._queue.pop(index)
         if self.tracer.enabled:
-            self._trace_dispatch(now, candidates)
+            self._trace_dispatch(now, candidates, request)
         return request
 
     @abc.abstractmethod

@@ -42,7 +42,7 @@ class CLOOKScheduler(Scheduler):
             index = 0  # wrap the sweep to the lowest pending LBN
         _, _, request = self._sorted.pop(index)
         if self.tracer.enabled:
-            self._trace_dispatch(now, len(self._sorted) + 1)
+            self._trace_dispatch(now, len(self._sorted) + 1, request)
         return request
 
     def __len__(self) -> int:

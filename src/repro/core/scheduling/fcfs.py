@@ -30,7 +30,7 @@ class FCFSScheduler(Scheduler):
             raise IndexError("scheduler queue is empty")
         request = self._queue.popleft()
         if self.tracer.enabled:
-            self._trace_dispatch(now, len(self._queue) + 1)
+            self._trace_dispatch(now, len(self._queue) + 1, request)
         return request
 
     def __len__(self) -> int:

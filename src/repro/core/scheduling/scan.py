@@ -50,7 +50,7 @@ class SCANScheduler(Scheduler):
         index = min(index, len(self._sorted) - 1)
         _, _, request = self._sorted.pop(index)
         if self.tracer.enabled:
-            self._trace_dispatch(now, len(self._sorted) + 1)
+            self._trace_dispatch(now, len(self._sorted) + 1, request)
         return request
 
     def __len__(self) -> int:

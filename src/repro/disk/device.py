@@ -131,6 +131,7 @@ class DiskDevice(StorageDevice):
                     "kind": "dev.access",
                     "t": now,
                     "device": "disk",
+                    "rid": request.request_id,
                     "lbn": request.lbn,
                     "sectors": request.sectors,
                     "io": request.kind.value,
@@ -144,6 +145,9 @@ class DiskDevice(StorageDevice):
                     "positioning": result.seek_x + result.rotational_latency,
                     "total": result.total,
                     "bits": result.bits_accessed,
+                    # Arm position after the access, in cylinders — the
+                    # position time-series in repro.obs.analyze.
+                    "cylinder": self._cylinder,
                 }
             )
         return result

@@ -10,8 +10,22 @@ paper's plots that simply run off the top of the axis.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.analyze import TraceAnalysis
 
 from repro.core.scheduling import make_scheduler
 from repro.experiments.parallel import parallel_map, resolve_jobs
@@ -121,6 +135,52 @@ def sweep_sim_configs(
         [(config,) for config in configs],
         jobs=resolve_jobs(jobs),
     )
+
+
+def config_label(config: SimConfig) -> str:
+    """Short human label for one sweep config (report row headers)."""
+    return f"{config.device}+{config.scheduler}@{config.rate:g}"
+
+
+def traced_sweep(
+    configs: Sequence[SimConfig],
+    trace_dir: str,
+    jobs: Optional[int] = None,
+    bucket_s: Optional[float] = None,
+) -> List[Tuple[str, "TraceAnalysis"]]:
+    """Run a config sweep with per-config traces, then analyze each trace.
+
+    Every config is re-run with ``trace_path`` pointed at a gzipped JSONL
+    file under ``trace_dir`` (one per config, named by index and label),
+    fanned out over workers like :func:`sweep_sim_configs`; the traces are
+    then folded into :class:`~repro.obs.analyze.TraceAnalysis` objects.
+    Returns ``[(label, analysis), ...]`` ready for
+    :func:`repro.obs.report.write_comparative` — the comparative-report
+    path behind ``experiments --report out.html``.
+
+    A config that saturates leaves a truncated trace (no ``sim.end``); its
+    analysis still loads, with ``spans_pending`` reporting the requests cut
+    off in flight.
+    """
+    from repro.obs.analyze import DEFAULT_BUCKET_S, analyze_trace
+
+    os.makedirs(trace_dir, exist_ok=True)
+    labels = [config_label(config) for config in configs]
+    traced = [
+        config.replace(
+            trace_path=os.path.join(
+                trace_dir,
+                f"{index:03d}-{label.replace('@', '-at-')}.jsonl.gz",
+            )
+        )
+        for index, (config, label) in enumerate(zip(configs, labels))
+    ]
+    sweep_sim_configs(traced, jobs=jobs)
+    width = DEFAULT_BUCKET_S if bucket_s is None else bucket_s
+    return [
+        (label, analyze_trace(config.trace_path, bucket_s=width))
+        for label, config in zip(labels, traced)
+    ]
 
 
 def _sweep_point(

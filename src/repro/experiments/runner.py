@@ -27,8 +27,10 @@ def run_experiments(
 ) -> None:
     """Run experiments by name; ``jobs`` sets the process-wide sweep
     parallelism default for the duration of the run.  With ``report_path``
-    a machine-readable JSON summary (experiment names and wall-clock
-    durations) is written after the run.
+    a run summary (experiment names and wall-clock durations) is written
+    after the run — machine-readable JSON by default, or a rendered
+    HTML/Markdown document when the path ends in ``.html``/``.md`` (see
+    :mod:`repro.obs.report`).
     """
     if jobs is not None:
         set_default_jobs(jobs)
@@ -55,10 +57,23 @@ def run_experiments(
             "total_s": round(time.time() - run_start, 3),
             "experiments": entries,
         }
-        with open(report_path, "w", encoding="utf-8") as stream:
-            json.dump(report, stream, indent=2, sort_keys=True)
-            stream.write("\n")
+        write_run_report(report, report_path)
         print(f"report written to {report_path}")
+
+
+def write_run_report(report: dict, path: str) -> None:
+    """Write a run report: JSON by default, rendered for ``.html``/``.md``."""
+    lowered = path.lower()
+    if lowered.endswith((".html", ".htm", ".md", ".markdown")):
+        from repro.obs.report import format_for_path, render_runner_report
+
+        text = render_runner_report(report, format_for_path(path))
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
 
 
 def positive_int(text: str) -> int:
@@ -87,7 +102,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--report",
         metavar="PATH",
         default=None,
-        help="write a machine-readable JSON run report to PATH",
+        help="write a run report to PATH (JSON; rendered HTML/Markdown "
+        "for .html/.md extensions)",
     )
     args = parser.parse_args(argv)
     run_experiments(

@@ -170,6 +170,7 @@ class MEMSDevice(StorageDevice):
                     "kind": "dev.access",
                     "t": now,
                     "device": "mems",
+                    "rid": request.request_id,
                     "lbn": request.lbn,
                     "sectors": request.sectors,
                     "io": request.kind.value,
@@ -184,6 +185,9 @@ class MEMSDevice(StorageDevice):
                     "positioning": positioning.total,
                     "total": plan.total,
                     "bits": plan.bits_accessed,
+                    # Sled X position after the access, in cylinders — the
+                    # position time-series in repro.obs.analyze.
+                    "cylinder": self._cylinder,
                 }
             )
         return AccessResult(

@@ -114,7 +114,11 @@ class SledKinematics:
         """
         if x1 < x0 - _V_EPS:
             raise InfeasibleManeuver(f"rightward phase with x1={x1} < x0={x0}")
-        if abs(x1 - x0) <= _V_EPS and v0 <= _V_EPS:
+        if x1 <= x0 and v0 <= _V_EPS:
+            # Exhausted (or numerically slightly negative) phase.  The guard
+            # must not treat *positive* sub-epsilon distances as free: a
+            # picometer-scale phase still costs ~sqrt(2dx/A) seconds, which
+            # is orders of magnitude above the phase-time tolerances.
             return 0.0
         v1_sq = self._speed_sq_after(x0, v0, x1, sigma)
         if v1_sq < -self._energy_tol(v0):

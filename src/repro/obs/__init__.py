@@ -1,10 +1,13 @@
 """repro.obs — observability for the simulation stack.
 
-Event tracing (:mod:`repro.obs.tracer`) and metrics aggregation
-(:mod:`repro.obs.metrics`) over :class:`~repro.sim.Simulation`, both device
-models, and the schedulers.  The default :data:`NULL_TRACER` short-circuits
-every emission site, so an untraced simulation pays one branch per site
-(measured in ``benchmarks/bench_hotpath.py``).
+Event tracing (:mod:`repro.obs.tracer`), metrics aggregation
+(:mod:`repro.obs.metrics`), and trace analysis — per-request spans
+(:mod:`repro.obs.spans`), streaming time-series and reports
+(:mod:`repro.obs.analyze`, :mod:`repro.obs.report`) — over
+:class:`~repro.sim.Simulation`, both device models, and the schedulers.
+The default :data:`NULL_TRACER` short-circuits every emission site, so an
+untraced simulation pays one branch per site (measured in
+``benchmarks/bench_hotpath.py``).
 
 Quickstart::
 
@@ -21,6 +24,14 @@ Quickstart::
 See ``docs/observability.md`` for the record schema and sink API.
 """
 
+from repro.obs.analyze import (
+    DispatchStats,
+    TimeSeries,
+    TimeSeriesBuilder,
+    TraceAnalysis,
+    analyze_events,
+    analyze_trace,
+)
 from repro.obs.metrics import (
     ACCESS_PHASES,
     Counter,
@@ -29,16 +40,32 @@ from repro.obs.metrics import (
     MetricsTracer,
     replay_metrics,
 )
+from repro.obs.report import (
+    render_comparative,
+    render_report,
+    write_comparative,
+    write_report,
+)
+from repro.obs.spans import (
+    Span,
+    SpanBuilder,
+    SpanError,
+    SpanSummary,
+    iter_spans,
+    summarize_spans,
+)
 from repro.obs.tracer import (
     EVENT_FIELDS,
     JsonlTracer,
     NULL_TRACER,
     NullTracer,
     RingBufferTracer,
+    SamplingTracer,
     TeeTracer,
     TRACE_SCHEMA,
     Tracer,
     iter_trace,
+    iter_trace_lines,
     read_trace,
 )
 from repro.obs.validate import diff_traces, validate_events, validate_file
@@ -46,6 +73,7 @@ from repro.obs.validate import diff_traces, validate_events, validate_file
 __all__ = [
     "ACCESS_PHASES",
     "Counter",
+    "DispatchStats",
     "EVENT_FIELDS",
     "Histogram",
     "JsonlTracer",
@@ -54,13 +82,30 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "RingBufferTracer",
+    "SamplingTracer",
+    "Span",
+    "SpanBuilder",
+    "SpanError",
+    "SpanSummary",
     "TRACE_SCHEMA",
     "TeeTracer",
+    "TimeSeries",
+    "TimeSeriesBuilder",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_events",
+    "analyze_trace",
     "diff_traces",
+    "iter_spans",
     "iter_trace",
+    "iter_trace_lines",
     "read_trace",
+    "render_comparative",
+    "render_report",
     "replay_metrics",
+    "summarize_spans",
     "validate_events",
     "validate_file",
+    "write_comparative",
+    "write_report",
 ]

@@ -25,36 +25,45 @@ Event kinds emitted by the stack:
 ``sim.complete``
     A request finished: request id, queue/service/response decomposition.
 ``dev.access``
-    One media access, emitted by the device model, with the full phase
-    breakdown: ``seek_x``, ``seek_y``, ``settle``, ``rotational_latency``,
-    ``transfer``, ``turnarounds``, plus the serialized ``positioning``
-    component.  The invariant ``positioning + transfer + turnarounds ==
-    total`` holds for both device models (X/Y seeks and settle overlap
-    inside ``positioning``; on disks ``positioning`` is seek + rotational
-    latency).
+    One media access, emitted by the device model, with the request id it
+    serves and the full phase breakdown: ``seek_x``, ``seek_y``, ``settle``,
+    ``rotational_latency``, ``transfer``, ``turnarounds``, plus the
+    serialized ``positioning`` component.  The invariant ``positioning +
+    transfer + turnarounds == total`` holds for both device models (X/Y
+    seeks and settle overlap inside ``positioning``; on disks
+    ``positioning`` is seek + rotational latency).
 ``sched.dispatch``
-    The scheduler's pick, with the candidate-set size it chose from and —
-    for the estimate-caching SPTF variants — cumulative estimate-cache
-    hit/miss counters plus the per-dispatch pruning split
+    The scheduler's pick (``rid``), with the candidate-set size it chose
+    from and — for the estimate-caching SPTF variants — cumulative
+    estimate-cache hit/miss counters plus the per-dispatch pruning split
     (``candidates_priced``/``candidates_pruned``; always summing to
     ``candidates``).
 
 Sinks: :class:`RingBufferTracer` (in-memory, bounded), :class:`JsonlTracer`
-(one JSON object per line, with a ``trace.meta`` header), :class:`TeeTracer`
-(fan-out), and :class:`~repro.obs.metrics.MetricsTracer` (folds events into
-a :class:`~repro.obs.metrics.MetricsRegistry` online).
+(one JSON object per line, with a ``trace.meta`` header; transparently
+gzipped for ``*.gz`` paths), :class:`TeeTracer` (fan-out),
+:class:`SamplingTracer` (deterministic per-request sampling), and
+:class:`~repro.obs.metrics.MetricsTracer` (folds events into a
+:class:`~repro.obs.metrics.MetricsRegistry` online).
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 import os
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union, cast
 
-TRACE_SCHEMA = "repro-trace/1"
-"""Schema identifier written in every JSONL trace header."""
+TRACE_SCHEMA = "repro-trace/2"
+"""Schema identifier written in every JSONL trace header.
+
+Version 2 added the required ``rid`` field on ``dev.access`` and
+``sched.dispatch`` events, tying every device access and scheduler pick to
+the request it serves so the span builder (:mod:`repro.obs.spans`) can
+attribute each phase exactly.
+"""
 
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "trace.meta": ("schema",),
@@ -64,6 +73,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "sim.dispatch": ("rid", "wait", "queue_depth"),
     "sim.complete": ("rid", "queue", "service", "response"),
     "dev.access": (
+        "rid",
         "lbn",
         "sectors",
         "io",
@@ -76,12 +86,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
         "positioning",
         "total",
     ),
-    "sched.dispatch": ("scheduler", "candidates"),
+    "sched.dispatch": ("rid", "scheduler", "candidates"),
 }
 """Required fields per event kind (beyond ``kind`` and ``t``).
 
-Emitters may add extra fields (``dev.access`` adds ``device`` and ``bits``;
-``sched.dispatch`` adds ``cache_hits``/``cache_misses`` and
+Emitters may add extra fields (``dev.access`` adds ``device``, ``bits``,
+and the post-access ``cylinder``; ``sched.dispatch`` adds
+``cache_hits``/``cache_misses`` and
 ``candidates_priced``/``candidates_pruned`` on the SPTF variants); the
 validator checks only for the required ones, plus the cross-field
 invariants it knows (``dev.access`` phase sums; ``candidates_priced +
@@ -160,26 +171,51 @@ class RingBufferTracer(Tracer):
         return iter(self._events)
 
 
+def _open_text(path: str, mode: str) -> "io.TextIOBase":
+    """Open ``path`` in text mode, transparently gzipped for ``*.gz``."""
+    if path.endswith(".gz"):
+        if mode == "r":
+            return cast(
+                "io.TextIOBase", gzip.open(path, "rt", encoding="utf-8")
+            )
+        # mtime=0 keeps the gzip header free of wall-clock state, so a
+        # deterministic simulation writing the same path produces
+        # byte-identical compressed traces (gzip.open offers no mtime knob).
+        raw = gzip.GzipFile(path, mode + "b", mtime=0)
+        return cast("io.TextIOBase", io.TextIOWrapper(raw, encoding="utf-8"))
+    return cast("io.TextIOBase", open(path, mode, encoding="utf-8"))
+
+
 class JsonlTracer(Tracer):
     """Write events as JSON Lines to ``path`` (or any text stream).
 
     The first line is a ``trace.meta`` header carrying the schema id, so a
-    reader can reject traces from an incompatible writer.  Events are
-    serialized with sorted keys, making traces byte-diffable across runs of
-    a deterministic simulation.
+    reader can reject traces from an incompatible writer; ``meta`` merges
+    extra fields into that header (e.g. the :class:`SamplingTracer`
+    annotation).  Events are serialized with sorted keys, making traces
+    byte-diffable across runs of a deterministic simulation.  A path ending
+    in ``.gz`` is written gzip-compressed; :func:`iter_trace` and
+    :func:`read_trace` decompress it transparently on the way back in.
     """
 
-    def __init__(self, path: Union[str, "os.PathLike", io.TextIOBase]) -> None:
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike", io.TextIOBase],
+        meta: Optional[dict] = None,
+    ) -> None:
         if isinstance(path, io.TextIOBase):
             self._stream = path
             self._owns_stream = False
-            self.path = None
+            self.path: Optional[str] = None
         else:
             self.path = os.fspath(path)
-            self._stream = open(self.path, "w", encoding="utf-8")
+            self._stream = _open_text(self.path, "w")
             self._owns_stream = True
         self._closed = False
-        self.emit({"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA})
+        header = {"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA}
+        if meta:
+            header.update(meta)
+        self.emit(header)
 
     def emit(self, event: dict) -> None:
         self._stream.write(json.dumps(event, sort_keys=True) + "\n")
@@ -210,6 +246,86 @@ class TeeTracer(Tracer):
             sink.close()
 
 
+class SamplingTracer(Tracer):
+    """Keep every ``every``-th request's events, plus head/tail windows.
+
+    Long production-scale runs can't afford a full trace; this sink
+    forwards a deterministic subset to ``sink``.  Sampling is *per request*
+    and keyed by the request id alone (``rid % every == 0``), so every
+    event of a kept request passes — spans built from a sampled trace are
+    always complete — and two runs of the same workload sample identical
+    request sets regardless of timing.  The first ``head`` and last
+    ``tail`` request ids are always kept (warmup and drain transients are
+    exactly where sampling would otherwise hide problems); the total
+    request count is learned from the ``sim.start`` event.  Events that
+    carry no ``rid`` (run boundaries, ``trace.meta``) always pass.
+
+    With ``every=1`` the sink is a pure pass-through: the output is
+    event-identical to tracing without this wrapper (and
+    :meth:`meta` contributes no header annotation), which is asserted in
+    the test suite.  For ``every > 1``, write the :meth:`meta` fields into
+    the ``trace.meta`` header (``SimConfig.build_tracer`` does) so readers
+    can tell a sampled trace from a full one: per-request aggregates
+    become estimates, while per-event invariants stay exact (see
+    ``docs/observability.md``).
+    """
+
+    def __init__(
+        self,
+        sink: Tracer,
+        every: int,
+        head: int = 16,
+        tail: int = 16,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1: {every}")
+        if head < 0 or tail < 0:
+            raise ValueError(f"negative head/tail window: {head}/{tail}")
+        self.sink = sink
+        self.every = every
+        self.head = head
+        self.tail = tail
+        self.enabled = sink.enabled
+        self.kept = 0
+        self.dropped = 0
+        self._total: Optional[int] = None
+
+    @staticmethod
+    def meta(every: int, head: int = 16, tail: int = 16) -> Dict[str, int]:
+        """``trace.meta`` annotation for a sampled trace.
+
+        Empty for ``every=1`` so an unsampled header stays byte-identical.
+        """
+        if every <= 1:
+            return {}
+        return {
+            "sample_every": every,
+            "sample_head": head,
+            "sample_tail": tail,
+        }
+
+    def _keep(self, rid: int) -> bool:
+        if rid < self.head:
+            return True
+        if self._total is not None and rid >= self._total - self.tail:
+            return True
+        return rid % self.every == 0
+
+    def emit(self, event: dict) -> None:
+        if self.every > 1:
+            if event["kind"] == "sim.start":
+                self._total = event["requests"]
+            rid = event.get("rid")
+            if rid is not None and not self._keep(rid):
+                self.dropped += 1
+                return
+        self.kept += 1
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
 def read_trace(path: Union[str, "os.PathLike"]) -> List[dict]:
     """Load a JSONL trace written by :class:`JsonlTracer`.
 
@@ -228,8 +344,24 @@ def read_trace(path: Union[str, "os.PathLike"]) -> List[dict]:
 
 
 def iter_trace(path: Union[str, "os.PathLike"]) -> Iterable[dict]:
-    """Yield raw events from a JSONL trace without schema checks."""
-    with open(os.fspath(path), "r", encoding="utf-8") as stream:
+    """Yield raw events from a JSONL trace without schema checks.
+
+    Streams line by line (gzip-decompressing ``*.gz`` paths), so traces
+    larger than memory are fine.
+    """
+    for _lineno, event in iter_trace_lines(path):
+        yield event
+
+
+def iter_trace_lines(
+    path: Union[str, "os.PathLike"]
+) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(lineno, event)`` pairs from a JSONL trace, streaming.
+
+    Line numbers are 1-based positions in the (decompressed) file — what
+    the validator reports and what ``sed -n '42p'`` will show you.
+    """
+    with _open_text(os.fspath(path), "r") as stream:
         for lineno, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
@@ -244,4 +376,4 @@ def iter_trace(path: Union[str, "os.PathLike"]) -> Iterable[dict]:
                 raise ValueError(
                     f"{os.fspath(path)}:{lineno}: event is not an object"
                 )
-            yield event
+            yield lineno, event

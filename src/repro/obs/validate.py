@@ -7,12 +7,26 @@ Usage::
 
 Validation checks the ``trace.meta`` header, that every event carries
 ``kind``/``t`` with sane types, that required per-kind fields are present
-(:data:`repro.obs.tracer.EVENT_FIELDS`), that time never runs backwards,
-that every ``dev.access`` event's serialized phases sum to its total
-(``positioning + transfer + turnarounds == total``), and that every
+(:data:`repro.obs.tracer.EVENT_FIELDS`, including the ``rid`` that ties
+``dev.access``/``sched.dispatch`` events to requests), that time never runs
+backwards, that every ``dev.access`` event's serialized phases sum to its
+total (``positioning + transfer + turnarounds == total``), and that every
 ``sched.dispatch`` event carrying the lower-bound-pruning telemetry
 accounts for each candidate exactly once (``candidates_priced +
 candidates_pruned == candidates``).
+
+In file mode, every problem is reported as ``path:LINE`` with the 1-based
+line number of the offending event in the (decompressed) JSONL file, so
+``sed -n 'LINEp' trace.jsonl`` shows the exact record.
+
+Exit-code contract (relied on by CI and scripts):
+
+* ``0`` — every input trace is valid (or the two diffed traces are
+  structurally identical);
+* ``1`` — at least one trace is invalid or unreadable / the diffed
+  traces differ;
+* ``2`` — usage error (unknown flag, wrong argument count; argparse's
+  standard exit code).
 
 The diff mode compares two traces of (supposedly) the same scenario: it
 reports per-kind event-count deltas and the first event at which the two
@@ -31,13 +45,27 @@ import sys
 from collections import Counter as _Counter
 from typing import List, Optional, Sequence
 
-from repro.obs.tracer import EVENT_FIELDS, TRACE_SCHEMA, iter_trace
+from repro.obs.tracer import (
+    EVENT_FIELDS,
+    TRACE_SCHEMA,
+    iter_trace,
+    iter_trace_lines,
+)
 
 PHASE_SUM_REL_TOL = 1e-9
 
 
-def validate_events(events: Sequence[dict], source: str = "<trace>") -> List[str]:
-    """Return a list of problems (empty when the trace is valid)."""
+def validate_events(
+    events: Sequence[dict],
+    source: str = "<trace>",
+    linenos: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Return a list of problems (empty when the trace is valid).
+
+    ``linenos`` (parallel to ``events``) switches locations from
+    ``source[index]`` to ``source:lineno`` — file mode passes the 1-based
+    JSONL line numbers so reports point into the file itself.
+    """
     errors: List[str] = []
     if not events:
         return [f"{source}: empty trace"]
@@ -50,7 +78,10 @@ def validate_events(events: Sequence[dict], source: str = "<trace>") -> List[str
         )
     last_t = -math.inf
     for index, event in enumerate(events):
-        where = f"{source}[{index}]"
+        if linenos is not None:
+            where = f"{source}:{linenos[index]}"
+        else:
+            where = f"{source}[{index}]"
         kind = event.get("kind")
         if not isinstance(kind, str):
             errors.append(f"{where}: missing/invalid 'kind'")
@@ -108,12 +139,20 @@ def validate_events(events: Sequence[dict], source: str = "<trace>") -> List[str
 
 
 def validate_file(path: str) -> List[str]:
-    """Validate one JSONL trace file; returns problems (empty = valid)."""
+    """Validate one JSONL trace file; returns problems (empty = valid).
+
+    Problems are located as ``path:LINE`` using the 1-based line number of
+    the offending event.
+    """
+    linenos: List[int] = []
+    events: List[dict] = []
     try:
-        events = list(iter_trace(path))
+        for lineno, event in iter_trace_lines(path):
+            linenos.append(lineno)
+            events.append(event)
     except (OSError, ValueError) as exc:
         return [str(exc)]
-    return validate_events(events, source=path)
+    return validate_events(events, source=path, linenos=linenos)
 
 
 def diff_traces(path_a: str, path_b: str) -> List[str]:
@@ -158,7 +197,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.diff:
         if len(args.paths) != 2:
             parser.error("--diff takes exactly two trace files")
-        differences = diff_traces(*args.paths)
+        try:
+            differences = diff_traces(*args.paths)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         if differences:
             print("\n".join(differences))
             return 1

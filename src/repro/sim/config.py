@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.registry import Registry
-from repro.obs.tracer import JsonlTracer, NULL_TRACER, Tracer
+from repro.obs.tracer import JsonlTracer, NULL_TRACER, SamplingTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.device import StorageDevice
@@ -133,7 +133,13 @@ class SimConfig:
         max_queue_depth: Saturation bound
             (see :class:`repro.sim.engine.QueueOverflowError`).
         jobs: Worker-process count for sweep fan-out (``None`` = default).
-        trace_path: When set, :meth:`run` writes a JSONL event trace here.
+        trace_path: When set, :meth:`run` writes a JSONL event trace here
+            (gzip-compressed when the path ends in ``.gz``).
+        trace_sample: When set (and > 1), wrap the trace sink in a
+            :class:`~repro.obs.tracer.SamplingTracer` keeping every N-th
+            request (plus head/tail windows); the sampling parameters are
+            recorded in the ``trace.meta`` header.  ``1`` traces every
+            request and is event-identical to leaving this unset.
         scheduler_params: Extra keyword arguments for the scheduler factory
             (e.g. ``{"cache": False}`` or ``{"prune": False}`` for the SPTF
             variants).  The dense seek/lower-bound tables the pruned SPTF
@@ -153,6 +159,7 @@ class SimConfig:
     max_queue_depth: Optional[int] = 4000
     jobs: Optional[int] = None
     trace_path: Optional[str] = None
+    trace_sample: Optional[int] = None
     scheduler_params: Dict[str, Any] = field(default_factory=dict)
     workload_params: Dict[str, Any] = field(default_factory=dict)
 
@@ -163,6 +170,8 @@ class SimConfig:
             raise ValueError(f"negative warmup: {self.warmup}")
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1: {self.jobs}")
+        if self.trace_sample is not None and self.trace_sample < 1:
+            raise ValueError(f"trace_sample must be >= 1: {self.trace_sample}")
 
     # -- builders ----------------------------------------------------------- #
 
@@ -179,10 +188,20 @@ class SimConfig:
         return workload.generate(self.num_requests)
 
     def build_tracer(self) -> Tracer:
-        """A fresh sink for :attr:`trace_path` (null tracer when unset)."""
+        """A fresh sink for :attr:`trace_path` (null tracer when unset).
+
+        With :attr:`trace_sample` > 1 the JSONL sink is wrapped in a
+        :class:`~repro.obs.tracer.SamplingTracer` and the sampling
+        parameters are written into the ``trace.meta`` header; a sample of
+        1 (or ``None``) produces a byte-identical unsampled trace.
+        """
         if self.trace_path is None:
             return NULL_TRACER
-        return JsonlTracer(self.trace_path)
+        every = self.trace_sample or 1
+        sink = JsonlTracer(self.trace_path, meta=SamplingTracer.meta(every))
+        if every > 1:
+            return SamplingTracer(sink, every)
+        return sink
 
     def build_simulation(self, tracer: Optional[Tracer] = None) -> "Simulation":
         from repro.sim.engine import Simulation

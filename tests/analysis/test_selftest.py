@@ -41,4 +41,6 @@ def test_good_fixtures_stay_clean():
 
 
 def test_rule_registry_is_complete():
-    assert list(known_rule_ids()) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    assert list(known_rule_ids()) == [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+    ]

@@ -210,7 +210,7 @@ class TestSimulationEquivalence:
     @pytest.mark.parametrize("scheduler", ["SPTF", "ASPTF"])
     @pytest.mark.parametrize("traced", [False, True])
     def test_end_to_end_results_identical(self, device, scheduler, traced):
-        from repro.obs.tracer import RingBufferTracer
+        from repro.obs.tracer import RingBufferTracer, TRACE_SCHEMA
         from repro.obs.validate import validate_events
         from repro.sim import Simulation
         from repro.sim.config import SimConfig
@@ -251,7 +251,7 @@ class TestSimulationEquivalence:
                     event["candidates_priced"] + event["candidates_pruned"]
                     == event["candidates"]
                 )
-            meta = {"kind": "trace.meta", "t": 0.0, "schema": "repro-trace/1"}
+            meta = {"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA}
             assert validate_events([meta] + tracer.events) == []
 
 

@@ -1,0 +1,58 @@
+"""Regenerate the golden trace fixtures (run from the repo root)::
+
+    PYTHONPATH=src python tests/obs/fixtures/regen.py
+
+The traces are byte-reproducible (deterministic simulator, gzip mtime
+pinned to 0), so regenerating on any machine must produce identical
+files; ``tests/obs/test_golden.py`` asserts exactly that, plus span
+reconciliation, bucket-sum conservation, and byte-identical report
+rendering over these fixtures.  Regenerate only when the trace schema or
+the simulator's numerics intentionally change, and commit the new bytes
+(including the refreshed ``*-report.md`` / ``*-report.html``).
+"""
+
+import os
+import sys
+
+FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: Trace fixtures: file name -> SimConfig kwargs.  Keep these runs small
+#: (the files are committed) but long enough to exercise queueing.
+SPECS = {
+    "mems-sptf.jsonl.gz": dict(
+        device="mems", scheduler="SPTF", rate=600.0,
+        num_requests=120, seed=13,
+    ),
+    "disk-clook.jsonl.gz": dict(
+        device="atlas10k", scheduler="C-LOOK", rate=200.0,
+        num_requests=120, seed=13,
+    ),
+}
+
+#: Golden reports rendered from the MEMS fixture (both formats).
+REPORT_SOURCE = "mems-sptf.jsonl.gz"
+REPORTS = ("mems-sptf-report.md", "mems-sptf-report.html")
+
+
+def regenerate(target_dir: str = FIXTURE_DIR) -> None:
+    from repro.obs.analyze import analyze_trace
+    from repro.obs.report import format_for_path, render_report
+    from repro.sim import SimConfig
+
+    for name, spec in SPECS.items():
+        path = os.path.join(target_dir, name)
+        SimConfig(trace_path=path, **spec).run()
+        print(f"wrote {path}")
+    analysis = analyze_trace(os.path.join(target_dir, REPORT_SOURCE))
+    for name in REPORTS:
+        path = os.path.join(target_dir, name)
+        text = render_report(
+            analysis, format_for_path(name), source=REPORT_SOURCE
+        )
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(regenerate())

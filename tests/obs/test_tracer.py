@@ -11,10 +11,12 @@ from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     RingBufferTracer,
+    SamplingTracer,
     TRACE_SCHEMA,
     TeeTracer,
     Tracer,
     iter_trace,
+    iter_trace_lines,
     read_trace,
 )
 
@@ -149,6 +151,140 @@ class TestTeeTracer:
     def test_empty_tee_is_disabled(self):
         assert TeeTracer().enabled is False
         assert TeeTracer(NULL_TRACER).enabled is False
+
+
+class TestGzipTraces:
+    def write(self, path, events):
+        with JsonlTracer(path) as tracer:
+            for event in events:
+                tracer.emit(event)
+
+    def events(self):
+        return [
+            ev("sim.start", 0.0, requests=2),
+            ev("sim.arrival", 0.1, rid=0, lbn=8, sectors=1,
+               io="read", queue_depth=1),
+            ev("sim.end", 1.0, completed=2),
+        ]
+
+    def test_round_trip_matches_plain_jsonl(self, tmp_path):
+        plain, gz = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        self.write(plain, self.events())
+        self.write(gz, self.events())
+        assert read_trace(gz) == read_trace(plain)
+        assert list(iter_trace(gz)) == list(iter_trace(plain))
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        # gzip header carries no wall-clock (mtime pinned to 0), so the
+        # same events at the same path always produce the same bytes
+        gz = tmp_path / "t.jsonl.gz"
+        self.write(gz, self.events())
+        first = gz.read_bytes()
+        self.write(gz, self.events())
+        assert gz.read_bytes() == first
+
+    def test_iter_trace_lines_is_one_based(self, tmp_path):
+        gz = tmp_path / "t.jsonl.gz"
+        self.write(gz, self.events())
+        pairs = list(iter_trace_lines(gz))
+        assert [lineno for lineno, _ in pairs] == [1, 2, 3, 4]
+        assert pairs[0][1]["kind"] == "trace.meta"
+        assert pairs[-1][1]["kind"] == "sim.end"
+
+    def test_bad_line_reports_decompressed_lineno(self, tmp_path):
+        gz = tmp_path / "bad.jsonl.gz"
+        import gzip
+
+        with gzip.GzipFile(gz, "wb", mtime=0) as raw:
+            raw.write(b'{"kind": "trace.meta"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_trace(gz))
+
+
+def rid_events(total, head_kinds=("sim.arrival", "sched.dispatch",
+                                 "dev.access", "sim.complete")):
+    yield ev("sim.start", 0.0, requests=total)
+    for rid in range(total):
+        for kind in head_kinds:
+            yield ev(kind, float(rid), rid=rid)
+    yield ev("sim.end", float(total), completed=total)
+
+
+class TestSamplingTracer:
+    def kept_rids(self, ring):
+        return {e["rid"] for e in ring.events if "rid" in e}
+
+    def test_every_one_is_pure_pass_through(self):
+        ring = RingBufferTracer()
+        sampler = SamplingTracer(ring, every=1)
+        events = list(rid_events(100))
+        for event in events:
+            sampler.emit(event)
+        assert ring.events == events
+        assert sampler.kept == len(events)
+        assert sampler.dropped == 0
+
+    def test_meta_empty_for_unsampled(self):
+        assert SamplingTracer.meta(1) == {}
+
+    def test_meta_annotation(self):
+        assert SamplingTracer.meta(4) == {
+            "sample_every": 4,
+            "sample_head": 16,
+            "sample_tail": 16,
+        }
+
+    def test_membership_is_mod_plus_head_tail(self):
+        total, every = 200, 7
+        ring = RingBufferTracer()
+        sampler = SamplingTracer(ring, every=every)
+        for event in rid_events(total):
+            sampler.emit(event)
+        expected = {
+            rid for rid in range(total)
+            if rid % every == 0 or rid < 16 or rid >= total - 16
+        }
+        assert self.kept_rids(ring) == expected
+
+    def test_kept_requests_keep_all_their_events(self):
+        ring = RingBufferTracer()
+        sampler = SamplingTracer(ring, every=5, head=0, tail=0)
+        for event in rid_events(50):
+            sampler.emit(event)
+        by_rid = {}
+        for event in ring.events:
+            if "rid" in event:
+                by_rid.setdefault(event["rid"], []).append(event["kind"])
+        # per-rid all-or-nothing: every kept request has its full span
+        assert all(len(kinds) == 4 for kinds in by_rid.values())
+        assert set(by_rid) == {rid for rid in range(50) if rid % 5 == 0}
+
+    def test_ridless_events_always_pass(self):
+        ring = RingBufferTracer()
+        sampler = SamplingTracer(ring, every=1000, head=0, tail=0)
+        for event in rid_events(20):
+            sampler.emit(event)
+        kinds = [e["kind"] for e in ring.events if "rid" not in e]
+        assert kinds == ["sim.start", "sim.end"]
+
+    def test_counters(self):
+        ring = RingBufferTracer()
+        sampler = SamplingTracer(ring, every=2, head=0, tail=0)
+        for event in rid_events(10):
+            sampler.emit(event)
+        assert sampler.kept == len(ring.events)
+        assert sampler.dropped == 5 * 4
+        assert sampler.kept + sampler.dropped == 10 * 4 + 2
+
+    def test_enabled_mirrors_sink(self):
+        assert SamplingTracer(RingBufferTracer(), every=2).enabled
+        assert SamplingTracer(NULL_TRACER, every=2).enabled is False
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="every"):
+            SamplingTracer(RingBufferTracer(), every=0)
+        with pytest.raises(ValueError, match="head/tail"):
+            SamplingTracer(RingBufferTracer(), every=2, head=-1)
 
 
 class TestEventSchema:

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.tracer import TRACE_SCHEMA
 from repro.obs.validate import (
     diff_traces,
@@ -64,6 +66,7 @@ class TestValidateEvents:
         access = {
             "kind": "dev.access",
             "t": 0.0,
+            "rid": 0,
             "lbn": 0,
             "sectors": 1,
             "io": "R",
@@ -117,6 +120,32 @@ class TestDiffTraces:
         assert any("event count: sim.start" in d for d in differences)
 
 
+class TestLineNumbers:
+    def test_errors_carry_one_based_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_trace(
+            path,
+            [
+                meta(),
+                {"kind": "sim.start", "t": 0.0, "requests": 1},
+                {"kind": "sim.start", "t": 0.1},  # line 3: missing fields
+                {"kind": "weird", "t": 0.2},  # line 4: unknown kind
+            ],
+        )
+        errors = validate_file(str(path))
+        assert any(error.startswith(f"{path}:3:") for error in errors)
+        assert any(error.startswith(f"{path}:4:") for error in errors)
+        # no in-memory [index] locations leak into file mode
+        assert not any("[" in error.split(":")[0] for error in errors)
+
+    def test_gz_trace_validates_with_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        SimConfig(
+            rate=600.0, num_requests=100, trace_path=str(path)
+        ).run()
+        assert validate_file(str(path)) == []
+
+
 class TestCli:
     def test_validate_ok(self, tmp_path, capsys):
         path = tmp_path / "trace.jsonl"
@@ -135,3 +164,35 @@ class TestCli:
         write_trace(b, [meta()])
         assert main(["--diff", str(a), str(b)]) == 0
         assert "identical" in capsys.readouterr().out
+
+    def test_validate_gz_ok(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl.gz"
+        SimConfig(rate=600.0, num_requests=50, trace_path=str(path)).run()
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.jsonl")]) == 1
+
+    def test_diff_unreadable_exits_one(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        write_trace(a, [meta()])
+        missing = tmp_path / "missing.jsonl"
+        assert main(["--diff", str(a), str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_divergent_exits_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(a, [meta(), {"kind": "sim.start", "t": 0.0, "requests": 1}])
+        write_trace(b, [meta()])
+        assert main(["--diff", str(a), str(b)]) == 1
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])  # no paths at all
+        assert excinfo.value.code == 2
+        a = tmp_path / "a.jsonl"
+        write_trace(a, [meta()])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--diff", str(a)])  # --diff needs exactly two
+        assert excinfo.value.code == 2

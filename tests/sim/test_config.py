@@ -5,7 +5,12 @@ import pickle
 import pytest
 
 from repro.core.scheduling import make_scheduler
-from repro.obs.tracer import read_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    SamplingTracer,
+    read_trace,
+)
 from repro.sim import (
     DEVICES,
     QueueOverflowError,
@@ -138,6 +143,53 @@ class TestSimConfig:
         events = read_trace(path)
         assert events[-1]["kind"] == "sim.end"
         assert events[-1]["completed"] == 50
+
+    def test_trace_sample_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(trace_sample=0)
+        with pytest.raises(ValueError):
+            SimConfig(trace_sample=-4)
+        assert SimConfig(trace_sample=None).trace_sample is None
+        assert SimConfig(trace_sample=8).trace_sample == 8
+
+    def test_build_tracer_types(self, tmp_path):
+        assert SimConfig().build_tracer() is NULL_TRACER
+        path = str(tmp_path / "t.jsonl")
+        plain = SimConfig(trace_path=path).build_tracer()
+        assert isinstance(plain, JsonlTracer)
+        plain.close()
+        unsampled = SimConfig(trace_path=path, trace_sample=1).build_tracer()
+        assert isinstance(unsampled, JsonlTracer)
+        unsampled.close()
+        sampled = SimConfig(trace_path=path, trace_sample=4).build_tracer()
+        assert isinstance(sampled, SamplingTracer)
+        assert sampled.every == 4
+        sampled.sink.close()
+
+    def test_trace_sample_one_is_event_identical(self, tmp_path):
+        full, one = tmp_path / "full.jsonl", tmp_path / "one.jsonl"
+        config = SimConfig(rate=600.0, num_requests=80)
+        config.replace(trace_path=str(full)).run()
+        config.replace(trace_path=str(one), trace_sample=1).run()
+        assert read_trace(full) == read_trace(one)
+
+    def test_sampled_trace_annotated_and_thinner(self, tmp_path):
+        full, sampled = tmp_path / "full.jsonl", tmp_path / "s.jsonl"
+        config = SimConfig(rate=600.0, num_requests=200)
+        config.replace(trace_path=str(full)).run()
+        config.replace(trace_path=str(sampled), trace_sample=5).run()
+        full_events = read_trace(full)
+        sampled_events = read_trace(sampled)
+        meta = sampled_events[0]
+        assert meta["sample_every"] == 5
+        assert meta["sample_head"] == 16 and meta["sample_tail"] == 16
+        assert "sample_every" not in full_events[0]
+        assert len(sampled_events) < len(full_events)
+        kept = {e["rid"] for e in sampled_events if "rid" in e}
+        assert kept == {
+            rid for rid in range(200)
+            if rid % 5 == 0 or rid < 16 or rid >= 200 - 16
+        }
 
     def test_from_config(self):
         config = SimConfig(device="atlas10k", scheduler="C-LOOK")

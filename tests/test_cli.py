@@ -90,6 +90,29 @@ class TestCommands:
         assert "response_time_s" in out
         assert validate_file(str(trace)) == []
 
+    def test_simulate_trace_sample_flag(self, tmp_path, capsys):
+        from repro.obs.tracer import read_trace
+        from repro.obs.validate import validate_file
+
+        trace = tmp_path / "sampled.jsonl.gz"
+        code = main(
+            [
+                "simulate",
+                "--rate", "600",
+                "--requests", "200",
+                "--trace", str(trace),
+                "--trace-sample", "10",
+            ]
+        )
+        assert code == 0
+        assert validate_file(str(trace)) == []
+        events = read_trace(str(trace))
+        assert events[0]["sample_every"] == 10
+        kept = {e["rid"] for e in events if "rid" in e}
+        assert all(
+            rid % 10 == 0 or rid < 16 or rid >= 200 - 16 for rid in kept
+        )
+
     def test_simulate_metrics_match_percentiles(self, capsys):
         from repro.sim import SimConfig
 
