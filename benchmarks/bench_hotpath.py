@@ -16,6 +16,14 @@ at the repo root) so regressions are diffable across commits:
   scheduler's telemetry counters.  The dispatch order is asserted
   bit-identical, and at depth >= 64 the pruned leg must price strictly
   fewer candidates than it had pending.
+* **Adaptive SPTF dispatch** at depths spanning the ``prune='auto'``
+  regimes (scalar scan <= 8, vectorized screen, pruned walk) — the
+  production default against the cached full scan, with the fast path(s)
+  taken read back from ``sched.dispatch`` telemetry and the dispatch order
+  asserted bit-identical.
+* **End-to-end throughput** — one whole SPTF simulation at the sweep's
+  heaviest rate, reported as events/second against the pinned
+  ``END_TO_END_MIN_EVENTS_PER_S`` floor (asserted in the smoke test).
 * **Figure-6 sweep wall-clock** — the end-to-end scheduler-comparison sweep
   run sequentially and with ``jobs=N`` through the process-pool sweep
   layer, plus the SPTF-only sweep against the uncached baseline.  Sweep
@@ -255,8 +263,10 @@ def _run_sptf_sweep_uncached(rates, num_requests):
     """SPTF-only sweep with every cache off — the seed-equivalent baseline.
 
     ``random_workload_sweep`` builds cached schedulers, so this mirrors its
-    per-point loop with ``SPTFScheduler(cache=False)`` on an uncached
-    device.
+    per-point loop with ``SPTFScheduler(cache=False, prune="never")`` on an
+    uncached device.  ``prune="never"`` matters: the constructor default is
+    the adaptive ``"auto"``, which would hand the *baseline* the vectorized
+    and pruned fast paths and understate every speedup reported against it.
     """
     from repro.core.scheduling.sptf import SPTFScheduler
     from repro.experiments.common import SweepPoint
@@ -269,7 +279,7 @@ def _run_sptf_sweep_uncached(rates, num_requests):
         device = _make_device(False)
         workload = RandomWorkload(device.capacity_sectors, rate=rate, seed=42)
         requests = workload.generate(num_requests)
-        scheduler = SPTFScheduler(device, cache=False)
+        scheduler = SPTFScheduler(device, cache=False, prune="never")
         sim = Simulation(device, scheduler, max_queue_depth=4000)
         try:
             result = sim.run(requests).drop_warmup(200)
@@ -282,6 +292,21 @@ def _run_sptf_sweep_uncached(rates, num_requests):
             )
         )
     return time.perf_counter() - start, points
+
+
+SEED_SWEEP_SEQUENTIAL_S = 11.749
+"""Sequential figure-6 sweep wall time recorded at the seed commit.
+
+Measured with the full configuration (``SWEEP_RATES`` x
+``SWEEP_ALGORITHMS``, 6000 requests) on the same single-core reference
+container class as the committed ``BENCH_hotpath.json``.  The
+``speedup_vs_seed`` field divides this by the current sequential leg; it is
+only emitted when the sweep runs that exact configuration.  Single-core
+caveat: the containers share a host, so wall time for the *same* code moves
++-20 % run to run — re-measuring the seed commit alongside a candidate on
+the same box is the fair comparison, and that interleaved measurement is
+what the 5x target tracks.
+"""
 
 
 def bench_sweep(jobs: int, rates, algorithms, num_requests: int) -> dict:
@@ -321,6 +346,15 @@ def bench_sweep(jobs: int, rates, algorithms, num_requests: int) -> dict:
         "sptf_optimized_s": round(optimized_sptf_s, 3),
         "speedup_sptf_vs_baseline": round(baseline_s / optimized_sptf_s, 3),
     }
+    if (
+        tuple(rates) == SWEEP_RATES
+        and tuple(algorithms) == SWEEP_ALGORITHMS
+        and num_requests == 6000
+    ):
+        report["seed_sequential_s"] = SEED_SWEEP_SEQUENTIAL_S
+        report["speedup_vs_seed"] = round(
+            SEED_SWEEP_SEQUENTIAL_S / sequential_s, 3
+        )
     if note is not None:
         report["note"] = note
     return report
@@ -338,6 +372,118 @@ def _run_sptf_sweep_optimized(rates, num_requests):
         jobs=1,
     )
     return time.perf_counter() - start, sweep
+
+
+ADAPTIVE_DEPTHS = (4, 8, 16, 64, 128)
+"""Queue depths for the adaptive-dispatch rows: one in each regime of the
+``prune='auto'`` policy (scalar scan, vectorized screen, pruned walk) plus
+the two boundary depths."""
+
+
+def bench_adaptive(depth: int, dispatches: int, repeats: int) -> dict:
+    """Adaptive selection (``prune='auto'``, the default) vs the full scan.
+
+    Both legs run caches-on; the row isolates what the adaptive dispatch
+    adds over pricing every candidate.  A short traced warmup pass records
+    which fast path(s) the policy actually took at this depth (read back
+    from ``sched.dispatch`` telemetry); the timed legs run untraced.  The
+    dispatch orders are asserted bit-identical every repeat — the adaptive
+    paths must never change a selection.
+    """
+    from repro.obs.tracer import RingBufferTracer
+
+    tracer = RingBufferTracer(capacity=8192)
+    dispatch_loop(depth, 32, True, True, prune="auto", tracer=tracer)
+    fast_paths = sorted(
+        {
+            event["fast_path"]
+            for event in tracer.events
+            if event.get("kind") == "sched.dispatch"
+        }
+    )
+    adaptive_best = scan_best = float("inf")
+    adaptive_sched = None
+    for _ in range(repeats):
+        seconds, adaptive_order, sched = dispatch_loop(
+            depth, dispatches, True, True, prune="auto"
+        )
+        adaptive_best = min(adaptive_best, seconds)
+        adaptive_sched = sched
+        seconds, scan_order, _ = dispatch_loop(
+            depth, dispatches, True, True, prune="never"
+        )
+        scan_best = min(scan_best, seconds)
+        if adaptive_order != scan_order:
+            raise AssertionError(
+                f"dispatch order diverged at depth {depth}: the adaptive "
+                f"fast path changed the SPTF selection"
+            )
+    priced = adaptive_sched.cache_hits + adaptive_sched.cache_misses
+    return {
+        "depth": depth,
+        "dispatches": dispatches,
+        "fast_paths": fast_paths,
+        "adaptive_s": round(adaptive_best, 6),
+        "full_scan_s": round(scan_best, 6),
+        "speedup_vs_full_scan": round(scan_best / adaptive_best, 3),
+        "candidates": depth * dispatches,
+        "candidates_priced": priced,
+    }
+
+
+END_TO_END_MIN_EVENTS_PER_S = 25_000.0
+"""CI floor for whole-simulation event throughput (events/second).
+
+One SPTF run through ``Simulation.run`` at the sweep's heaviest arrival
+rate, counting two events (arrival + completion) per request — the
+engine's unit of work.  The optimized stack clears ~75k events/s on the
+single-core reference container; the floor leaves ~3x headroom for shared-
+host noise while still sitting far above what the pre-optimization hot
+path could reach (~10k events/s), so a regression that loses the adaptive
+dispatch or the pricing caches trips it.
+"""
+
+
+def bench_end_to_end(num_requests: int, repeats: int) -> dict:
+    """Whole-simulation throughput: workload -> engine -> SPTF -> device.
+
+    The dispatch-loop rows isolate the scheduler; this row times everything
+    the figure sweeps actually pay per request — event queue, dispatch,
+    service-time model, statistics — as events/second, with the pinned
+    ``END_TO_END_MIN_EVENTS_PER_S`` floor asserted by the smoke test.
+    """
+    from repro.core.scheduling import make_scheduler
+    from repro.sim import Simulation
+    from repro.workloads import RandomWorkload
+
+    rate = SWEEP_RATES[-1]
+    best = float("inf")
+    completed = 0
+    # At least two iterations: the first pays the shared planner/profile
+    # cache misses for this workload, so min-of-N measures the steady
+    # state the sweeps actually run in (every sweep point after the first
+    # starts warm).
+    for _ in range(max(repeats, 2)):
+        device = _make_device(True)
+        requests = RandomWorkload(
+            device.capacity_sectors, rate=rate, seed=42
+        ).generate(num_requests)
+        sim = Simulation(
+            device, make_scheduler("SPTF", device), max_queue_depth=4000
+        )
+        start = time.perf_counter()
+        result = sim.run(requests)
+        best = min(best, time.perf_counter() - start)
+        completed = len(result)
+    events = 2 * completed
+    return {
+        "requests": num_requests,
+        "rate": rate,
+        "events": events,
+        "best_s": round(best, 6),
+        "events_per_s": round(events / best, 1),
+        "floor_events_per_s": END_TO_END_MIN_EVENTS_PER_S,
+    }
 
 
 ANALYZE_MIN_EVENTS_PER_S = 50_000.0
@@ -455,10 +601,15 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
             bench_pruned(depth, dispatches, repeats)
             for depth in (PRUNED_DEPTHS[:2] if smoke else PRUNED_DEPTHS)
         ],
+        "sptf_adaptive": [
+            bench_adaptive(depth, dispatches, repeats)
+            for depth in (ADAPTIVE_DEPTHS[:3] if smoke else ADAPTIVE_DEPTHS)
+        ],
         "tracing": [
             bench_tracing(depth, dispatches, repeats) for depth in depths
         ],
         "analyze": bench_analyze(1500 if smoke else 10_000, repeats),
+        "end_to_end": bench_end_to_end(num_requests, repeats),
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
         ),
@@ -510,7 +661,23 @@ def test_hotpath_smoke():
             # (bench_pruned also raises on this, so the CLI smoke run in CI
             # enforces it too).
             assert row["candidates_priced"] < row["candidates"]
-    assert report["figure06_sweep"]["sequential_s"] > 0
+    for row in report["sptf_adaptive"]:
+        assert row["adaptive_s"] > 0 and row["full_scan_s"] > 0
+        # The traced warmup must have seen the policy pick *some* fast path.
+        assert row["fast_paths"]
+    sweep = report["figure06_sweep"]
+    assert sweep["sequential_s"] > 0
+    assert sweep["speedup_sptf_vs_baseline"] >= 1.0, (
+        f"optimized SPTF sweep ran {sweep['speedup_sptf_vs_baseline']:.2f}x "
+        f"the uncached prune='never' baseline — the adaptive dispatch or "
+        f"pricing caches regressed below break-even"
+    )
+    end_to_end = report["end_to_end"]
+    assert end_to_end["events_per_s"] >= END_TO_END_MIN_EVENTS_PER_S, (
+        f"end-to-end simulation ran at {end_to_end['events_per_s']:.0f} "
+        f"events/s (floor {END_TO_END_MIN_EVENTS_PER_S:.0f}) — the engine "
+        f"hot path regressed"
+    )
     analyze = report["analyze"]
     assert analyze["spans"] == analyze["requests"]
     assert analyze["events_per_s"] >= ANALYZE_MIN_EVENTS_PER_S, (
@@ -558,8 +725,10 @@ def collect_smoke_subset() -> dict:
     return {
         "sptf_dispatch": [bench_dispatch(16, 32, 1)],
         "sptf_pruned": [bench_pruned(16, 32, 1), bench_pruned(64, 48, 1)],
+        "sptf_adaptive": [bench_adaptive(8, 32, 1), bench_adaptive(64, 48, 1)],
         "tracing": [bench_tracing(16, 32, 1)],
         "analyze": bench_analyze(1500, 1),
+        "end_to_end": bench_end_to_end(800, 1),
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),

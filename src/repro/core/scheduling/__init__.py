@@ -78,7 +78,7 @@ def _make_scan(device: StorageDevice, **kwargs) -> Scheduler:
 
 @SCHEDULERS.register("SPTF")
 def _make_sptf(
-    device: StorageDevice, cache: bool = True, prune: bool = True, **kwargs
+    device: StorageDevice, cache: bool = True, prune="auto", **kwargs
 ) -> Scheduler:
     return SPTFScheduler(device, cache=cache, prune=prune)
 
@@ -88,7 +88,7 @@ def _make_asptf(
     device: StorageDevice,
     age_weight: float = 0.01,
     cache: bool = True,
-    prune: bool = True,
+    prune="auto",
     **kwargs,
 ) -> Scheduler:
     return AgedSPTFScheduler(
@@ -123,8 +123,8 @@ def make_scheduler(
         sectors_per_cylinder: ``SXTF`` mapping constant; derived from the
             device when omitted.
         **kwargs: Policy-specific options (e.g. ``cache=False`` or
-            ``prune=False`` for the SPTF variants, ``age_weight=`` for
-            ASPTF).
+            ``prune='auto'|'always'|'never'`` — bools still accepted — for
+            the SPTF variants, ``age_weight=`` for ASPTF).
     """
     if sectors_per_cylinder is not None:
         kwargs["sectors_per_cylinder"] = sectors_per_cylinder

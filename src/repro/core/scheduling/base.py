@@ -55,6 +55,18 @@ class Scheduler(abc.ABC):
         instrumentation only."""
         raise NotImplementedError
 
+    def _pending_sized(self):
+        """A live object whose ``len()`` is the pending-request count.
+
+        The engine's event loop checks queue emptiness and depth once per
+        event; handing it the scheduler's own container lets those checks
+        run as a C-level ``len()`` instead of a Python ``__len__`` frame.
+        Implementations must return an object that remains *the* pending
+        container for the scheduler's lifetime (never rebound).  The
+        default returns ``self``, which is always correct.
+        """
+        return self
+
     def _trace_dispatch(
         self, now: float, candidates: int, request: Request
     ) -> None:
@@ -120,6 +132,9 @@ class ListScheduler(Scheduler):
         if self.tracer.enabled:
             self._trace_dispatch(now, candidates, request)
         return request
+
+    def _pending_sized(self):
+        return self._queue
 
     @abc.abstractmethod
     def select_index(self, now: float) -> int:

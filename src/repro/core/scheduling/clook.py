@@ -50,3 +50,6 @@ class CLOOKScheduler(Scheduler):
 
     def pending(self) -> List[Request]:
         return [request for _, _, request in self._sorted]
+
+    def _pending_sized(self):
+        return self._sorted

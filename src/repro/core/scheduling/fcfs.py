@@ -38,3 +38,6 @@ class FCFSScheduler(Scheduler):
 
     def pending(self) -> List[Request]:
         return list(self._queue)
+
+    def _pending_sized(self):
+        return self._queue

@@ -21,30 +21,103 @@ cache is invalidated on every dispatch and never changes which request is
 selected (see ``tests/core/scheduling/test_sptf_cache.py``); pass
 ``cache=False`` to get the uncached reference behaviour.
 
-On top of the cache, selection is made **sub-linear in queue depth** by
-lower-bound pruning (``prune=True``, the default whenever the device exposes
-the pruning oracle).  Pending requests are bucketed by target cylinder; the
-selection walk visits buckets in increasing cylinder distance from the
-current sled/arm position and stops as soon as the next bucket's admissible
-lower bound (``device.positioning_lower_bounds``, a dense per-distance table
-with a monotone suffix-min envelope) *strictly* exceeds the best exact
-estimate found so far.  Because the bound never exceeds the exact estimate
-and ties are resolved by arrival order exactly as the naive scan does, the
-pruned walk dispatches the *bit-identical* request sequence — it only prices
-fewer candidates (see ``tests/core/scheduling/test_sptf_prune.py``).  When
-every bucket bound stays at or below the incumbent (e.g. a queue parked on
-one cylinder) the walk degenerates gracefully to the full scan.
+On top of the cache, selection is **adaptive in queue depth** (``prune``
+accepts ``'auto'`` — the default — ``'always'``, ``'never'``, or a bool for
+backwards compatibility).  Three selection fast paths exist, every one
+dispatching the *bit-identical* request sequence:
+
+* ``scan`` — the cached scalar scan.  Cheapest at the shallow depths that
+  dominate realistic open-arrival sweeps (a handful of pending requests),
+  where any array bookkeeping loses to a short Python loop.  In ``'auto'``
+  mode on bound-capable devices the scan skips candidates whose lower
+  bound already exceeds an exact score in hand (``_screened_scan``) —
+  same winner, fewer oracle calls.
+* ``vectorized`` — a per-candidate lower-bound screen (the same dense
+  admissible table the pruned walk uses, discounted per candidate by its
+  exact aging credit) selects the subset that could still win, and one
+  :meth:`estimate_positioning_batch` call prices that subset through the
+  device's array-evaluated kinematics.  The winner is the minimum exact
+  score with the scan's strict-``<`` first-occurrence tie-break; unpriced
+  candidates cannot win because their bound already exceeds an exact
+  score (see ``_vectorized_select``).  Wins once the queue is deep enough
+  to amortize the screen (``VECTORIZED_DEPTH_THRESHOLD``).  On devices
+  with batch pricing but no bound oracle the screen degrades to pricing
+  every candidate.
+* ``pruned`` — lower-bound pruning over cylinder buckets.  The selection
+  walk visits buckets in increasing cylinder distance from the current
+  sled/arm position and stops as soon as the next bucket's admissible lower
+  bound (``device.positioning_lower_bounds``, a dense per-distance table
+  with a monotone suffix-min envelope) *strictly* exceeds the best exact
+  estimate found so far.  Because the bound never exceeds the exact
+  estimate and ties are resolved by arrival order exactly as the naive scan
+  does, the pruned walk only prices fewer candidates (see
+  ``tests/core/scheduling/test_sptf_prune.py``).  When every bucket bound
+  stays at or below the incumbent (e.g. a queue parked on one cylinder) the
+  walk degenerates gracefully to the full scan.  Wins at depths where
+  sub-linear candidate visits beat even vectorized full pricing
+  (``PRUNED_DEPTH_THRESHOLD``).
+
+``prune='auto'`` picks between the three per selection from the pending
+count; ``'always'`` forces the pruned walk (the pre-adaptive behaviour);
+``'never'`` forces the scan.  The bucket indexes are built lazily on the
+first selection that actually takes the pruned path, and the device's
+lower-bound table on the first selection with anything to screen — both
+shared per parameter set, so construction costs nothing and single-request
+queues never build either.  Which path served each dispatch is reported as
+``fast_path`` in ``sched.dispatch`` trace events.
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import bisect_left, insort
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.scheduling.base import ListScheduler
+from repro.nputil import get_numpy
 from repro.sim.device import StorageDevice
 from repro.sim.request import Request
+
+VECTORIZED_DEPTH_THRESHOLD = 8
+"""Pending-queue depth above which ``prune='auto'`` batch-prices candidates.
+
+Below this the per-call numpy overhead (array allocation, dispatch) loses
+to a plain Python scan over the handful of candidates; measured crossover
+on CPython 3.12 + numpy 2.x is 6–10 pending requests for both device
+models (see ``benchmarks/bench_hotpath.py``, ``adaptive_depth`` section).
+"""
+
+PRUNED_DEPTH_THRESHOLD = 64
+"""Pending-queue depth above which ``prune='auto'`` takes the pruned walk.
+
+The bucket walk visits a sub-linear slice of deep queues, which beats even
+vectorized full pricing once the queue is wide enough for the lower bounds
+to cut early; below it, the walk's per-bucket Python overhead loses to one
+flat batch call."""
+
+_SCALAR_SURVIVOR_LIMIT = 8
+"""Survivor-set size up to which the vectorized path prices scalarly.
+
+The batch pricing call carries a fixed numpy cost (array build, ufunc
+dispatch) that a handful of scalar :meth:`estimate_positioning` calls —
+bitwise identical per element — undercuts.  Bound screening typically
+leaves only a few candidates alive, so most selections stay under this."""
+
+_PRUNE_MODES = ("auto", "always", "never")
+
+
+def _normalize_prune_mode(prune: Union[bool, str]) -> str:
+    """Map the ``prune`` argument (mode string or legacy bool) to a mode."""
+    if prune is True:
+        return "always"
+    if prune is False:
+        return "never"
+    if prune in _PRUNE_MODES:
+        return prune
+    raise ValueError(
+        f"unknown prune mode {prune!r}: expected 'auto', 'always', "
+        "'never', or a bool"
+    )
 
 
 def device_supports_pruning(device: StorageDevice) -> bool:
@@ -55,12 +128,25 @@ def device_supports_pruning(device: StorageDevice) -> bool:
     (``request_cylinder``), and the current mechanical position
     (``current_cylinder``).  Devices without them (or test doubles) fall
     back to the plain full scan transparently.
+
+    The bounds probe checks the *class* first: on the real devices
+    ``positioning_lower_bounds`` is a lazily-built property, and reading it
+    off the instance here would defeat the laziness by triggering the
+    build during construction of every scheduler.
     """
+    bounds = getattr(type(device), "positioning_lower_bounds", None)
+    if bounds is None:
+        bounds = getattr(device, "positioning_lower_bounds", None)
     return (
-        getattr(device, "positioning_lower_bounds", None) is not None
+        bounds is not None
         and callable(getattr(device, "request_cylinder", None))
         and getattr(device, "current_cylinder", None) is not None
     )
+
+
+def device_supports_batch_pricing(device: StorageDevice) -> bool:
+    """True when ``device`` exposes the vectorized pricing oracle."""
+    return callable(getattr(device, "estimate_positioning_batch", None))
 
 
 class _EstimateCachingScheduler(ListScheduler):
@@ -82,12 +168,20 @@ class _EstimateCachingScheduler(ListScheduler):
     """
 
     def __init__(
-        self, device: StorageDevice, cache: bool = True, prune: bool = True
+        self,
+        device: StorageDevice,
+        cache: bool = True,
+        prune: Union[bool, str] = "auto",
     ) -> None:
         super().__init__()
         self._device = device
         self._estimates: Optional[Dict[int, float]] = {} if cache else None
-        self._prune = bool(prune) and device_supports_pruning(device)
+        mode = _normalize_prune_mode(prune)
+        self._mode = mode
+        self._can_prune = mode != "never" and device_supports_pruning(device)
+        self._can_batch = mode == "auto" and device_supports_batch_pricing(
+            device
+        )
         #: Cumulative estimate-cache hits/misses across the scheduler's
         #: lifetime, maintained by bulk length deltas in ``select_index``
         #: (never per-candidate work) and reported in ``sched.dispatch``
@@ -101,20 +195,49 @@ class _EstimateCachingScheduler(ListScheduler):
         self.last_candidates = 0
         self.last_priced = 0
         self.last_pruned = 0
-        if self._prune:
-            self._buckets: Dict[int, List[Request]] = {}
-            self._bucket_keys: List[int] = []
-            self._arrival_seq: Dict[int, int] = {}
-            self._next_seq = 0
+        #: Which selection fast path served the most recent dispatch
+        #: (``scan`` / ``vectorized`` / ``pruned``); reported as
+        #: ``fast_path`` in ``sched.dispatch`` trace events.
+        self.last_fast_path = "scan"
+        # Pruning indexes (cylinder buckets + arrival sequence numbers).
+        # Maintained incrementally only once ``_indexed`` is set: in
+        # ``'always'`` mode from construction, in ``'auto'`` mode from the
+        # first selection deep enough to take the pruned walk — so runs
+        # that never cross ``PRUNED_DEPTH_THRESHOLD`` pay no per-add
+        # bookkeeping at all.
+        self._indexed = mode == "always" and self._can_prune
+        self._buckets: Dict[int, List[Request]] = {}
+        self._bucket_keys: List[int] = []
+        self._arrival_seq: Dict[int, int] = {}
+        self._next_seq = 0
+        # Cylinder list shadowing the pending queue position for position,
+        # feeding the bound screens.  Maintained from construction (one
+        # memoized ``request_cylinder`` call per arrival) so no selection
+        # ever has to resolve cylinders for the whole queue; only kept
+        # when the adaptive vectorized path can actually run.
+        self._screened = self._can_batch and self._can_prune
+        self._cyls: List[int] = []
+        # The device's bound table, captured the first time a deep
+        # selection reads it.  The shallow scan reuses an already-built
+        # table to skip provably-beaten candidates, but never triggers the
+        # (lazy) build itself — runs that stay shallow still pay nothing.
+        self._bounds_ref: Optional[Tuple[float, ...]] = None
 
     @property
     def prune_enabled(self) -> bool:
-        """Whether selection uses the lower-bound bucket walk."""
-        return self._prune
+        """Whether selection may use the lower-bound bucket walk."""
+        return self._can_prune
+
+    @property
+    def prune_mode(self) -> str:
+        """The normalized adaptive mode (``auto`` / ``always`` / ``never``)."""
+        return self._mode
 
     def add(self, request: Request) -> None:
         super().add(request)
-        if self._prune:
+        if self._screened:
+            self._cyls.append(self._device.request_cylinder(request))
+        if self._indexed:
             self._arrival_seq[id(request)] = self._next_seq
             self._next_seq += 1
             key = self._device.request_cylinder(request)
@@ -126,14 +249,52 @@ class _EstimateCachingScheduler(ListScheduler):
                 bucket.append(request)
 
     def pop_next(self, now: float = 0.0) -> Request:
-        request = super().pop_next(now)
+        # Replays ``ListScheduler.pop_next`` inline: the cylinder shadow
+        # list is positional, so the removal index must be kept in hand
+        # rather than recovered from the dispatched request.
+        queue = self._queue
+        if not queue:
+            raise IndexError("scheduler queue is empty")
+        candidates = len(queue)
+        index = self.select_index(now)
+        request = queue.pop(index)
+        if self._screened:
+            del self._cyls[index]
         # Dispatching mutates the device's mechanical state, so every
         # memoized estimate is stale from here on.
         if self._estimates is not None:
             self._estimates.clear()
-        if self._prune:
+        if self._indexed:
             self._forget(request)
+        if self.tracer.enabled:
+            self._trace_dispatch(now, candidates, request)
         return request
+
+    def _build_indexes(self) -> None:
+        """Build the pruning indexes from the current pending queue.
+
+        Called by the first selection that takes the pruned path in
+        ``'auto'`` mode.  The queue is append-ordered, so enumerating it
+        assigns arrival sequence numbers in arrival order — the same
+        numbering incremental maintenance would have produced — and from
+        here on ``add``/``pop_next`` keep the indexes current.
+        """
+        request_cylinder = self._device.request_cylinder
+        buckets = self._buckets
+        seq_of = self._arrival_seq
+        next_seq = self._next_seq
+        for request in self._queue:
+            seq_of[id(request)] = next_seq
+            next_seq += 1
+            key = request_cylinder(request)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [request]
+            else:
+                bucket.append(request)
+        self._next_seq = next_seq
+        self._bucket_keys = sorted(buckets)
+        self._indexed = True
 
     def _forget(self, request: Request) -> int:
         """Drop a dispatched request from the pruning indexes; returns its
@@ -192,7 +353,7 @@ class _EstimateCachingScheduler(ListScheduler):
         device = self._device
         estimate = device.estimate_positioning
         cache = self._estimates
-        bounds = device.positioning_lower_bounds
+        bounds = self._bounds_ref = device.positioning_lower_bounds
         keys = self._bucket_keys
         buckets = self._buckets
         seq_of = self._arrival_seq
@@ -244,6 +405,277 @@ class _EstimateCachingScheduler(ListScheduler):
                 right += 1
         return self._queue_index_of_seq(best_seq), priced
 
+    def _vectorized_select(
+        self, now: float, age_weight: float = 0.0
+    ) -> Tuple[int, int]:
+        """Bound-screened batch-priced argmin over the pending queue.
+
+        Selection runs in three steps, returning ``(queue_index, priced)``:
+
+        1. **Screen** — every candidate gets an admissible lower bound on
+           its score from the dense per-cylinder-delta table (aged
+           variants subtract the candidate's exact aging credit, which
+           keeps the bound admissible per candidate — tighter than the
+           pruned walk's global discount).
+        2. **Seed** — the candidate with the smallest bound is priced
+           exactly; its score caps what any winner can cost.
+        3. **Price** — candidates whose bound does not exceed the seed's
+           score survive the screen; everyone else is provably beaten
+           (their exact score is at least their bound, which exceeds an
+           exact score already in hand).  A handful of survivors are
+           priced scalarly in queue order against a tightening incumbent;
+           wide survivor sets go through one
+           :meth:`estimate_positioning_batch` call.
+
+        The winner is the minimum exact score over the priced subset with
+        ties going to the lowest queue index — identical to the scan's
+        strict-``<`` first-occurrence rule over the full queue, because
+        every candidate that could equal the minimum has a bound at or
+        below it and therefore was priced (per-element estimate equality
+        is pinned by ``tests/core/scheduling/test_batch_identity.py``).
+        Priced results are folded into the estimate cache, keeping repeat
+        selections against an unchanged device state consistent with the
+        scalar paths.
+
+        On devices without the bound oracle the screen is skipped and the
+        whole queue is batch-priced (``numpy.argmin``'s first-occurrence
+        rule supplies the same tie-break).
+        """
+        queue = self._queue
+        cache = self._estimates
+        device = self._device
+        estimate = device.estimate_positioning
+        if not self._can_prune:
+            return self._batch_all_select(now, age_weight)
+        bounds = self._bounds_ref = device.positioning_lower_bounds
+        current = device.current_cylinder
+        bound_list = []
+        bound_append = bound_list.append
+        best_bound = None
+        seed = 0
+        for index, (request, cylinder) in enumerate(zip(queue, self._cyls)):
+            delta = cylinder - current
+            if delta < 0:
+                delta = -delta
+            bound = bounds[delta]
+            if age_weight:
+                wait = now - request.arrival_time
+                if wait > 0.0:
+                    bound -= age_weight * wait
+            bound_append(bound)
+            if best_bound is None or bound < best_bound:
+                best_bound = bound
+                seed = index
+        seed_request = queue[seed]
+        if cache is None:
+            predicted = estimate(seed_request, now)
+        else:
+            rid = id(seed_request)
+            predicted = cache.get(rid)
+            if predicted is None:
+                predicted = cache[rid] = estimate(seed_request, now)
+        if age_weight:
+            wait = max(0.0, now - seed_request.arrival_time)
+            best_score = predicted - age_weight * wait
+        else:
+            best_score = predicted
+        survivors = [
+            index
+            for index, bound in enumerate(bound_list)
+            if bound <= best_score and index != seed
+        ]
+        if not survivors:
+            return seed, 1
+        best_index = seed
+        if len(survivors) <= _SCALAR_SURVIVOR_LIMIT:
+            # Small survivor sets: scalar pricing in queue order, re-testing
+            # each bound against the tightening incumbent — an earlier
+            # survivor's exact score often eliminates later ones before
+            # they are priced.  A skipped candidate's exact score is at
+            # least its bound, which exceeds a score already in hand, so
+            # it can neither win nor (being a later index on a tie)
+            # displace the incumbent.
+            priced = 1
+            for index in survivors:
+                if bound_list[index] > best_score:
+                    continue
+                request = queue[index]
+                if cache is None:
+                    value = estimate(request, now)
+                else:
+                    rid = id(request)
+                    value = cache.get(rid)
+                    if value is None:
+                        value = cache[rid] = estimate(request, now)
+                priced += 1
+                if age_weight:
+                    # Replays ``predicted - age_weight * max(0.0, now -
+                    # arrival)`` branch-for-branch.
+                    wait = now - request.arrival_time
+                    score = value - age_weight * (
+                        wait if wait > 0.0 else 0.0
+                    )
+                else:
+                    score = value
+                if score < best_score or (
+                    score == best_score and index < best_index
+                ):
+                    best_score = score
+                    best_index = index
+            return best_index, priced
+        # Wide survivor sets: one numpy batch pricing call beats per-
+        # candidate scalar evaluation.  Both paths return bitwise-identical
+        # values, so the crossover is purely a speed knob.
+        priced = 1 + len(survivors)
+        if cache is None:
+            values = device.estimate_positioning_batch(
+                [queue[index] for index in survivors], now
+            ).tolist()
+        else:
+            misses = [
+                index for index in survivors if id(queue[index]) not in cache
+            ]
+            if misses:
+                miss_values = device.estimate_positioning_batch(
+                    [queue[index] for index in misses], now
+                ).tolist()
+                for index, value in zip(misses, miss_values):
+                    cache[id(queue[index])] = value
+            values = [cache[id(queue[index])] for index in survivors]
+        for index, value in zip(survivors, values):
+            if age_weight:
+                # Replays the scalar ``predicted - age_weight * max(0.0,
+                # now - arrival)`` per element in the same operation order.
+                wait = max(0.0, now - queue[index].arrival_time)
+                score = value - age_weight * wait
+            else:
+                score = value
+            if score < best_score or (score == best_score and index < best_index):
+                best_score = score
+                best_index = index
+        return best_index, priced
+
+    def _batch_all_select(
+        self, now: float, age_weight: float = 0.0
+    ) -> Tuple[int, int]:
+        """Whole-queue batch pricing (no bound oracle available)."""
+        np = get_numpy()
+        queue = self._queue
+        cache = self._estimates
+        device = self._device
+        count = len(queue)
+        if cache is None or not cache:
+            estimates = device.estimate_positioning_batch(queue, now)
+            if cache is not None:
+                values = estimates.tolist()
+                for request, value in zip(queue, values):
+                    cache[id(request)] = value
+        else:
+            misses = [
+                request for request in queue if id(request) not in cache
+            ]
+            if misses:
+                values = device.estimate_positioning_batch(
+                    misses, now
+                ).tolist()
+                for request, value in zip(misses, values):
+                    cache[id(request)] = value
+            estimates = np.fromiter(
+                (cache[id(request)] for request in queue),
+                dtype=np.float64,
+                count=count,
+            )
+        if age_weight:
+            arrivals = np.fromiter(
+                (request.arrival_time for request in queue),
+                dtype=np.float64,
+                count=count,
+            )
+            # Replays the scalar ``predicted - age_weight * max(0.0, now -
+            # arrival)`` element-wise in the same operation order.
+            scores = estimates - age_weight * np.maximum(0.0, now - arrivals)
+        else:
+            scores = estimates
+        return int(np.argmin(scores)), count
+
+    def _screened_scan(
+        self, now: float, age_weight: float = 0.0
+    ) -> Tuple[int, int]:
+        """Shallow scan with lower-bound skipping; ``(index, priced)``.
+
+        Only runs when a deeper selection already built the bound table
+        (``_bounds_ref``); the candidate with the smallest bound seeds the
+        incumbent, then the queue is walked in order, skipping candidates
+        whose bound strictly exceeds the best exact score so far — they
+        cannot strictly beat it, and a tie cannot displace an
+        earlier-priced incumbent either.  Priced candidates replay the
+        plain scan's strict-``<`` update with an explicit lowest-index tie
+        rule (the seed may sit anywhere in the queue), so the selected
+        request is identical to the unscreened scan's.
+        """
+        queue = self._queue
+        cache = self._estimates
+        estimate = self._device.estimate_positioning
+        bounds = self._bounds_ref
+        if bounds is None:
+            bounds = self._bounds_ref = self._device.positioning_lower_bounds
+        current = self._device.current_cylinder
+        bound_list = []
+        bound_append = bound_list.append
+        best_bound = None
+        seed = 0
+        for index, (request, cylinder) in enumerate(zip(queue, self._cyls)):
+            delta = cylinder - current
+            if delta < 0:
+                delta = -delta
+            bound = bounds[delta]
+            if age_weight:
+                wait = now - request.arrival_time
+                if wait > 0.0:
+                    bound -= age_weight * wait
+            bound_append(bound)
+            if best_bound is None or bound < best_bound:
+                best_bound = bound
+                seed = index
+        seed_request = queue[seed]
+        if cache is None:
+            predicted = estimate(seed_request, now)
+        else:
+            rid = id(seed_request)
+            predicted = cache.get(rid)
+            if predicted is None:
+                predicted = cache[rid] = estimate(seed_request, now)
+        if age_weight:
+            wait = max(0.0, now - seed_request.arrival_time)
+            best_score = predicted - age_weight * wait
+        else:
+            best_score = predicted
+        best_index = seed
+        priced = 1
+        for index in range(len(queue)):
+            if index == seed or bound_list[index] > best_score:
+                continue
+            request = queue[index]
+            if cache is None:
+                predicted = estimate(request, now)
+            else:
+                rid = id(request)
+                predicted = cache.get(rid)
+                if predicted is None:
+                    predicted = cache[rid] = estimate(request, now)
+            priced += 1
+            if age_weight:
+                wait = max(0.0, now - request.arrival_time)
+                score = predicted - age_weight * wait
+            else:
+                score = predicted
+            if score < best_score or (
+                score == best_score and index < best_index
+            ):
+                best_score = score
+                best_index = index
+        return best_index, priced
+
     def _record_selection(
         self, candidates: int, priced: int, cached_before: int
     ) -> None:
@@ -265,6 +697,7 @@ class _EstimateCachingScheduler(ListScheduler):
             "cache_misses": self.cache_misses,
             "candidates_priced": self.last_priced,
             "candidates_pruned": self.last_pruned,
+            "fast_path": self.last_fast_path,
         }
 
 
@@ -277,9 +710,26 @@ class SPTFScheduler(_EstimateCachingScheduler):
         candidates = len(self._queue)
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
-        if self._prune and candidates > 1:
+        if (
+            candidates > 1
+            and self._can_prune
+            and (self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD)
+        ):
+            if not self._indexed:
+                self._build_indexes()
             index, priced = self._pruned_select(now)
             self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "pruned"
+            return index
+        if candidates > VECTORIZED_DEPTH_THRESHOLD and self._can_batch:
+            index, priced = self._vectorized_select(now)
+            self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "vectorized"
+            return index
+        if candidates > 1 and self._screened:
+            index, priced = self._screened_scan(now)
+            self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "scan"
             return index
         estimate = self._device.estimate_positioning
         best_index = 0
@@ -296,6 +746,7 @@ class SPTFScheduler(_EstimateCachingScheduler):
                 best_time = predicted
                 best_index = index
         self._record_selection(candidates, candidates, cached_before)
+        self.last_fast_path = "scan"
         return best_index
 
 
@@ -320,27 +771,38 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
         device: StorageDevice,
         age_weight: float = 0.01,
         cache: bool = True,
-        prune: bool = True,
+        prune: Union[bool, str] = "auto",
     ) -> None:
         super().__init__(device, cache=cache, prune=prune)
         if age_weight < 0:
             raise ValueError(f"negative age_weight: {age_weight}")
         self.age_weight = age_weight
-        if self._prune:
-            # Min-heap of (arrival_time, seq) with lazy deletion: entries
-            # whose seq left ``_live_seqs`` are skipped at peek time.  The
-            # pending list is not arrival-sorted in general (callers may
-            # add out of order), so the heap — not the queue head — tracks
-            # the oldest pending arrival.
-            self._arrival_heap: List[Tuple[float, int]] = []
-            self._live_seqs: Set[int] = set()
+        # Min-heap of (arrival_time, seq) with lazy deletion: entries
+        # whose seq left ``_live_seqs`` are skipped at peek time.  The
+        # pending list is not arrival-sorted in general (callers may
+        # add out of order), so the heap — not the queue head — tracks
+        # the oldest pending arrival.  Maintained alongside the pruning
+        # indexes (from construction in ``'always'`` mode, from the first
+        # pruned selection in ``'auto'``).
+        self._arrival_heap: List[Tuple[float, int]] = []
+        self._live_seqs: Set[int] = set()
 
     def add(self, request: Request) -> None:
         super().add(request)
-        if self._prune:
+        if self._indexed:
             seq = self._arrival_seq[id(request)]
             self._live_seqs.add(seq)
             heapq.heappush(self._arrival_heap, (request.arrival_time, seq))
+
+    def _build_indexes(self) -> None:
+        super()._build_indexes()
+        heap = self._arrival_heap
+        live = self._live_seqs
+        seq_of = self._arrival_seq
+        for request in self._queue:
+            seq = seq_of[id(request)]
+            live.add(seq)
+            heapq.heappush(heap, (request.arrival_time, seq))
 
     def _forget(self, request: Request) -> int:
         seq = super()._forget(request)
@@ -362,13 +824,30 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
         age_weight = self.age_weight
-        if self._prune and candidates > 1:
+        if (
+            candidates > 1
+            and self._can_prune
+            and (self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD)
+        ):
+            if not self._indexed:
+                self._build_indexes()
             index, priced = self._pruned_select(
                 now,
                 age_weight=age_weight,
                 discount_cap=age_weight * self._max_wait(now),
             )
             self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "pruned"
+            return index
+        if candidates > VECTORIZED_DEPTH_THRESHOLD and self._can_batch:
+            index, priced = self._vectorized_select(now, age_weight=age_weight)
+            self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "vectorized"
+            return index
+        if candidates > 1 and self._screened:
+            index, priced = self._screened_scan(now, age_weight=age_weight)
+            self._record_selection(candidates, priced, cached_before)
+            self.last_fast_path = "scan"
             return index
         estimate = self._device.estimate_positioning
         best_index = 0
@@ -387,4 +866,5 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
                 best_score = score
                 best_index = index
         self._record_selection(candidates, candidates, cached_before)
+        self.last_fast_path = "scan"
         return best_index

@@ -10,8 +10,20 @@ variant SSTF_LBN and we keep that name.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.scheduling.base import ListScheduler
+from repro.nputil import get_numpy
 from repro.sim.device import StorageDevice
+from repro.sim.request import Request
+
+_VECTOR_THRESHOLD = 32
+"""Queue depth above which selection runs as a numpy abs/argmin.
+
+Integer subtraction, ``abs``, and first-occurrence ``argmin`` are exact, so
+the array form picks the identical index as the scalar scan (including its
+first-wins tie-break) at every depth; the threshold only marks where the
+array call's fixed overhead is repaid."""
 
 
 class SSTFScheduler(ListScheduler):
@@ -20,6 +32,12 @@ class SSTFScheduler(ListScheduler):
     Args:
         device: Only :attr:`~repro.sim.device.StorageDevice.last_lbn` is
             consulted — the same information a host OS tracks.
+
+    A parallel list of candidate LBNs shadows the pending queue so the
+    selection scan compares plain ints instead of dereferencing a request
+    attribute per candidate — the scan is the whole cost of this policy.
+    Deep queues (> ``_VECTOR_THRESHOLD``) run the same arithmetic as one
+    numpy ``abs``/``argmin`` pass, which is bit-identical on integers.
     """
 
     name = "SSTF_LBN"
@@ -27,13 +45,39 @@ class SSTFScheduler(ListScheduler):
     def __init__(self, device: StorageDevice) -> None:
         super().__init__()
         self._device = device
+        self._lbns: List[int] = []
+
+    def add(self, request: Request) -> None:
+        self._queue.append(request)
+        self._lbns.append(request.lbn)
+
+    def pop_next(self, now: float = 0.0) -> Request:
+        queue = self._queue
+        if not queue:
+            raise IndexError("scheduler queue is empty")
+        candidates = len(queue)
+        index = self.select_index(now)
+        request = queue.pop(index)
+        del self._lbns[index]
+        if self.tracer.enabled:
+            self._trace_dispatch(now, candidates, request)
+        return request
 
     def select_index(self, now: float) -> int:
         head = self._device.last_lbn
+        lbns = self._lbns
+        if len(lbns) > _VECTOR_THRESHOLD:
+            np = get_numpy()
+            distances = np.fromiter(lbns, dtype=np.int64, count=len(lbns))
+            distances -= head
+            np.absolute(distances, out=distances)
+            # argmin returns the first occurrence of the minimum — the same
+            # index the strict-< scan below keeps.
+            return int(distances.argmin())
         best_index = 0
         best_distance = None
-        for index, request in enumerate(self._queue):
-            distance = abs(request.lbn - head)
+        for index, lbn in enumerate(lbns):
+            distance = abs(lbn - head)
             if best_distance is None or distance < best_distance:
                 best_distance = distance
                 best_index = index

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 from repro.disk.geometry import DiskAddress, DiskGeometry
 from repro.disk.parameters import DiskParameters, SeekCurve
+from repro.nputil import get_numpy
 from repro.sim.device import StorageDevice
 from repro.sim.request import AccessResult, IOKind, Request
 
@@ -82,13 +83,25 @@ class DiskDevice(StorageDevice):
             if memoize
             else None
         )
-        #: Dense admissible per-cylinder-delta lower bounds on positioning
-        #: (see :func:`seek_lower_bounds`); built once per curve and shared
-        #: between devices.
-        self.positioning_lower_bounds = seek_lower_bounds(
-            params.seek_curve, params.cylinders
-        )
+        self._lower_bounds: Optional[Tuple[float, ...]] = None
+        self._curve_np = None
         self._memoize = memoize
+
+    @property
+    def positioning_lower_bounds(self) -> Tuple[float, ...]:
+        """Dense admissible per-cylinder-delta lower bounds on positioning
+        (see :func:`seek_lower_bounds`).
+
+        Built lazily on first access — schedulers that never take the
+        pruned path pay nothing — and memoized at module level per seek
+        curve, so devices built from the same curve share one table.
+        """
+        bounds = self._lower_bounds
+        if bounds is None:
+            bounds = self._lower_bounds = seek_lower_bounds(
+                self.params.seek_curve, self.params.cylinders
+            )
+        return bounds
 
     # -- StorageDevice interface ------------------------------------------- #
 
@@ -164,6 +177,61 @@ class DiskDevice(StorageDevice):
         arrive = now + seek
         latency = self._rotational_latency(first, arrive)
         return seek + latency
+
+    def estimate_positioning_batch(self, requests, now: float = 0.0):
+        """Array twin of :meth:`estimate_positioning`: one float64 ndarray of
+        positioning estimates for ``requests``, element-wise bit-identical
+        to the scalar oracle.
+
+        Seeks come from a single gather into the dense seek-curve array;
+        head-switch and write-settle surcharges are added per element in
+        the scalar method's order (``np.where(cond, x + c, x)`` performs
+        the identical IEEE addition where the scalar path would).  The
+        free-running platter angle uses ``np.mod``, which matches Python's
+        float ``%`` bit for bit.  Per-sector angles come from the memoized
+        scalar :meth:`~repro.disk.geometry.DiskGeometry.sector_angle`.
+        """
+        np = get_numpy()
+        n = len(requests)
+        distances = np.empty(n, dtype=np.intp)
+        switches = np.empty(n, dtype=bool)
+        writes = np.empty(n, dtype=bool)
+        angles = np.empty(n, dtype=np.float64)
+        geometry = self.geometry
+        segments_of = geometry.segments_tuple
+        sector_angle = geometry.sector_angle
+        memoize = self._memoize
+        current = self._cylinder
+        surface = self._surface
+        for index, request in enumerate(requests):
+            if not memoize:
+                self.validate(request)
+            first, _ = segments_of(request.lbn, request.sectors)[0]
+            delta = first.cylinder - current
+            if delta < 0:
+                delta = -delta
+            distances[index] = delta
+            switches[index] = delta == 0 and first.surface != surface
+            writes[index] = request.kind is IOKind.WRITE
+            angles[index] = sector_angle(first)
+        table = self._curve_np
+        if table is None and self._curve_table is not None:
+            table = self._curve_np = np.asarray(self._curve_table)
+        if table is None:
+            curve_time = self.params.seek_curve.time
+            seeks = np.fromiter(
+                (curve_time(int(d)) for d in distances),
+                dtype=np.float64,
+                count=n,
+            )
+        else:
+            seeks = table[distances]
+        seeks = np.where(switches, seeks + self.params.head_switch_time, seeks)
+        seeks = np.where(writes, seeks + self.params.write_settle_time, seeks)
+        rev = self.params.revolution_time
+        head_angles = np.mod((now + seeks) / rev, 1.0)
+        latencies = np.mod(angles - head_angles, 1.0) * rev
+        return seeks + latencies
 
     # -- internals -------------------------------------------------------------- #
 

@@ -295,11 +295,22 @@ def random_workload_sweep(
             )
         return sweep
 
+    # Every algorithm at a given rate replays the same stream (the sweep
+    # compares schedulers on identical arrivals), and ``Request`` is
+    # frozen, so the grid's per-rate streams are generated once and
+    # shared.  Keyed by capacity too: a factory could hand back devices of
+    # different sizes, and the draw depends on the LBN range.
+    stream_cache: dict = {}
+
     def requests_for_rate(device: StorageDevice, rate: float):
-        workload = RandomWorkload(
-            device.capacity_sectors, rate=rate, seed=seed
-        )
-        return workload.generate(num_requests)
+        key = (device.capacity_sectors, rate)
+        stream = stream_cache.get(key)
+        if stream is None:
+            workload = RandomWorkload(
+                device.capacity_sectors, rate=rate, seed=seed
+            )
+            stream = stream_cache[key] = workload.generate(num_requests)
+        return stream
 
     return scheduling_sweep(
         device_factory,

@@ -33,7 +33,7 @@ DEFAULT_GEOMETRY_CACHE = 1 << 16
 """Default per-instance LRU size for the address-arithmetic caches."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SectorAddress:
     """Physical coordinates of one logical sector."""
 
@@ -205,21 +205,36 @@ class MEMSGeometry:
     def segments_tuple(self, lbn: int, sectors: int) -> tuple:
         """:meth:`segments` as an immutable tuple (memoized; the device
         model's hot path uses this to avoid rebuilding the per-track split
-        on every service and SPTF estimate)."""
+        on every service and SPTF estimate).
+
+        Works in plain integer arithmetic rather than through
+        :meth:`decompose`: the per-segment :class:`SectorAddress`
+        construction (and its validation) dominated the cost of deriving a
+        request profile, and every derived coordinate here is exact integer
+        division — there is no floating point to keep bit-identical.
+        """
         if sectors < 1:
             raise ValueError(f"non-positive request size: {sectors}")
+        if lbn < 0:
+            raise ValueError(f"LBN {lbn} outside device (0..{self._capacity - 1})")
         if lbn + sectors > self._capacity:
             raise ValueError("request exceeds device capacity")
+        per_track = self._sectors_per_track
+        per_row = self._sectors_per_row
+        tracks_per_cyl = self.params.tracks_per_cylinder
         result = []
         remaining = sectors
-        current = lbn
+        # Track-linear index: tracks are the segment unit (one sled pass).
+        track_index, offset = divmod(lbn, per_track)
         while remaining > 0:
-            addr = self.decompose(current)
-            sectors_into_track = addr.row * self._sectors_per_row + addr.slot
-            track_remainder = self._sectors_per_track - sectors_into_track
-            take = min(remaining, track_remainder)
-            last_addr = self.decompose(current + take - 1)
-            result.append((addr.cylinder, addr.track, addr.row, last_addr.row))
-            current += take
+            take = per_track - offset
+            if take > remaining:
+                take = remaining
+            cylinder, track = divmod(track_index, tracks_per_cyl)
+            first_row = offset // per_row
+            last_row = (offset + take - 1) // per_row
+            result.append((cylinder, track, first_row, last_row))
             remaining -= take
+            track_index += 1
+            offset = 0
         return tuple(result)

@@ -1,0 +1,22 @@
+"""Lazy numpy access for the vectorized hot paths.
+
+numpy import costs ~100 ms; most entry points (unit tests, shallow-queue
+simulations, the CLI help path) never touch an array, so every vectorized
+module routes its import through :func:`get_numpy` and pays only on first
+actual use.  Centralizing the latch also gives the test suite one seam to
+assert that scalar-only code paths never pull numpy in.
+"""
+
+from __future__ import annotations
+
+_np = None
+
+
+def get_numpy():
+    """Import numpy on first call and memoize the module object."""
+    global _np
+    if _np is None:
+        import numpy
+
+        _np = numpy
+    return _np

@@ -324,6 +324,11 @@ class MetricsTracer:
                 registry.counter("sched.candidates_pruned").inc(
                     event["candidates_pruned"]
                 )
+            fast_path = event.get("fast_path")
+            if fast_path is not None:
+                # Per-path dispatch counts: how often the adaptive selector
+                # served from each fast path over the run.
+                registry.counter(f"sched.fast_path.{fast_path}").inc()
         elif kind == "sim.end":
             end_time = event["t"]
             registry.set_gauge("end_time_s", end_time)

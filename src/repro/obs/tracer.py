@@ -92,11 +92,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
 
 Emitters may add extra fields (``dev.access`` adds ``device``, ``bits``,
 and the post-access ``cylinder``; ``sched.dispatch`` adds
-``cache_hits``/``cache_misses`` and
-``candidates_priced``/``candidates_pruned`` on the SPTF variants); the
-validator checks only for the required ones, plus the cross-field
-invariants it knows (``dev.access`` phase sums; ``candidates_priced +
-candidates_pruned == candidates`` when the pruning fields are present).
+``cache_hits``/``cache_misses``,
+``candidates_priced``/``candidates_pruned``, and the selection
+``fast_path`` — ``scan``/``vectorized``/``pruned`` — on the SPTF
+variants); the validator checks only for the required ones, plus the
+cross-field invariants it knows (``dev.access`` phase sums;
+``candidates_priced + candidates_pruned == candidates`` and a known
+``fast_path`` value when the pruning fields are present).
 """
 
 

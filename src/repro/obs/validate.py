@@ -13,7 +13,8 @@ backwards, that every ``dev.access`` event's serialized phases sum to its
 total (``positioning + transfer + turnarounds == total``), and that every
 ``sched.dispatch`` event carrying the lower-bound-pruning telemetry
 accounts for each candidate exactly once (``candidates_priced +
-candidates_pruned == candidates``).
+candidates_pruned == candidates``) and names a known selection
+``fast_path`` (:data:`FAST_PATHS`) when it carries one.
 
 In file mode, every problem is reported as ``path:LINE`` with the 1-based
 line number of the offending event in the (decompressed) JSONL file, so
@@ -53,6 +54,10 @@ from repro.obs.tracer import (
 )
 
 PHASE_SUM_REL_TOL = 1e-9
+
+FAST_PATHS = frozenset({"scan", "pruned", "vectorized"})
+"""Valid ``fast_path`` values in ``sched.dispatch`` events — which
+selection strategy the adaptive SPTF stack used for that dispatch."""
 
 
 def validate_events(
@@ -134,6 +139,13 @@ def validate_events(
                 errors.append(
                     f"{where}: sched.dispatch prices {priced} + prunes "
                     f"{pruned} != {candidates} candidates"
+                )
+            fast_path = event.get("fast_path")
+            if fast_path is not None and fast_path not in FAST_PATHS:
+                errors.append(
+                    f"{where}: sched.dispatch has unknown fast_path "
+                    f"{fast_path!r} (expected one of "
+                    f"{', '.join(sorted(FAST_PATHS))})"
                 )
     return errors
 

@@ -141,11 +141,15 @@ class SimConfig:
             recorded in the ``trace.meta`` header.  ``1`` traces every
             request and is event-identical to leaving this unset.
         scheduler_params: Extra keyword arguments for the scheduler factory
-            (e.g. ``{"cache": False}`` or ``{"prune": False}`` for the SPTF
-            variants).  The dense seek/lower-bound tables the pruned SPTF
-            path indexes are memoized at module level on the (frozen)
-            device parameters, so sweep workers forked from one parent
-            share a single copy instead of rebuilding them per config.
+            (e.g. ``{"cache": False}`` or ``{"prune": "always"}`` for the
+            SPTF variants; ``prune`` accepts ``'auto'`` — the default,
+            picking scan/vectorized/pruned selection per dispatch from the
+            queue depth — ``'always'``, ``'never'``, or a legacy bool).
+            The dense seek/lower-bound tables the pruned SPTF path indexes
+            are memoized at module level on the (frozen) device parameters
+            and built lazily on first pruned selection, so sweep workers
+            forked from one parent share a single copy instead of
+            rebuilding them per config.
         workload_params: Extra keyword arguments for the workload builder.
     """
 

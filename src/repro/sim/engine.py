@@ -181,18 +181,57 @@ class Simulation:
         queue = EventQueue()
         ordered = list(requests)
         validate = self.device.validate
-        previous_key = None
+        # When the device uses the stock validator its checks reduce to two
+        # integer bounds — inline them and call ``validate`` only to raise
+        # its exact message on a bad request.  A device subclass with its
+        # own ``validate`` gets called per request as before.
+        stock_validate = type(self.device).validate is StorageDevice.validate
+        capacity = self.device.capacity_sectors
+        # One fused pass: validate, check arrival ordering with scalar
+        # compares (no per-request key tuples), and build the heap entries
+        # that the sorted case can use directly.
+        arrival = EventKind.ARRIVAL
+        heap_entries: List[tuple] = []
+        entry_append = heap_entries.append
+        previous_time = float("-inf")
+        previous_id = 0
         pre_sorted = True
+        seq = 0
         for request in ordered:
-            validate(request)
-            key = (request.arrival_time, request.request_id)
-            if previous_key is not None and key < previous_key:
+            if stock_validate:
+                sectors = request.sectors
+                lbn = request.lbn
+                if sectors < 1 or lbn < 0 or lbn + sectors > capacity:
+                    validate(request)
+            else:
+                validate(request)
+            time = request.arrival_time
+            request_id = request.request_id
+            if time < previous_time or (
+                time == previous_time and request_id < previous_id
+            ):
                 pre_sorted = False
-            previous_key = key
+            previous_time = time
+            previous_id = request_id
+            entry_append((time, arrival, seq, request))
+            seq += 1
         if not pre_sorted:
             ordered.sort(key=lambda r: (r.arrival_time, r.request_id))
-        for request in ordered:
-            queue.push(request.arrival_time, EventKind.ARRIVAL, request)
+            heap_entries = [
+                (request.arrival_time, arrival, seq, request)
+                for seq, request in enumerate(ordered)
+            ]
+        if ordered and ordered[0].arrival_time < 0:
+            raise ValueError(
+                "cannot schedule an event at negative time "
+                f"{ordered[0].arrival_time}"
+            )
+        # The stream is arrival-sorted at this point, so the tuple list is
+        # already a valid binary heap — install it directly instead of
+        # paying one sift per request.  Sequence numbers match what
+        # repeated ``push`` calls would have assigned.
+        queue._heap = heap_entries
+        queue._seq = len(ordered)
 
         self.now = 0.0
         self._busy = False
@@ -204,17 +243,20 @@ class Simulation:
                 {"kind": "sim.start", "t": 0.0, "requests": len(ordered)}
             )
 
-        while queue:
-            time, kind, _seq, payload = queue.pop_raw()
-            if time < self.now - 1e-12:
-                raise RuntimeError(
-                    f"event time {time} precedes clock {self.now}"
-                )
-            self.now = max(self.now, time)
-            if kind is EventKind.ARRIVAL:
-                self._handle_arrival(payload, queue)
-            else:
-                self._handle_completion(payload, queue)
+        if tracer.enabled or self.observers:
+            while queue:
+                time, kind, _seq, payload = queue.pop_raw()
+                if time < self.now - 1e-12:
+                    raise RuntimeError(
+                        f"event time {time} precedes clock {self.now}"
+                    )
+                self.now = max(self.now, time)
+                if kind is EventKind.ARRIVAL:
+                    self._handle_arrival(payload, queue)
+                else:
+                    self._handle_completion(payload, queue)
+        else:
+            self._run_fast(queue)
 
         for observer in self.observers:
             observer.on_end(self.now)
@@ -229,6 +271,97 @@ class Simulation:
         return SimulationResult(records=self._records, end_time=self.now)
 
     # ------------------------------------------------------------------ #
+
+    def _run_fast(self, queue: EventQueue) -> None:
+        """Drain the event queue with no tracer and no observers.
+
+        Semantically identical to the general loop (same event ordering,
+        same clock updates, same records, same queue-overflow contract); it
+        only hoists the per-event attribute lookups and skips the
+        instrumentation branches that are all dead in this configuration.
+
+        A completion whose heap tuple would sort before the current heap
+        top is provably the next event (sequence numbers are unique, so the
+        comparison never falls through to the payload), and is processed
+        inline instead of taking a push/pop round trip through the heap —
+        the common case whenever the device is the bottleneck.  The inline
+        branch replays the popped path exactly: same clock guard, same
+        clock advance, same busy/record bookkeeping, same sequence-number
+        consumption.
+        """
+        heap = queue._heap
+        seq = queue._seq
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        scheduler = self.scheduler
+        scheduler_add = scheduler.add
+        pop_next = scheduler.pop_next
+        pending = scheduler._pending_sized()
+        service = self.device.service
+        records_append = self._records.append
+        max_depth = self.max_queue_depth
+        ARRIVAL = EventKind.ARRIVAL
+        COMPLETION = EventKind.COMPLETION
+        now = 0.0
+        busy = False
+        try:
+            while heap:
+                time, kind, _seq, payload = heappop(heap)
+                if time < now - 1e-12:
+                    raise RuntimeError(
+                        f"event time {time} precedes clock {now}"
+                    )
+                if time > now:
+                    now = time
+                if kind is ARRIVAL:
+                    if max_depth is not None and len(pending) >= max_depth:
+                        raise QueueOverflowError(
+                            f"pending queue exceeded {max_depth} requests "
+                            f"at t={now:.4f}s — workload saturates the device"
+                        )
+                    scheduler_add(payload)
+                    if busy:
+                        continue
+                else:
+                    records_append(payload)
+                    busy = False
+                    if not len(pending):
+                        continue
+                while True:
+                    request = pop_next(now)
+                    access = service(request, now)
+                    completion_time = now + access.total
+                    record = RequestRecord(
+                        request=request,
+                        dispatch_time=now,
+                        completion_time=completion_time,
+                        access=access,
+                    )
+                    if heap and heap[0] < (completion_time, COMPLETION, seq):
+                        busy = True
+                        heappush(
+                            heap, (completion_time, COMPLETION, seq, record)
+                        )
+                        seq += 1
+                        break
+                    # The completion sorts before everything queued: handle
+                    # it now, exactly as the pop would have.
+                    seq += 1
+                    if completion_time < now - 1e-12:
+                        raise RuntimeError(
+                            f"event time {completion_time} precedes clock "
+                            f"{now}"
+                        )
+                    if completion_time > now:
+                        now = completion_time
+                    records_append(record)
+                    busy = False
+                    if not len(pending):
+                        break
+        finally:
+            self.now = now
+            self._busy = busy
+            queue._seq = seq
 
     def _handle_arrival(self, request: Request, queue: EventQueue) -> None:
         if (

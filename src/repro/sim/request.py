@@ -30,7 +30,7 @@ class IOKind(enum.Enum):
         return self is IOKind.READ
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """A single I/O request.
 
@@ -69,7 +69,7 @@ class Request:
         return self.lbn + self.sectors - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Breakdown of one media access, as reported by a device model.
 
@@ -98,7 +98,7 @@ class AccessResult:
         return max(self.seek_x + self.settle, self.seek_y) + self.rotational_latency
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Full lifecycle of one request, filled in by the driver."""
 

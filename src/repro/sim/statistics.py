@@ -36,21 +36,37 @@ class SimulationResult:
 
     # -- response time ------------------------------------------------- #
 
+    def _response_time_values(self) -> tuple:
+        """Per-request response times, extracted once per record list.
+
+        Every response-time summary (mean, cv², max, percentiles) iterates
+        the same values; ``to_dict`` alone needs them five times.  The
+        tuple is cached against the record list's identity and length, so
+        ``drop_warmup`` copies and post-run record appends both recompute.
+        """
+        records = self.records
+        cached = self.__dict__.get("_response_cache")
+        if cached is not None and cached[0] == (id(records), len(records)):
+            return cached[1]
+        values = tuple(r.response_time for r in records)
+        self.__dict__["_response_cache"] = ((id(records), len(records)), values)
+        return values
+
     @property
     def response_times(self) -> List[float]:
-        return [r.response_time for r in self.records]
+        return list(self._response_time_values())
 
     @property
     def mean_response_time(self) -> float:
         """Average response time in seconds."""
         if not self.records:
             raise ValueError("no completed requests")
-        return _stats.fmean(self.response_times)
+        return _stats.fmean(self._response_time_values())
 
     @property
     def response_time_cv2(self) -> float:
         """Squared coefficient of variation (σ²/µ²) of response time."""
-        return squared_coefficient_of_variation(self.response_times)
+        return squared_coefficient_of_variation(self._response_time_values())
 
     # -- components ---------------------------------------------------- #
 
@@ -70,13 +86,13 @@ class SimulationResult:
     def max_response_time(self) -> float:
         if not self.records:
             raise ValueError("no completed requests")
-        return max(self.response_times)
+        return max(self._response_time_values())
 
     def response_time_percentile(self, pct: float) -> float:
         """Linear-interpolated percentile of response time (0 < pct <= 100)."""
         if not 0 < pct <= 100:
             raise ValueError(f"percentile out of range: {pct}")
-        ordered = sorted(self.response_times)
+        ordered = sorted(self._response_time_values())
         if len(ordered) == 1:
             return ordered[0]
         rank = (pct / 100.0) * (len(ordered) - 1)
@@ -97,7 +113,7 @@ class SimulationResult:
         """
         if not pcts:
             pcts = (50.0, 95.0, 99.0)
-        ordered = sorted(self.response_times)
+        ordered = sorted(self._response_time_values())
         out = {}
         for pct in pcts:
             if not 0 < pct <= 100:

@@ -9,10 +9,42 @@ locations are uniformly distributed across the device's capacity."
 
 from __future__ import annotations
 
+import functools
 import random
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sim.request import IOKind, Request
+
+
+@functools.lru_cache(maxsize=64)
+def _random_workload_requests(
+    capacity_sectors: int,
+    rate: float,
+    read_fraction: float,
+    mean_size_sectors: float,
+    max_size_sectors: int,
+    seed: int,
+    count: int,
+) -> Tuple[Request, ...]:
+    """Memoized seeded :class:`RandomWorkload` request streams.
+
+    A scheduling sweep replays the *same* seeded workload once per policy
+    (figure 6 runs four policies over seven rates), and the experiment
+    driver rebuilds the generator for every (policy, rate) point — so the
+    identical request list is derived several times over.  Requests are
+    frozen dataclasses, so sharing one tuple across simulations is safe.
+    Only seeded streams are cached (an unseeded generator is deliberately
+    non-deterministic).
+    """
+    workload = RandomWorkload(
+        capacity_sectors,
+        rate,
+        read_fraction=read_fraction,
+        mean_size_sectors=mean_size_sectors,
+        max_size_sectors=max_size_sectors,
+        seed=seed,
+    )
+    return tuple(workload.iter_requests(count))
 
 
 class RandomWorkload:
@@ -58,7 +90,26 @@ class RandomWorkload:
         self.seed = seed
 
     def generate(self, count: int) -> List[Request]:
-        """Produce ``count`` requests in arrival order."""
+        """Produce ``count`` requests in arrival order.
+
+        Seeded streams are served from a module-level memo (see
+        :func:`_random_workload_requests`); the returned list is always a
+        fresh copy, so callers may extend or reorder it freely.
+        """
+        if self.seed is not None:
+            if count < 0:
+                raise ValueError(f"negative request count: {count}")
+            return list(
+                _random_workload_requests(
+                    self.capacity_sectors,
+                    self.rate,
+                    self.read_fraction,
+                    self.mean_size_sectors,
+                    self.max_size_sectors,
+                    self.seed,
+                    count,
+                )
+            )
         return list(self.iter_requests(count))
 
     def iter_requests(self, count: int) -> Iterator[Request]:

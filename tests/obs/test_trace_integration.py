@@ -141,14 +141,16 @@ class TestSchedulerTelemetry:
         assert scheduler.cache_hits == 32
 
     def test_cache_hits_with_pruning_cover_repriced_subset(self):
-        # With pruning on, only the priced subset lands in the cache; a
-        # second pass over the unchanged queue re-prices the same subset
-        # from cache (the walk is deterministic for fixed device state).
+        # With the pruned walk forced on, only the priced subset lands in
+        # the cache; a second pass over the unchanged queue re-prices the
+        # same subset from cache (the walk is deterministic for fixed
+        # device state).  ``prune="always"``: the adaptive default would
+        # batch-price all 32 candidates instead of walking buckets.
         from repro.core.scheduling import make_scheduler
         from repro.sim import make_device
 
         device = make_device("mems")
-        scheduler = make_scheduler("SPTF", device)
+        scheduler = make_scheduler("SPTF", device, prune="always")
         config = SimConfig(rate=800.0, num_requests=32)
         for request in config.build_requests(device):
             scheduler.add(request)
