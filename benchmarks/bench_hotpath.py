@@ -545,6 +545,94 @@ def bench_analyze(num_requests: int, repeats: int) -> dict:
     }
 
 
+FLEET_MEMBERS = 16
+"""Member count for the fleet benchmark row (the acceptance-scale fleet)."""
+
+FLEET_MIN_EVENTS_PER_S = 15_000.0
+"""CI floor for whole-fleet throughput (events/second, merged).
+
+One fleet run end to end — global stream generation, routing, per-member
+simulation, deterministic merge — counting two events (arrival +
+completion) per request.  The acceptance-scale run (16 members, 1M
+requests) measures ~29k events/s on the single-core reference container:
+slower per event than the small-fleet ~45k because the 1M-record merge
+working set no longer fits cache.  The floor leaves ~2x headroom at full
+scale (~3x on the smoke sizes) while catching a regression that makes the
+front-end or merge super-linear.
+"""
+
+
+def bench_fleet(
+    members: int, num_requests: int, jobs: int, repeats: int
+) -> dict:
+    """Whole-fleet throughput plus the merge-determinism acceptance checks.
+
+    Times ``FleetConfig.run`` end to end (sequential leg), then runs the
+    ``jobs=N`` leg and asserts the merged ``to_dict`` JSON is byte-identical
+    — the fleet's determinism contract — and that per-member routed counts
+    conserve the stream.  On a single effective worker the parallel leg is
+    skipped like the sweep benchmark's.
+    """
+    from repro.experiments.parallel import effective_workers
+    from repro.fleet import FleetConfig
+
+    fleet = FleetConfig.uniform(
+        members, rate=800.0 * members, num_requests=num_requests
+    )
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fleet.run(jobs=1)
+        best = min(best, time.perf_counter() - start)
+    sequential_dump = json.dumps(result.to_dict(), sort_keys=True)
+    if sum(result.routed_counts) != num_requests:
+        raise AssertionError(
+            f"fleet routed {sum(result.routed_counts)} of {num_requests} "
+            f"requests — the front-end lost or duplicated work"
+        )
+    if len(result) != num_requests:
+        raise AssertionError(
+            f"fleet completed {len(result)} of {num_requests} requests"
+        )
+
+    workers = effective_workers(jobs, members)
+    if workers > 1:
+        parallel_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            parallel_result = fleet.run(jobs=jobs)
+            parallel_best = min(parallel_best, time.perf_counter() - start)
+        parallel_dump = json.dumps(parallel_result.to_dict(), sort_keys=True)
+        if parallel_dump != sequential_dump:
+            raise AssertionError(
+                f"fleet merge is not deterministic: jobs=1 and jobs={jobs} "
+                f"produced different merged reports"
+            )
+        note = None
+    else:
+        parallel_best = best
+        note = "single worker: parallel leg skipped, sequential time reused"
+    events = 2 * len(result)
+    report = {
+        "members": members,
+        "requests": num_requests,
+        "router": fleet.router,
+        "rate": fleet.rate,
+        "jobs_requested": jobs,
+        "workers_used": workers,
+        "events": events,
+        "sequential_s": round(best, 3),
+        "parallel_s": round(parallel_best, 3),
+        "speedup_parallel": round(best / parallel_best, 3),
+        "events_per_s": round(events / best, 1),
+        "floor_events_per_s": FLEET_MIN_EVENTS_PER_S,
+    }
+    if note is not None:
+        report["note"] = note
+    return report
+
+
 LINT_BUDGET_S = 5.0
 """CI-gate budget for the determinism linter over all of src/.
 
@@ -613,6 +701,12 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
         ),
+        # The full run doubles as the fleet acceptance check: 16 members
+        # over >= 1M total requests, merged output byte-identical across
+        # jobs=1 and jobs=N (bench_fleet raises otherwise).
+        "fleet": bench_fleet(
+            FLEET_MEMBERS, 20_000 if smoke else 1_000_000, jobs, 1
+        ),
         # Smoke mode doubles as the CI guard that the static-analysis gate
         # stays cheap: bench_lint raises if src/ takes > LINT_BUDGET_S.
         "static_analysis": bench_lint(),
@@ -678,6 +772,15 @@ def test_hotpath_smoke():
         f"events/s (floor {END_TO_END_MIN_EVENTS_PER_S:.0f}) — the engine "
         f"hot path regressed"
     )
+    fleet = report["fleet"]
+    # bench_fleet already raised if routing lost requests or the jobs=1 /
+    # jobs=N merged reports diverged; here we pin the throughput floor.
+    assert fleet["events"] == 2 * fleet["requests"]
+    assert fleet["events_per_s"] >= FLEET_MIN_EVENTS_PER_S, (
+        f"fleet ran at {fleet['events_per_s']:.0f} events/s "
+        f"(floor {FLEET_MIN_EVENTS_PER_S:.0f}) — the sharding front-end or "
+        f"deterministic merge regressed"
+    )
     analyze = report["analyze"]
     assert analyze["spans"] == analyze["requests"]
     assert analyze["events_per_s"] >= ANALYZE_MIN_EVENTS_PER_S, (
@@ -732,6 +835,7 @@ def collect_smoke_subset() -> dict:
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),
+        "fleet": bench_fleet(4, 2000, 2, 1),
         "static_analysis": bench_lint(),
     }
 

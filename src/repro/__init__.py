@@ -13,6 +13,8 @@ The package provides:
 * :mod:`repro.array` — RAID 0/1/5 arrays of either device (§6.2, §6.3);
 * :mod:`repro.core.buffer` — speed-matching cache and prefetch (§2.4.11);
 * :mod:`repro.workloads` — the random workload and Cello/TPC-C-like traces;
+* :mod:`repro.fleet` — sharded multi-device ("fleet") simulation with
+  routing policies and deterministic merge;
 * :mod:`repro.experiments` — one module per paper figure/table.
 
 Quickstart::
@@ -42,6 +44,7 @@ from repro.core.scheduling import (
     make_scheduler,
 )
 from repro.disk import DiskDevice, DiskParameters, atlas_10k
+from repro.fleet import FleetConfig, FleetResult, ROUTERS, make_router, run_fleet
 from repro.mems import DEFAULT_PARAMETERS, MEMSDevice, MEMSParameters
 from repro.obs import (
     JsonlTracer,
@@ -87,6 +90,8 @@ __all__ = [
     "DiskDevice",
     "DiskParameters",
     "FCFSScheduler",
+    "FleetConfig",
+    "FleetResult",
     "IOKind",
     "JsonlTracer",
     "LAYOUTS",
@@ -100,6 +105,7 @@ __all__ = [
     "Request",
     "RequestRecord",
     "RingBufferTracer",
+    "ROUTERS",
     "SCHEDULERS",
     "SPTFScheduler",
     "PrefetchPolicy",
@@ -118,6 +124,8 @@ __all__ = [
     "atlas_10k",
     "make_device",
     "make_layout",
+    "make_router",
     "make_scheduler",
+    "run_fleet",
     "simulate",
 ]

@@ -3,7 +3,11 @@
 Commands:
 
 * ``info`` — print the device design points and their derived parameters;
-* ``simulate`` — run the random workload against a device/scheduler pair;
+* ``simulate`` — run the random workload against a device/scheduler pair
+  (``--config sim.json`` loads a serialized :class:`SimConfig` instead of
+  the individual flags);
+* ``fleet`` — run a sharded multi-device fleet (``--config fleet.json``
+  or a uniform fleet built from flags; see :mod:`repro.fleet`);
 * ``experiments [names...]`` — regenerate paper figures/tables (defaults
   to all; see ``python -m repro experiments --list``).
 """
@@ -11,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import (
@@ -61,45 +66,150 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_config_json(path: str) -> dict:
+    """One JSON object from ``path`` (the ``--config`` file format)."""
+    with open(path, encoding="utf-8") as stream:
+        data = json.load(stream)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: config file must hold a JSON object")
+    return data
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    config = SimConfig(
-        device=args.device,
-        scheduler=args.scheduler,
-        rate=args.rate,
-        num_requests=args.requests,
-        seed=args.seed,
-        warmup=min(args.requests // 10, 500),
-        max_queue_depth=10_000,
-        trace_path=args.trace,
-        trace_sample=args.trace_sample,
-    )
     try:
+        if args.config is not None:
+            # The config file carries the full run description and takes
+            # precedence over --device/--scheduler/--rate/--requests/--seed;
+            # the output flags (--trace, --trace-sample) still apply.
+            config = SimConfig.from_dict(_load_config_json(args.config))
+            if args.trace is not None:
+                config = config.replace(trace_path=args.trace)
+            if args.trace_sample is not None:
+                config = config.replace(trace_sample=args.trace_sample)
+        else:
+            config = SimConfig(
+                device=args.device,
+                scheduler=args.scheduler,
+                rate=args.rate,
+                num_requests=args.requests,
+                seed=args.seed,
+                warmup=min(args.requests // 10, 500),
+                max_queue_depth=10_000,
+                trace_path=args.trace,
+                trace_sample=args.trace_sample,
+            )
         trimmed = config.run()
     except QueueOverflowError:
-        print(f"saturated: queue exceeded 10,000 pending requests at "
-              f"{args.rate:g} req/s")
+        print(f"saturated: queue exceeded {config.max_queue_depth:,} pending "
+              f"requests at {config.rate:g} req/s")
         return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, KeyError) as exc:
         # Unknown scheduler/device/workload names: the registries raise
         # with the component list and a did-you-mean suggestion — print
-        # that instead of a traceback.
+        # that instead of a traceback.  Same treatment for from_dict's
+        # unknown-field messages.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    scheduler_name = SCHEDULERS.canonical_name(args.scheduler)
-    print(f"{args.device} + {scheduler_name} @ {args.rate:g} req/s, "
-          f"{args.requests} requests:")
+    scheduler_name = SCHEDULERS.canonical_name(config.scheduler)
+    print(f"{config.device} + {scheduler_name} @ {config.rate:g} req/s, "
+          f"{config.num_requests} requests:")
     print(f"  mean response : {trimmed.mean_response_time * 1e3:9.3f} ms")
     print(f"  mean service  : {trimmed.mean_service_time * 1e3:9.3f} ms")
     print(f"  95th pct      : "
           f"{trimmed.response_time_percentile(95) * 1e3:9.3f} ms")
     print(f"  sigma^2/mu^2  : {trimmed.response_time_cv2:9.3f}")
-    if args.trace:
-        print(f"  trace         : {args.trace}")
+    if config.trace_path:
+        print(f"  trace         : {config.trace_path}")
     if args.metrics:
         print()
         metrics = MetricsRegistry.from_result(trimmed)
         print(metrics.render_text(title="metrics"))
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetConfig
+
+    try:
+        if args.config is not None:
+            # The fleet file takes precedence over the uniform-fleet flags;
+            # output flags (--trace/--jobs) still apply.
+            fleet = FleetConfig.from_dict(_load_config_json(args.config))
+        else:
+            member = SimConfig(
+                device=args.device,
+                scheduler=args.scheduler,
+                max_queue_depth=10_000,
+            )
+            fleet = FleetConfig.uniform(
+                args.members,
+                member=member,
+                router=args.router,
+                rate=args.rate,
+                num_requests=args.requests,
+                seed=args.seed,
+            )
+        if args.trace is not None:
+            fleet = fleet.replace(trace_path=args.trace)
+        result = fleet.run(jobs=args.jobs)
+    except QueueOverflowError:
+        print(f"saturated: a member queue overflowed at {fleet.rate:g} "
+              f"fleet req/s ({fleet.rate / len(fleet.members):g} per member)")
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    combined = result.combined
+    print(f"fleet of {len(result.members)} members, router {result.router} "
+          f"@ {fleet.rate:g} req/s, {result.total_requests} requests:")
+    print(f"  mean response : {combined.mean_response_time * 1e3:9.3f} ms")
+    print(f"  95th pct      : "
+          f"{combined.response_time_percentile(95) * 1e3:9.3f} ms")
+    print(f"  sigma^2/mu^2  : {combined.response_time_cv2:9.3f}")
+    print(f"  throughput    : {combined.throughput:9.1f} IO/s")
+    labels = [
+        result.member_label(index) for index in range(len(result.members))
+    ]
+    width = max(12, *(len(label) for label in labels))
+    print(f"  {'member':<{width}s}  routed  completed  mean ms")
+    for index, member_result in enumerate(result.members):
+        mean = (f"{member_result.mean_response_time * 1e3:8.3f}"
+                if len(member_result) else "       —")
+        print(f"  {labels[index]:<{width}s} "
+              f"{result.routed_counts[index]:7d}  {len(member_result):9d}  "
+              f"{mean}")
+    if fleet.trace_path:
+        print(f"  trace         : {fleet.trace_path}")
+    if args.metrics:
+        print()
+        metrics = MetricsRegistry.from_result(combined)
+        print(metrics.render_text(title="fleet metrics"))
+    if args.report:
+        from repro.obs.report import write_fleet_report
+
+        analysis = None
+        if fleet.trace_path:
+            from repro.obs.analyze import analyze_trace
+
+            analysis = analyze_trace(fleet.trace_path)
+        source = args.config if args.config else f"{len(result.members)}-member fleet"
+        try:
+            write_fleet_report(
+                result, args.report, analysis=analysis, source=source
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"  report        : {args.report}")
     return 0
 
 
@@ -127,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser(
         "simulate", help="run the random workload against a device"
+    )
+    simulate.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="load a serialized SimConfig (JSON, see SimConfig.to_dict); "
+        "overrides --device/--scheduler/--rate/--requests/--seed",
     )
     simulate.add_argument(
         "--device", choices=tuple(DEVICES.names()), default="mems"
@@ -160,6 +277,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a counter/percentile metrics report after the run",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a sharded multi-device fleet (see repro.fleet)"
+    )
+    fleet.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="load a serialized FleetConfig (JSON, see FleetConfig.to_dict); "
+        "overrides the uniform-fleet flags below",
+    )
+    fleet.add_argument(
+        "--members", type=int, default=4, metavar="N",
+        help="uniform fleet size (default 4)",
+    )
+    fleet.add_argument(
+        "--device", choices=tuple(DEVICES.names()), default="mems"
+    )
+    fleet.add_argument(
+        "--scheduler", default="SPTF", help=" | ".join(SCHEDULERS.names())
+    )
+    fleet.add_argument(
+        "--router",
+        default="lbn-range",
+        help="routing policy (lbn-range | hash | round-robin | "
+        "least-loaded-static)",
+    )
+    fleet.add_argument(
+        "--rate", type=float, default=3200.0,
+        help="fleet-wide arrival rate in req/s (default 3200)",
+    )
+    fleet.add_argument("--requests", type=int, default=20_000)
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument(
+        "--jobs",
+        type=runner.positive_int,
+        default=None,
+        metavar="N",
+        help="fan member shards out over N worker processes "
+        "(results are identical for every N)",
+    )
+    fleet.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the merged fleet JSONL trace (fleet.route events + "
+        "member-tagged per-shard events) to PATH",
+    )
+    fleet.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a counter/percentile metrics report over the merged "
+        "result",
+    )
+    fleet.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a fleet report (.html or .md) with the per-member "
+        "breakdown to PATH",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper figures/tables"

@@ -22,11 +22,10 @@ from typing import Callable, Dict, Tuple
 
 from repro.core.buffer import CachedDevice, PrefetchPolicy
 from repro.core.scheduling import FCFSScheduler
-from repro.disk import DiskDevice, atlas_10k
 from repro.experiments.formatting import format_table
-from repro.mems import MEMSDevice
 from repro.sim import Simulation, StorageDevice
-from repro.workloads import RandomWorkload, SequentialWorkload
+from repro.sim.config import DEVICES, SimConfig, WORKLOADS
+from repro.workloads import SequentialWorkload
 
 
 @dataclass
@@ -79,8 +78,8 @@ class BufferingResult:
 def run(num_requests: int = 2000, seed: int = 42) -> BufferingResult:
     """Regenerate the buffering comparison."""
     device_factories: Dict[str, Callable[[], StorageDevice]] = {
-        "MEMS": MEMSDevice,
-        "Atlas 10K": lambda: DiskDevice(atlas_10k()),
+        "MEMS": DEVICES["mems"],
+        "Atlas 10K": DEVICES["atlas10k"],
     }
     rates = {"MEMS": 400.0, "Atlas 10K": 40.0}
 
@@ -88,6 +87,9 @@ def run(num_requests: int = 2000, seed: int = 42) -> BufferingResult:
     hit_rates: Dict[Tuple[str, str], float] = {}
     for device_name, factory in device_factories.items():
         rate = rates[device_name]
+        # The random stream goes through the workload registry (the
+        # builders take a device + config pair); sequential is a
+        # buffering-specific stream with no registry entry.
         workloads = {
             "sequential": SequentialWorkload(
                 factory().capacity_sectors,
@@ -95,8 +97,8 @@ def run(num_requests: int = 2000, seed: int = 42) -> BufferingResult:
                 request_sectors=16,
                 seed=seed,
             ),
-            "random": RandomWorkload(
-                factory().capacity_sectors, rate=rate, seed=seed
+            "random": WORKLOADS["random"](
+                factory(), SimConfig(rate=rate, seed=seed)
             ),
         }
         for workload_name, workload in workloads.items():

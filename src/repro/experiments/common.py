@@ -38,7 +38,7 @@ from repro.sim import (
     SimulationResult,
     StorageDevice,
 )
-from repro.workloads import RandomWorkload
+from repro.sim.config import WORKLOADS
 
 
 @dataclass(frozen=True)
@@ -306,8 +306,10 @@ def random_workload_sweep(
         key = (device.capacity_sectors, rate)
         stream = stream_cache.get(key)
         if stream is None:
-            workload = RandomWorkload(
-                device.capacity_sectors, rate=rate, seed=seed
+            # Through the workload registry — the same dispatch path the
+            # config-based branch and the CLI use.
+            workload = WORKLOADS["random"](
+                device, SimConfig(rate=rate, seed=seed)
             )
             stream = stream_cache[key] = workload.generate(num_requests)
         return stream

@@ -37,10 +37,9 @@ from repro.core.layout import (
     UnsupportedLayoutError,
     make_layout,
 )
-from repro.disk import DiskDevice, atlas_10k
 from repro.experiments.formatting import format_table
 from repro.mems import MEMSDevice, MEMSParameters
-from repro.sim import IOKind, Request, StorageDevice
+from repro.sim import DEVICES, IOKind, Request, StorageDevice
 
 SMALL_FRACTION = 0.89  # paper: 89% small requests
 DEFAULT_SMALL_BLOCKS = 20_000
@@ -162,12 +161,15 @@ def run(
     fileset = make_fileset(small_blocks, large_files)
     organ_fileset = _noisy_fileset(fileset, popularity_noise, seed)
 
+    # Stock devices come from the registry (one dispatch path with the
+    # CLI/configs); the zero-settle variant is parameterized, so it keeps
+    # a closure.
     devices: Dict[str, Callable[[], StorageDevice]] = {
-        "MEMS": lambda: MEMSDevice(),
+        "MEMS": DEVICES["mems"],
         "MEMS-nosettle": lambda: MEMSDevice(
             MEMSParameters(settle_constants=0.0)
         ),
-        "Atlas 10K": lambda: DiskDevice(atlas_10k()),
+        "Atlas 10K": DEVICES["atlas10k"],
     }
 
     results: Dict[str, Dict[str, float]] = {}

@@ -23,10 +23,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.disk import DiskDevice, atlas_10k
+from repro.disk import atlas_10k
 from repro.experiments.formatting import format_table
-from repro.mems import MEMSDevice
-from repro.sim import IOKind, Request, StorageDevice
+from repro.sim import DEVICES, IOKind, Request, StorageDevice
 
 
 @dataclass
@@ -119,8 +118,8 @@ def run(
     """Regenerate the §6.3 recovery data."""
     sync_chains: Dict[Tuple[str, str], float] = {}
     for device_name, factory in (
-        ("MEMS", MEMSDevice),
-        ("Atlas 10K", lambda: DiskDevice(atlas_10k())),
+        ("MEMS", DEVICES["mems"]),
+        ("Atlas 10K", DEVICES["atlas10k"]),
     ):
         for pattern in ("journal", "scattered"):
             sync_chains[(device_name, pattern)] = _sync_chain(
@@ -128,9 +127,9 @@ def run(
             )
 
     first_io = {
-        "MEMS": _first_io_time(MEMSDevice(), 0.5e-3, journal_sectors),
+        "MEMS": _first_io_time(DEVICES["mems"](), 0.5e-3, journal_sectors),
         "Atlas 10K": _first_io_time(
-            DiskDevice(atlas_10k()), atlas_10k().spinup_time, journal_sectors
+            DEVICES["atlas10k"](), atlas_10k().spinup_time, journal_sectors
         ),
     }
     return RecoveryResult(

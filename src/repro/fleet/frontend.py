@@ -1,0 +1,127 @@
+"""The sharding front-end: one global arrival stream → N member streams.
+
+The front-end is the fleet's "driver": it generates the global open-arrival
+stream over the concatenated fleet address space (through the ``WORKLOADS``
+registry, so every single-device workload generator works fleet-wide
+unchanged), asks the router for a member per request, and *localizes* each
+request into its member's address space — keeping the global request id and
+arrival time, so per-member simulations see the same timeline slice the
+fleet driver produced and merged traces/spans stay keyed by one global rid
+space.
+
+Sharding happens once, in the driver process, before any worker forks: the
+rid→member assignment is recorded per request (``ShardPlan.assignment``)
+and is what the ``fleet.route`` trace events and the conservation check
+(``sum(shard counts) == driver count``) are built from.  Workers receive
+finished per-member request lists, so the assignment cannot depend on
+worker count or scheduling — the first half of the fleet's determinism
+story (the second is :mod:`repro.fleet.merge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.routing import Router
+from repro.sim.config import WORKLOADS
+from repro.sim.request import Request
+
+
+@dataclass(frozen=True)
+class _FleetAddressSpace:
+    """Device stand-in handed to workload builders: just a capacity."""
+
+    capacity_sectors: int
+
+
+@dataclass
+class ShardPlan:
+    """The front-end's output: routed per-member streams plus the record.
+
+    ``assignment[i]`` is the member index of the request with rid ``i``
+    (rids are assigned densely from 0 by every workload generator);
+    ``route_events`` are ready-to-merge ``fleet.route`` trace events
+    (only built when the fleet run is traced).
+    """
+
+    member_requests: List[List[Request]]
+    assignment: List[int]
+    total_requests: int
+    fleet_capacity: int
+    route_events: List[dict] = field(default_factory=list)
+
+    def member_counts(self) -> List[int]:
+        """Requests routed to each member (sums to ``total_requests``)."""
+        return [len(requests) for requests in self.member_requests]
+
+
+def build_fleet_requests(
+    config: FleetConfig, fleet_capacity: int
+) -> List[Request]:
+    """Generate the global arrival stream over the fleet address space."""
+    workload = WORKLOADS[config.workload](
+        _FleetAddressSpace(fleet_capacity), config
+    )
+    return workload.generate(config.num_requests)
+
+
+def shard_requests(
+    config: FleetConfig,
+    router: Router,
+    record_events: bool = False,
+) -> ShardPlan:
+    """Route the global stream into per-member request streams.
+
+    Every routed request keeps its global ``request_id`` and
+    ``arrival_time``; its LBN is mapped into the member's local space by
+    the router and its length clamped to the member's remaining capacity
+    (range-straddling requests under ``lbn-range``, fold-wrapped tails
+    under the modulo localization — both deterministic).  When the global
+    address and length already fit, the original frozen request object is
+    reused unchanged, which makes a 1-member ``lbn-range`` fleet's shard
+    stream *identical* to the single-device stream.
+    """
+    capacities = router.capacities
+    requests = build_fleet_requests(config, sum(capacities))
+    streams: List[List[Request]] = [[] for _ in range(router.members)]
+    # Every generator in repro.workloads assigns dense rids 0..N-1 (some
+    # sort by arrival afterwards), so the assignment indexes by rid.
+    assignment: List[int] = [0] * len(requests)
+    route_events: List[dict] = []
+    for request in requests:
+        member = router.route(request)
+        local_lbn = router.member_lbn(request, member)
+        sectors = min(request.sectors, capacities[member] - local_lbn)
+        if local_lbn == request.lbn and sectors == request.sectors:
+            routed = request
+        else:
+            routed = Request(
+                arrival_time=request.arrival_time,
+                lbn=local_lbn,
+                sectors=sectors,
+                kind=request.kind,
+                request_id=request.request_id,
+            )
+        streams[member].append(routed)
+        assignment[request.request_id] = member
+        if record_events:
+            route_events.append(
+                {
+                    "kind": "fleet.route",
+                    "t": request.arrival_time,
+                    "rid": request.request_id,
+                    "member": member,
+                    "lbn": request.lbn,
+                    "member_lbn": local_lbn,
+                    "sectors": sectors,
+                }
+            )
+    return ShardPlan(
+        member_requests=streams,
+        assignment=assignment,
+        total_requests=len(requests),
+        fleet_capacity=sum(capacities),
+        route_events=route_events,
+    )

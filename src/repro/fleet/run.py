@@ -1,0 +1,148 @@
+"""Execute a fleet: shard, fan out over worker processes, merge.
+
+:func:`run_fleet` is the fleet's equivalent of :meth:`SimConfig.run
+<repro.sim.config.SimConfig.run>`:
+
+1. build each member's device once to learn capacities, and a fresh router
+   over them;
+2. generate + shard the global arrival stream in the driver process
+   (:mod:`repro.fleet.frontend`), so the rid→member assignment exists
+   before any worker forks;
+3. run each member's shard through
+   :func:`~repro.experiments.parallel.parallel_map` — one ordinary
+   single-device simulation per member, each tracing to its own shard file
+   when the fleet is traced;
+4. check conservation (every generated request landed on exactly one
+   member and came back), then fold the per-shard results and traces into
+   one :class:`~repro.fleet.merge.FleetResult` and merged fleet trace.
+
+Because sharding happens pre-fork, member runs are independent, and the
+merge is a pure deterministic fold, the returned result — and the merged
+trace/report bytes — are identical for every ``jobs`` value, including the
+sequential in-process fallback.  A 1-member fleet under the ``lbn-range``
+router reuses the original request objects unchanged, so its result equals
+the plain single-device ``SimConfig.run`` for the same workload fields.
+
+A member that saturates raises
+:class:`~repro.sim.engine.QueueOverflowError` out of :func:`run_fleet`
+(from the worker, via the pool), exactly like a single-device run; partial
+shard traces are cleaned up before the error propagates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.parallel import parallel_map
+from repro.fleet.config import FleetConfig
+from repro.fleet.frontend import shard_requests
+from repro.fleet.merge import (
+    FleetResult,
+    merge_results,
+    merge_traces,
+    remove_shard_traces,
+    shard_trace_path,
+)
+from repro.obs.tracer import JsonlTracer
+from repro.sim.config import SimConfig
+from repro.sim.request import Request
+from repro.sim.statistics import SimulationResult
+
+
+def _run_member(
+    member: SimConfig,
+    requests: Sequence[Request],
+    trace_path: Optional[str],
+) -> SimulationResult:
+    """Run one member's shard to completion (the worker-process body).
+
+    The member config supplies the device/scheduler substrate; the request
+    stream comes from the fleet front-end, not the member's workload
+    fields.  Mirrors :meth:`SimConfig.run`'s tracer ownership and warmup
+    handling so a 1-member fleet matches the single-device path exactly.
+    """
+    tracer = JsonlTracer(trace_path) if trace_path is not None else None
+    try:
+        simulation = member.build_simulation(tracer=tracer)
+        result = simulation.run(list(requests))
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return result.drop_warmup(member.warmup)
+
+
+def run_fleet(config: FleetConfig, jobs: Optional[int] = None) -> FleetResult:
+    """Shard, execute, and merge one fleet run (see module docstring)."""
+    capacities = config.member_capacities()
+    router = config.build_router(capacities)
+    tracing = config.trace_path is not None
+    plan = shard_requests(config, router, record_events=tracing)
+
+    shard_paths: List[Optional[str]] = [None] * len(config.members)
+    if tracing:
+        assert config.trace_path is not None
+        shard_paths = [
+            shard_trace_path(config.trace_path, member)
+            for member in range(len(config.members))
+        ]
+
+    tasks = [
+        (member, plan.member_requests[index], shard_paths[index])
+        for index, member in enumerate(config.members)
+    ]
+    if jobs is None:
+        jobs = config.jobs
+    try:
+        results = parallel_map(_run_member, tasks, jobs=jobs)
+    except BaseException:
+        if tracing:
+            remove_shard_traces([p for p in shard_paths if p is not None])
+        raise
+
+    counts = plan.member_counts()
+    if sum(counts) != plan.total_requests:
+        raise RuntimeError(
+            f"routing lost requests: shards hold {sum(counts)} of "
+            f"{plan.total_requests}"
+        )
+    completed = sum(len(result) for result in results)
+    expected = plan.total_requests - sum(
+        min(member.warmup, count)
+        for member, count in zip(config.members, counts)
+    )
+    if completed != expected:
+        raise RuntimeError(
+            f"fleet lost requests: members completed {completed}, "
+            f"expected {expected} "
+            f"({plan.total_requests} routed minus warmup drops)"
+        )
+
+    combined = merge_results(results)
+    fleet_result = FleetResult(
+        members=list(results),
+        combined=combined,
+        member_configs=config.members,
+        router=router.name,
+        routed_counts=counts,
+        total_requests=plan.total_requests,
+    )
+
+    if tracing:
+        assert config.trace_path is not None
+        paths = [p for p in shard_paths if p is not None]
+        try:
+            merge_traces(
+                paths,
+                config.trace_path,
+                plan.route_events,
+                total_requests=plan.total_requests,
+                total_completed=completed,
+                end_time=combined.end_time,
+                meta={
+                    "fleet_router": router.name,
+                    "fleet_members": len(config.members),
+                },
+            )
+        finally:
+            remove_shard_traces(paths)
+    return fleet_result

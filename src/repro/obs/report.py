@@ -24,6 +24,7 @@ import html as _html
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.merge import FleetResult
     from repro.obs.analyze import TraceAnalysis
 
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -386,6 +387,100 @@ def write_comparative(
 ) -> None:
     """Write a comparative report; format inferred from ``path``."""
     text = render_comparative(items, format_for_path(path), title=title)
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(text)
+
+
+# --------------------------------------------------------------------------- #
+# fleet reports
+# --------------------------------------------------------------------------- #
+
+
+def render_fleet_report(
+    result: "FleetResult",
+    fmt_name: str = "html",
+    analysis: Optional["TraceAnalysis"] = None,
+    source: str = "<fleet>",
+) -> str:
+    """Fleet-level report: merged metrics plus the per-member breakdown.
+
+    ``analysis`` (a :class:`~repro.obs.analyze.TraceAnalysis` over the
+    *merged* fleet trace) appends the usual latency-attribution and
+    time-series sections.  Like the single-run reports, output is
+    byte-deterministic — the fleet determinism tests compare report bytes
+    across ``jobs`` values.
+    """
+    doc = Document(f"Fleet report: {source}")
+    doc.heading("fleet summary")
+    doc.table(
+        ["metric", "value"],
+        [
+            ["router", result.router],
+            ["members", fmt(len(result.members))],
+            ["requests routed", fmt(result.total_requests)],
+            ["requests completed", fmt(len(result))],
+        ],
+    )
+    combined = result.combined
+    if len(combined):
+        percentiles = combined.percentiles()
+        doc.heading("merged fleet metrics", level=3)
+        doc.table(
+            ["metric", "value"],
+            [
+                ["mean response (ms)", fmt_ms(combined.mean_response_time)],
+                ["p50 response (ms)", fmt_ms(percentiles["p50"])],
+                ["p95 response (ms)", fmt_ms(percentiles["p95"])],
+                ["p99 response (ms)", fmt_ms(percentiles["p99"])],
+                ["response cv²", fmt(combined.response_time_cv2)],
+                ["throughput (IO/s)", fmt(combined.throughput)],
+                # Device-seconds per second summed fleet-wide; approaches
+                # the member count (not 1.0) when every member is busy.
+                ["aggregate utilization", fmt(combined.utilization)],
+                ["end time (s)", fmt(combined.end_time)],
+            ],
+        )
+    doc.heading("per-member breakdown", level=3)
+    headers = [
+        "member", "device", "scheduler", "routed", "completed",
+        "mean response (ms)", "p95 (ms)", "utilization",
+    ]
+    rows = []
+    for index, member_result in enumerate(result.members):
+        config = result.member_configs[index]
+        if len(member_result):
+            percentiles = member_result.percentiles()
+            rows.append([
+                f"m{index:02d}",
+                config.device,
+                config.scheduler,
+                fmt(result.routed_counts[index]),
+                fmt(len(member_result)),
+                fmt_ms(member_result.mean_response_time),
+                fmt_ms(percentiles["p95"]),
+                fmt(member_result.utilization),
+            ])
+        else:
+            rows.append([
+                f"m{index:02d}", config.device, config.scheduler,
+                fmt(result.routed_counts[index]), "0", "—", "—", "—",
+            ])
+    doc.table(headers, rows)
+    if analysis is not None:
+        _analysis_sections(doc, analysis, label="merged trace")
+    return doc.render(fmt_name)
+
+
+def write_fleet_report(
+    result: "FleetResult",
+    path: str,
+    analysis: Optional["TraceAnalysis"] = None,
+    source: str = "<fleet>",
+) -> None:
+    """Write a fleet report; format inferred from ``path``."""
+    text = render_fleet_report(
+        result, format_for_path(path), analysis=analysis, source=source
+    )
     with open(path, "w", encoding="utf-8") as stream:
         stream.write(text)
 

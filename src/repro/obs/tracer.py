@@ -38,6 +38,12 @@ Event kinds emitted by the stack:
     estimate-cache hit/miss counters plus the per-dispatch pruning split
     (``candidates_priced``/``candidates_pruned``; always summing to
     ``candidates``).
+``fleet.route``
+    The fleet front-end's routing decision for one request (merged fleet
+    traces only; see :mod:`repro.fleet.merge`): the chosen ``member``
+    index, the fleet-wide ``lbn``, and the localized ``member_lbn`` the
+    member simulation actually saw.  In a merged fleet trace every
+    member-originated event additionally carries a ``member`` field.
 
 Sinks: :class:`RingBufferTracer` (in-memory, bounded), :class:`JsonlTracer`
 (one JSON object per line, with a ``trace.meta`` header; transparently
@@ -87,6 +93,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
         "total",
     ),
     "sched.dispatch": ("rid", "scheduler", "candidates"),
+    "fleet.route": ("rid", "member", "lbn", "member_lbn"),
 }
 """Required fields per event kind (beyond ``kind`` and ``t``).
 

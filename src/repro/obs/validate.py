@@ -14,7 +14,11 @@ total (``positioning + transfer + turnarounds == total``), and that every
 ``sched.dispatch`` event carrying the lower-bound-pruning telemetry
 accounts for each candidate exactly once (``candidates_priced +
 candidates_pruned == candidates``) and names a known selection
-``fast_path`` (:data:`FAST_PATHS`) when it carries one.
+``fast_path`` (:data:`FAST_PATHS`) when it carries one.  Merged fleet
+traces (:mod:`repro.fleet.merge`) pass the same checks: their
+``fleet.route`` events must carry a non-negative ``member`` index and a
+localized ``member_lbn`` that is non-negative and no larger than the
+fleet-wide ``lbn``.
 
 In file mode, every problem is reported as ``path:LINE`` with the 1-based
 line number of the offending event in the (decompressed) JSONL file, so
@@ -146,6 +150,20 @@ def validate_events(
                     f"{where}: sched.dispatch has unknown fast_path "
                     f"{fast_path!r} (expected one of "
                     f"{', '.join(sorted(FAST_PATHS))})"
+                )
+        elif kind == "fleet.route":
+            member = event["member"]
+            if not isinstance(member, int) or member < 0:
+                errors.append(
+                    f"{where}: fleet.route has invalid member {member!r}"
+                )
+            # Routers only ever subtract a range start (or fold modulo a
+            # capacity) from the fleet-wide address, so the localized LBN
+            # can never exceed the global one.
+            elif event["member_lbn"] < 0 or event["member_lbn"] > event["lbn"]:
+                errors.append(
+                    f"{where}: fleet.route localizes lbn {event['lbn']} to "
+                    f"invalid member_lbn {event['member_lbn']}"
                 )
     return errors
 

@@ -20,8 +20,9 @@ the if/elif device dispatch that used to live there.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Mapping, Optional, TYPE_CHECKING
 
 from repro.core.registry import Registry
 from repro.obs.tracer import JsonlTracer, NULL_TRACER, SamplingTracer, Tracer
@@ -240,5 +241,44 @@ class SimConfig:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict:
-        """JSON-ready dump (inverse of ``SimConfig(**d)``)."""
+        """JSON-ready dump (inverse of :meth:`from_dict`)."""
         return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":
+        """Rebuild a config from a :meth:`to_dict` dump (or JSON thereof).
+
+        The inverse of :meth:`to_dict`, so configs round-trip through files
+        and across processes symmetrically.  Unknown keys are rejected with
+        a ``Registry.suggest()``-style did-you-mean message instead of the
+        bare ``TypeError`` a ``cls(**data)`` splat would raise.
+        """
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"{cls.__name__}.from_dict takes a mapping, got "
+                f"{type(data).__name__}"
+            )
+        return cls(**check_config_keys(cls, data))
+
+
+def check_config_keys(
+    config_cls: type, data: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Validate ``data``'s keys against a config dataclass's fields.
+
+    Returns a plain ``dict`` copy safe to splat into the constructor;
+    raises ``ValueError`` naming the first unknown key, the closest field
+    name (``difflib``, same cutoff as :meth:`Registry.suggest`), and the
+    known-field list.  Shared by :meth:`SimConfig.from_dict` and
+    :meth:`repro.fleet.FleetConfig.from_dict`.
+    """
+    names = [f.name for f in dataclasses.fields(config_cls)]
+    for key in data:
+        if key in names:
+            continue
+        message = f"unknown {config_cls.__name__} field: {key!r}"
+        matches = difflib.get_close_matches(str(key), names, n=1, cutoff=0.6)
+        if matches:
+            message += f" (did you mean {matches[0]!r}?)"
+        raise ValueError(message + f"; known fields: {', '.join(names)}")
+    return dict(data)

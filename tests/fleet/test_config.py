@@ -1,0 +1,143 @@
+"""Tests for FleetConfig: validation, serialization, round-trips."""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import FleetConfig
+from repro.sim import SimConfig
+
+
+class TestValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="no members"):
+            FleetConfig(members=())
+
+    def test_member_type_checked(self):
+        with pytest.raises(TypeError, match="member 0 is dict"):
+            FleetConfig(members=({"device": "mems"},))
+
+    def test_member_trace_path_rejected(self):
+        member = SimConfig(trace_path="/tmp/m.jsonl")
+        with pytest.raises(ValueError, match="fleet owns tracing"):
+            FleetConfig(members=(member,))
+
+    def test_members_normalized_to_tuple(self):
+        fleet = FleetConfig(members=[SimConfig(), SimConfig()])
+        assert isinstance(fleet.members, tuple)
+
+    def test_negative_requests(self):
+        with pytest.raises(ValueError, match="negative num_requests"):
+            FleetConfig.uniform(2, num_requests=-1)
+
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            FleetConfig.uniform(2, jobs=0)
+
+    def test_uniform_count_checked(self):
+        with pytest.raises(ValueError, match=">= 1 member"):
+            FleetConfig.uniform(0)
+
+
+class TestConstruction:
+    def test_uniform(self):
+        member = SimConfig(device="atlas10k", scheduler="C-LOOK")
+        fleet = FleetConfig.uniform(3, member=member, router="hash")
+        assert len(fleet.members) == 3
+        assert all(m is member for m in fleet.members)
+        assert fleet.router == "hash"
+
+    def test_replace(self):
+        fleet = FleetConfig.uniform(2)
+        assert fleet.replace(rate=100.0).rate == 100.0
+        assert fleet.rate == 800.0
+
+    def test_picklable(self):
+        fleet = FleetConfig.uniform(2, router="hash", rate=500.0)
+        assert pickle.loads(pickle.dumps(fleet)) == fleet
+
+    def test_capacities(self):
+        fleet = FleetConfig.uniform(2)
+        caps = fleet.member_capacities()
+        assert caps == (6_750_000, 6_750_000)
+        assert fleet.fleet_capacity() == 13_500_000
+
+    def test_build_router_fresh_instance(self):
+        fleet = FleetConfig.uniform(2, router="least-loaded")
+        caps = (100, 100)
+        assert fleet.build_router(caps) is not fleet.build_router(caps)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        fleet = FleetConfig.uniform(
+            3,
+            member=SimConfig(scheduler="C-LOOK", warmup=10),
+            router="hash",
+            router_params={"chunk_sectors": 64},
+            rate=2400.0,
+            num_requests=999,
+            seed=7,
+        )
+        assert FleetConfig.from_dict(fleet.to_dict()) == fleet
+
+    def test_round_trip_through_json(self):
+        fleet = FleetConfig.uniform(2, rate=1600.0)
+        restored = FleetConfig.from_dict(json.loads(json.dumps(fleet.to_dict())))
+        assert restored == fleet
+
+    def test_unknown_fleet_key_suggests(self):
+        data = FleetConfig.uniform(2).to_dict()
+        data["routr"] = "hash"
+        with pytest.raises(ValueError, match="did you mean 'router'"):
+            FleetConfig.from_dict(data)
+
+    def test_unknown_member_key_suggests(self):
+        data = FleetConfig.uniform(2).to_dict()
+        data["members"][0]["schedular"] = "SPTF"
+        with pytest.raises(ValueError, match="did you mean 'scheduler'"):
+            FleetConfig.from_dict(data)
+
+    def test_missing_members(self):
+        with pytest.raises(ValueError, match="missing 'members'"):
+            FleetConfig.from_dict({"router": "hash"})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(TypeError, match="takes a mapping"):
+            FleetConfig.from_dict([1, 2])
+
+    def test_live_members_pass_through(self):
+        member = SimConfig()
+        fleet = FleetConfig.from_dict({"members": [member]})
+        assert fleet.members == (member,)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=5),
+        router=st.sampled_from(
+            ["lbn-range", "hash", "round-robin", "least-loaded-static"]
+        ),
+        workload=st.sampled_from(["random", "uniform", "cello", "tpcc"]),
+        rate=st.floats(min_value=1.0, max_value=1e5),
+        num_requests=st.integers(min_value=0, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=2**31),
+        scheduler=st.sampled_from(["SPTF", "FCFS", "C-LOOK"]),
+        warmup=st.integers(min_value=0, max_value=100),
+    )
+    def test_round_trip_property(
+        self, count, router, workload, rate, num_requests, seed, scheduler,
+        warmup,
+    ):
+        fleet = FleetConfig.uniform(
+            count,
+            member=SimConfig(scheduler=scheduler, warmup=warmup),
+            router=router,
+            workload=workload,
+            rate=rate,
+            num_requests=num_requests,
+            seed=seed,
+        )
+        via_json = json.loads(json.dumps(fleet.to_dict()))
+        assert FleetConfig.from_dict(via_json) == fleet

@@ -1,0 +1,144 @@
+"""Tests for the router registry and routing policies."""
+
+import pytest
+
+from repro.fleet.routing import (
+    ROUTERS,
+    HashRouter,
+    LBNRangeRouter,
+    LeastLoadedStaticRouter,
+    RoundRobinRouter,
+    make_router,
+    mix64,
+)
+from repro.sim import IOKind, Request
+
+CAPS = (1000, 2000, 500)
+
+
+def req(rid, lbn, sectors=8):
+    return Request(0.0, lbn, sectors, IOKind.READ, rid)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert ROUTERS.names() == [
+            "lbn-range", "hash", "round-robin", "least-loaded-static",
+        ]
+
+    def test_aliases(self):
+        assert ROUTERS.canonical_name("range") == "lbn-range"
+        assert ROUTERS.canonical_name("rr") == "round-robin"
+        assert ROUTERS.canonical_name("least-loaded") == "least-loaded-static"
+        assert type(make_router("rr", CAPS)) is RoundRobinRouter
+
+    def test_case_folded(self):
+        assert type(make_router("LBN-Range", CAPS)) is LBNRangeRouter
+
+    def test_unknown_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'lbn-range'"):
+            make_router("lbn-rnage", CAPS)
+
+    def test_unknown_lists_names(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("zorp", CAPS)
+
+
+class TestValidation:
+    def test_empty_capacities(self):
+        with pytest.raises(ValueError, match="no members"):
+            make_router("lbn-range", ())
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            make_router("hash", (100, 0))
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError, match="chunk_sectors"):
+            make_router("hash", CAPS, chunk_sectors=0)
+
+
+class TestLBNRange:
+    def test_partition_boundaries(self):
+        router = LBNRangeRouter(CAPS)
+        assert router.route(req(0, 0)) == 0
+        assert router.route(req(1, 999)) == 0
+        assert router.route(req(2, 1000)) == 1
+        assert router.route(req(3, 2999)) == 1
+        assert router.route(req(4, 3000)) == 2
+        assert router.route(req(5, 3499)) == 2
+
+    def test_member_lbn_is_offset(self):
+        router = LBNRangeRouter(CAPS)
+        assert router.member_lbn(req(0, 1500), 1) == 500
+        assert router.member_lbn(req(0, 3000), 2) == 0
+
+    def test_out_of_range_rejected(self):
+        router = LBNRangeRouter(CAPS)
+        with pytest.raises(ValueError, match="outside fleet capacity"):
+            router.route(req(0, 3500))
+
+    def test_single_member_is_identity(self):
+        router = LBNRangeRouter((5000,))
+        request = req(7, 4321)
+        assert router.route(request) == 0
+        assert router.member_lbn(request, 0) == 4321
+
+
+class TestHash:
+    def test_deterministic_and_chunk_stable(self):
+        router = HashRouter(CAPS, chunk_sectors=256)
+        member = router.route(req(0, 512))
+        # Same chunk (lbn // 256 == 2) → same member, any rid, any run.
+        assert router.route(req(99, 700)) == member
+        assert HashRouter(CAPS, chunk_sectors=256).route(req(5, 513)) == member
+
+    def test_mix64_is_fixed(self):
+        # Pinned values: the assignment must never drift across versions,
+        # or resumed/compared fleet runs silently reshard.
+        assert mix64(0) == 16294208416658607535
+        assert mix64(1) == 10451216379200822465
+
+    def test_spreads_members(self):
+        router = HashRouter(CAPS, chunk_sectors=1)
+        members = {router.route(req(i, i * 997)) for i in range(200)}
+        assert members == {0, 1, 2}
+
+    def test_member_lbn_in_bounds(self):
+        router = HashRouter(CAPS)
+        for lbn in (0, 999, 1000, 3499, 3400):
+            request = req(0, lbn)
+            member = router.route(request)
+            assert 0 <= router.member_lbn(request, member) < CAPS[member]
+
+
+class TestRoundRobin:
+    def test_exact_balance(self):
+        router = RoundRobinRouter(CAPS)
+        counts = [0, 0, 0]
+        for rid in range(30):
+            counts[router.route(req(rid, 0))] += 1
+        assert counts == [10, 10, 10]
+
+
+class TestLeastLoadedStatic:
+    def test_balances_sectors(self):
+        router = LeastLoadedStaticRouter(CAPS)
+        # Unequal request sizes: greedy keeps cumulative sectors level.
+        sizes = [64, 8, 8, 8, 64, 8, 8, 8]
+        for rid, sectors in enumerate(sizes):
+            router.route(req(rid, 0, sectors))
+        assert max(router._load) - min(router._load) <= 64
+
+    def test_ties_to_lowest_index(self):
+        router = LeastLoadedStaticRouter(CAPS)
+        assert router.route(req(0, 0)) == 0
+        assert router.route(req(1, 0)) == 1
+        assert router.route(req(2, 0)) == 2
+        assert router.route(req(3, 0)) == 0
+
+    def test_pure_function_of_stream(self):
+        a = LeastLoadedStaticRouter(CAPS)
+        b = LeastLoadedStaticRouter(CAPS)
+        stream = [req(i, i * 31, 8 + (i % 3) * 8) for i in range(50)]
+        assert [a.route(r) for r in stream] == [b.route(r) for r in stream]

@@ -198,3 +198,43 @@ class TestSimConfig:
         assert sim.scheduler.name == "C-LOOK"
         assert sim.max_queue_depth == 4000
         assert not sim.tracer.enabled
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        config = SimConfig(
+            device="atlas10k",
+            scheduler="C-LOOK",
+            workload="cello",
+            rate=640.0,
+            num_requests=123,
+            seed=9,
+            warmup=10,
+            trace_sample=4,
+            scheduler_params={"sectors_per_cylinder": 100},
+            workload_params={"burstiness": 2.0},
+        )
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_through_json(self):
+        import json
+
+        config = SimConfig(rate=1600.0, max_queue_depth=None)
+        restored = SimConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_unknown_key_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'scheduler'"):
+            SimConfig.from_dict({"schedular": "SPTF"})
+
+    def test_unknown_key_lists_fields(self):
+        with pytest.raises(ValueError, match="known fields: device, scheduler"):
+            SimConfig.from_dict({"bogus": 1})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(TypeError, match="takes a mapping"):
+            SimConfig.from_dict(["device", "mems"])
+
+    def test_values_still_validated(self):
+        with pytest.raises(ValueError, match="negative num_requests"):
+            SimConfig.from_dict({"num_requests": -5})

@@ -189,3 +189,85 @@ class TestUnknownComponentNames:
 
         with pytest.raises(ValueError, match="unknown device: 'floppy'"):
             make_device("floppy")
+
+
+class TestConfigFlag:
+    def test_simulate_from_config_file(self, tmp_path, capsys):
+        import json
+
+        from repro.sim import SimConfig
+
+        path = tmp_path / "sim.json"
+        config = SimConfig(scheduler="FCFS", rate=400.0, num_requests=200)
+        path.write_text(json.dumps(config.to_dict()))
+        assert main(["simulate", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mems + FCFS @ 400 req/s, 200 requests" in out
+
+    def test_simulate_config_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "sim.json"
+        path.write_text('{"schedular": "SPTF"}')
+        assert main(["simulate", "--config", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'scheduler'" in err
+        assert "Traceback" not in err
+
+    def test_simulate_config_missing_file(self, capsys):
+        assert main(["simulate", "--config", "/nonexistent/sim.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_uniform_fleet_from_flags(self, capsys):
+        code = main([
+            "fleet", "--members", "2", "--requests", "400",
+            "--rate", "1600", "--jobs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 members, router lbn-range" in out
+        assert "m00 mems+SPTF" in out
+        assert "m01 mems+SPTF" in out
+
+    def test_fleet_from_config_file(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import FleetConfig
+
+        path = tmp_path / "fleet.json"
+        fleet = FleetConfig.uniform(
+            3, router="round-robin", rate=1200.0, num_requests=300
+        )
+        path.write_text(json.dumps(fleet.to_dict()))
+        assert main(["fleet", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 3 members, router round-robin" in out
+
+    def test_fleet_trace_and_report(self, tmp_path, capsys):
+        from repro.obs.validate import validate_file
+
+        trace = tmp_path / "fleet.jsonl"
+        report = tmp_path / "fleet.md"
+        code = main([
+            "fleet", "--members", "2", "--requests", "300",
+            "--rate", "1600", "--trace", str(trace),
+            "--report", str(report),
+        ])
+        assert code == 0
+        assert validate_file(str(trace)) == []
+        text = report.read_text()
+        assert "per-member breakdown" in text
+        assert "merged trace" in text
+
+    def test_fleet_unknown_router(self, capsys):
+        code = main(["fleet", "--router", "zorp", "--requests", "10"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown router" in err
+        assert "Traceback" not in err
+
+    def test_fleet_config_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        path.write_text('{"members": [{}], "routr": "hash"}')
+        assert main(["fleet", "--config", str(path)]) == 2
+        assert "did you mean 'router'" in capsys.readouterr().err
