@@ -548,17 +548,19 @@ def bench_analyze(num_requests: int, repeats: int) -> dict:
 FLEET_MEMBERS = 16
 """Member count for the fleet benchmark row (the acceptance-scale fleet)."""
 
-FLEET_MIN_EVENTS_PER_S = 15_000.0
+FLEET_MIN_EVENTS_PER_S = 45_000.0
 """CI floor for whole-fleet throughput (events/second, merged).
 
 One fleet run end to end — global stream generation, routing, per-member
 simulation, deterministic merge — counting two events (arrival +
 completion) per request.  The acceptance-scale run (16 members, 1M
-requests) measures ~29k events/s on the single-core reference container:
-slower per event than the small-fleet ~45k because the 1M-record merge
-working set no longer fits cache.  The floor leaves ~2x headroom at full
-scale (~3x on the smoke sizes) while catching a regression that makes the
-front-end or merge super-linear.
+requests) measures ~94k events/s on the single-core reference container
+(up from ~29k before the columnar pipeline: batch ingest with fused
+materialization, NamedTuple hot-path records, vectorized profile priming,
+adaptive memo suppression, the cursor-based event loop, the numpy merge,
+and the fleet-scope GC pause).  The floor leaves ~2x headroom at full
+scale while catching a regression that loses any of those layers or makes
+the front-end or merge super-linear.
 """
 
 
@@ -631,6 +633,63 @@ def bench_fleet(
     if note is not None:
         report["note"] = note
     return report
+
+
+WORKLOAD_GEN_MIN_SPEEDUP = 10.0
+"""CI floor for columnar workload generation vs the scalar object path.
+
+``generate_batch`` synthesizes a request stream in whole-array RNG ops;
+``iter_requests`` is the executable scalar specification (one draw per
+column per request, building a ``Request`` object each time).  The two
+are pinned bit-identical by ``tests/workloads/test_batch_identity.py``;
+this row pins that the array path stays an order of magnitude faster
+(measured ~70x on the reference container — the floor leaves wide
+headroom while catching an accidental fallback to per-request RNG calls
+or object materialization inside the batch path).
+"""
+
+
+def bench_workload_gen(count: int, repeats: int) -> dict:
+    """Columnar vs scalar workload generation throughput (same stream).
+
+    Both legs synthesize the identical seeded random stream; the batch
+    leg's output is asserted equal to the scalar leg's before timings are
+    reported, so the speedup can never come from computing different
+    requests.
+    """
+    from repro.workloads.synthetic import RandomWorkload
+
+    capacity = 6_750_000  # the MEMS device's sector count
+    workload = RandomWorkload(capacity, rate=1000.0, seed=42)
+
+    object_best = float("inf")
+    requests = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        requests = list(workload.iter_requests(count))
+        object_best = min(object_best, time.perf_counter() - start)
+
+    batch_best = float("inf")
+    batch = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch = workload.generate_batch(count)
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    if batch.to_requests() != requests:
+        raise AssertionError(
+            "generate_batch diverged from the scalar reference stream — "
+            "the columnar path is no longer bit-identical"
+        )
+    return {
+        "count": count,
+        "object_s": round(object_best, 4),
+        "batch_s": round(batch_best, 4),
+        "object_requests_per_s": round(count / object_best, 1),
+        "batch_requests_per_s": round(count / batch_best, 1),
+        "speedup": round(object_best / batch_best, 2),
+        "floor_speedup": WORKLOAD_GEN_MIN_SPEEDUP,
+    }
 
 
 LINT_BUDGET_S = 5.0
@@ -707,6 +766,9 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
         "fleet": bench_fleet(
             FLEET_MEMBERS, 20_000 if smoke else 1_000_000, jobs, 1
         ),
+        "workload_gen": bench_workload_gen(
+            30_000 if smoke else 200_000, repeats
+        ),
         # Smoke mode doubles as the CI guard that the static-analysis gate
         # stays cheap: bench_lint raises if src/ takes > LINT_BUDGET_S.
         "static_analysis": bench_lint(),
@@ -781,6 +843,14 @@ def test_hotpath_smoke():
         f"(floor {FLEET_MIN_EVENTS_PER_S:.0f}) — the sharding front-end or "
         f"deterministic merge regressed"
     )
+    workload_gen = report["workload_gen"]
+    # bench_workload_gen already raised if the streams diverged; here we
+    # pin the speedup floor.
+    assert workload_gen["speedup"] >= WORKLOAD_GEN_MIN_SPEEDUP, (
+        f"columnar workload generation ran {workload_gen['speedup']:.1f}x "
+        f"the scalar path (floor {WORKLOAD_GEN_MIN_SPEEDUP:.0f}x) — the "
+        f"batch path fell back to per-request work"
+    )
     analyze = report["analyze"]
     assert analyze["spans"] == analyze["requests"]
     assert analyze["events_per_s"] >= ANALYZE_MIN_EVENTS_PER_S, (
@@ -836,6 +906,7 @@ def collect_smoke_subset() -> dict:
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400
         ),
         "fleet": bench_fleet(4, 2000, 2, 1),
+        "workload_gen": bench_workload_gen(10_000, 1),
         "static_analysis": bench_lint(),
     }
 

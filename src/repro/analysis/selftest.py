@@ -45,6 +45,10 @@ FIXTURES: Dict[str, RuleFixtures] = {
             "rng = np.random.default_rng()\n",
             "import random\n"
             "rng = random.SystemRandom()\n",
+            "import numpy as np\n"
+            "bitgen = np.random.PCG64()\n",
+            "import numpy as np\n"
+            "seq = np.random.SeedSequence()\n",
         ),
         good=(
             "import random\n"
@@ -55,6 +59,12 @@ FIXTURES: Dict[str, RuleFixtures] = {
             "import random\n"
             "def generate(rng: random.Random):\n"
             "    return rng.random()\n",
+            # The vectorized seeded idiom: per-column Generator streams
+            # spawned from one SeedSequence (see workloads/synthetic.py).
+            "import numpy as np\n"
+            "children = np.random.SeedSequence(7).spawn(4)\n"
+            "rngs = [np.random.Generator(np.random.PCG64(c))"
+            " for c in children]\n",
         ),
     ),
     "R2": RuleFixtures(

@@ -74,6 +74,26 @@ _GLOBAL_NUMPY_FUNCS = frozenset(
     }
 )
 
+_NUMPY_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.MT19937",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+"""The vectorized seeded-RNG idiom: ``Generator`` over an explicit bit
+generator, usually spawned from a ``SeedSequence``.
+
+``numpy.random.Generator(numpy.random.PCG64(seed))`` (and per-column
+spawning via ``SeedSequence(seed).spawn(n)``) is exactly as reproducible
+as ``random.Random(seed)``, so R1 recognizes any of these constructors
+*with arguments* as seeded.  Constructed bare, a bit generator or seed
+sequence pulls OS entropy — flagged like unseeded ``default_rng()``."""
+
 
 @register_rule
 class UnseededRNGRule(Rule):
@@ -112,6 +132,17 @@ class UnseededRNGRule(Rule):
                     yield node, (
                         "unseeded numpy.random.default_rng() — pass an "
                         "explicit seed so runs are reproducible"
+                    )
+            elif origin in _NUMPY_SEEDED_CONSTRUCTORS:
+                # Seeded vectorized idiom: Generator(PCG64(seed)),
+                # SeedSequence(seed).spawn(n), etc.  With arguments these
+                # are reproducible by construction; bare they draw OS
+                # entropy.
+                if unseeded:
+                    yield node, (
+                        f"unseeded {origin}() draws OS entropy — pass an "
+                        f"explicit seed (or SeedSequence) so runs are "
+                        f"reproducible"
                     )
             elif origin == "random.SystemRandom":
                 yield node, (

@@ -28,10 +28,11 @@ dispatching the *bit-identical* request sequence:
 
 * ``scan`` — the cached scalar scan.  Cheapest at the shallow depths that
   dominate realistic open-arrival sweeps (a handful of pending requests),
-  where any array bookkeeping loses to a short Python loop.  In ``'auto'``
-  mode on bound-capable devices the scan skips candidates whose lower
-  bound already exceeds an exact score in hand (``_screened_scan``) —
-  same winner, fewer oracle calls.
+  where any array bookkeeping loses to a short Python loop.  A
+  single-candidate queue — the overwhelmingly common case in open-arrival
+  runs below saturation — short-circuits before pricing anything: the
+  argmin over one element needs no oracle call at all, and the dispatch
+  is reported with ``candidates_priced == 0``.
 * ``vectorized`` — a per-candidate lower-bound screen (the same dense
   admissible table the pruned walk uses, discounted per candidate by its
   exact aging credit) selects the subset that could still win, and one
@@ -59,12 +60,15 @@ dispatching the *bit-identical* request sequence:
 
 ``prune='auto'`` picks between the three per selection from the pending
 count; ``'always'`` forces the pruned walk (the pre-adaptive behaviour);
-``'never'`` forces the scan.  The bucket indexes are built lazily on the
-first selection that actually takes the pruned path, and the device's
-lower-bound table on the first selection with anything to screen — both
-shared per parameter set, so construction costs nothing and single-request
-queues never build either.  Which path served each dispatch is reported as
-``fast_path`` in ``sched.dispatch`` trace events.
+``'never'`` forces the scan.  Every piece of adaptive bookkeeping is built
+lazily by the first selection that needs it: the bucket indexes on the
+first pruned walk, the cylinder shadow list and the device's lower-bound
+table on the first vectorized screen.  Runs that stay shallow pay nothing
+— no per-add cylinder lookups, no bound-table build, no per-dispatch
+bookkeeping beyond the depth check itself — which is what keeps ``auto``
+at parity with the plain scan at trivial depths (the
+``sptf_adaptive`` bench rows).  Which path served each dispatch is
+reported as ``fast_path`` in ``sched.dispatch`` trace events.
 """
 
 from __future__ import annotations
@@ -190,8 +194,10 @@ class _EstimateCachingScheduler(ListScheduler):
         self.cache_misses = 0
         #: Telemetry for the most recent selection: how many requests were
         #: pending, how many had their exact estimate consulted, and how
-        #: many the lower-bound walk never priced.  ``candidates ==
-        #: priced + pruned`` always; without pruning ``pruned`` is 0.
+        #: many were never priced.  ``candidates == priced + pruned``
+        #: always.  A single-candidate selection prices nothing (the
+        #: argmin is trivial), so it reports ``priced=0, pruned=1``;
+        #: otherwise without pruning ``pruned`` is 0.
         self.last_candidates = 0
         self.last_priced = 0
         self.last_pruned = 0
@@ -210,17 +216,16 @@ class _EstimateCachingScheduler(ListScheduler):
         self._bucket_keys: List[int] = []
         self._arrival_seq: Dict[int, int] = {}
         self._next_seq = 0
-        # Cylinder list shadowing the pending queue position for position,
-        # feeding the bound screens.  Maintained from construction (one
-        # memoized ``request_cylinder`` call per arrival) so no selection
-        # ever has to resolve cylinders for the whole queue; only kept
-        # when the adaptive vectorized path can actually run.
-        self._screened = self._can_batch and self._can_prune
+        # Cylinder list shadowing the pending queue positionally, feeding
+        # the vectorized bound screen.  Built by the first selection deep
+        # enough to take the vectorized path (``_ensure_cyls``) and
+        # maintained incrementally from then on — runs that stay shallow
+        # never pay the per-add ``request_cylinder`` call.
+        self._cyls_live = False
         self._cyls: List[int] = []
         # The device's bound table, captured the first time a deep
-        # selection reads it.  The shallow scan reuses an already-built
-        # table to skip provably-beaten candidates, but never triggers the
-        # (lazy) build itself — runs that stay shallow still pay nothing.
+        # selection reads it (the build is lazy and shared per parameter
+        # set) — runs that stay shallow never trigger it.
         self._bounds_ref: Optional[Tuple[float, ...]] = None
 
     @property
@@ -235,7 +240,7 @@ class _EstimateCachingScheduler(ListScheduler):
 
     def add(self, request: Request) -> None:
         super().add(request)
-        if self._screened:
+        if self._cyls_live:
             self._cyls.append(self._device.request_cylinder(request))
         if self._indexed:
             self._arrival_seq[id(request)] = self._next_seq
@@ -258,7 +263,7 @@ class _EstimateCachingScheduler(ListScheduler):
         candidates = len(queue)
         index = self.select_index(now)
         request = queue.pop(index)
-        if self._screened:
+        if self._cyls_live:
             del self._cyls[index]
         # Dispatching mutates the device's mechanical state, so every
         # memoized estimate is stale from here on.
@@ -313,6 +318,19 @@ class _EstimateCachingScheduler(ListScheduler):
                     del bucket[index]
                     break
         return seq
+
+    def _ensure_cyls(self) -> None:
+        """Build the positional cylinder shadow list from the pending queue.
+
+        Called by the first selection that takes the vectorized path; from
+        then on ``add``/``pop_next`` keep it aligned with the queue.  The
+        per-request ``request_cylinder`` lookups are memoized on the
+        device, so a later rebuild would cost the same — this just avoids
+        paying any of it on runs that never go deep.
+        """
+        request_cylinder = self._device.request_cylinder
+        self._cyls = [request_cylinder(request) for request in self._queue]
+        self._cyls_live = True
 
     def _queue_index_of_seq(self, seq: int) -> int:
         """Queue index of the pending request with arrival sequence ``seq``.
@@ -447,6 +465,8 @@ class _EstimateCachingScheduler(ListScheduler):
         estimate = device.estimate_positioning
         if not self._can_prune:
             return self._batch_all_select(now, age_weight)
+        if not self._cyls_live:
+            self._ensure_cyls()
         bounds = self._bounds_ref = device.positioning_lower_bounds
         current = device.current_cylinder
         bound_list = []
@@ -598,84 +618,6 @@ class _EstimateCachingScheduler(ListScheduler):
             scores = estimates
         return int(np.argmin(scores)), count
 
-    def _screened_scan(
-        self, now: float, age_weight: float = 0.0
-    ) -> Tuple[int, int]:
-        """Shallow scan with lower-bound skipping; ``(index, priced)``.
-
-        Only runs when a deeper selection already built the bound table
-        (``_bounds_ref``); the candidate with the smallest bound seeds the
-        incumbent, then the queue is walked in order, skipping candidates
-        whose bound strictly exceeds the best exact score so far — they
-        cannot strictly beat it, and a tie cannot displace an
-        earlier-priced incumbent either.  Priced candidates replay the
-        plain scan's strict-``<`` update with an explicit lowest-index tie
-        rule (the seed may sit anywhere in the queue), so the selected
-        request is identical to the unscreened scan's.
-        """
-        queue = self._queue
-        cache = self._estimates
-        estimate = self._device.estimate_positioning
-        bounds = self._bounds_ref
-        if bounds is None:
-            bounds = self._bounds_ref = self._device.positioning_lower_bounds
-        current = self._device.current_cylinder
-        bound_list = []
-        bound_append = bound_list.append
-        best_bound = None
-        seed = 0
-        for index, (request, cylinder) in enumerate(zip(queue, self._cyls)):
-            delta = cylinder - current
-            if delta < 0:
-                delta = -delta
-            bound = bounds[delta]
-            if age_weight:
-                wait = now - request.arrival_time
-                if wait > 0.0:
-                    bound -= age_weight * wait
-            bound_append(bound)
-            if best_bound is None or bound < best_bound:
-                best_bound = bound
-                seed = index
-        seed_request = queue[seed]
-        if cache is None:
-            predicted = estimate(seed_request, now)
-        else:
-            rid = id(seed_request)
-            predicted = cache.get(rid)
-            if predicted is None:
-                predicted = cache[rid] = estimate(seed_request, now)
-        if age_weight:
-            wait = max(0.0, now - seed_request.arrival_time)
-            best_score = predicted - age_weight * wait
-        else:
-            best_score = predicted
-        best_index = seed
-        priced = 1
-        for index in range(len(queue)):
-            if index == seed or bound_list[index] > best_score:
-                continue
-            request = queue[index]
-            if cache is None:
-                predicted = estimate(request, now)
-            else:
-                rid = id(request)
-                predicted = cache.get(rid)
-                if predicted is None:
-                    predicted = cache[rid] = estimate(request, now)
-            priced += 1
-            if age_weight:
-                wait = max(0.0, now - request.arrival_time)
-                score = predicted - age_weight * wait
-            else:
-                score = predicted
-            if score < best_score or (
-                score == best_score and index < best_index
-            ):
-                best_score = score
-                best_index = index
-        return best_index, priced
-
     def _record_selection(
         self, candidates: int, priced: int, cached_before: int
     ) -> None:
@@ -710,10 +652,16 @@ class SPTFScheduler(_EstimateCachingScheduler):
         candidates = len(self._queue)
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
-        if (
-            candidates > 1
-            and self._can_prune
-            and (self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD)
+        if candidates <= 1:
+            # The argmin over one candidate is that candidate: no oracle
+            # call, no cache traffic.  Open-arrival runs below saturation
+            # spend most dispatches here, so this shortcut is the single
+            # biggest lever on the per-request pricing cost.
+            self._record_selection(candidates, 0, cached_before)
+            self.last_fast_path = "scan"
+            return 0
+        if self._can_prune and (
+            self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD
         ):
             if not self._indexed:
                 self._build_indexes()
@@ -725,11 +673,6 @@ class SPTFScheduler(_EstimateCachingScheduler):
             index, priced = self._vectorized_select(now)
             self._record_selection(candidates, priced, cached_before)
             self.last_fast_path = "vectorized"
-            return index
-        if candidates > 1 and self._screened:
-            index, priced = self._screened_scan(now)
-            self._record_selection(candidates, priced, cached_before)
-            self.last_fast_path = "scan"
             return index
         estimate = self._device.estimate_positioning
         best_index = 0
@@ -824,10 +767,14 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
         cache = self._estimates
         cached_before = 0 if cache is None else len(cache)
         age_weight = self.age_weight
-        if (
-            candidates > 1
-            and self._can_prune
-            and (self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD)
+        if candidates <= 1:
+            # Aging cannot reorder a single candidate either — same
+            # price-nothing shortcut as pure SPTF.
+            self._record_selection(candidates, 0, cached_before)
+            self.last_fast_path = "scan"
+            return 0
+        if self._can_prune and (
+            self._mode == "always" or candidates > PRUNED_DEPTH_THRESHOLD
         ):
             if not self._indexed:
                 self._build_indexes()
@@ -843,11 +790,6 @@ class AgedSPTFScheduler(_EstimateCachingScheduler):
             index, priced = self._vectorized_select(now, age_weight=age_weight)
             self._record_selection(candidates, priced, cached_before)
             self.last_fast_path = "vectorized"
-            return index
-        if candidates > 1 and self._screened:
-            index, priced = self._screened_scan(now, age_weight=age_weight)
-            self._record_selection(candidates, priced, cached_before)
-            self.last_fast_path = "scan"
             return index
         estimate = self._device.estimate_positioning
         best_index = 0

@@ -6,12 +6,26 @@ one run to completion.  Nothing is shared between points, so the sweep layer
 parallelizes perfectly — and it is the dominant cost of regenerating the
 paper's Figs. 5–8 and Table 2.
 
-The sweep spec (device factories, request generators) is built from closures
-that are generally not picklable, so the pool uses the ``fork`` start method
-and passes the work function to workers by inheritance: the parent publishes
-it in a module global immediately before forking, and workers receive only
-small picklable task tuples through the queue.  On platforms without
-``fork`` (or with ``jobs <= 1``) everything runs sequentially in-process.
+Two pool strategies coexist, picked per call by whether the work function
+can be pickled by reference:
+
+* **Persistent pool** — module-level functions (the fleet's
+  ``_run_member``) go to a long-lived worker pool that is created once and
+  reused across :func:`parallel_map` calls, so repeated fleet runs and
+  sweep invocations stop paying per-call fork+teardown.  Task arguments
+  still cross the process boundary, but
+  :class:`~repro.sim.batch.RequestBatch` columns are carried in POSIX
+  shared memory (one segment per batch, attached zero-copy in the worker)
+  instead of being serialized through the queue pipe.
+* **Per-call fork** — sweep specs (device factories, request generators)
+  are built from closures that are generally not picklable, so they fall
+  back to a transient ``fork`` pool that receives the work function by
+  inheritance: the parent publishes it in a module global immediately
+  before forking, and workers receive only small picklable task tuples
+  through the queue.
+
+On platforms without ``fork`` (or with ``jobs <= 1``) everything runs
+sequentially in-process.
 
 Results are bit-identical to the sequential path: each point performs
 exactly the same computation either way (same seeds, same float operations),
@@ -25,9 +39,11 @@ environment variable seeds that default.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, Tuple
+import pickle
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 _POINT_FN: Optional[Callable] = None
 """Work function inherited by forked pool workers; valid only while a
@@ -88,6 +104,167 @@ if _env_jobs:
         pass
 
 
+# -- persistent pool + shared-memory column handoff --------------------------- #
+
+_pool = None
+_pool_workers = 0
+
+
+def _fn_picklable(fn: Callable) -> bool:
+    """True when ``fn`` pickles (by reference, for module-level functions).
+
+    Closures and lambdas raise, routing their calls to the per-call fork
+    pool that passes the function by inheritance instead.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Called automatically at interpreter exit and whenever a
+    :func:`parallel_map` call needs a different worker count; exposed for
+    tests and long-lived hosts that want to reclaim the workers early.
+    """
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_workers = 0
+
+
+def _persistent_pool(workers: int):
+    """The shared long-lived pool, (re)created at ``workers`` processes.
+
+    Worker count is fixed at pool creation, so a call that resolves to a
+    different width rebuilds the pool — in practice a process settles on
+    one ``--jobs`` value and every call after the first reuses the same
+    workers.
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers != workers:
+        shutdown_pool()
+    if _pool is None:
+        context = multiprocessing.get_context("fork")
+        # Workers run with default interpreter state regardless of what
+        # the parent was doing at fork time (run_fleet forks from inside
+        # its GC pause; per-drain pauses in the worker still apply).
+        _pool = context.Pool(processes=workers, initializer=_worker_init)
+        _pool_workers = workers
+        atexit.register(shutdown_pool)
+    return _pool
+
+
+def _worker_init() -> None:
+    import gc
+
+    gc.enable()
+
+
+class _SharedBatchRef(NamedTuple):
+    """Descriptor for a :class:`RequestBatch` parked in shared memory.
+
+    ``spans`` holds one ``(dtype_str, offset, length)`` triple per column,
+    in :data:`_BATCH_COLUMNS` order, all inside the single segment
+    ``name`` — the only thing the task queue carries for a batch.
+    """
+
+    name: str
+    rows: int
+    spans: Tuple[Tuple[str, int, int], ...]
+
+
+_BATCH_COLUMNS = ("arrival", "lbn", "sectors", "is_write", "rid")
+
+
+def _export_batch(batch, segments: list):
+    """Copy ``batch``'s columns into one shared-memory segment.
+
+    Returns the :class:`_SharedBatchRef` to enqueue in the batch's place,
+    or the batch itself when shared memory is unavailable (tiny or absent
+    ``/dev/shm``) — the queue then falls back to pickling it, which is
+    slower but identical in behavior.
+    """
+    from multiprocessing import shared_memory
+
+    columns = [getattr(batch, column) for column in _BATCH_COLUMNS]
+    total = sum(array.nbytes for array in columns)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except OSError:  # pragma: no cover - exotic /dev/shm configurations
+        return batch
+    segments.append(segment)
+    spans = []
+    offset = 0
+    for array in columns:
+        end = offset + array.nbytes
+        segment.buf[offset:end] = array.tobytes()
+        spans.append((array.dtype.str, offset, len(array)))
+        offset = end
+    return _SharedBatchRef(segment.name, len(batch), tuple(spans))
+
+
+def _attach_batch(ref: _SharedBatchRef):
+    """Rebuild a :class:`RequestBatch` from a worker-side attachment.
+
+    The columns are copies out of the segment (``RequestBatch`` owns its
+    arrays; the parent unlinks the segment as soon as the map returns), so
+    the attachment itself is closed before returning.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.nputil import get_numpy
+    from repro.sim.batch import RequestBatch
+
+    np = get_numpy()
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        # The parent owns the segment's lifetime and unlinks it after the
+        # map returns; deregister this attachment so the shared resource
+        # tracker does not double-count the name (bpo-39959).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        columns = {}
+        for column, (dtype, offset, length) in zip(_BATCH_COLUMNS, ref.spans):
+            view = np.frombuffer(
+                segment.buf, dtype=dtype, count=length, offset=offset
+            )
+            columns[column] = view.copy()
+            del view
+        return RequestBatch(**columns)
+    finally:
+        segment.close()
+
+
+def _export_task(task: Tuple, segments: list) -> Tuple:
+    """Replace any batch arguments with shared-memory descriptors."""
+    from repro.sim.batch import RequestBatch
+
+    return tuple(
+        _export_batch(arg, segments) if isinstance(arg, RequestBatch) else arg
+        for arg in task
+    )
+
+
+def _run_pickled(payload: Tuple) -> object:
+    """Persistent-pool worker body: re-attach batches, run the function."""
+    fn, task = payload
+    task = tuple(
+        _attach_batch(arg) if isinstance(arg, _SharedBatchRef) else arg
+        for arg in task
+    )
+    return fn(*task)
+
+
 # -- the pool map ------------------------------------------------------------- #
 
 
@@ -119,6 +296,11 @@ def parallel_map(
     there is at most one task, or when ``fork`` is unavailable; the result
     list order always matches ``tasks``.
 
+    A picklable ``point_fn`` (any module-level function) runs on the
+    persistent pool with batch columns handed over through shared memory;
+    closures fork a transient pool per call (see the module docstring).
+    Both paths compute exactly what the sequential loop would.
+
     The worker count is additionally capped at :func:`available_parallelism`:
     the points are pure CPU work, so oversubscribing cores only adds
     scheduling churn (measured at +55% burned CPU for 4 workers on 1 core)
@@ -128,6 +310,18 @@ def parallel_map(
     workers = effective_workers(jobs, len(tasks))
     if workers <= 1:
         return [point_fn(*task) for task in tasks]
+    if _fn_picklable(point_fn):
+        pool = _persistent_pool(workers)
+        segments: list = []
+        try:
+            payloads = [
+                (point_fn, _export_task(task, segments)) for task in tasks
+            ]
+            return pool.map(_run_pickled, payloads, chunksize=1)
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
     context = multiprocessing.get_context("fork")
     _POINT_FN = point_fn
     try:

@@ -33,6 +33,7 @@ import os
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.nputil import get_numpy
 from repro.obs.tracer import JsonlTracer, iter_trace
 from repro.sim.config import SimConfig
 from repro.sim.statistics import SimulationResult
@@ -47,7 +48,31 @@ def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
     fleet-wide completions per second of simulated time.
     """
     records = [record for result in results for record in result.records]
-    records.sort(key=lambda r: (r.completion_time, r.request.request_id))
+    if len(records) > 2048:
+        # Fleet-scale merges sort via numpy: two attribute-extraction
+        # passes plus an O(N log N) C-typed lexsort beat the list sort's
+        # per-comparison Python tuple keys by an order of magnitude at a
+        # million records.  Request ids are unique, so the (time, rid) key
+        # is a total order and the permutation — hence the merged result —
+        # is exactly the one the list sort produces.
+        np = get_numpy()
+        count = len(records)
+        times = np.fromiter(
+            (record.completion_time for record in records),
+            dtype=np.float64,
+            count=count,
+        )
+        rids = np.fromiter(
+            (record.request.request_id for record in records),
+            dtype=np.int64,
+            count=count,
+        )
+        order = np.lexsort((rids, times))
+        records = [records[index] for index in order.tolist()]
+    else:
+        # Small merges stay scalar so numpy remains a fleet-scale-only
+        # import (see repro.nputil).
+        records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     end_time = max((result.end_time for result in results), default=0.0)
     return SimulationResult(records=records, end_time=end_time)
 

@@ -36,10 +36,15 @@ and sweeps resolve router names through one table:
 from __future__ import annotations
 
 import bisect
-from typing import Sequence, Tuple
+import heapq
+from typing import Sequence, TYPE_CHECKING, Tuple
 
 from repro.core.registry import Registry
+from repro.nputil import get_numpy
 from repro.sim.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import RequestBatch
 
 ROUTERS = Registry("router")
 """String-keyed registry of router factories.
@@ -92,6 +97,31 @@ class Router:
         """The request's starting LBN in ``member``'s local address space."""
         return request.lbn % self.capacities[member]
 
+    # -- array (columnar) twins --------------------------------------------- #
+    #
+    # Each built-in policy also routes a whole RequestBatch in one array
+    # pass; the scalar and array methods are pinned element-identical by
+    # tests/workloads/test_batch_identity.py.  A custom Router subclass
+    # that overrides the scalar methods without the array twins is routed
+    # through the scalar fallback by the front-end (see
+    # repro.fleet.frontend.shard_requests), never silently mismatched.
+
+    def route_array(self, batch: "RequestBatch"):
+        """Member index per batch row (int64 array), or ``NotImplemented``.
+
+        Subclasses implementing this must consume exactly the same
+        information as :meth:`route` so the two stay element-identical;
+        stateful policies must also leave their state as the scalar path
+        would have.
+        """
+        raise NotImplementedError
+
+    def member_lbn_array(self, lbn, members):
+        """Array twin of :meth:`member_lbn` (the default modulo fold)."""
+        np = get_numpy()
+        capacities = np.asarray(self.capacities, dtype=np.int64)
+        return lbn % capacities[members]
+
 
 @ROUTERS.register("lbn-range", aliases=("range",))
 class LBNRangeRouter(Router):
@@ -118,6 +148,24 @@ class LBNRangeRouter(Router):
     def member_lbn(self, request: Request, member: int) -> int:
         return request.lbn - self._starts[member]
 
+    def route_array(self, batch: "RequestBatch"):
+        np = get_numpy()
+        lbn = batch.lbn
+        bad = (lbn < 0) | (lbn >= self.fleet_capacity)
+        if bool(np.any(bad)):
+            offender = int(lbn[int(np.argmax(bad))])
+            raise ValueError(
+                f"lbn {offender} outside fleet capacity "
+                f"{self.fleet_capacity}"
+            )
+        starts = np.asarray(self._starts, dtype=np.int64)
+        return np.searchsorted(starts, lbn, side="right") - 1
+
+    def member_lbn_array(self, lbn, members):
+        np = get_numpy()
+        starts = np.asarray(self._starts, dtype=np.int64)
+        return lbn - starts[members]
+
 
 @ROUTERS.register("hash")
 class HashRouter(Router):
@@ -136,6 +184,19 @@ class HashRouter(Router):
     def route(self, request: Request) -> int:
         return mix64(request.lbn // self.chunk_sectors) % self.members
 
+    def route_array(self, batch: "RequestBatch"):
+        np = get_numpy()
+        # SplitMix64 on uint64 columns: identical constants and shifts to
+        # mix64(); uint64 arithmetic wraps mod 2^64 exactly like the
+        # ``& 0xFFFF...`` masks on Python ints.
+        with np.errstate(over="ignore"):
+            z = (batch.lbn // self.chunk_sectors).astype(np.uint64)
+            z = z + np.uint64(0x9E3779B97F4A7C15)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            z = z ^ (z >> np.uint64(31))
+            return (z % np.uint64(self.members)).astype(np.int64)
+
 
 @ROUTERS.register("round-robin", aliases=("rr",))
 class RoundRobinRouter(Router):
@@ -145,6 +206,9 @@ class RoundRobinRouter(Router):
 
     def route(self, request: Request) -> int:
         return request.request_id % self.members
+
+    def route_array(self, batch: "RequestBatch"):
+        return batch.rid % self.members
 
 
 @ROUTERS.register("least-loaded-static", aliases=("least-loaded",))
@@ -161,6 +225,27 @@ class LeastLoadedStaticRouter(Router):
         member = self._load.index(min(self._load))
         self._load[member] += request.sectors
         return member
+
+    def route_array(self, batch: "RequestBatch"):
+        np = get_numpy()
+        # The greedy assignment is a sequential recurrence (each choice
+        # depends on all previous loads), so "vectorized" here means a
+        # heap-driven index loop over plain ints extracted in one array
+        # pass — O(N log M) instead of O(N*M) list scans, with no
+        # per-Request attribute traffic.  Heap order (load, member) is
+        # exactly "smallest load, ties to the lowest index".
+        heap = [(load, member) for member, load in enumerate(self._load)]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        members = []
+        append = members.append
+        for sectors in batch.sectors.tolist():
+            load, member = heappop(heap)
+            append(member)
+            heappush(heap, (load + sectors, member))
+        for load, member in heap:
+            self._load[member] = load
+        return np.asarray(members, dtype=np.int64)
 
 
 def make_router(name: str, capacities: Sequence[int], **params) -> Router:

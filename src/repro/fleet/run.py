@@ -31,6 +31,7 @@ shard traces are cleaned up before the error propagates.
 
 from __future__ import annotations
 
+import gc
 from typing import List, Optional, Sequence
 
 from repro.experiments.parallel import parallel_map
@@ -44,6 +45,7 @@ from repro.fleet.merge import (
     shard_trace_path,
 )
 from repro.obs.tracer import JsonlTracer
+from repro.sim.batch import RequestBatch
 from repro.sim.config import SimConfig
 from repro.sim.request import Request
 from repro.sim.statistics import SimulationResult
@@ -57,26 +59,69 @@ def _run_member(
     """Run one member's shard to completion (the worker-process body).
 
     The member config supplies the device/scheduler substrate; the request
-    stream comes from the fleet front-end, not the member's workload
-    fields.  Mirrors :meth:`SimConfig.run`'s tracer ownership and warmup
-    handling so a 1-member fleet matches the single-device path exactly.
+    stream comes from the fleet front-end — a columnar
+    :class:`~repro.sim.batch.RequestBatch` or a request list, never the
+    member's workload fields.  Mirrors :meth:`SimConfig.run`'s tracer
+    ownership and warmup handling so a 1-member fleet matches the
+    single-device path exactly.
     """
     tracer = JsonlTracer(trace_path) if trace_path is not None else None
     try:
         simulation = member.build_simulation(tracer=tracer)
-        result = simulation.run(list(requests))
+        if isinstance(requests, RequestBatch):
+            result = simulation.run(requests)
+        else:
+            result = simulation.run(list(requests))
     finally:
         if tracer is not None:
             tracer.close()
     return result.drop_warmup(member.warmup)
 
 
-def run_fleet(config: FleetConfig, jobs: Optional[int] = None) -> FleetResult:
-    """Shard, execute, and merge one fleet run (see module docstring)."""
+def run_fleet(
+    config: FleetConfig,
+    jobs: Optional[int] = None,
+    columnar: Optional[bool] = None,
+) -> FleetResult:
+    """Shard, execute, and merge one fleet run (see module docstring).
+
+    ``columnar`` selects the shard path (see
+    :func:`~repro.fleet.frontend.shard_requests`); the default picks the
+    columnar path when available.  Results and merged trace bytes are
+    identical either way — the determinism tests compare both.
+
+    Generational GC is paused for the whole run, extending the engine's
+    per-drain pause (see :meth:`Simulation.run`) across the gaps between
+    member drains and the merge: by the later members, millions of
+    acyclic record tuples are live, and every gen-2 collection triggered
+    by ordinary allocation churn rescans all of them — measured at ~40%
+    of fleet wall time at 16x1M scale.  Nothing the fleet allocates forms
+    reference cycles, so reference counting reclaims everything either
+    way; the caller's GC setting is restored on exit, and forked workers
+    inherit the pause for their own drains.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_fleet(config, jobs=jobs, columnar=columnar)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_fleet(
+    config: FleetConfig,
+    jobs: Optional[int],
+    columnar: Optional[bool],
+) -> FleetResult:
+    """The :func:`run_fleet` body, run under the caller-managed GC pause."""
     capacities = config.member_capacities()
     router = config.build_router(capacities)
     tracing = config.trace_path is not None
-    plan = shard_requests(config, router, record_events=tracing)
+    plan = shard_requests(
+        config, router, record_events=tracing, columnar=columnar
+    )
 
     shard_paths: List[Optional[str]] = [None] * len(config.members)
     if tracing:

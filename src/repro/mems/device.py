@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import NamedTuple, Optional, Sequence, Tuple
 
 from repro.mems.geometry import MEMSGeometry
 from repro.mems.kinematics import _numpy
@@ -36,13 +36,14 @@ from repro.sim.device import StorageDevice
 from repro.sim.request import AccessResult, Request
 
 
-@dataclass(frozen=True, slots=True)
-class _RequestProfile:
+class _RequestProfile(NamedTuple):
     """Geometry of one (lbn, sectors) request, independent of sled state.
 
     Everything here is a pure function of the request address, so the device
     memoizes it: under SPTF a queued request is re-priced at every dispatch,
-    and re-deriving these coordinates dominated the oracle's cost.
+    and re-deriving these coordinates dominated the oracle's cost.  On
+    cache-hostile streams (a fleet's unique-address shards) one is built per
+    request, so construction is a NamedTuple, not a dataclass.
     """
 
     segments: Tuple[Tuple[int, int, int, int], ...]
@@ -88,6 +89,32 @@ def _build_profile(
 _SERVICE_MEMO_LIMIT = 1 << 18
 """Entry cap on the shared service-outcome memo (cleared when exceeded)."""
 
+_MEMO_PROBE_WINDOW = 8192
+"""Misses a device tolerates before it may write off a shared memo.
+
+The (state, request)-keyed memos only pay when streams *revisit* keys —
+parameter sweeps replaying the same arrivals, repeated runs in one
+process.  A fleet shard is the opposite: addresses are effectively unique,
+so every service is a guaranteed miss that still pays the key build, the
+probe, and the insert, and the shared dict churns toward its size cap for
+nothing.  Each device therefore keeps per-memo hit/miss counters and stops
+consulting a memo once it has observed ``_MEMO_PROBE_WINDOW`` misses with a
+hit rate below ``1 / _MEMO_KEEP_RATIO`` — a one-way, per-device decision
+(results are unaffected either way; the memo is a pure speed layer).  The
+window is far above any sweep point's request count, so warm-sweep devices
+— which either stay under the window or see high hit rates — never
+disable theirs."""
+
+_MEMO_KEEP_RATIO = 128
+"""Keep a memo while ``hits * _MEMO_KEEP_RATIO >= misses`` (≈0.8 %)."""
+
+_PROFILE_CACHE_LIMIT = 1 << 17
+"""Entry cap on the shared request-profile memo (cleared when exceeded).
+
+Large enough that one fleet member's whole shard (or any sweep point's
+stream) stays resident; wholesale clearing keeps the worst case bounded
+without lru_cache's per-hit bookkeeping."""
+
 _SCALAR_MISS_LIMIT = 16
 """Batch pricing prices memo misses through the scalar oracle when there
 are at most this many — below it, numpy's fixed per-call cost exceeds the
@@ -113,13 +140,27 @@ def _shared_components(params: MEMSParameters):
     planner = SeekPlanner(params)
     tip_sector_time = params.tip_sector_time
 
-    @functools.lru_cache(maxsize=1 << 16)
+    # A hand-rolled dict memo rather than functools.lru_cache: the columnar
+    # ingest path bulk-primes it with vectorized profile construction
+    # (:meth:`MEMSDevice.prime_request_profiles`), which an lru_cache cannot
+    # accept.  Eviction is clear-on-cap, like the service memos.
+    profile_cache: dict = {}
+    profile_get = profile_cache.get
+
     def profile(lbn: int, sectors: int) -> _RequestProfile:
-        return _build_profile(geometry, tip_sector_time, lbn, sectors)
+        key = (lbn, sectors)
+        hit = profile_get(key)
+        if hit is None:
+            if len(profile_cache) >= _PROFILE_CACHE_LIMIT:
+                profile_cache.clear()
+            hit = profile_cache[key] = _build_profile(
+                geometry, tip_sector_time, lbn, sectors
+            )
+        return hit
 
     service_memo: dict = {}
     estimate_memo: dict = {}
-    return geometry, planner, profile, service_memo, estimate_memo
+    return geometry, planner, profile, profile_cache, service_memo, estimate_memo
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,14 +212,21 @@ class MEMSDevice(StorageDevice):
                 self.geometry,
                 self.planner,
                 self._profile,
+                self._profile_cache,
                 self._service_memo,
                 self._estimate_memo,
             ) = _shared_components(self.params)
         else:
             self.geometry = MEMSGeometry(self.params, cache_size=0)
             self.planner = SeekPlanner(self.params)
+            self._profile_cache = None
             self._service_memo = None
             self._estimate_memo = None
+        # Per-device memo usefulness probes (see _MEMO_PROBE_WINDOW).
+        self._service_hits = 0
+        self._service_misses = 0
+        self._estimate_hits = 0
+        self._estimate_misses = 0
         # The sled starts at rest over LBN 0's cylinder, at the top edge.
         self._state = SledState(
             x=self.geometry.x_of_cylinder(0),
@@ -241,6 +289,83 @@ class MEMSDevice(StorageDevice):
         and exactly the cylinder :meth:`estimate_positioning` seeks to."""
         return self.geometry.cylinder_of_lbn(request.lbn)
 
+    def prime_request_profiles(self, lbns, sectors) -> None:
+        """Bulk-build request profiles from column arrays (columnar ingest).
+
+        The engine hands over a :class:`~repro.sim.batch.RequestBatch`'s
+        ``lbn``/``sectors`` columns before the event loop starts; every
+        single-segment row — the overwhelmingly common case — gets its
+        :class:`_RequestProfile` derived in whole-array numpy passes and
+        inserted into the shared profile memo, so the per-request scalar
+        ``segments_tuple`` walk never runs for them.  Each array expression
+        replays the scalar builder's operation order (integer divmods are
+        exact; the float coordinate math is IEEE-identical), so a primed
+        profile is bit-for-bit the one :func:`_build_profile` would return.
+
+        Rows that span a track boundary, fall outside the device, or repeat
+        an already-primed key are simply left to the scalar path (which
+        raises the exact per-request errors for the invalid ones).  A
+        ``memoize=False`` device has no cache to prime and returns
+        immediately.
+        """
+        cache = self._profile_cache
+        if cache is None:
+            return
+        np = _numpy()
+        geometry = self.geometry
+        per_track = geometry._sectors_per_track
+        per_row = geometry._sectors_per_row
+        lbns = np.asarray(lbns, dtype=np.int64)
+        secs = np.asarray(sectors, dtype=np.int64)
+        track_index, offset = np.divmod(lbns, per_track)
+        single = (
+            (lbns >= 0)
+            & (secs >= 1)
+            & (offset + secs <= per_track)
+            & (lbns + secs <= geometry.capacity_sectors)
+        )
+        if not bool(np.all(single)):
+            if not bool(np.any(single)):
+                return
+            track_index = track_index[single]
+            offset = offset[single]
+            lbns = lbns[single]
+            secs = secs[single]
+        params = self.params
+        cylinder, track = np.divmod(track_index, params.tracks_per_cylinder)
+        first_row = offset // per_row
+        last_row = (offset + secs - 1) // per_row
+        rows = last_row - first_row + 1
+        bit_width = params.bit_width
+        # x_of_cylinder: (cylinder - (C-1)/2) * bit_width, same op order.
+        x_target = (cylinder - (geometry.num_cylinders - 1) / 2.0) * bit_width
+        # row_span_y edges: low_bit = guard + row*bits, then ± half-region.
+        bits = params.tip_sector_bits
+        half = params.bits_per_tip_region_y / 2.0
+        guard = geometry._guard_bits
+        y_low = (guard + first_row * bits - half) * bit_width
+        y_high = (guard + last_row * bits + bits - half) * bit_width
+        transfer = rows * self._tip_sector_time
+        if len(cache) + len(lbns) > _PROFILE_CACHE_LIMIT:
+            cache.clear()
+        make = _RequestProfile._make
+        for lbn, sec, cyl, trk, fr, lr, xt, ylo, yhi, tt, rw in zip(
+            lbns.tolist(),
+            secs.tolist(),
+            cylinder.tolist(),
+            track.tolist(),
+            first_row.tolist(),
+            last_row.tolist(),
+            x_target.tolist(),
+            y_low.tolist(),
+            y_high.tolist(),
+            transfer.tolist(),
+            rows.tolist(),
+        ):
+            cache[(lbn, sec)] = make(
+                (((cyl, trk, fr, lr),), xt, ylo, yhi, cyl, tt, rw)
+            )
+
     def positioning_lower_bound(self, request: Request, now: float = 0.0) -> float:
         """Admissible lower bound on :meth:`estimate_positioning`.
 
@@ -272,6 +397,7 @@ class MEMSDevice(StorageDevice):
             key = (state.x, state.y, state.vy, request.lbn, request.sectors)
             hit = memo.get(key)
             if hit is not None:
+                self._service_hits += 1
                 result, end_state, end_cylinder, positioning_total = hit
                 self._state = end_state
                 self._cylinder = end_cylinder
@@ -392,6 +518,15 @@ class MEMSDevice(StorageDevice):
                     profile.first_cylinder,
                     positioning_total,
                 )
+                misses = self._service_misses + 1
+                self._service_misses = misses
+                if (
+                    misses >= _MEMO_PROBE_WINDOW
+                    and self._service_hits * _MEMO_KEEP_RATIO < misses
+                ):
+                    # This device's stream is not revisiting keys: stop
+                    # consulting the shared memo (other devices keep theirs).
+                    self._service_memo = None
             return result
         plan = self._best_plan(request)
         self._state = plan.end_state
@@ -460,6 +595,7 @@ class MEMSDevice(StorageDevice):
             key = (state.x, state.y, state.vy, request.lbn, request.sectors)
             hit = memo.get(key)
             if hit is not None:
+                self._estimate_hits += 1
                 return hit
         profile = self._profile(request.lbn, request.sectors)
         # Same canonical-entry shortcut as the single-pass service path.
@@ -485,6 +621,13 @@ class MEMSDevice(StorageDevice):
             if len(memo) > _SERVICE_MEMO_LIMIT:
                 memo.clear()
             memo[key] = best
+            misses = self._estimate_misses + 1
+            self._estimate_misses = misses
+            if (
+                misses >= _MEMO_PROBE_WINDOW
+                and self._estimate_hits * _MEMO_KEEP_RATIO < misses
+            ):
+                self._estimate_memo = None
         return best
 
     def estimate_positioning_batch(self, requests, now: float = 0.0):
@@ -524,6 +667,7 @@ class MEMSDevice(StorageDevice):
             append(hit)
             if hit is None:
                 misses.append((index, key, request))
+        self._estimate_hits += len(values) - len(misses)
         if misses:
             if len(misses) <= _SCALAR_MISS_LIMIT:
                 # Mostly-hit batches: the vector pipeline's fixed per-call
@@ -541,6 +685,13 @@ class MEMSDevice(StorageDevice):
                 for (index, key, _), value in zip(misses, exact):
                     memo[key] = value
                     values[index] = value
+                total_misses = self._estimate_misses + len(misses)
+                self._estimate_misses = total_misses
+                if (
+                    total_misses >= _MEMO_PROBE_WINDOW
+                    and self._estimate_hits * _MEMO_KEEP_RATIO < total_misses
+                ):
+                    self._estimate_memo = None
         return np.fromiter(values, dtype=np.float64, count=len(values))
 
     def _estimate_batch_exact(self, requests):

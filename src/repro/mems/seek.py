@@ -20,7 +20,7 @@ from __future__ import annotations
 import functools
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from repro.mems.kinematics import InfeasibleManeuver, SledKinematics, _numpy
 from repro.mems.parameters import MEMSParameters
@@ -86,13 +86,15 @@ def x_seek_lower_bounds(params: MEMSParameters) -> Tuple[float, ...]:
     return tuple(bounds.tolist())
 
 
-@dataclass(frozen=True, slots=True)
-class SledState:
+class SledState(NamedTuple):
     """Mechanical state of the sled between accesses.
 
     ``vy`` is the signed Y velocity: ±access velocity right after an access,
     0 if the sled has been stopped (e.g. by power management).  X velocity is
     always zero between accesses (media transfer requires v_x = 0).
+
+    A NamedTuple, not a dataclass: the device builds one per access, and
+    tuple construction is the cheapest immutable record Python offers.
     """
 
     x: float

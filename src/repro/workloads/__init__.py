@@ -13,11 +13,13 @@
   the proprietary Cello and TPC-C traces (see DESIGN.md §2).
 """
 
+from repro.sim.batch import RequestBatch
 from repro.workloads.cello import CelloLikeWorkload
 from repro.workloads.synthetic import (
     RandomWorkload,
     SequentialWorkload,
     UniformFixedWorkload,
+    spawn_column_rngs,
 )
 from repro.workloads.tpcc import TPCCLikeWorkload
 from repro.workloads.traces import Trace, merge_traces, read_trace, write_trace
@@ -25,11 +27,13 @@ from repro.workloads.traces import Trace, merge_traces, read_trace, write_trace
 __all__ = [
     "CelloLikeWorkload",
     "RandomWorkload",
+    "RequestBatch",
     "SequentialWorkload",
     "TPCCLikeWorkload",
     "Trace",
     "UniformFixedWorkload",
     "merge_traces",
     "read_trace",
+    "spawn_column_rngs",
     "write_trace",
 ]

@@ -128,6 +128,18 @@ class CelloLikeWorkload:
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))
         return Trace(name="cello-like", requests=requests[:count])
 
+    def generate_batch(self, count: int):
+        """Columnar view of :meth:`generate`.
+
+        Burst onsets, lengths, and intra-burst sequential runs form a
+        sequential dependency chain, so this generator is not vectorized;
+        the batch is columnarized from the scalar stream and therefore
+        trivially identical to it.
+        """
+        from repro.sim.batch import RequestBatch
+
+        return RequestBatch.from_requests(self.generate(count).requests)
+
 
 def _geometric(rng: random.Random, mean: float) -> int:
     """Geometric variate (support 0, 1, 2, …) with the given mean."""

@@ -5,15 +5,54 @@ mean is generally varied to provide a range of workloads.  All other aspects
 of requests are independent: 67% are reads, 33% are writes, the request size
 distribution is exponential with a mean of 4 KB, and request starting
 locations are uniformly distributed across the device's capacity."
+
+Every generator here draws from *per-column* ``numpy.random.Generator``
+streams spawned from one ``SeedSequence(seed)``: column k (interarrivals,
+sizes, locations, directions — in that fixed order) owns child stream k.
+Because each column consumes its own bit stream, drawing one value per
+request (:meth:`RandomWorkload.iter_requests`, the scalar reference path)
+and drawing whole arrays (:meth:`RandomWorkload.generate_batch`, the
+vectorized path) produce *bit-identical* request streams — the property
+``tests/workloads/test_batch_identity.py`` pins.  :meth:`generate` serves
+materialized ``Request`` lists from the batch path, so the fast path is
+also the default path.
 """
 
 from __future__ import annotations
 
 import functools
-import random
 from typing import Iterator, List, Optional, Tuple
 
+from repro.nputil import get_numpy
+from repro.sim.batch import RequestBatch
 from repro.sim.request import IOKind, Request
+
+
+def spawn_column_rngs(seed: Optional[int], columns: int):
+    """Per-column RNG streams for a workload generator.
+
+    One ``SeedSequence(seed)`` spawns ``columns`` independent child
+    streams; scalar and vectorized drawing from the same column then
+    consume identical bit streams in identical order, which is what makes
+    ``generate_batch`` ↔ ``iter_requests`` equivalence exact rather than
+    statistical.  ``seed=None`` draws fresh OS entropy (a deliberately
+    non-deterministic generator), matching ``random.Random(None)``.
+    """
+    np = get_numpy()
+    children = np.random.SeedSequence(seed).spawn(columns)
+    return [np.random.Generator(np.random.PCG64(child)) for child in children]
+
+
+def _uniform_index(u: float, n: int) -> int:
+    """Map one uniform [0,1) draw to an index in [0, n).
+
+    ``floor(u * n)`` with an explicit top clamp: for very large ``n`` the
+    product can round up to ``n`` exactly (u is a 53-bit float), and the
+    clamp keeps the scalar and array paths identical instead of relying on
+    the rounding never landing there.
+    """
+    index = int(u * n)
+    return n - 1 if index >= n else index
 
 
 @functools.lru_cache(maxsize=64)
@@ -44,7 +83,7 @@ def _random_workload_requests(
         max_size_sectors=max_size_sectors,
         seed=seed,
     )
-    return tuple(workload.iter_requests(count))
+    return tuple(workload.generate_batch(count).to_requests())
 
 
 class RandomWorkload:
@@ -55,13 +94,15 @@ class RandomWorkload:
         rate: Mean arrival rate in requests/second.
         read_fraction: Probability a request is a read (paper: 0.67).
         mean_size_sectors: Mean of the exponential size distribution
-            (paper: 4 KB = 8 sectors); sizes are rounded up to ≥ 1 sector.
+            (paper: 4 KB = 8 sectors); sizes are rounded to ≥ 1 sector.
         max_size_sectors: Truncation bound for the size distribution, so a
             single request cannot exceed the device (default 2048 sectors =
             1 MB, far into the exponential tail).
         seed: RNG seed; every generator in this package is deterministic
             given its seed.
     """
+
+    _COLUMNS = 4  # interarrival, size, location, direction
 
     def __init__(
         self,
@@ -92,13 +133,15 @@ class RandomWorkload:
     def generate(self, count: int) -> List[Request]:
         """Produce ``count`` requests in arrival order.
 
-        Seeded streams are served from a module-level memo (see
-        :func:`_random_workload_requests`); the returned list is always a
-        fresh copy, so callers may extend or reorder it freely.
+        Materialized from :meth:`generate_batch` (the two paths are
+        bit-identical); seeded streams are additionally served from a
+        module-level memo (see :func:`_random_workload_requests`).  The
+        returned list is always a fresh copy, so callers may extend or
+        reorder it freely.
         """
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
         if self.seed is not None:
-            if count < 0:
-                raise ValueError(f"negative request count: {count}")
             return list(
                 _random_workload_requests(
                     self.capacity_sectors,
@@ -110,21 +153,60 @@ class RandomWorkload:
                     count,
                 )
             )
-        return list(self.iter_requests(count))
+        return self.generate_batch(count).to_requests()
 
-    def iter_requests(self, count: int) -> Iterator[Request]:
+    def generate_batch(self, count: int) -> RequestBatch:
+        """Synthesize ``count`` requests as columns, whole-array ops only."""
         if count < 0:
             raise ValueError(f"negative request count: {count}")
-        rng = random.Random(self.seed)
+        np = get_numpy()
+        arrival_rng, size_rng, lbn_rng, kind_rng = spawn_column_rngs(
+            self.seed, self._COLUMNS
+        )
+        arrival = np.cumsum(arrival_rng.standard_exponential(count) / self.rate)
+        sectors = np.rint(
+            size_rng.standard_exponential(count) * self.mean_size_sectors
+        ).astype(np.int64)
+        np.clip(sectors, 1, self.max_size_sectors, out=sectors)
+        span = self.capacity_sectors - sectors + 1
+        lbn = (lbn_rng.random(count) * span).astype(np.int64)
+        np.minimum(lbn, span - 1, out=lbn)
+        is_write = kind_rng.random(count) >= self.read_fraction
+        return RequestBatch(
+            arrival=arrival,
+            lbn=lbn,
+            sectors=sectors,
+            is_write=is_write,
+            rid=np.arange(count, dtype=np.int64),
+        )
+
+    def iter_requests(self, count: int) -> Iterator[Request]:
+        """Scalar reference path: one draw per column per request.
+
+        Kept as the executable specification of the stream —
+        :meth:`generate_batch` must (and does, by test) reproduce it
+        bit-for-bit.
+        """
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        np = get_numpy()
+        arrival_rng, size_rng, lbn_rng, kind_rng = spawn_column_rngs(
+            self.seed, self._COLUMNS
+        )
         clock = 0.0
         for request_id in range(count):
-            clock += rng.expovariate(self.rate)
-            size = max(1, round(rng.expovariate(1.0 / self.mean_size_sectors)))
-            size = min(size, self.max_size_sectors)
-            lbn = rng.randrange(0, self.capacity_sectors - size + 1)
+            clock += arrival_rng.standard_exponential() / self.rate
+            size = int(
+                np.rint(
+                    size_rng.standard_exponential() * self.mean_size_sectors
+                )
+            )
+            size = min(max(size, 1), self.max_size_sectors)
+            span = self.capacity_sectors - size + 1
+            lbn = _uniform_index(lbn_rng.random(), span)
             kind = (
                 IOKind.READ
-                if rng.random() < self.read_fraction
+                if kind_rng.random() < self.read_fraction
                 else IOKind.WRITE
             )
             yield Request(
@@ -143,6 +225,8 @@ class UniformFixedWorkload:
     device service time with no queueing effects; starting LBNs are drawn
     uniformly from ``lbn_pool`` (or the whole device).
     """
+
+    _COLUMNS = 2  # location, direction
 
     def __init__(
         self,
@@ -163,16 +247,24 @@ class UniformFixedWorkload:
         self.seed = seed
 
     def generate(self, count: int) -> List[Request]:
-        rng = random.Random(self.seed)
+        """Scalar reference path (see :meth:`generate_batch` for the twin)."""
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        lbn_rng, kind_rng = spawn_column_rngs(self.seed, self._COLUMNS)
         requests = []
         for request_id in range(count):
             if self.lbn_pool is not None:
-                lbn = rng.choice(self.lbn_pool)
+                lbn = self.lbn_pool[
+                    _uniform_index(lbn_rng.random(), len(self.lbn_pool))
+                ]
             else:
-                lbn = rng.randrange(0, self.capacity_sectors - self.sectors + 1)
+                lbn = _uniform_index(
+                    lbn_rng.random(),
+                    self.capacity_sectors - self.sectors + 1,
+                )
             kind = (
                 IOKind.READ
-                if rng.random() < self.read_fraction
+                if kind_rng.random() < self.read_fraction
                 else IOKind.WRITE
             )
             requests.append(
@@ -186,6 +278,30 @@ class UniformFixedWorkload:
             )
         return requests
 
+    def generate_batch(self, count: int) -> RequestBatch:
+        """Vectorized twin of :meth:`generate` (bit-identical streams)."""
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        np = get_numpy()
+        lbn_rng, kind_rng = spawn_column_rngs(self.seed, self._COLUMNS)
+        if self.lbn_pool is not None:
+            pool = np.asarray(self.lbn_pool, dtype=np.int64)
+            index = (lbn_rng.random(count) * len(pool)).astype(np.int64)
+            np.minimum(index, len(pool) - 1, out=index)
+            lbn = pool[index]
+        else:
+            span = self.capacity_sectors - self.sectors + 1
+            lbn = (lbn_rng.random(count) * span).astype(np.int64)
+            np.minimum(lbn, span - 1, out=lbn)
+        is_write = kind_rng.random(count) >= self.read_fraction
+        return RequestBatch(
+            arrival=np.zeros(count, dtype=np.float64),
+            lbn=lbn,
+            sectors=np.full(count, self.sectors, dtype=np.int64),
+            is_write=is_write,
+            rid=np.arange(count, dtype=np.int64),
+        )
+
 
 class SequentialWorkload:
     """Open-arrival sequential stream (the §5.2 'large, sequential
@@ -195,6 +311,8 @@ class SequentialWorkload:
     at a Poisson arrival rate; when the extent ends the stream wraps to
     its start.
     """
+
+    _COLUMNS = 1  # interarrival
 
     def __init__(
         self,
@@ -230,14 +348,15 @@ class SequentialWorkload:
         self.seed = seed
 
     def generate(self, count: int) -> List[Request]:
+        """Scalar reference path (see :meth:`generate_batch` for the twin)."""
         if count < 0:
             raise ValueError(f"negative request count: {count}")
-        rng = random.Random(self.seed)
+        (arrival_rng,) = spawn_column_rngs(self.seed, self._COLUMNS)
         clock = 0.0
         requests = []
         offset = 0
         for request_id in range(count):
-            clock += rng.expovariate(self.rate)
+            clock += arrival_rng.standard_exponential() / self.rate
             if offset + self.request_sectors > self.extent_sectors:
                 offset = 0
             requests.append(
@@ -251,3 +370,27 @@ class SequentialWorkload:
             )
             offset += self.request_sectors
         return requests
+
+    def generate_batch(self, count: int) -> RequestBatch:
+        """Vectorized twin of :meth:`generate` (bit-identical streams)."""
+        if count < 0:
+            raise ValueError(f"negative request count: {count}")
+        np = get_numpy()
+        (arrival_rng,) = spawn_column_rngs(self.seed, self._COLUMNS)
+        arrival = np.cumsum(arrival_rng.standard_exponential(count) / self.rate)
+        # The scalar loop resets the offset whenever the next request would
+        # overrun the extent, so emitted offsets cycle with period
+        # ``extent // request_sectors``.
+        period = self.extent_sectors // self.request_sectors
+        lbn = self.start_lbn + (
+            np.arange(count, dtype=np.int64) % period
+        ) * self.request_sectors
+        return RequestBatch(
+            arrival=arrival,
+            lbn=lbn,
+            sectors=np.full(count, self.request_sectors, dtype=np.int64),
+            is_write=np.full(
+                count, not self.kind.is_read, dtype=np.bool_
+            ),
+            rid=np.arange(count, dtype=np.int64),
+        )

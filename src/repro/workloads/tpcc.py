@@ -124,3 +124,15 @@ class TPCCLikeWorkload:
                 )
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))
         return Trace(name="tpcc-like", requests=requests[:count])
+
+    def generate_batch(self, count: int):
+        """Columnar view of :meth:`generate`.
+
+        Transaction grouping and cluster choice form a sequential
+        dependency chain, so this generator is not vectorized; the batch is
+        columnarized from the scalar stream and therefore trivially
+        identical to it.
+        """
+        from repro.sim.batch import RequestBatch
+
+        return RequestBatch.from_requests(self.generate(count).requests)

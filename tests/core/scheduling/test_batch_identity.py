@@ -252,7 +252,7 @@ class TestAdaptiveModeEquivalence:
             meta = {"kind": "trace.meta", "t": 0.0, "schema": TRACE_SCHEMA}
             assert validate_events([meta] + tracer.events) == []
 
-    def test_lazy_index_build_on_first_pruned_selection(self):
+    def test_lazy_index_build_on_first_deep_selection(self):
         device = MEMSDevice()
         scheduler = SPTFScheduler(device, prune="auto")
         assert device._lower_bounds is None  # nothing built at construction
@@ -261,17 +261,32 @@ class TestAdaptiveModeEquivalence:
         )
         scheduler.add(requests[0])
         scheduler.pop_next(0.0)
-        # A single pending request needs no screen, so nothing is built.
+        # A single pending request is dispatched without pricing anything:
+        # no estimate call, no bound table, no cylinder bookkeeping.
         assert device._lower_bounds is None
+        assert scheduler.last_priced == 0
+        assert scheduler.last_pruned == 1
+        assert scheduler.cache_misses == 0
         for request in requests[1 : VECTORIZED_DEPTH_THRESHOLD + 1]:
             scheduler.add(request)
         scheduler.pop_next(0.0)
         assert not scheduler._indexed  # shallow: no bucket bookkeeping yet
+        assert not scheduler._cyls_live  # and no cylinder shadow list
         assert scheduler.last_fast_path == "scan"
-        # The first real selection builds the shared bound table (cheap,
-        # memoized per parameter set) to screen the scan.
+        # Shallow scans price the whole queue and never touch the (lazy)
+        # bound table — runs that stay shallow pay nothing for it.
+        assert device._lower_bounds is None
+        for request in requests[
+            VECTORIZED_DEPTH_THRESHOLD + 1 : VECTORIZED_DEPTH_THRESHOLD + 3
+        ]:
+            scheduler.add(request)
+        scheduler.pop_next(0.0)
+        # First selection past the vectorized threshold builds the
+        # cylinder shadow list and the shared bound table.
+        assert scheduler.last_fast_path == "vectorized"
+        assert scheduler._cyls_live
         assert device._lower_bounds is not None
-        for request in requests[VECTORIZED_DEPTH_THRESHOLD + 1 :]:
+        for request in requests[VECTORIZED_DEPTH_THRESHOLD + 3 :]:
             scheduler.add(request)
         scheduler.pop_next(0.0)
         assert scheduler._indexed

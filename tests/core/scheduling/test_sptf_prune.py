@@ -161,8 +161,19 @@ class TestDispatchEquivalence:
         assert _drain_order(device, scheduler, requests, refill_every=0) == (
             _drain_order(naive_dev, naive_sched, requests, refill_every=0)
         )
-        # The last multi-candidate selection priced the whole queue.
-        assert scheduler.last_pruned == 0
+        # The drain's final pop saw a single candidate: the depth-1
+        # shortcut dispatches it without pricing anything.
+        assert scheduler.last_candidates == 1
+        assert scheduler.last_priced == 0
+        # A multi-candidate selection on one cylinder prices the whole
+        # queue — the bound can never beat the incumbent.
+        repeat_dev = _make_device(device_kind)
+        repeat = SPTFScheduler(repeat_dev, cache=True, prune=True)
+        for request in requests:
+            repeat.add(request)
+        repeat.pop_next(0.0)
+        assert repeat.last_candidates == len(requests)
+        assert repeat.last_pruned == 0
 
     def test_layout_driven_streams(self):
         # Request streams drawn from every layout scheme's placement: the
@@ -343,6 +354,16 @@ class TestPruneToggleAndFallback:
             requests,
         )
         assert _drain_order(device, scheduler, requests) == reference
+        # Without the oracle the walk never runs: the drain's final
+        # single-candidate pop reports the depth-1 shortcut (priced=0),
+        # and a fresh multi-candidate scan prices every candidate.
+        assert scheduler.last_candidates == 1
+        assert scheduler.last_priced == 0
+        for request in requests[:5]:
+            scheduler.add(request)
+        scheduler.pop_next(0.0)
+        assert scheduler.last_candidates == 5
+        assert scheduler.last_priced == 5
         assert scheduler.last_pruned == 0
 
     @pytest.mark.parametrize("device_kind", ["mems", "disk"])

@@ -31,6 +31,17 @@ def _square(x):
     return x * x
 
 
+def _batch_checksum(batch):
+    return (
+        len(batch),
+        int(batch.lbn.sum()),
+        int(batch.sectors.sum()),
+        float(batch.arrival.sum()),
+        int(batch.is_write.sum()),
+        int(batch.rid.sum()),
+    )
+
+
 class TestParallelMap:
     def test_matches_sequential_order(self):
         tasks = [(x,) for x in range(20)]
@@ -77,6 +88,77 @@ class TestParallelMap:
 
     def test_available_parallelism_positive(self):
         assert available_parallelism() >= 1
+
+
+class TestPersistentPool:
+    """Module-level work functions ride a long-lived pool that is reused
+    across ``parallel_map`` calls, with batch columns handed over through
+    shared memory — both invisible in the results."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "available_parallelism", lambda: 2
+        )
+        parallel_module.shutdown_pool()
+        yield
+        parallel_module.shutdown_pool()
+
+    def test_pool_is_reused_across_calls(self):
+        import repro.experiments.parallel as parallel_module
+
+        tasks = [(x,) for x in range(4)]
+        assert parallel_map(_square, tasks, jobs=2) == [0, 1, 4, 9]
+        first = parallel_module._pool
+        assert first is not None
+        assert parallel_map(_square, tasks, jobs=2) == [0, 1, 4, 9]
+        assert parallel_module._pool is first
+
+    def test_pool_rebuilt_on_width_change(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "available_parallelism", lambda: 4
+        )
+        tasks = [(x,) for x in range(8)]
+        parallel_map(_square, tasks, jobs=2)
+        first = parallel_module._pool
+        assert parallel_module._pool_workers == 2
+        parallel_map(_square, tasks, jobs=3)
+        assert parallel_module._pool is not first
+        assert parallel_module._pool_workers == 3
+
+    def test_closures_fall_back_to_transient_pool(self):
+        import repro.experiments.parallel as parallel_module
+
+        offset = 7
+        tasks = [(x,) for x in range(6)]
+        result = parallel_map(lambda x: x + offset, tasks, jobs=2)
+        assert result == [x + 7 for x in range(6)]
+        assert parallel_module._pool is None  # never touched
+
+    def test_batch_crosses_via_shared_memory(self):
+        from repro.sim.batch import RequestBatch
+        from repro.workloads.synthetic import RandomWorkload
+
+        batches = [
+            RandomWorkload(10_000, rate=500.0, seed=seed).generate_batch(256)
+            for seed in (1, 2, 3)
+        ]
+        expected = [(_batch_checksum(batch),) for batch in batches]
+        tasks = [(batch,) for batch in batches]
+        parallel = parallel_map(_batch_checksum, tasks, jobs=2)
+        assert [(value,) for value in parallel] == expected
+        # The parent-side batches are untouched and segments are gone.
+        assert all(isinstance(batch, RequestBatch) for batch in batches)
+
+    def test_shutdown_is_idempotent(self):
+        import repro.experiments.parallel as parallel_module
+
+        parallel_module.shutdown_pool()
+        parallel_module.shutdown_pool()
 
 
 class TestEffectiveWorkers:
