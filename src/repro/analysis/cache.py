@@ -1,0 +1,115 @@
+"""Incremental-lint cache: per-file summaries + findings keyed by content.
+
+The cache file (default ``.repro-analysis-cache.json``) stores, per
+analyzed file, the sha1 of its content, its
+:class:`~repro.analysis.symbols.ModuleSummary`, and its single-file
+findings.  A warm run re-parses only files whose digest changed — the
+project index, call graph, and interprocedural rules are rebuilt from
+cached summaries, which is cheap and deterministic, so an unchanged tree
+lints with **zero** ``ast.parse`` calls.
+
+The whole cache is invalidated when the *rule set signature* changes: the
+signature hashes every rule's id/slug/severity plus
+:data:`SEMANTICS_VERSION`, which must be bumped whenever a rule's logic
+or the summary extraction changes shape — stale summaries from an older
+extractor must never feed a newer rule.
+
+Test-tree token sets (for R9's test-reference check) ride in the same
+file under ``tests``, keyed the same way by content digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+CACHE_SCHEMA = "repro-analysis-cache/1"
+
+SEMANTICS_VERSION = "2026-08-09.1"
+"""Bump on any change to rule logic or summary extraction shape."""
+
+DEFAULT_CACHE_PATH = ".repro-analysis-cache.json"
+
+
+def file_digest(source: str) -> str:
+    return hashlib.sha1(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_signature(
+    rule_descriptors: Sequence[object], extra: str = ""
+) -> str:
+    """Stable signature over the active rule set and analysis options.
+
+    ``rule_descriptors`` is any sequence of objects with ``id``, ``slug``
+    and ``severity`` attributes (single-module rules and project rules
+    alike); ``extra`` folds in run options that change findings (noqa
+    handling, allowlist)."""
+    parts = [SEMANTICS_VERSION, extra]
+    for rule in sorted(rule_descriptors, key=lambda r: r.id):
+        parts.append(f"{rule.id}|{rule.slug}|{rule.severity}")
+    return hashlib.sha1("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class AnalysisCache:
+    """On-disk state of one incremental lint."""
+
+    ruleset: str = ""
+    files: Dict[str, dict] = field(default_factory=dict)
+    """display path -> {"digest", "summary", "findings"}"""
+    tests: Dict[str, dict] = field(default_factory=dict)
+    """display path -> {"digest", "names"}"""
+
+    def entry_for(self, display: str, digest: str) -> Optional[dict]:
+        """The cached entry for ``display`` when its content matches."""
+        entry = self.files.get(display)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    def test_names_for(
+        self, display: str, digest: str
+    ) -> Optional[Sequence[str]]:
+        entry = self.tests.get(display)
+        if entry is not None and entry.get("digest") == digest:
+            return entry.get("names", ())
+        return None
+
+    @classmethod
+    def load(cls, path: str) -> Optional["AnalysisCache"]:
+        """Read a cache file; None on missing/corrupt/foreign-schema —
+        an unusable cache is a cold start, never an error."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        files = payload.get("files", {})
+        tests = payload.get("tests", {})
+        if not isinstance(files, dict) or not isinstance(tests, dict):
+            return None
+        return cls(
+            ruleset=str(payload.get("ruleset", "")),
+            files=files,
+            tests=tests,
+        )
+
+    def save(self, path: str) -> None:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "ruleset": self.ruleset,
+            "files": self.files,
+            "tests": self.tests,
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, path)

@@ -1,0 +1,385 @@
+"""Project symbol index and conservative call graph — pass two, part one.
+
+:class:`ProjectIndex` aggregates the per-file
+:class:`~repro.analysis.symbols.ModuleSummary` records into whole-program
+lookup tables; :class:`CallGraph` resolves every recorded call fact into
+edges between function nodes.  Resolution is *conservative*: when the
+receiver of an attribute call is untracked, the edge fans out to every
+project method of that name (bounded by :data:`FANOUT_CAP` — past the cap
+the name is too generic to say anything useful and the call resolves to
+nothing).  Over-approximation is acceptable for reachability-style rules
+(R8); the bounded fan-out keeps it from collapsing into "everything calls
+everything".
+
+Node ids are ``"<module>:<qualname>"`` strings (``repro.mems.device:
+MEMSDevice.access``); registries get pseudo-nodes ``<registry:NAME>`` so a
+``SCHEDULERS.create(...)`` call site reaches every registered factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.symbols import (
+    ATTR_PREFIX,
+    MODULE_SCOPE,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+FANOUT_CAP = 8
+"""Max targets an untracked attribute call (``@meth``) may resolve to."""
+
+_MRO_DEPTH_CAP = 12
+_REEXPORT_DEPTH_CAP = 8
+
+
+def node_id(module: str, qualname: str) -> str:
+    return f"{module}:{qualname}"
+
+
+def registry_node(registry_ref: str) -> str:
+    """Pseudo-node for a registry, keyed by its terminal name so the
+    defining module's ``DEVICES`` and an importer's alias coincide."""
+    return f"<registry:{registry_ref.rsplit('.', 1)[-1]}>"
+
+
+@dataclass
+class ProjectIndex:
+    """Whole-program lookup tables over module summaries."""
+
+    modules: Dict[str, ModuleSummary] = field(default_factory=dict)
+    by_path: Dict[str, ModuleSummary] = field(default_factory=dict)
+    functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = field(
+        default_factory=dict
+    )
+    methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+    registry_names: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, summaries: Iterable[ModuleSummary]) -> "ProjectIndex":
+        index = cls()
+        for summary in summaries:
+            index.modules[summary.module] = summary
+            index.by_path[summary.path] = summary
+            for qualname, fn in summary.functions.items():
+                index.functions[node_id(summary.module, qualname)] = (
+                    summary,
+                    fn,
+                )
+                if fn.class_name is not None:
+                    index.methods_by_name.setdefault(fn.name, []).append(
+                        node_id(summary.module, qualname)
+                    )
+            for registration in summary.registrations:
+                index.registry_names.add(
+                    registration.registry.rsplit(".", 1)[-1]
+                )
+        for targets in index.methods_by_name.values():
+            targets.sort()
+        return index
+
+    # -- symbol resolution ------------------------------------------------- #
+
+    def _split_dotted(
+        self, dotted: str
+    ) -> Optional[Tuple[ModuleSummary, List[str]]]:
+        """Longest-module-prefix split of an absolute dotted reference."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is not None:
+                return module, parts[cut:]
+        return None
+
+    def resolve_symbol(
+        self, module: ModuleSummary, name: str, _depth: int = 0
+    ) -> Optional[Tuple[ModuleSummary, str]]:
+        """Resolve a bare name in ``module`` to ``(module, symbol)``,
+        chasing re-export chains (``from .synthetic import RandomWorkload``
+        surfaced through a package ``__init__``)."""
+        if _depth > _REEXPORT_DEPTH_CAP:
+            return None
+        if name in module.functions or name in module.classes:
+            return module, name
+        origin = module.imports.get(name)
+        if origin is not None:
+            split = self._split_dotted(origin)
+            if split is not None:
+                target_module, remainder = split
+                if not remainder:
+                    return None
+                if len(remainder) == 1:
+                    return self.resolve_symbol(
+                        target_module, remainder[0], _depth + 1
+                    )
+        return None
+
+    def resolve_dotted(
+        self, dotted: str
+    ) -> Optional[Tuple[ModuleSummary, str]]:
+        """Resolve an absolute dotted reference to ``(module, symbol)``."""
+        split = self._split_dotted(dotted)
+        if split is None:
+            return None
+        module, remainder = split
+        if len(remainder) != 1:
+            return None
+        return self.resolve_symbol(module, remainder[0])
+
+    def resolve_class(
+        self, module: ModuleSummary, ref: str
+    ) -> Optional[Tuple[ModuleSummary, str]]:
+        """Resolve ``ref`` (bare or dotted) to a project class."""
+        resolved = (
+            self.resolve_dotted(ref)
+            if "." in ref
+            else self.resolve_symbol(module, ref)
+        )
+        if resolved is None:
+            return None
+        owner, symbol = resolved
+        if symbol in owner.classes:
+            return owner, symbol
+        return None
+
+    def method_node(
+        self,
+        module: ModuleSummary,
+        class_name: str,
+        method: str,
+        _depth: int = 0,
+    ) -> Optional[str]:
+        """Find ``method`` on ``class_name`` or its base classes (MRO-ish
+        breadth-first walk over resolvable project bases)."""
+        if _depth > _MRO_DEPTH_CAP:
+            return None
+        klass = module.classes.get(class_name)
+        if klass is None:
+            return None
+        if method in klass.methods:
+            return node_id(module.module, f"{class_name}.{method}")
+        for base_ref in klass.bases:
+            base = self.resolve_class(module, base_ref)
+            if base is None:
+                continue
+            base_module, base_name = base
+            found = self.method_node(
+                base_module, base_name, method, _depth + 1
+            )
+            if found is not None:
+                return found
+        return None
+
+    # -- call-target resolution -------------------------------------------- #
+
+    def resolve_call(
+        self,
+        module: ModuleSummary,
+        caller: FunctionSummary,
+        ref: str,
+    ) -> List[str]:
+        """Node ids a call with reference ``ref`` may land on.
+
+        A resolved *class* means instantiation: the edge goes to its
+        ``__init__`` when the project defines one (else the class
+        contributes no node and the call is external-constructor noise).
+        """
+        if ref.startswith(ATTR_PREFIX):
+            return self._fanout(ref[len(ATTR_PREFIX):])
+        if ref.startswith("self."):
+            if caller.class_name is None:
+                return []
+            method = ref[len("self."):]
+            found = self.method_node(module, caller.class_name, method)
+            return [found] if found is not None else []
+
+        registry_hit = self._registry_call(module, ref)
+        if registry_hit is not None:
+            return registry_hit
+
+        if "." in ref and self._split_dotted(ref) is not None:
+            resolved = self.resolve_dotted(ref)
+            return self._symbol_nodes(resolved)
+        if "." in ref:
+            # `Name.meth(...)` on an unimported root: try a module-local
+            # class (static/constructor-style call), else fan out.
+            root, _, method = ref.partition(".")
+            klass = self.resolve_class(module, root)
+            if klass is not None:
+                found = self.method_node(klass[0], klass[1], method)
+                return [found] if found is not None else []
+            return self._fanout(method)
+        return self._symbol_nodes(self.resolve_symbol(module, ref))
+
+    def _registry_call(
+        self, module: ModuleSummary, ref: str
+    ) -> Optional[List[str]]:
+        """``DEVICES.create(...)``-shaped refs resolve to the registry's
+        pseudo-node; registration edges take it from there."""
+        if "." not in ref:
+            return None
+        head, _, tail = ref.rpartition(".")
+        if tail not in ("create", "build", "get"):
+            return None
+        name = head.rsplit(".", 1)[-1]
+        if name in self.registry_names:
+            return [registry_node(name)]
+        return None
+
+    def _symbol_nodes(
+        self, resolved: Optional[Tuple[ModuleSummary, str]]
+    ) -> List[str]:
+        if resolved is None:
+            return []
+        owner, symbol = resolved
+        if symbol in owner.functions:
+            return [node_id(owner.module, symbol)]
+        if symbol in owner.classes:
+            init = node_id(owner.module, f"{symbol}.__init__")
+            return [init] if init in self.functions else []
+        return []
+
+    def _fanout(self, method: str) -> List[str]:
+        targets = self.methods_by_name.get(method, [])
+        if not targets or len(targets) > FANOUT_CAP:
+            return []
+        return list(targets)
+
+    def resolve_work_function(
+        self, module: ModuleSummary, caller: FunctionSummary, ref: str
+    ) -> List[str]:
+        """Resolve a function *value* reference (``parallel_map``'s first
+        argument) — same rules as a call, minus the instantiation shift."""
+        return self.resolve_call(module, caller, ref)
+
+
+@dataclass
+class CallGraph:
+    """Edges between function node ids, plus file-level dependency maps."""
+
+    index: ProjectIndex
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    redges: Dict[str, Set[str]] = field(default_factory=dict)
+    file_deps: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "CallGraph":
+        graph = cls(index=index)
+        for source, (module, fn) in index.functions.items():
+            for call in fn.calls:
+                for target in index.resolve_call(module, fn, call.ref):
+                    graph._add_edge(source, target)
+        for module in index.modules.values():
+            source = node_id(module.module, MODULE_SCOPE)
+            for registration in module.registrations:
+                pseudo = registry_node(registration.registry)
+                graph._add_edge(source, pseudo)
+                for target in cls._registration_targets(
+                    index, module, registration.target
+                ):
+                    graph._add_edge(pseudo, target)
+            graph._add_import_deps(module)
+        return graph
+
+    @staticmethod
+    def _registration_targets(
+        index: ProjectIndex, module: ModuleSummary, target_ref: str
+    ) -> List[str]:
+        if target_ref in module.functions:
+            return [node_id(module.module, target_ref)]
+        klass = index.resolve_class(module, target_ref)
+        if klass is not None:
+            init = node_id(klass[0].module, f"{klass[1]}.__init__")
+            if init in index.functions:
+                return [init]
+            return []
+        resolved = index.resolve_symbol(module, target_ref)
+        return index._symbol_nodes(resolved)
+
+    def _add_edge(self, source: str, target: str) -> None:
+        self.edges.setdefault(source, set()).add(target)
+        self.redges.setdefault(target, set()).add(source)
+        source_path = self._node_path(source)
+        target_path = self._node_path(target)
+        if (
+            source_path is not None
+            and target_path is not None
+            and source_path != target_path
+        ):
+            self.file_deps.setdefault(source_path, set()).add(target_path)
+
+    def _node_path(self, node: str) -> Optional[str]:
+        entry = self.index.functions.get(node)
+        if entry is not None:
+            return entry[0].path
+        if node.startswith("<registry:"):
+            return None
+        module = self.index.modules.get(node.split(":", 1)[0])
+        return module.path if module is not None else None
+
+    def _add_import_deps(self, module: ModuleSummary) -> None:
+        for origin in module.imports.values():
+            split = self.index._split_dotted(origin)
+            if split is None:
+                # The origin may be the module itself (``import repro.x``).
+                target = self.index.modules.get(origin)
+                if target is not None and target.path != module.path:
+                    self.file_deps.setdefault(module.path, set()).add(
+                        target.path
+                    )
+                continue
+            target_module = split[0]
+            if target_module.path != module.path:
+                self.file_deps.setdefault(module.path, set()).add(
+                    target_module.path
+                )
+
+    # -- queries ------------------------------------------------------------ #
+
+    def callees(self, node: str) -> Set[str]:
+        return self.edges.get(node, set())
+
+    def callers_of(self, node: str) -> Set[str]:
+        return self.redges.get(node, set())
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure over call edges from ``roots``."""
+        seen: Set[str] = set()
+        frontier = [root for root in roots]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self.edges.get(node, ()))
+        return seen
+
+    def reverse_dependency_closure(
+        self, paths: Iterable[str]
+    ) -> Set[str]:
+        """Files whose analysis could change when ``paths`` change: the
+        changed files plus every file that (transitively) depends on one
+        of them through imports or call edges."""
+        dependents: Dict[str, Set[str]] = {}
+        for source, targets in self.file_deps.items():
+            for target in targets:
+                dependents.setdefault(target, set()).add(source)
+        seen: Set[str] = set()
+        frontier = [path for path in paths]
+        while frontier:
+            path = frontier.pop()
+            if path in seen:
+                continue
+            seen.add(path)
+            frontier.extend(dependents.get(path, ()))
+        return seen
+
+
+def build_project(
+    summaries: Sequence[ModuleSummary],
+) -> Tuple[ProjectIndex, CallGraph]:
+    """Convenience: index + call graph in one call."""
+    index = ProjectIndex.build(summaries)
+    return index, CallGraph.build(index)

@@ -4,10 +4,18 @@ Usage::
 
     python -m repro.analysis [paths...]          # default: src (text report)
     python -m repro.analysis --format json src
+    python -m repro.analysis --format sarif src  # for CI code-scanning
+    python -m repro.analysis --incremental src   # warm runs skip re-parsing
     python -m repro.analysis --baseline lint-baseline.json src
     python -m repro.analysis --write-baseline lint-baseline.json src
     python -m repro.analysis --self-test         # fixture-corpus canary
     python -m repro.analysis --list-rules
+
+Every run is a two-pass *project* analysis: single-module rules (R1–R7)
+per file, then the interprocedural rules (R8–R10 and the R3 caller-guard
+rescue) over the whole call graph.  ``--incremental`` persists per-file
+summaries to a cache (default ``.repro-analysis-cache.json``) so warm
+runs re-parse only changed files.
 
 Exit codes: 0 = clean (no new findings / self-test passed), 1 = new
 findings (or self-test failure), 2 = usage or I/O error.
@@ -21,14 +29,21 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.engine import AnalysisReport, analyze_paths
+from repro.analysis.cache import DEFAULT_CACHE_PATH
+from repro.analysis.engine import (
+    AnalysisReport,
+    ProjectReport,
+    analyze_project,
+)
 from repro.analysis.findings import (
     Baseline,
     Finding,
     REPORT_SCHEMA,
     split_new,
 )
+from repro.analysis.interproc import project_rules
 from repro.analysis.rules import all_rules
+from repro.analysis.sarif import render_sarif
 from repro.analysis.selftest import run_selftest
 
 
@@ -48,6 +63,11 @@ def _render_text(
     )
     if baselined:
         summary += f", {len(baselined)} baselined"
+    if isinstance(report, ProjectReport) and report.cache_used:
+        summary += (
+            f" [cache: {report.cache_hits} hit(s), "
+            f"{report.files_reparsed} re-parsed]"
+        )
     if new:
         by_rule: dict = {}
         for finding in new:
@@ -71,12 +91,20 @@ def _render_json(
         "new": [finding.to_dict() for finding in new],
         "baselined": [finding.to_dict() for finding in baselined],
     }
+    if isinstance(report, ProjectReport):
+        payload["cache"] = {
+            "enabled": report.cache_used,
+            "hits": report.cache_hits,
+            "files_reparsed": report.files_reparsed,
+            "changed_files": report.changed_files,
+            "reverse_closure": report.reverse_closure,
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _cmd_list_rules() -> int:
-    for rule in all_rules():
-        print(f"{rule.id}  {rule.slug:<24} {rule.severity:<7}  "
+    for rule in list(all_rules()) + list(project_rules()):
+        print(f"{rule.id}  {rule.slug:<24} {rule.severity!s:<7}  "
               f"{rule.description}")
     return 0
 
@@ -106,9 +134,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="use the on-disk summary cache; warm runs re-parse only "
+        "changed files",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help=f"cache file for --incremental (default: {DEFAULT_CACHE_PATH} "
+        "under --root)",
+    )
+    parser.add_argument(
+        "--tests",
+        metavar="DIR",
+        default=None,
+        help="test tree scanned for R9's test-reference check "
+        "(default: tests/ under --root when present)",
     )
     parser.add_argument(
         "--baseline",
@@ -156,27 +204,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro.analysis: {exc}", file=sys.stderr)
             return 2
 
+    root = args.root or os.getcwd()
+    cache_path = None
+    if args.incremental:
+        cache_path = args.cache or os.path.join(root, DEFAULT_CACHE_PATH)
+
+    test_paths: Optional[List[str]] = None
+    if args.tests is not None:
+        test_paths = [args.tests]
+    elif os.path.isdir(os.path.join(root, "tests")):
+        test_paths = [os.path.join(root, "tests")]
+
     try:
-        report = analyze_paths(
+        report = analyze_project(
             args.paths or _default_paths(),
             root=args.root,
             respect_noqa=not args.no_noqa,
+            cache_path=cache_path,
+            test_paths=test_paths,
         )
     except FileNotFoundError as exc:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
 
     if args.write_baseline is not None:
-        Baseline.from_findings(report.findings).save(args.write_baseline)
-        print(
-            f"baseline with {len(report.findings)} finding(s) written to "
-            f"{args.write_baseline}"
+        merged = Baseline.from_findings(report.findings)
+        if os.path.exists(args.write_baseline):
+            try:
+                existing = Baseline.load(args.write_baseline)
+            except (OSError, ValueError) as exc:
+                print(f"repro.analysis: {exc}", file=sys.stderr)
+                return 2
+            existing.update(merged)
+            merged = existing
+        pruned = merged.prune_stale(
+            lambda path: os.path.exists(os.path.join(root, path))
         )
+        merged.save(args.write_baseline)
+        message = (
+            f"baseline with {len(merged.fingerprints)} fingerprint(s) "
+            f"written to {args.write_baseline}"
+        )
+        if pruned:
+            message += f" ({len(pruned)} stale entr(y/ies) pruned)"
+        print(message)
         return 0
 
     new, baselined = split_new(report.findings, baseline)
     if args.format == "json":
         print(_render_json(report, new, baselined))
+    elif args.format == "sarif":
+        print(render_sarif(report, new, baselined))
     else:
         print(_render_text(report, new, baselined))
     return 1 if new else 0

@@ -102,6 +102,33 @@ class Finding:
             text += f"\n    {self.source_line}"
         return text
 
+    def to_cache_dict(self) -> dict:
+        """Round-trippable form for the incremental cache (unlike
+        :meth:`to_dict`, carries ``occurrence`` and no derived fields)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+            "occurrence": self.occurrence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            message=data.get("message", ""),
+            source_line=data.get("source_line", ""),
+            occurrence=int(data.get("occurrence", 0)),
+        )
+
 
 def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
     """Deterministic report order: by file, position, then rule."""
@@ -177,6 +204,29 @@ class Baseline:
         if not isinstance(fingerprints, dict):
             raise ValueError(f"{path}: 'fingerprints' is not an object")
         return cls(fingerprints=dict(fingerprints))
+
+    def update(self, other: "Baseline") -> None:
+        """Merge ``other``'s fingerprints into this baseline."""
+        self.fingerprints.update(other.fingerprints)
+
+    def prune_stale(self, file_exists) -> List[str]:
+        """Drop fingerprints whose recorded file no longer exists.
+
+        ``file_exists`` maps a root-relative path to bool.  Returns the
+        pruned fingerprints (sorted).  Entries whose location string can't
+        be parsed are kept — pruning must never widen the gate by guessing.
+        """
+        stale: List[str] = []
+        for fingerprint, location in self.fingerprints.items():
+            head, _, tail = location.partition(" ")
+            if not head or not tail:
+                continue
+            path = tail.rsplit(":", 2)[0]
+            if not file_exists(path):
+                stale.append(fingerprint)
+        for fingerprint in stale:
+            del self.fingerprints[fingerprint]
+        return sorted(stale)
 
     def save(self, path: str) -> None:
         payload = {

@@ -1,0 +1,498 @@
+"""Interprocedural rules over the project index — pass two, part two.
+
+These rules see the whole program (symbol tables + call graph), never raw
+ASTs, so they run identically from cached summaries on warm incremental
+lints.  They yield :class:`~repro.analysis.findings.Finding` objects
+directly (unlike the single-module rules, which yield AST nodes and let
+the engine stamp locations) because one finding can be *caused* by code
+in several files while *anchoring* to one line.
+
+* **R8 fork-unsafety** — module-level mutable state written by some
+  function and read by code reachable from a fork-pool work function,
+  with no rebuild/invalidation hook in the owning module.  The persistent
+  fork pool (``experiments.parallel``) snapshots module state at fork
+  time; a cache mutated in the parent after the pool exists is silently
+  stale in every worker.  A hook function (``*clear*``/``*reset*``/
+  ``*shutdown*``/... that writes the same global) or a
+  ``# repro: fork-safe`` marker on the binding documents the contract.
+* **R9 twin-parity** — scalar/batch twin methods
+  (``generate``/``generate_batch``, ``route``/``route_array``) on
+  registry-registered components must have aligned signatures and a test
+  referencing both names; a scalar whose registry siblings all have a
+  batch twin needs its own twin or a ``# repro: scalar-fallback`` marker.
+* **R10 resource-lifetime** — every ``SharedMemory``/``gzip.open``/pool
+  acquisition must reach a release on all CFG-lite paths, where "release"
+  is a direct ``close``/``unlink``/``terminate`` call, a handoff to a
+  project helper that releases that parameter, or an ownership transfer
+  to code the project does not own.
+
+The **R3 upgrade** is not a new rule: :func:`rescued_emit_lines` computes
+which single-file R3 findings are *rescued* by the call graph — a helper
+whose every call site is dominated by an ``.enabled`` guard — lifting the
+PR 4 "guards don't propagate across function boundaries" restriction
+without changing R3's single-file behavior.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.callgraph import CallGraph, ProjectIndex, node_id
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.symbols import (
+    MODULE_SCOPE,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    ParamSpec,
+)
+
+FORK_SAFE_MARKER = "repro: fork-safe"
+"""On a module-level binding's line: state is rebuilt per-process."""
+
+SCALAR_FALLBACK_MARKER = "repro: scalar-fallback"
+"""On a scalar method's def line: the batch twin is intentionally absent
+and callers fall back to the scalar path."""
+
+_HOOK_NAME = re.compile(
+    r"(clear|reset|invalidate|shutdown|teardown|refresh|flush)",
+    re.IGNORECASE,
+)
+
+_BATCH_SUFFIXES = ("_batch", "_array")
+
+_BATCH_PARAM_NAMES = frozenset({"batch", "batches", "array", "arrays"})
+
+
+@dataclass
+class ProjectContext:
+    """Everything an interprocedural rule may consult."""
+
+    index: ProjectIndex
+    graph: CallGraph
+    test_names: Optional[FrozenSet[str]] = None
+    """Identifiers appearing in the test tree, or None when no test tree
+    was scanned (fixture runs) — None disables the test-reference check."""
+
+
+class ProjectRule:
+    """Base class for whole-program rules (R8+)."""
+
+    id: str = ""
+    slug: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        path: str,
+        lineno: int,
+        col: int,
+        message: str,
+        source_line: str,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=lineno,
+            col=col,
+            message=message,
+            source_line=source_line,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# R8 — fork-unsafety
+# --------------------------------------------------------------------------- #
+
+
+def work_function_roots(ctx: ProjectContext) -> Set[str]:
+    """Function nodes that run inside fork-pool workers.
+
+    Roots are (a) first arguments of ``parallel_map(...)`` calls resolved
+    to project functions and (b) the worker-side entrypoints of any
+    module named ``*.parallel`` (``_run_task``/``_run_pickled``), which
+    invoke the work function through module globals the resolver cannot
+    track.
+    """
+    roots: Set[str] = set()
+    for _, (module, fn) in ctx.index.functions.items():
+        for call in fn.calls:
+            targets = ctx.index.resolve_call(module, fn, call.ref)
+            if not any(t.endswith(":parallel_map") for t in targets):
+                continue
+            if call.arg0 is None:
+                continue
+            roots.update(
+                ctx.index.resolve_work_function(module, fn, call.arg0)
+            )
+    for module in ctx.index.modules.values():
+        if not module.module.endswith(".parallel"):
+            continue
+        for qualname, fn in module.functions.items():
+            if fn.name in ("_run_task", "_run_pickled"):
+                roots.add(node_id(module.module, qualname))
+    return roots
+
+
+class ForkUnsafetyRule(ProjectRule):
+    id = "R8"
+    slug = "fork-unsafe-state"
+    severity = Severity.ERROR
+    description = (
+        "module-level mutable state crosses the fork-pool boundary "
+        "without an invalidation hook"
+    )
+    rationale = (
+        "The persistent fork pool snapshots module state at fork time; a "
+        "cache mutated in the parent afterwards is silently stale in "
+        "every worker, and worker results stop being a pure function of "
+        "the config — the bit-identity the merged-trace checks rely on "
+        "breaks without any test failing."
+    )
+
+    def check(self, ctx: ProjectContext) -> Iterator[Finding]:
+        reachable = ctx.graph.reachable(work_function_roots(ctx))
+        if not reachable:
+            return
+        for module in ctx.index.modules.values():
+            for name, gvar in module.globals.items():
+                if FORK_SAFE_MARKER in gvar.source_line:
+                    continue
+                writers = [
+                    fn
+                    for fn in module.functions.values()
+                    if name in fn.global_writes
+                    and fn.qualname != MODULE_SCOPE
+                ]
+                if not writers:
+                    continue
+                readers = [
+                    fn
+                    for fn in module.functions.values()
+                    if name in fn.global_reads
+                    and node_id(module.module, fn.qualname) in reachable
+                ]
+                if not readers:
+                    continue
+                if any(_HOOK_NAME.search(fn.name) for fn in writers):
+                    continue
+                writer = min(w.qualname for w in writers)
+                reader = min(r.qualname for r in readers)
+                yield self.finding(
+                    module.path,
+                    gvar.lineno,
+                    gvar.col,
+                    f"module-level {gvar.kind} '{name}' is written by "
+                    f"{writer}() and read by fork-pool-reachable "
+                    f"{reader}() with no rebuild/invalidation hook; "
+                    f"workers keep the forked snapshot (add a "
+                    f"*clear*/*reset* hook or mark the binding "
+                    f"'# {FORK_SAFE_MARKER}')",
+                    gvar.source_line,
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R9 — twin-parity
+# --------------------------------------------------------------------------- #
+
+
+def registry_member_classes(
+    index: ProjectIndex,
+) -> List[Tuple[str, ModuleSummary, ClassSummary]]:
+    """(registry name, module, class) for every registered component.
+
+    Classes registered directly count, and so do classes a registered
+    *factory function* constructs (the ``DEVICES``/``WORKLOADS`` style) —
+    membership follows the object the registry hands out, not the
+    registration target's syntactic kind.
+    """
+    members: List[Tuple[str, ModuleSummary, ClassSummary]] = []
+    seen: Set[Tuple[str, str, str]] = set()
+
+    def add(registry: str, module: ModuleSummary, name: str) -> None:
+        key = (registry, module.module, name)
+        if key in seen:
+            return
+        seen.add(key)
+        members.append((registry, module, module.classes[name]))
+
+    for module in index.modules.values():
+        for registration in module.registrations:
+            registry = registration.registry.rsplit(".", 1)[-1]
+            klass = index.resolve_class(module, registration.target)
+            if klass is not None:
+                add(registry, klass[0], klass[1])
+                continue
+            if registration.target in module.functions:
+                factory = module.functions[registration.target]
+                for call in factory.calls:
+                    constructed = index.resolve_class(module, call.ref)
+                    if constructed is not None:
+                        add(registry, constructed[0], constructed[1])
+    return members
+
+
+def _twin_param_problems(
+    scalar: ParamSpec, batch: ParamSpec
+) -> List[str]:
+    problems: List[str] = []
+    if len(scalar.names) != len(batch.names):
+        problems.append(
+            f"parameter count differs ({len(scalar.names)} vs "
+            f"{len(batch.names)})"
+        )
+        return problems
+    for position, (s_name, b_name) in enumerate(
+        zip(scalar.names, batch.names)
+    ):
+        if position == 0:
+            continue  # the payload parameter renames freely (request->batch)
+        aligned = (
+            b_name == s_name
+            or b_name == f"{s_name}s"
+            or b_name == f"{s_name}es"
+            or b_name in _BATCH_PARAM_NAMES
+        )
+        if not aligned:
+            problems.append(
+                f"parameter {position} is {s_name!r} on the scalar but "
+                f"{b_name!r} on the batch twin"
+            )
+    if scalar.defaults != batch.defaults:
+        problems.append(
+            f"default count differs ({scalar.defaults} vs "
+            f"{batch.defaults})"
+        )
+    if scalar.vararg != batch.vararg or scalar.kwarg != batch.kwarg:
+        problems.append("*args/**kwargs shape differs")
+    return problems
+
+
+class TwinParityRule(ProjectRule):
+    id = "R9"
+    slug = "twin-parity"
+    severity = Severity.WARNING
+    description = (
+        "scalar/batch twin methods on registered components must stay "
+        "aligned and test-covered"
+    )
+    rationale = (
+        "The columnar pipeline silently falls back between scalar and "
+        "batch twins; if their signatures or semantics drift apart the "
+        "two code paths stop producing identical traces, which only "
+        "shows up as a bit-identity failure far from the edit."
+    )
+
+    def check(self, ctx: ProjectContext) -> Iterator[Finding]:
+        members = registry_member_classes(ctx.index)
+        batch_names: Dict[str, Set[str]] = {}
+        for registry, module, klass in members:
+            names = batch_names.setdefault(registry, set())
+            for method in klass.methods:
+                if method.endswith(_BATCH_SUFFIXES):
+                    names.add(method)
+
+        for registry, module, klass in members:
+            for method in klass.methods:
+                if method.startswith("_") or method.endswith(
+                    _BATCH_SUFFIXES
+                ):
+                    continue
+                scalar = module.functions.get(f"{klass.name}.{method}")
+                if scalar is None:
+                    continue
+                twin = self._find_twin(ctx.index, module, klass, method)
+                if twin is not None:
+                    yield from self._check_pair(ctx, module, scalar, twin)
+                    continue
+                expected = {
+                    f"{method}{suffix}" for suffix in _BATCH_SUFFIXES
+                } & batch_names.get(registry, set())
+                if not expected:
+                    continue
+                if SCALAR_FALLBACK_MARKER in scalar.source_line:
+                    continue
+                missing = min(expected)
+                yield self.finding(
+                    module.path,
+                    scalar.lineno,
+                    scalar.col,
+                    f"{klass.name}.{method}() has no batch twin but "
+                    f"other {registry} components define {missing}(); "
+                    f"add the twin or mark the scalar "
+                    f"'# {SCALAR_FALLBACK_MARKER}'",
+                    scalar.source_line,
+                )
+
+    @staticmethod
+    def _find_twin(
+        index: ProjectIndex,
+        module: ModuleSummary,
+        klass: ClassSummary,
+        method: str,
+    ) -> Optional[FunctionSummary]:
+        for suffix in _BATCH_SUFFIXES:
+            node = index.method_node(module, klass.name, method + suffix)
+            if node is not None:
+                return index.functions[node][1]
+        return None
+
+    def _check_pair(
+        self,
+        ctx: ProjectContext,
+        module: ModuleSummary,
+        scalar: FunctionSummary,
+        batch: FunctionSummary,
+    ) -> Iterator[Finding]:
+        for problem in _twin_param_problems(scalar.params, batch.params):
+            yield self.finding(
+                module.path,
+                batch.lineno,
+                batch.col,
+                f"{batch.qualname}() diverges from its scalar twin "
+                f"{scalar.qualname}(): {problem}",
+                batch.source_line,
+            )
+        if ctx.test_names is not None:
+            missing = [
+                name
+                for name in (scalar.name, batch.name)
+                if name not in ctx.test_names
+            ]
+            if missing:
+                yield self.finding(
+                    module.path,
+                    scalar.lineno,
+                    scalar.col,
+                    f"twin pair {scalar.name}()/{batch.name}() has no "
+                    f"test referencing {' or '.join(missing)} — scalar/"
+                    f"batch identity is unpinned",
+                    scalar.source_line,
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R10 — resource-lifetime
+# --------------------------------------------------------------------------- #
+
+
+class ResourceLifetimeRule(ProjectRule):
+    id = "R10"
+    slug = "resource-lifetime"
+    severity = Severity.ERROR
+    description = (
+        "SharedMemory/gzip/pool acquisitions must release on every path"
+    )
+    rationale = (
+        "A leaked POSIX shared-memory segment outlives the process and "
+        "a leaked pool strands workers; both only fail under load, far "
+        "from the leak.  Ownership transfers (returning the handle, "
+        "handing it to non-project code) end the owning function's "
+        "obligation."
+    )
+
+    def check(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for _, (module, fn) in sorted(ctx.index.functions.items()):
+            for resource in fn.resources:
+                if resource.escaped or resource.overflowed:
+                    continue
+                if not resource.paths:
+                    continue
+                leaky = sum(
+                    1
+                    for path in resource.paths
+                    if not self._path_releases(ctx, module, fn, path)
+                )
+                if leaky:
+                    yield self.finding(
+                        module.path,
+                        resource.lineno,
+                        resource.col,
+                        f"{resource.kind} acquired as "
+                        f"'{resource.varname}' in {fn.qualname}() is not "
+                        f"released on {leaky} of {len(resource.paths)} "
+                        f"paths to function exit "
+                        f"(close/unlink/terminate it or hand ownership "
+                        f"to a releasing helper)",
+                        resource.source_line,
+                    )
+
+    @staticmethod
+    def _path_releases(
+        ctx: ProjectContext,
+        module: ModuleSummary,
+        fn: FunctionSummary,
+        path: dict,
+    ) -> bool:
+        if path.get("released"):
+            return True
+        for ref, arg_index in path.get("helper_calls", ()):
+            targets = ctx.index.resolve_call(module, fn, ref)
+            if not targets:
+                # The callee is outside the project: ownership transfer.
+                return True
+            for target in targets:
+                entry = ctx.index.functions.get(target)
+                if entry is not None and arg_index in (
+                    entry[1].releases_params
+                ):
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# R3 upgrade — cross-function guard propagation
+# --------------------------------------------------------------------------- #
+
+
+def rescued_emit_lines(ctx: ProjectContext) -> Set[Tuple[str, int]]:
+    """(path, line) of unguarded-emit findings rescued by their callers.
+
+    A helper's unguarded ``tracer.emit(...)`` is rescued when the tracer
+    came from outside (a parameter or ``self`` attribute), the helper has
+    at least one resolved call site, and *every* call site is dominated
+    by an ``.enabled`` guard.  No call sites means no evidence — public
+    helpers keep their in-function obligation.
+    """
+    guarded_sites: Dict[str, List[bool]] = {}
+    for _, (module, fn) in ctx.index.functions.items():
+        for call in fn.calls:
+            for target in ctx.index.resolve_call(module, fn, call.ref):
+                guarded_sites.setdefault(target, []).append(call.guarded)
+
+    rescued: Set[Tuple[str, int]] = set()
+    for node, (module, fn) in ctx.index.functions.items():
+        candidates = [
+            emit
+            for emit in fn.emits
+            if not emit.guarded and emit.tracer != "other"
+        ]
+        if not candidates:
+            continue
+        flags = guarded_sites.get(node, [])
+        if flags and all(flags):
+            for emit in candidates:
+                rescued.add((module.path, emit.lineno))
+    return rescued
+
+
+def project_rules() -> List[ProjectRule]:
+    """One instance of every interprocedural rule, in id order."""
+    return [ForkUnsafetyRule(), TwinParityRule(), ResourceLifetimeRule()]

@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 output for the linter — CI code-scanning integration.
+
+One ``run`` per invocation: the tool descriptor lists every rule
+(single-module and interprocedural) with its default severity level, and
+each finding becomes a ``result`` with a ``partialFingerprints`` entry
+carrying the same baseline fingerprint the text/json formats use, so
+code-scanning backends dedupe findings across commits exactly like the
+``--baseline`` workflow does.  Baselined findings are emitted with
+``baselineState: "unchanged"`` (still visible, never gate-failing); new
+findings carry ``baselineState: "new"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.interproc import project_rules
+from repro.analysis.rules import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+FINGERPRINT_KEY = "reproAnalysis/v1"
+
+_PSEUDO_RULES = (
+    ("R0", "unknown-suppression", Severity.WARNING,
+     "noqa names a rule that does not exist"),
+    ("E0", "parse-error", Severity.ERROR,
+     "file does not parse; nothing in it was analyzed"),
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptors() -> List[dict]:
+    descriptors = []
+    for rule in list(all_rules()) + list(project_rules()):
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": rule.slug,
+                "shortDescription": {"text": rule.description},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": _level(rule.severity)},
+            }
+        )
+    for rule_id, slug, severity, description in _PSEUDO_RULES:
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": slug,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": _level(severity)},
+            }
+        )
+    descriptors.sort(key=lambda d: d["id"])
+    return descriptors
+
+
+def _result(finding: Finding, baseline_state: str) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "baselineState": baseline_state,
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+
+
+def render_sarif(
+    report: AnalysisReport,
+    new: Sequence[Finding],
+    baselined: Optional[Sequence[Finding]] = None,
+) -> str:
+    """Serialize one analysis run as a SARIF 2.1.0 log."""
+    results = [_result(finding, "new") for finding in new]
+    for finding in baselined or ():
+        results.append(_result(finding, "unchanged"))
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "docs/static-analysis.md"
+                        ),
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {
+                        "text": "repository root (the --root directory)"
+                    }}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

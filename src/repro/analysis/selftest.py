@@ -18,9 +18,10 @@ only the rule logic is under test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.engine import analyze_source
+from repro.analysis.engine import analyze_project_sources, analyze_source
+from repro.analysis.interproc import project_rules
 from repro.analysis.rules import all_rules
 
 
@@ -30,6 +31,20 @@ class RuleFixtures:
 
     bad: Tuple[str, ...]
     good: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProjectFixtures:
+    """Known-bad and known-good multi-file projects for one project rule.
+
+    Each fixture is a mapping of display path -> source.  Paths under
+    ``tests/`` are passed as the scanned test tree (enabling R9's
+    test-reference check); fixtures with no ``tests/`` entries run with
+    that check disabled.
+    """
+
+    bad: Tuple[Dict[str, str], ...]
+    good: Tuple[Dict[str, str], ...]
 
 
 FIXTURES: Dict[str, RuleFixtures] = {
@@ -245,6 +260,428 @@ FIXTURES: Dict[str, RuleFixtures] = {
 }
 
 
+# A minimal registry implementation shared by the R9 fixtures: project
+# analysis only needs to see ``X.register(...)`` decorators, not the real
+# repro.core.registry semantics.
+_REGISTRY_SRC = (
+    "class Registry:\n"
+    "    def __init__(self, kind):\n"
+    "        self._items = {}\n"
+    "    def register(self, name, aliases=()):\n"
+    "        def deco(target):\n"
+    "            self._items[name] = target\n"
+    "            return target\n"
+    "        return deco\n"
+)
+
+_PARALLEL_SRC = (
+    "def parallel_map(point_fn, tasks, jobs=None):\n"
+    "    return [point_fn(t) for t in tasks]\n"
+)
+
+_MEMO_SRC = (
+    "_memo = {}\n"
+    "\n"
+    "def remember(key, value):\n"
+    "    _memo[key] = value\n"
+    "\n"
+    "def lookup(key):\n"
+    "    return _memo.get(key)\n"
+)
+
+_DRIVER_SRC = (
+    "from pkg.state import lookup, remember\n"
+    "from experiments.parallel import parallel_map\n"
+    "\n"
+    "def work(task):\n"
+    "    return lookup(task)\n"
+    "\n"
+    "def run(tasks):\n"
+    "    remember('size', len(tasks))\n"
+    "    return parallel_map(work, tasks)\n"
+)
+
+PROJECT_FIXTURES: Dict[str, ProjectFixtures] = {
+    # R3 upgrade: an unguarded helper emit is rescued only when every
+    # resolved call site is dominated by a ``.enabled`` guard.
+    "R3": ProjectFixtures(
+        bad=(
+            # Unguarded caller: no rescue, helper keeps its finding.
+            {
+                "pkg/helper.py": (
+                    "def trace_dispatch(tracer, now):\n"
+                    "    tracer.emit({'kind': 'x', 't': now})\n"
+                    "\n"
+                    "def run(tracer, now):\n"
+                    "    trace_dispatch(tracer, now)\n"
+                ),
+            },
+            # Mixed call sites: one guarded, one not — still no rescue.
+            {
+                "pkg/helper.py": (
+                    "def trace_dispatch(tracer, now):\n"
+                    "    tracer.emit({'kind': 'x', 't': now})\n"
+                    "\n"
+                    "def run(tracer, now):\n"
+                    "    if tracer.enabled:\n"
+                    "        trace_dispatch(tracer, now)\n"
+                    "\n"
+                    "def drain(tracer, now):\n"
+                    "    trace_dispatch(tracer, now)\n"
+                ),
+            },
+            # No call sites at all: a public helper keeps its obligation.
+            {
+                "pkg/helper.py": (
+                    "def trace_dispatch(tracer, now):\n"
+                    "    tracer.emit({'kind': 'x', 't': now})\n"
+                ),
+            },
+        ),
+        good=(
+            # Every call site guarded -> rescued.
+            {
+                "pkg/helper.py": (
+                    "def trace_dispatch(tracer, now):\n"
+                    "    tracer.emit({'kind': 'x', 't': now})\n"
+                    "\n"
+                    "def run(tracer, now):\n"
+                    "    if tracer.enabled:\n"
+                    "        trace_dispatch(tracer, now)\n"
+                ),
+            },
+            # Early-exit guard in the caller counts too.
+            {
+                "pkg/helper.py": (
+                    "def trace_dispatch(tracer, now):\n"
+                    "    tracer.emit({'kind': 'x', 't': now})\n"
+                    "\n"
+                    "def run(tracer, now):\n"
+                    "    if not tracer.enabled:\n"
+                    "        return\n"
+                    "    trace_dispatch(tracer, now)\n"
+                ),
+            },
+        ),
+    ),
+    # R8: module mutable state written somewhere and read from a
+    # fork-pool work function, with no rebuild hook.
+    "R8": ProjectFixtures(
+        bad=(
+            {
+                "pkg/state.py": _MEMO_SRC,
+                "pkg/driver.py": _DRIVER_SRC,
+                "experiments/parallel.py": _PARALLEL_SRC,
+            },
+            # Read reached through a callee of the work function.
+            {
+                "pkg/state.py": _MEMO_SRC,
+                "pkg/mid.py": (
+                    "from pkg.state import lookup\n"
+                    "\n"
+                    "def fetch(task):\n"
+                    "    return lookup(task)\n"
+                ),
+                "pkg/driver.py": (
+                    "from pkg.mid import fetch\n"
+                    "from pkg.state import remember\n"
+                    "from experiments.parallel import parallel_map\n"
+                    "\n"
+                    "def work(task):\n"
+                    "    return fetch(task)\n"
+                    "\n"
+                    "def run(tasks):\n"
+                    "    remember('size', len(tasks))\n"
+                    "    return parallel_map(work, tasks)\n"
+                ),
+                "experiments/parallel.py": _PARALLEL_SRC,
+            },
+        ),
+        good=(
+            # An invalidation hook (clear/reset/...) documents the rebuild
+            # protocol; workers can refresh after fork.
+            {
+                "pkg/state.py": _MEMO_SRC + (
+                    "\n"
+                    "def clear_memo():\n"
+                    "    _memo.clear()\n"
+                ),
+                "pkg/driver.py": _DRIVER_SRC,
+                "experiments/parallel.py": _PARALLEL_SRC,
+            },
+            # Explicit fork-safe marker on the binding.
+            {
+                "pkg/state.py": (
+                    "_memo = {}  # repro: fork-safe\n"
+                    "\n"
+                    "def remember(key, value):\n"
+                    "    _memo[key] = value\n"
+                    "\n"
+                    "def lookup(key):\n"
+                    "    return _memo.get(key)\n"
+                ),
+                "pkg/driver.py": _DRIVER_SRC,
+                "experiments/parallel.py": _PARALLEL_SRC,
+            },
+            # State never read from worker-reachable code.
+            {
+                "pkg/state.py": _MEMO_SRC,
+                "pkg/driver.py": (
+                    "from pkg.state import remember\n"
+                    "from experiments.parallel import parallel_map\n"
+                    "\n"
+                    "def work(task):\n"
+                    "    return task\n"
+                    "\n"
+                    "def run(tasks):\n"
+                    "    remember('size', len(tasks))\n"
+                    "    return parallel_map(work, tasks)\n"
+                ),
+                "experiments/parallel.py": _PARALLEL_SRC,
+            },
+        ),
+    ),
+    # R9: scalar/batch twins on registry members.
+    "R9": ProjectFixtures(
+        bad=(
+            # Misaligned non-payload parameter (now= vs scale=).
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count, now=0.0):\n"
+                    "        return count\n"
+                    "    def generate_batch(self, counts, scale=1.0):\n"
+                    "        return counts\n"
+                ),
+            },
+            # Sibling registry member has the batch twin; this one is
+            # missing it and carries no scalar-fallback marker.
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count):\n"
+                    "        return count\n"
+                    "    def generate_batch(self, counts):\n"
+                    "        return counts\n"
+                    "\n"
+                    "@SHAPES.register('flat')\n"
+                    "class Flat:\n"
+                    "    def generate(self, count):\n"
+                    "        return count\n"
+                ),
+            },
+            # Aligned twins, but the test tree never references the batch
+            # name.
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count, now=0.0):\n"
+                    "        return count\n"
+                    "    def generate_batch(self, counts, now=0.0):\n"
+                    "        return counts\n"
+                ),
+                "tests/test_shapes.py": (
+                    "def test_wave():\n"
+                    "    assert generate\n"
+                ),
+            },
+        ),
+        good=(
+            # Aligned twins, both names covered by tests.
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count, now=0.0):\n"
+                    "        return count\n"
+                    "    def generate_batch(self, counts, now=0.0):\n"
+                    "        return counts\n"
+                ),
+                "tests/test_shapes.py": (
+                    "def test_wave():\n"
+                    "    assert generate and generate_batch\n"
+                ),
+            },
+            # Missing twin excused by an explicit scalar-fallback marker.
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count):\n"
+                    "        return count\n"
+                    "    def generate_batch(self, counts):\n"
+                    "        return counts\n"
+                    "\n"
+                    "@SHAPES.register('flat')\n"
+                    "class Flat:\n"
+                    "    def generate(self, count):"
+                    "  # repro: scalar-fallback\n"
+                    "        return count\n"
+                ),
+            },
+            # No batch twins anywhere in the registry: scalar-only
+            # components carry no obligation.
+            {
+                "pkg/registry.py": _REGISTRY_SRC,
+                "pkg/shapes.py": (
+                    "from pkg.registry import Registry\n"
+                    "SHAPES = Registry('shape')\n"
+                    "\n"
+                    "@SHAPES.register('wave')\n"
+                    "class Wave:\n"
+                    "    def generate(self, count):\n"
+                    "        return count\n"
+                ),
+            },
+        ),
+    ),
+    # R10: acquisitions must reach a release on every path.
+    "R10": ProjectFixtures(
+        bad=(
+            # Released on the early-return path only.
+            {
+                "pkg/buf.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "def export(n):\n"
+                    "    seg = shared_memory.SharedMemory("
+                    "create=True, size=n)\n"
+                    "    if n > 4096:\n"
+                    "        seg.close()\n"
+                    "        seg.unlink()\n"
+                    "        return None\n"
+                    "    return seg.name\n"
+                ),
+            },
+            # Handed to a helper that does not release it.
+            {
+                "pkg/buf.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "def consume(seg):\n"
+                    "    return len(seg.buf)\n"
+                    "\n"
+                    "def export(n):\n"
+                    "    seg = shared_memory.SharedMemory("
+                    "create=True, size=n)\n"
+                    "    consume(seg)\n"
+                    "    return None\n"
+                ),
+            },
+            # gzip handle leaks on the early-return path.
+            {
+                "pkg/io.py": (
+                    "import gzip\n"
+                    "\n"
+                    "def dump(path, rows):\n"
+                    "    stream = gzip.open(path, 'wt')\n"
+                    "    for row in rows:\n"
+                    "        if not row:\n"
+                    "            return 0\n"
+                    "        stream.write(row)\n"
+                    "    stream.close()\n"
+                    "    return len(rows)\n"
+                ),
+            },
+        ),
+        good=(
+            # try/finally releases on every path.
+            {
+                "pkg/buf.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "def export(n):\n"
+                    "    seg = shared_memory.SharedMemory("
+                    "create=True, size=n)\n"
+                    "    try:\n"
+                    "        return seg.name\n"
+                    "    finally:\n"
+                    "        seg.close()\n"
+                    "        seg.unlink()\n"
+                ),
+            },
+            # Ownership transferred to a helper that releases.
+            {
+                "pkg/buf.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "def teardown(seg):\n"
+                    "    seg.close()\n"
+                    "    seg.unlink()\n"
+                    "\n"
+                    "def export(n):\n"
+                    "    seg = shared_memory.SharedMemory("
+                    "create=True, size=n)\n"
+                    "    teardown(seg)\n"
+                    "    return n\n"
+                ),
+            },
+            # Escapes to the caller: lifetime is the caller's problem.
+            {
+                "pkg/buf.py": (
+                    "from multiprocessing import shared_memory\n"
+                    "\n"
+                    "def attach(name):\n"
+                    "    seg = shared_memory.SharedMemory(name=name)\n"
+                    "    return seg\n"
+                ),
+            },
+            # Context manager releases implicitly.
+            {
+                "pkg/io.py": (
+                    "import gzip\n"
+                    "\n"
+                    "def dump(path, rows):\n"
+                    "    with gzip.open(path, 'wt') as stream:\n"
+                    "        for row in rows:\n"
+                    "            stream.write(row)\n"
+                    "    return len(rows)\n"
+                ),
+            },
+        ),
+    ),
+}
+
+
+def _split_project_fixture(
+    fixture: Dict[str, str]
+) -> Tuple[Dict[str, str], Optional[Dict[str, str]]]:
+    sources = {
+        path: text
+        for path, text in fixture.items()
+        if not path.startswith("tests/")
+    }
+    tests = {
+        path: text
+        for path, text in fixture.items()
+        if path.startswith("tests/")
+    }
+    return sources, (tests or None)
+
+
 def run_selftest() -> List[str]:
     """Run every fixture; return a list of failure descriptions (empty =
     pass).  Bad snippets must yield >= 1 finding of their rule and no
@@ -281,4 +718,39 @@ def run_selftest() -> List[str]:
     for rule in rules:
         if rule.id not in FIXTURES:
             failures.append(f"{rule.id}: rule has no fixture coverage")
+
+    project_ids = {rule.id for rule in project_rules()} | {"R3"}
+    for rule_id in sorted(PROJECT_FIXTURES):
+        if rule_id not in project_ids:
+            failures.append(
+                f"{rule_id}: project fixtures exist but rule is missing"
+            )
+            continue
+        fixtures = PROJECT_FIXTURES[rule_id]
+        for index, fixture in enumerate(fixtures.bad):
+            sources, tests = _split_project_fixture(fixture)
+            found = analyze_project_sources(
+                sources, allowlist={}, test_sources=tests
+            )
+            if not any(f.rule == rule_id for f in found):
+                failures.append(
+                    f"{rule_id} project bad fixture #{index}: expected a "
+                    f"{rule_id} finding, got {[f.rule for f in found]}"
+                )
+        for index, fixture in enumerate(fixtures.good):
+            sources, tests = _split_project_fixture(fixture)
+            found = analyze_project_sources(
+                sources, allowlist={}, test_sources=tests
+            )
+            hits = [f for f in found if f.rule == rule_id]
+            if hits:
+                failures.append(
+                    f"{rule_id} project good fixture #{index}: unexpected "
+                    f"finding(s): {[f.message for f in hits]}"
+                )
+    for rule in project_rules():
+        if rule.id not in PROJECT_FIXTURES:
+            failures.append(
+                f"{rule.id}: project rule has no fixture coverage"
+            )
     return failures

@@ -1,0 +1,1186 @@
+"""Per-module semantic summaries — pass one of the project analysis.
+
+The interprocedural rules (:mod:`repro.analysis.interproc`) never touch an
+AST: they operate on :class:`ModuleSummary` objects extracted here, one
+per file, carrying exactly the facts pass two needs:
+
+* **symbols** — functions and methods with qualified names and parameter
+  shapes (twin-parity), classes with base references and method tables
+  (method dispatch resolution);
+* **call facts** — every call site with a resolvable callee reference,
+  whether the site is dominated by an ``.enabled`` guard (cross-function
+  R3), and the first-argument reference (``parallel_map(work_fn, ...)``
+  marks ``work_fn`` as a fork-pool work function);
+* **module state** — module-scope mutable bindings plus which functions
+  read or write them (fork-unsafety);
+* **resource facts** — ``SharedMemory`` / ``gzip.open`` / pool
+  acquisitions with a CFG-lite enumeration of acquisition-to-exit paths
+  and the release evidence on each (resource-lifetime);
+* **registrations** — ``@REGISTRY.register(...)`` decorations and
+  ``REGISTRY.register(name, target)`` calls, treated as call edges so
+  registry-constructed components stay reachable.
+
+Summaries are plain data and JSON-round-trippable (``to_dict`` /
+``from_dict``), which is what makes the incremental cache work: a warm
+run rebuilds the project index from cached summaries without re-parsing
+a single file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.astutil import ModuleSource, ancestry, dotted_origin
+from repro.analysis.suppress import Suppressions
+
+MODULE_SCOPE = "<module>"
+"""Pseudo-function key for call facts at module (import) time."""
+
+ATTR_PREFIX = "@"
+"""Callee-reference prefix for attribute calls on untracked receivers
+(``obj.meth(...)``): ``@meth`` fans out to every project method named
+``meth``, capped by the call-graph resolver."""
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "collections.deque",
+     "collections.defaultdict", "collections.OrderedDict",
+     "collections.Counter"}
+)
+
+_RELEASE_METHODS = frozenset(
+    {"close", "unlink", "terminate", "shutdown", "release", "join"}
+)
+"""Receiver methods that count as releasing a tracked resource."""
+
+_MUTATING_METHODS = frozenset(
+    {"append", "add", "update", "setdefault", "clear", "extend", "insert",
+     "pop", "popitem", "remove", "discard", "appendleft", "extendleft"}
+)
+"""Receiver methods that count as *writing* a module-level container."""
+
+_RESOURCE_KINDS: Dict[str, str] = {
+    "multiprocessing.shared_memory.SharedMemory": "SharedMemory",
+    "gzip.open": "gzip.open",
+    "gzip.GzipFile": "gzip.open",
+    "multiprocessing.Pool": "pool",
+    "multiprocessing.pool.Pool": "pool",
+}
+"""Dotted origins recognized as resource acquisitions -> reported kind."""
+
+_PATH_CAP = 128
+"""Max CFG-lite paths per acquisition.  Past the cap the fact is recorded
+``overflowed`` and the rule stays silent — a function that branchy wants
+a human review, and flagging half-enumerated paths would be guessing."""
+
+
+# --------------------------------------------------------------------------- #
+# plain-data fact records
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ParamSpec:
+    """One function's parameter shape (``self``/``cls`` stripped)."""
+
+    names: Tuple[str, ...] = ()
+    defaults: int = 0
+    vararg: bool = False
+    kwarg: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "names": list(self.names),
+            "defaults": self.defaults,
+            "vararg": self.vararg,
+            "kwarg": self.kwarg,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParamSpec":
+        return cls(
+            names=tuple(data.get("names", ())),
+            defaults=int(data.get("defaults", 0)),
+            vararg=bool(data.get("vararg", False)),
+            kwarg=bool(data.get("kwarg", False)),
+        )
+
+
+@dataclass
+class CallFact:
+    """One call site inside a function (or at module scope)."""
+
+    ref: str
+    lineno: int = 0
+    guarded: bool = False
+    arg0: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"ref": self.ref, "lineno": self.lineno}
+        if self.guarded:
+            data["guarded"] = True
+        if self.arg0 is not None:
+            data["arg0"] = self.arg0
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallFact":
+        return cls(
+            ref=data["ref"],
+            lineno=int(data.get("lineno", 0)),
+            guarded=bool(data.get("guarded", False)),
+            arg0=data.get("arg0"),
+        )
+
+
+@dataclass
+class EmitFact:
+    """One ``tracer.emit(...)`` site and its in-function guard status."""
+
+    lineno: int
+    col: int
+    source_line: str
+    guarded: bool
+    tracer: str
+    """``param:<name>`` when the tracer is a parameter, ``self.<attr>``
+    for an instance tracer, ``other`` otherwise.  Only the first two are
+    eligible for cross-function guard rescue — a caller can only vouch
+    for state it handed to the helper."""
+
+    def to_dict(self) -> dict:
+        return {
+            "lineno": self.lineno,
+            "col": self.col,
+            "source_line": self.source_line,
+            "guarded": self.guarded,
+            "tracer": self.tracer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EmitFact":
+        return cls(
+            lineno=int(data["lineno"]),
+            col=int(data.get("col", 0)),
+            source_line=data.get("source_line", ""),
+            guarded=bool(data.get("guarded", False)),
+            tracer=data.get("tracer", "other"),
+        )
+
+
+@dataclass
+class ResourceFact:
+    """One resource acquisition and its CFG-lite release evidence.
+
+    ``paths`` holds one entry per enumerated acquisition-to-exit path:
+    ``{"released": bool, "helper_calls": [[callee ref, arg index], ...]}``.
+    A helper call's release status is resolved interprocedurally by the
+    rule (callee releases that parameter -> release; callee outside the
+    project -> ownership transfer, quiet).  ``escaped`` acquisitions
+    (returned, stored on self/module state, aliased) hand ownership
+    elsewhere and are not path-checked.
+    """
+
+    kind: str
+    lineno: int
+    col: int
+    source_line: str
+    varname: Optional[str] = None
+    escaped: bool = False
+    overflowed: bool = False
+    paths: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "lineno": self.lineno,
+            "col": self.col,
+            "source_line": self.source_line,
+            "varname": self.varname,
+            "escaped": self.escaped,
+            "overflowed": self.overflowed,
+            "paths": self.paths,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceFact":
+        return cls(
+            kind=data["kind"],
+            lineno=int(data["lineno"]),
+            col=int(data.get("col", 0)),
+            source_line=data.get("source_line", ""),
+            varname=data.get("varname"),
+            escaped=bool(data.get("escaped", False)),
+            overflowed=bool(data.get("overflowed", False)),
+            paths=list(data.get("paths", ())),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """One function or method, flattened for the project index."""
+
+    name: str
+    qualname: str
+    lineno: int
+    col: int
+    source_line: str
+    params: ParamSpec = field(default_factory=ParamSpec)
+    class_name: Optional[str] = None
+    calls: List[CallFact] = field(default_factory=list)
+    emits: List[EmitFact] = field(default_factory=list)
+    global_reads: Tuple[str, ...] = ()
+    global_writes: Tuple[str, ...] = ()
+    releases_params: Tuple[int, ...] = ()
+    resources: List[ResourceFact] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "col": self.col,
+            "source_line": self.source_line,
+            "params": self.params.to_dict(),
+            "class_name": self.class_name,
+            "calls": [call.to_dict() for call in self.calls],
+            "emits": [emit.to_dict() for emit in self.emits],
+            "global_reads": list(self.global_reads),
+            "global_writes": list(self.global_writes),
+            "releases_params": list(self.releases_params),
+            "resources": [res.to_dict() for res in self.resources],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionSummary":
+        return cls(
+            name=data["name"],
+            qualname=data["qualname"],
+            lineno=int(data["lineno"]),
+            col=int(data.get("col", 0)),
+            source_line=data.get("source_line", ""),
+            params=ParamSpec.from_dict(data.get("params", {})),
+            class_name=data.get("class_name"),
+            calls=[CallFact.from_dict(c) for c in data.get("calls", ())],
+            emits=[EmitFact.from_dict(e) for e in data.get("emits", ())],
+            global_reads=tuple(data.get("global_reads", ())),
+            global_writes=tuple(data.get("global_writes", ())),
+            releases_params=tuple(data.get("releases_params", ())),
+            resources=[
+                ResourceFact.from_dict(r) for r in data.get("resources", ())
+            ],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class: bases (import-resolved references) and method names."""
+
+    name: str
+    lineno: int
+    source_line: str
+    bases: Tuple[str, ...] = ()
+    methods: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "source_line": self.source_line,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassSummary":
+        return cls(
+            name=data["name"],
+            lineno=int(data["lineno"]),
+            source_line=data.get("source_line", ""),
+            bases=tuple(data.get("bases", ())),
+            methods=tuple(data.get("methods", ())),
+        )
+
+
+@dataclass
+class GlobalVar:
+    """One module-scope mutable binding (``_cache = {}`` and friends)."""
+
+    name: str
+    lineno: int
+    col: int
+    source_line: str
+    kind: str = "dict"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "col": self.col,
+            "source_line": self.source_line,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GlobalVar":
+        return cls(
+            name=data["name"],
+            lineno=int(data["lineno"]),
+            col=int(data.get("col", 0)),
+            source_line=data.get("source_line", ""),
+            kind=data.get("kind", "dict"),
+        )
+
+
+@dataclass
+class Registration:
+    """One registry registration (decorator or direct ``register`` call)."""
+
+    registry: str
+    target: str
+    lineno: int
+
+    def to_dict(self) -> dict:
+        return {
+            "registry": self.registry,
+            "target": self.target,
+            "lineno": self.lineno,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Registration":
+        return cls(
+            registry=data["registry"],
+            target=data["target"],
+            lineno=int(data.get("lineno", 0)),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything pass two needs to know about one file."""
+
+    path: str
+    module: str
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+    imports: Dict[str, str] = field(default_factory=dict)
+    registrations: List[Registration] = field(default_factory=list)
+    suppressions: Dict[int, Optional[List[str]]] = field(default_factory=dict)
+
+    def suppresses(self, lineno: int, tokens: FrozenSet[str]) -> bool:
+        """Mirror of :meth:`Suppressions.suppresses` over cached data."""
+        if lineno not in self.suppressions:
+            return False
+        allowed = self.suppressions[lineno]
+        if allowed is None:
+            return True
+        return bool(set(allowed) & tokens)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "functions": {
+                qual: fn.to_dict() for qual, fn in self.functions.items()
+            },
+            "classes": {
+                name: klass.to_dict()
+                for name, klass in self.classes.items()
+            },
+            "globals": {
+                name: var.to_dict() for name, var in self.globals.items()
+            },
+            "imports": dict(self.imports),
+            "registrations": [reg.to_dict() for reg in self.registrations],
+            "suppressions": {
+                str(line): tokens
+                for line, tokens in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleSummary":
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            functions={
+                qual: FunctionSummary.from_dict(fn)
+                for qual, fn in data.get("functions", {}).items()
+            },
+            classes={
+                name: ClassSummary.from_dict(c)
+                for name, c in data.get("classes", {}).items()
+            },
+            globals={
+                name: GlobalVar.from_dict(g)
+                for name, g in data.get("globals", {}).items()
+            },
+            imports=dict(data.get("imports", {})),
+            registrations=[
+                Registration.from_dict(r)
+                for r in data.get("registrations", ())
+            ],
+            suppressions={
+                int(line): tokens
+                for line, tokens in data.get("suppressions", {}).items()
+            },
+        )
+
+
+def module_name_for(display_path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/mems/seek.py`` -> ``repro.mems.seek``;
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``; a path with no ``src``
+    component maps as-is (``pkg/mod.py`` -> ``pkg.mod``).
+    """
+    parts = display_path.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "<root>"
+
+
+# --------------------------------------------------------------------------- #
+# guard classification (call sites, for cross-function R3)
+# --------------------------------------------------------------------------- #
+
+
+def _not_depth(sub: ast.AST, test: ast.AST) -> int:
+    depth = 0
+    for _, parent in ancestry(sub):
+        if isinstance(parent, ast.stmt):
+            break
+        if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.Not):
+            depth += 1
+        if parent is test:
+            break
+    return depth
+
+
+def _enabled_polarity(test: ast.AST, want_negated: bool) -> bool:
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            if (_not_depth(sub, test) % 2 == 1) == want_negated:
+                return True
+    return False
+
+
+def _is_early_exit_guard(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    if not _enabled_polarity(stmt.test, want_negated=True):
+        return False
+    return bool(stmt.body) and isinstance(
+        stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def node_is_guarded(node: ast.AST) -> bool:
+    """True when ``node`` is dominated by *any* ``.enabled`` guard.
+
+    Deliberately looser than R3's same-tracer-expression check: this
+    classifies *call sites* for the cross-function upgrade, where the
+    helper re-derives its tracer from its own arguments or ``self`` —
+    requiring expression identity across the call boundary would reject
+    every real guarded caller.
+    """
+    for child, parent in ancestry(node):
+        if isinstance(parent, ast.If):
+            if child in parent.body and _enabled_polarity(
+                parent.test, want_negated=False
+            ):
+                return True
+            if child in parent.orelse and _enabled_polarity(
+                parent.test, want_negated=True
+            ):
+                return True
+        for block_name in ("body", "orelse", "finalbody"):
+            stmts = getattr(parent, block_name, None)
+            if (
+                isinstance(stmts, list)
+                and child in stmts
+                and all(isinstance(s, ast.stmt) for s in stmts)
+            ):
+                for prior in stmts[: stmts.index(child)]:
+                    if _is_early_exit_guard(prior):
+                        return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# callee references
+# --------------------------------------------------------------------------- #
+
+
+def call_ref(func: ast.AST, module: ModuleSource) -> Optional[str]:
+    """Encode a call target as a resolvable reference string.
+
+    * imported names become dotted origins (``shm.SharedMemory`` ->
+      ``multiprocessing.shared_memory.SharedMemory``);
+    * bare local names stay bare (``helper``) — the call graph resolves
+      them against the defining module;
+    * ``self.meth(...)`` -> ``self.meth`` — resolved through the
+      enclosing class's method table and MRO;
+    * ``Name.meth(...)`` on an unimported root -> ``Name.meth`` (module
+      class or local alias, resolved best-effort);
+    * any other attribute call -> ``@meth`` (fan-out);
+    * anything else (subscripts, calls-of-calls) is unresolvable: None.
+    """
+    if isinstance(func, ast.Name):
+        return module.imports.origin(func.id) or func.id
+    if isinstance(func, ast.Attribute):
+        origin = dotted_origin(func, module.imports)
+        if origin is not None:
+            return origin
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                return f"self.{func.attr}"
+            return f"{base.id}.{func.attr}"
+        return f"{ATTR_PREFIX}{func.attr}"
+    return None
+
+
+def _value_ref(node: ast.AST, module: ModuleSource) -> Optional[str]:
+    """Reference for a non-call expression (arguments, base classes)."""
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return call_ref(node, module)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# CFG-lite path enumeration (resource lifetimes)
+# --------------------------------------------------------------------------- #
+
+
+class _PathOverflow(Exception):
+    pass
+
+
+def _release_events(
+    node: ast.AST, varname: str, module: ModuleSource
+) -> Tuple[bool, List[Tuple[str, int]]]:
+    """(direct_release, helper_calls) evidence inside one statement."""
+    direct = False
+    helpers: List[Tuple[str, int]] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == varname
+            and func.attr in _RELEASE_METHODS
+        ):
+            direct = True
+            continue
+        for index, arg in enumerate(sub.args):
+            if isinstance(arg, ast.Name) and arg.id == varname:
+                ref = call_ref(func, module)
+                if ref is not None:
+                    helpers.append((ref, index))
+    return direct, helpers
+
+
+def enumerate_release_paths(
+    function: ast.AST,
+    acq_stmt: ast.stmt,
+    varname: str,
+    module: ModuleSource,
+) -> Tuple[List[dict], bool]:
+    """Enumerate acquisition-to-exit paths with their release evidence.
+
+    Returns ``(paths, overflowed)``.  The model is deliberately "lite":
+    branches fork, loop bodies run zero-or-once, ``finally`` blocks run
+    after in-``try`` exits, and exception edges are only modeled from
+    block entry (a handler path forked mid-``try`` after the acquisition
+    is not enumerated — conservative in the quiet direction).
+    """
+    done: List[dict] = []
+
+    def absorb(path: dict, node: ast.AST) -> None:
+        if not path["started"]:
+            return
+        direct, helpers = _release_events(node, varname, module)
+        if direct:
+            path["released"] = True
+        path["helper_calls"].extend(helpers)
+
+    def fork(path: dict) -> dict:
+        return {
+            "started": path["started"],
+            "released": path["released"],
+            "helper_calls": list(path["helper_calls"]),
+        }
+
+    def cap_check(live: List[dict]) -> None:
+        if len(done) + len(live) > _PATH_CAP:
+            raise _PathOverflow
+
+    def run_block(stmts: List[ast.stmt], live: List[dict]) -> List[dict]:
+        for stmt in stmts:
+            live = run_stmt(stmt, live)
+            if not live:
+                return []
+        return live
+
+    def run_stmt(stmt: ast.stmt, live: List[dict]) -> List[dict]:
+        if stmt is acq_stmt:
+            for path in live:
+                path["started"] = True
+            return live
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            for path in live:
+                absorb(path, stmt)
+            done.extend(live)
+            return []
+        if isinstance(stmt, ast.If):
+            for path in live:
+                absorb(path, stmt.test)
+            taken = run_block(stmt.body, [fork(p) for p in live])
+            other = run_block(stmt.orelse, [fork(p) for p in live])
+            out = taken + other
+            cap_check(out)
+            return out
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            if _contains(stmt, acq_stmt):
+                # The acquisition is inside the loop body: the body ran at
+                # least once on every path that owns the resource.
+                return run_block(stmt.body, live)
+            for path in live:
+                absorb(path, header)
+            once = run_block(stmt.body, [fork(p) for p in live])
+            out = live + once  # zero iterations | one iteration
+            cap_check(out)
+            return out
+        if isinstance(stmt, ast.Try):
+            snapshot = len(done)
+            body_live = run_block(stmt.body, [fork(p) for p in live])
+            if stmt.orelse:
+                body_live = run_block(stmt.orelse, body_live)
+            handler_live: List[dict] = []
+            for handler in stmt.handlers:
+                handler_live.extend(
+                    run_block(handler.body, [fork(p) for p in live])
+                )
+            out = body_live + handler_live
+            if stmt.finalbody:
+                # Paths that returned/raised inside the try still pass
+                # through finally before leaving the function.
+                exited = done[snapshot:]
+                del done[snapshot:]
+                done.extend(run_block(stmt.finalbody, exited))
+                out = run_block(stmt.finalbody, out)
+            cap_check(out)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for path in live:
+                for item in stmt.items:
+                    absorb(path, item.context_expr)
+            return run_block(stmt.body, live)
+        for path in live:
+            absorb(path, stmt)
+        return live
+
+    seed = {"started": False, "released": False, "helper_calls": []}
+    try:
+        live = run_block(list(function.body), [seed])
+    except _PathOverflow:
+        return [], True
+    done.extend(live)  # implicit return at end of function
+    paths = [
+        {
+            "released": bool(path["released"]),
+            "helper_calls": [
+                [ref, index] for ref, index in path["helper_calls"]
+            ],
+        }
+        for path in done
+        if path["started"]
+    ]
+    return paths, False
+
+
+def _contains(stmt: ast.AST, target: ast.AST) -> bool:
+    for node in ast.walk(stmt):
+        if node is target:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# extraction
+# --------------------------------------------------------------------------- #
+
+
+def _mutable_kind(value: ast.AST, module: ModuleSource) -> Optional[str]:
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        ref = call_ref(value.func, module)
+        if ref in _MUTABLE_CONSTRUCTORS:
+            return ref.rsplit(".", 1)[-1]
+    return None
+
+
+def _owner_function(node: ast.AST) -> Optional[ast.AST]:
+    """Innermost function owning ``node`` at *runtime* — decorator
+    expressions belong to the scope that applies them, not the function
+    they decorate."""
+    for child, parent in ancestry(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if child in parent.decorator_list:
+                continue
+            return parent
+    return None
+
+
+def _qualname(node: ast.AST) -> str:
+    parts = [node.name]
+    for _, parent in ancestry(node):
+        if isinstance(
+            parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            parts.append(parent.name)
+    return ".".join(reversed(parts))
+
+
+def _class_name(node: ast.AST) -> Optional[str]:
+    for _, parent in ancestry(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None  # a def nested inside a method is not a method
+        if isinstance(parent, ast.ClassDef):
+            return parent.name
+    return None
+
+
+def _param_spec(node: ast.AST, is_method: bool) -> ParamSpec:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    kw_names = [a.arg for a in args.kwonlyargs]
+    defaults = len(args.defaults) + sum(
+        1 for default in args.kw_defaults if default is not None
+    )
+    return ParamSpec(
+        names=tuple(names + kw_names),
+        defaults=defaults,
+        vararg=args.vararg is not None,
+        kwarg=args.kwarg is not None,
+    )
+
+
+def _tracer_kind(base: ast.AST, params: Tuple[str, ...]) -> str:
+    if isinstance(base, ast.Name):
+        if base.id in params:
+            return f"param:{base.id}"
+        return "other"
+    if (
+        isinstance(base, ast.Attribute)
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+    ):
+        return f"self.{base.attr}"
+    return "other"
+
+
+def _local_bindings(fn_node: ast.AST) -> FrozenSet[str]:
+    """Names bound locally in ``fn_node`` (excluding nested defs)."""
+    names: set = set()
+    declared_global: set = set()
+    for node in ast.walk(fn_node):
+        if node is not fn_node and _owner_function(node) is not fn_node:
+            continue
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif (
+            isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and node is not fn_node
+        ):
+            names.add(node.name)
+    return frozenset(names - declared_global)
+
+
+def _resource_kind_for(ref: Optional[str]) -> Optional[str]:
+    if ref is None:
+        return None
+    kind = _RESOURCE_KINDS.get(ref)
+    if kind is not None:
+        return kind
+    if ref.endswith(".SharedMemory") or ref == "SharedMemory":
+        return "SharedMemory"
+    if ref.endswith(".Pool"):
+        return "pool"
+    return None
+
+
+def _enclosing_stmt(node: ast.AST) -> Optional[ast.stmt]:
+    if isinstance(node, ast.stmt):
+        return node
+    for _, parent in ancestry(node):
+        if isinstance(parent, ast.stmt):
+            return parent
+    return None
+
+
+def _mentions(node: ast.AST, varname: str) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Name)
+            and sub.id == varname
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            # `segment.buf` reads an attribute off the handle without
+            # moving ownership; only the bare name escapes.
+            parent = getattr(sub, "_repro_parent", None)
+            if isinstance(parent, ast.Attribute):
+                continue
+            if isinstance(parent, ast.Call) and parent.func is sub:
+                continue  # calling the handle is use, not escape
+            return True
+    return False
+
+
+def _escapes(fn_node: ast.AST, varname: str, acq_stmt: ast.stmt) -> bool:
+    """Ownership leaves the function: returned, yielded, stored beyond a
+    local name, aliased, or rebound through ``global``."""
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Global) and varname in node.names:
+            return True
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _mentions(node.value, varname):
+                return True
+        if isinstance(node, ast.Assign) and node is not acq_stmt:
+            if _mentions(node.value, varname):
+                return True  # alias or structured store of the handle
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if node.value is not None and _mentions(node.value, varname):
+                return True
+    return False
+
+
+def _in_with_items(call: ast.Call) -> bool:
+    for child, parent in ancestry(call):
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            if any(item.context_expr is child for item in parent.items):
+                return True
+        if isinstance(parent, ast.stmt):
+            break
+    return False
+
+
+def _extract_resources(
+    fn_node: ast.AST, summary: FunctionSummary, module: ModuleSource
+) -> None:
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        if _owner_function(node) is not fn_node:
+            continue
+        kind = _resource_kind_for(call_ref(node.func, module))
+        if kind is None:
+            continue
+        if _in_with_items(node):
+            continue  # context manager releases on every path by design
+        fact = ResourceFact(
+            kind=kind,
+            lineno=node.lineno,
+            col=node.col_offset,
+            source_line=module.line_text(node.lineno),
+        )
+        stmt = _enclosing_stmt(node)
+        varname = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and stmt.value is node
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            varname = stmt.targets[0].id
+        if varname is None or stmt is None:
+            fact.escaped = True  # passed/returned directly: ownership moves
+        elif _escapes(fn_node, varname, stmt):
+            fact.varname = varname
+            fact.escaped = True
+        else:
+            fact.varname = varname
+            paths, overflowed = enumerate_release_paths(
+                fn_node, stmt, varname, module
+            )
+            fact.paths = paths
+            fact.overflowed = overflowed
+        summary.resources.append(fact)
+
+
+def _extract_registrations(
+    module: ModuleSource, summary: ModuleSummary
+) -> None:
+    def registry_ref(func: ast.Attribute) -> Optional[str]:
+        if func.attr != "register" or not isinstance(func.value, ast.Name):
+            return None
+        return module.imports.origin(func.value.id) or func.value.id
+
+    for node in ast.walk(module.tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            for decorator in node.decorator_list:
+                func = (
+                    decorator.func
+                    if isinstance(decorator, ast.Call)
+                    else decorator
+                )
+                if not isinstance(func, ast.Attribute):
+                    continue
+                registry = registry_ref(func)
+                if registry is not None:
+                    summary.registrations.append(
+                        Registration(
+                            registry=registry,
+                            target=_qualname(node),
+                            lineno=node.lineno,
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and len(node.args) >= 2:
+                registry = registry_ref(func)
+                target = _value_ref(node.args[1], module)
+                if registry is not None and target is not None:
+                    summary.registrations.append(
+                        Registration(
+                            registry=registry,
+                            target=target,
+                            lineno=node.lineno,
+                        )
+                    )
+
+
+def _tracer_like(expr: ast.AST) -> bool:
+    """Mirror of the R3 receiver heuristic (kept in sync with visitors)."""
+    if isinstance(expr, ast.Name):
+        return expr.id == "tracer" or expr.id.endswith("tracer")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "tracer" or expr.attr.endswith("tracer")
+    return False
+
+
+def _strict_emit_guarded(call: ast.Call) -> bool:
+    """Same-tracer guard check, identical semantics to rule R3."""
+    from repro.analysis.visitors import _emit_is_guarded
+
+    return _emit_is_guarded(call, call.func.value)
+
+
+def extract_summary(
+    module: ModuleSource,
+    display_path: str,
+    known_tokens: FrozenSet[str] = frozenset(),
+    source: Optional[str] = None,
+) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    summary = ModuleSummary(
+        path=display_path, module=module_name_for(display_path)
+    )
+    summary.imports = dict(module.imports._origins)
+
+    if source is not None:
+        scanned = Suppressions.scan(source, known_tokens)
+        summary.suppressions = {
+            line: (None if tokens is None else sorted(tokens))
+            for line, tokens in scanned._by_line.items()
+        }
+
+    # Module-scope mutable bindings.
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        kind = _mutable_kind(value, module)
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                summary.globals[target.id] = GlobalVar(
+                    name=target.id,
+                    lineno=stmt.lineno,
+                    col=stmt.col_offset,
+                    source_line=module.line_text(stmt.lineno),
+                    kind=kind,
+                )
+
+    # Classes (module scope).
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        bases = tuple(
+            ref
+            for ref in (_value_ref(b, module) for b in stmt.bases)
+            if ref is not None
+        )
+        methods = tuple(
+            item.name
+            for item in stmt.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        summary.classes[stmt.name] = ClassSummary(
+            name=stmt.name,
+            lineno=stmt.lineno,
+            source_line=module.line_text(stmt.lineno),
+            bases=bases,
+            methods=methods,
+        )
+
+    # Functions, methods, and the module-scope pseudo-function.
+    fn_nodes: Dict[Optional[ast.AST], FunctionSummary] = {}
+    module_fn = FunctionSummary(
+        name=MODULE_SCOPE,
+        qualname=MODULE_SCOPE,
+        lineno=1,
+        col=0,
+        source_line="",
+    )
+    fn_nodes[None] = module_fn
+    summary.functions[MODULE_SCOPE] = module_fn
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        class_name = _class_name(node)
+        fn = FunctionSummary(
+            name=node.name,
+            qualname=_qualname(node),
+            lineno=node.lineno,
+            col=node.col_offset,
+            source_line=module.line_text(node.lineno),
+            params=_param_spec(node, is_method=class_name is not None),
+            class_name=class_name,
+        )
+        fn_nodes[node] = fn
+        summary.functions[fn.qualname] = fn
+
+    module_globals = frozenset(summary.globals)
+    locals_cache: Dict[ast.AST, FrozenSet[str]] = {}
+
+    def fn_locals(owner: ast.AST) -> FrozenSet[str]:
+        cached = locals_cache.get(owner)
+        if cached is None:
+            cached = _local_bindings(owner)
+            locals_cache[owner] = cached
+        return cached
+
+    for node in ast.walk(module.tree):
+        owner = _owner_function(node)
+        fn = fn_nodes.get(owner)
+        if fn is None:
+            continue  # inside a lambda body we did not index
+
+        if isinstance(node, ast.Call):
+            ref = call_ref(node.func, module)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and _tracer_like(node.func.value)
+                and owner is not None
+            ):
+                fn.emits.append(
+                    EmitFact(
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        source_line=module.line_text(node.lineno),
+                        guarded=_strict_emit_guarded(node),
+                        tracer=_tracer_kind(node.func.value, fn.params.names),
+                    )
+                )
+            if ref is not None:
+                arg0 = _value_ref(node.args[0], module) if node.args else None
+                fn.calls.append(
+                    CallFact(
+                        ref=ref,
+                        lineno=node.lineno,
+                        guarded=node_is_guarded(node),
+                        arg0=arg0,
+                    )
+                )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and owner is not None
+            ):
+                receiver = node.func.value.id
+                if (
+                    node.func.attr in _RELEASE_METHODS
+                    and receiver in fn.params.names
+                ):
+                    index = fn.params.names.index(receiver)
+                    fn.releases_params = tuple(
+                        sorted(set(fn.releases_params) | {index})
+                    )
+                if (
+                    node.func.attr in _MUTATING_METHODS
+                    and receiver in module_globals
+                    and receiver not in fn_locals(owner)
+                    and receiver not in fn.params.names
+                ):
+                    fn.global_writes = tuple(
+                        sorted(set(fn.global_writes) | {receiver})
+                    )
+
+        elif isinstance(node, ast.Name) and owner is not None:
+            if node.id not in module_globals:
+                continue
+            if node.id in fn_locals(owner) or node.id in fn.params.names:
+                continue
+            if isinstance(node.ctx, ast.Load):
+                parent = getattr(node, "_repro_parent", None)
+                if isinstance(parent, ast.Subscript) and isinstance(
+                    parent.ctx, (ast.Store, ast.Del)
+                ):
+                    fn.global_writes = tuple(
+                        sorted(set(fn.global_writes) | {node.id})
+                    )
+                fn.global_reads = tuple(
+                    sorted(set(fn.global_reads) | {node.id})
+                )
+            elif isinstance(node.ctx, (ast.Store, ast.Del)):
+                declared = any(
+                    isinstance(sub, ast.Global) and node.id in sub.names
+                    for sub in ast.walk(owner)
+                )
+                if declared:
+                    fn.global_writes = tuple(
+                        sorted(set(fn.global_writes) | {node.id})
+                    )
+
+    for node, fn in fn_nodes.items():
+        if node is not None:
+            _extract_resources(node, fn, module)
+
+    _extract_registrations(module, summary)
+    return summary

@@ -304,6 +304,13 @@ class UnguardedTraceEmitRule(Rule):
     attribute load and a branch per site; an unguarded emit builds the
     event dict unconditionally and silently re-slows the dispatch hot loop
     PR 1–3 optimized.
+
+    This in-function check is deliberately conservative.  The project
+    analysis layers a cross-function *rescue* on top: a helper whose
+    tracer arrives from outside and whose every resolved call site is
+    guarded has its finding dropped (see
+    :func:`repro.analysis.interproc.rescued_emit_lines`); the single-file
+    API (:func:`repro.analysis.analyze_source`) keeps the strict verdict.
     """
 
     id = "R3"

@@ -1,0 +1,137 @@
+"""Incremental cache: warm hits, invalidation, corruption, closures."""
+
+import json
+
+from repro.analysis import analyze_project
+from repro.analysis.cache import (
+    AnalysisCache,
+    CACHE_SCHEMA,
+    file_digest,
+    ruleset_signature,
+)
+from repro.analysis.rules import all_rules
+
+
+def write_project(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("def helper():\n    return 1\n")
+    (pkg / "b.py").write_text(
+        "from pkg.a import helper\n"
+        "\n"
+        "def run():\n"
+        "    return helper()\n"
+    )
+    (pkg / "c.py").write_text("def lone():\n    return 2\n")
+    return pkg
+
+
+def run(tmp_path, cache_path):
+    return analyze_project(
+        [str(tmp_path / "pkg")],
+        root=str(tmp_path),
+        cache_path=str(cache_path),
+    )
+
+
+class TestWarmRuns:
+    def test_cold_then_warm(self, tmp_path):
+        write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run(tmp_path, cache)
+        assert cold.files_reparsed == 3 and cold.cache_hits == 0
+        warm = run(tmp_path, cache)
+        assert warm.files_reparsed == 0 and warm.cache_hits == 3
+        assert warm.changed_files == []
+        assert [f.fingerprint for f in cold.findings] == [
+            f.fingerprint for f in warm.findings
+        ]
+
+    def test_touched_file_reparses_only_reverse_closure(self, tmp_path):
+        pkg = write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        run(tmp_path, cache)
+        (pkg / "a.py").write_text("def helper():\n    return 3\n")
+        warm = run(tmp_path, cache)
+        # Only the changed file is re-parsed; its dependents are
+        # re-checked through the rebuilt call graph without re-parsing.
+        assert warm.changed_files == ["pkg/a.py"]
+        assert warm.files_reparsed == 1 and warm.cache_hits == 2
+        assert set(warm.reverse_closure) == {"pkg/a.py", "pkg/b.py"}
+
+    def test_unrelated_file_has_singleton_closure(self, tmp_path):
+        pkg = write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        run(tmp_path, cache)
+        (pkg / "c.py").write_text("def lone():\n    return 9\n")
+        warm = run(tmp_path, cache)
+        assert warm.changed_files == ["pkg/c.py"]
+        assert set(warm.reverse_closure) == {"pkg/c.py"}
+
+
+class TestInvalidation:
+    def test_ruleset_change_forces_full_relint(self, tmp_path):
+        write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        run(tmp_path, cache)
+        payload = json.loads(cache.read_text())
+        payload["ruleset"] = "something-else"
+        cache.write_text(json.dumps(payload))
+        warm = run(tmp_path, cache)
+        assert warm.files_reparsed == 3 and warm.cache_hits == 0
+
+    def test_corrupt_cache_is_cold_start(self, tmp_path):
+        write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = run(tmp_path, cache)
+        assert report.files_reparsed == 3
+        # ...and the run leaves a valid cache behind.
+        warm = run(tmp_path, cache)
+        assert warm.files_reparsed == 0
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text(json.dumps({"schema": "other/1", "files": {}}))
+        assert AnalysisCache.load(str(cache)) is None
+
+    def test_noqa_option_changes_signature(self, tmp_path):
+        write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        run(tmp_path, cache)
+        report = analyze_project(
+            [str(tmp_path / "pkg")],
+            root=str(tmp_path),
+            cache_path=str(cache),
+            respect_noqa=False,
+        )
+        assert report.files_reparsed == 3
+
+
+class TestPrimitives:
+    def test_digest_tracks_content(self):
+        assert file_digest("a") != file_digest("b")
+        assert file_digest("a") == file_digest("a")
+
+    def test_signature_depends_on_rules(self):
+        rules = all_rules()
+        assert ruleset_signature(rules) == ruleset_signature(rules)
+        assert ruleset_signature(rules) != ruleset_signature(rules[:-1])
+        assert ruleset_signature(rules) != ruleset_signature(
+            rules, extra="noqa=False"
+        )
+
+    def test_roundtrip(self, tmp_path):
+        cache = AnalysisCache(ruleset="sig")
+        cache.files["a.py"] = {
+            "digest": "d", "summary": {}, "findings": [],
+        }
+        path = tmp_path / "c.json"
+        cache.save(str(path))
+        loaded = AnalysisCache.load(str(path))
+        assert loaded is not None
+        assert loaded.ruleset == "sig"
+        assert loaded.entry_for("a.py", "d") is not None
+        assert loaded.entry_for("a.py", "other") is None
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == CACHE_SCHEMA

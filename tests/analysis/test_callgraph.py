@@ -1,0 +1,211 @@
+"""Call-graph resolution: aliases, method dispatch, registry edges."""
+
+from repro.analysis.astutil import ModuleSource
+from repro.analysis.callgraph import build_project
+from repro.analysis.symbols import extract_summary
+
+
+def project(sources):
+    summaries = []
+    for path, text in sorted(sources.items()):
+        module = ModuleSource.parse(text, path)
+        summaries.append(extract_summary(module, path, source=text))
+    return build_project(summaries)
+
+
+class TestImportResolution:
+    def test_from_import(self):
+        index, graph = project({
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert "pkg.a:helper" in graph.callees("pkg.b:run")
+
+    def test_aliased_import(self):
+        index, graph = project({
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper as h\n"
+                "\n"
+                "def run():\n"
+                "    return h()\n"
+            ),
+        })
+        assert "pkg.a:helper" in graph.callees("pkg.b:run")
+
+    def test_module_attribute_call(self):
+        index, graph = project({
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "import pkg.a\n"
+                "\n"
+                "def run():\n"
+                "    return pkg.a.helper()\n"
+            ),
+        })
+        assert "pkg.a:helper" in graph.callees("pkg.b:run")
+
+    def test_reexport_chased(self):
+        index, graph = project({
+            "pkg/impl.py": "def helper():\n    return 1\n",
+            "pkg/__init__.py": "from pkg.impl import helper\n",
+            "app.py": (
+                "from pkg import helper\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert "pkg.impl:helper" in graph.callees("app:run")
+
+
+class TestMethodDispatch:
+    def test_self_method(self):
+        index, graph = project({
+            "pkg/c.py": (
+                "class C:\n"
+                "    def a(self):\n"
+                "        return self.b()\n"
+                "    def b(self):\n"
+                "        return 1\n"
+            ),
+        })
+        assert "pkg.c:C.b" in graph.callees("pkg.c:C.a")
+
+    def test_inherited_method(self):
+        index, graph = project({
+            "pkg/c.py": (
+                "class Base:\n"
+                "    def b(self):\n"
+                "        return 1\n"
+                "\n"
+                "class Child(Base):\n"
+                "    def a(self):\n"
+                "        return self.b()\n"
+            ),
+        })
+        assert "pkg.c:Base.b" in graph.callees("pkg.c:Child.a")
+
+    def test_attribute_fanout_by_name(self):
+        index, graph = project({
+            "pkg/c.py": (
+                "class C:\n"
+                "    def special_method(self):\n"
+                "        return 1\n"
+                "\n"
+                "def run(obj):\n"
+                "    return obj.special_method()\n"
+            ),
+        })
+        assert "pkg.c:C.special_method" in graph.callees("pkg.c:run")
+
+    def test_fanout_cap_suppresses_common_names(self):
+        sources = {}
+        for i in range(10):
+            sources[f"pkg/m{i}.py"] = (
+                f"class C{i}:\n"
+                "    def process(self):\n"
+                "        return 1\n"
+            )
+        sources["pkg/run.py"] = (
+            "def run(obj):\n"
+            "    return obj.process()\n"
+        )
+        index, graph = project(sources)
+        callees = graph.callees("pkg.run:run")
+        assert not any(c.endswith(".process") for c in callees)
+
+
+class TestRegistryEdges:
+    def test_registration_creates_pseudo_edge(self):
+        index, graph = project({
+            "pkg/registry.py": (
+                "class Registry:\n"
+                "    def register(self, name):\n"
+                "        def deco(target):\n"
+                "            return target\n"
+                "        return deco\n"
+            ),
+            "pkg/things.py": (
+                "from pkg.registry import Registry\n"
+                "THINGS = Registry()\n"
+                "\n"
+                "@THINGS.register('a')\n"
+                "class A:\n"
+                "    def __init__(self):\n"
+                "        self.x = 1\n"
+            ),
+            "pkg/make.py": (
+                "from pkg.things import THINGS\n"
+                "\n"
+                "def build(name):\n"
+                "    return THINGS.create(name)\n"
+            ),
+        })
+        assert "<registry:THINGS>" in graph.callees("pkg.make:build")
+        assert "pkg.things:A.__init__" in graph.callees("<registry:THINGS>")
+
+    def test_registry_create_reaches_target(self):
+        index, graph = project({
+            "pkg/registry.py": (
+                "class Registry:\n"
+                "    def register(self, name):\n"
+                "        def deco(target):\n"
+                "            return target\n"
+                "        return deco\n"
+            ),
+            "pkg/things.py": (
+                "from pkg.registry import Registry\n"
+                "THINGS = Registry()\n"
+                "\n"
+                "@THINGS.register('a')\n"
+                "class A:\n"
+                "    def __init__(self):\n"
+                "        self.x = 1\n"
+                "\n"
+                "def build(name):\n"
+                "    return THINGS.create(name)\n"
+            ),
+        })
+        reachable = graph.reachable(["pkg.things:build"])
+        assert "pkg.things:A.__init__" in reachable
+
+
+class TestFileDependencies:
+    def test_reverse_closure_follows_imports(self):
+        index, graph = project({
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+            "pkg/c.py": "def other():\n    return 2\n",
+        })
+        closure = graph.reverse_dependency_closure(["pkg/a.py"])
+        assert closure == {"pkg/a.py", "pkg/b.py"}
+
+    def test_closure_is_transitive(self):
+        index, graph = project({
+            "pkg/a.py": "def fa():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import fa\n"
+                "\n"
+                "def fb():\n"
+                "    return fa()\n"
+            ),
+            "pkg/c.py": (
+                "from pkg.b import fb\n"
+                "\n"
+                "def fc():\n"
+                "    return fb()\n"
+            ),
+        })
+        closure = graph.reverse_dependency_closure(["pkg/a.py"])
+        assert closure == {"pkg/a.py", "pkg/b.py", "pkg/c.py"}

@@ -135,6 +135,106 @@ class TestIntrospection:
         assert "self-test" in capsys.readouterr().out
 
 
+class TestIncrementalFlag:
+    def test_warm_run_matches_cold_and_reports_telemetry(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "bad.py").write_text(BAD)
+        cache = tmp_path / "cache.json"
+        args = [
+            str(tmp_path),
+            "--root",
+            str(tmp_path),
+            "--incremental",
+            "--cache",
+            str(cache),
+            "--format",
+            "json",
+        ]
+        assert main(args) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["new"] == warm["new"]
+        assert warm["cache"]["enabled"] is True
+        assert warm["cache"]["files_reparsed"] == 0
+        assert warm["cache"]["hits"] == cold["files_analyzed"]
+        assert warm["cache"]["changed_files"] == []
+
+    def test_default_cache_lives_under_root(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert (
+            main([str(tmp_path), "--root", str(tmp_path), "--incremental"])
+            == 0
+        )
+        capsys.readouterr()
+        assert (tmp_path / ".repro-analysis-cache.json").exists()
+
+
+class TestSarifFormat:
+    def test_sarif_output(self, bad_file, capsys):
+        code = main(
+            [
+                str(bad_file),
+                "--root",
+                str(bad_file.parent),
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "R1"
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "bad.py"
+
+
+class TestBaselinePruning:
+    def test_stale_entries_pruned_on_rewrite(self, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        keep = tmp_path / "keep.py"
+        gone = tmp_path / "gone.py"
+        keep.write_text(BAD)
+        gone.write_text("import time\nt = time.time()\n")
+        root = str(tmp_path)
+        main([root, "--root", root, "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        locations = sorted(payload["fingerprints"].values())
+        assert any("gone.py" in loc for loc in locations)
+
+        gone.unlink()
+        main([root, "--root", root, "--write-baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        payload = json.loads(baseline.read_text())
+        locations = sorted(payload["fingerprints"].values())
+        assert not any("gone.py" in loc for loc in locations)
+        assert any("keep.py" in loc for loc in locations)
+
+    def test_rewrite_merges_with_existing(self, tmp_path, capsys):
+        """Re-writing against a subset of paths keeps entries for files
+        that still exist but weren't analyzed this run."""
+        baseline = tmp_path / "lint-baseline.json"
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text(BAD)
+        b.write_text("import time\nt = time.time()\n")
+        root = str(tmp_path)
+        main([root, "--root", root, "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        before = json.loads(baseline.read_text())["fingerprints"]
+
+        main([str(a), "--root", root, "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        after = json.loads(baseline.read_text())["fingerprints"]
+        assert after == before
+
+
 class TestAcceptance:
     def test_src_tree_is_clean(self, capsys):
         """The shipped tree passes its own gate with an empty baseline."""

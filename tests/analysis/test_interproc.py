@@ -1,0 +1,387 @@
+"""Interprocedural rules R8–R10, the R3 upgrade, and src cleanliness."""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_project, analyze_project_sources
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+PARALLEL = (
+    "def parallel_map(point_fn, tasks, jobs=None):\n"
+    "    return [point_fn(t) for t in tasks]\n"
+)
+
+REGISTRY = (
+    "class Registry:\n"
+    "    def __init__(self, kind):\n"
+    "        self._items = {}\n"
+    "    def register(self, name, aliases=()):\n"
+    "        def deco(target):\n"
+    "            self._items[name] = target\n"
+    "            return target\n"
+    "        return deco\n"
+)
+
+
+def rules_fired(sources, test_sources=None):
+    findings = analyze_project_sources(
+        sources, allowlist={}, test_sources=test_sources
+    )
+    return [f.rule for f in findings]
+
+
+class TestForkUnsafety:
+    BAD_STATE = (
+        "_memo = {}\n"
+        "\n"
+        "def remember(key, value):\n"
+        "    _memo[key] = value\n"
+        "\n"
+        "def lookup(key):\n"
+        "    return _memo.get(key)\n"
+    )
+    DRIVER = (
+        "from pkg.state import lookup, remember\n"
+        "from experiments.parallel import parallel_map\n"
+        "\n"
+        "def work(task):\n"
+        "    return lookup(task)\n"
+        "\n"
+        "def run(tasks):\n"
+        "    remember('size', len(tasks))\n"
+        "    return parallel_map(work, tasks)\n"
+    )
+
+    def test_fires_on_worker_read_of_written_global(self):
+        fired = rules_fired({
+            "pkg/state.py": self.BAD_STATE,
+            "pkg/driver.py": self.DRIVER,
+            "experiments/parallel.py": PARALLEL,
+        })
+        assert "R8" in fired
+
+    def test_silent_with_invalidation_hook(self):
+        fired = rules_fired({
+            "pkg/state.py": self.BAD_STATE + (
+                "\ndef clear_memo():\n    _memo.clear()\n"
+            ),
+            "pkg/driver.py": self.DRIVER,
+            "experiments/parallel.py": PARALLEL,
+        })
+        assert "R8" not in fired
+
+    def test_silent_with_fork_safe_marker(self):
+        fired = rules_fired({
+            "pkg/state.py": self.BAD_STATE.replace(
+                "_memo = {}", "_memo = {}  # repro: fork-safe"
+            ),
+            "pkg/driver.py": self.DRIVER,
+            "experiments/parallel.py": PARALLEL,
+        })
+        assert "R8" not in fired
+
+    def test_silent_when_worker_never_reads(self):
+        fired = rules_fired({
+            "pkg/state.py": self.BAD_STATE,
+            "pkg/driver.py": self.DRIVER.replace(
+                "    return lookup(task)", "    return task"
+            ),
+            "experiments/parallel.py": PARALLEL,
+        })
+        assert "R8" not in fired
+
+    def test_suppressible_with_noqa(self):
+        fired = rules_fired({
+            "pkg/state.py": self.BAD_STATE.replace(
+                "_memo = {}", "_memo = {}  # repro: noqa[R8]"
+            ),
+            "pkg/driver.py": self.DRIVER,
+            "experiments/parallel.py": PARALLEL,
+        })
+        assert "R8" not in fired
+
+
+class TestTwinParity:
+    def shapes(self, body):
+        return {
+            "pkg/registry.py": REGISTRY,
+            "pkg/shapes.py": (
+                "from pkg.registry import Registry\n"
+                "SHAPES = Registry('shape')\n"
+                "\n" + body
+            ),
+        }
+
+    def test_fires_on_misaligned_params(self):
+        fired = rules_fired(self.shapes(
+            "@SHAPES.register('wave')\n"
+            "class Wave:\n"
+            "    def generate(self, count, now=0.0):\n"
+            "        return count\n"
+            "    def generate_batch(self, counts, scale=1.0):\n"
+            "        return counts\n"
+        ))
+        assert "R9" in fired
+
+    def test_fires_on_missing_twin_without_marker(self):
+        fired = rules_fired(self.shapes(
+            "@SHAPES.register('wave')\n"
+            "class Wave:\n"
+            "    def generate(self, count):\n"
+            "        return count\n"
+            "    def generate_batch(self, counts):\n"
+            "        return counts\n"
+            "\n"
+            "@SHAPES.register('flat')\n"
+            "class Flat:\n"
+            "    def generate(self, count):\n"
+            "        return count\n"
+        ))
+        assert "R9" in fired
+
+    def test_fires_when_tests_miss_batch_name(self):
+        fired = rules_fired(
+            self.shapes(
+                "@SHAPES.register('wave')\n"
+                "class Wave:\n"
+                "    def generate(self, count, now=0.0):\n"
+                "        return count\n"
+                "    def generate_batch(self, counts, now=0.0):\n"
+                "        return counts\n"
+            ),
+            test_sources={
+                "tests/test_shapes.py": (
+                    "def test_scalar():\n    assert generate\n"
+                )
+            },
+        )
+        assert "R9" in fired
+
+    def test_silent_when_aligned_and_tested(self):
+        fired = rules_fired(
+            self.shapes(
+                "@SHAPES.register('wave')\n"
+                "class Wave:\n"
+                "    def generate(self, count, now=0.0):\n"
+                "        return count\n"
+                "    def generate_batch(self, counts, now=0.0):\n"
+                "        return counts\n"
+            ),
+            test_sources={
+                "tests/test_shapes.py": (
+                    "def test_both():\n"
+                    "    assert generate and generate_batch\n"
+                )
+            },
+        )
+        assert "R9" not in fired
+
+    def test_plural_payload_params_align(self):
+        fired = rules_fired(
+            self.shapes(
+                "@SHAPES.register('wave')\n"
+                "class Wave:\n"
+                "    def estimate(self, request, now=0.0):\n"
+                "        return 1\n"
+                "    def estimate_batch(self, requests, now=0.0):\n"
+                "        return [1]\n"
+            ),
+        )
+        assert "R9" not in fired
+
+    def test_scalar_fallback_marker_excuses_missing_twin(self):
+        fired = rules_fired(self.shapes(
+            "@SHAPES.register('wave')\n"
+            "class Wave:\n"
+            "    def generate(self, count):\n"
+            "        return count\n"
+            "    def generate_batch(self, counts):\n"
+            "        return counts\n"
+            "\n"
+            "@SHAPES.register('flat')\n"
+            "class Flat:\n"
+            "    def generate(self, count):  # repro: scalar-fallback\n"
+            "        return count\n"
+        ))
+        assert "R9" not in fired
+
+
+class TestResourceLifetime:
+    def test_fires_on_leaked_path(self):
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "\n"
+                "def export(n):\n"
+                "    seg = shared_memory.SharedMemory(create=True)\n"
+                "    if n:\n"
+                "        seg.close()\n"
+                "    return None\n"
+            ),
+        })
+        assert "R10" in fired
+
+    def test_fires_on_non_releasing_helper(self):
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "\n"
+                "def consume(seg):\n"
+                "    return len(seg.buf)\n"
+                "\n"
+                "def export(n):\n"
+                "    seg = shared_memory.SharedMemory(create=True)\n"
+                "    consume(seg)\n"
+                "    return None\n"
+            ),
+        })
+        assert "R10" in fired
+
+    def test_silent_on_try_finally(self):
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "\n"
+                "def export(n):\n"
+                "    seg = shared_memory.SharedMemory(create=True)\n"
+                "    try:\n"
+                "        return seg.name\n"
+                "    finally:\n"
+                "        seg.close()\n"
+            ),
+        })
+        assert "R10" not in fired
+
+    def test_silent_when_helper_releases(self):
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "\n"
+                "def teardown(seg):\n"
+                "    seg.close()\n"
+                "\n"
+                "def export(n):\n"
+                "    seg = shared_memory.SharedMemory(create=True)\n"
+                "    teardown(seg)\n"
+                "    return n\n"
+            ),
+        })
+        assert "R10" not in fired
+
+    def test_silent_when_resource_escapes(self):
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "\n"
+                "def attach(name):\n"
+                "    seg = shared_memory.SharedMemory(name=name)\n"
+                "    return seg\n"
+            ),
+        })
+        assert "R10" not in fired
+
+    def test_silent_on_unknown_external_helper(self):
+        # An unresolvable callee is treated as an ownership transfer:
+        # conservative silence, never a guessed leak.
+        fired = rules_fired({
+            "pkg/buf.py": (
+                "from multiprocessing import shared_memory\n"
+                "from pkg.vendor import hand_off\n"
+                "\n"
+                "def export(n):\n"
+                "    seg = shared_memory.SharedMemory(create=True)\n"
+                "    hand_off(seg)\n"
+                "    return n\n"
+            ),
+        })
+        assert "R10" not in fired
+
+
+class TestTraceGuardUpgrade:
+    HELPER = (
+        "def trace_dispatch(tracer, now):\n"
+        "    tracer.emit({'kind': 'x', 't': now})\n"
+    )
+
+    def test_unguarded_caller_keeps_finding(self):
+        fired = rules_fired({
+            "pkg/helper.py": self.HELPER + (
+                "\n"
+                "def run(tracer, now):\n"
+                "    trace_dispatch(tracer, now)\n"
+            ),
+        })
+        assert "R3" in fired
+
+    def test_all_guarded_callers_rescue_helper(self):
+        fired = rules_fired({
+            "pkg/helper.py": self.HELPER + (
+                "\n"
+                "def run(tracer, now):\n"
+                "    if tracer.enabled:\n"
+                "        trace_dispatch(tracer, now)\n"
+            ),
+        })
+        assert "R3" not in fired
+
+    def test_rescue_crosses_modules(self):
+        fired = rules_fired({
+            "pkg/helper.py": self.HELPER,
+            "pkg/caller.py": (
+                "from pkg.helper import trace_dispatch\n"
+                "\n"
+                "def run(tracer, now):\n"
+                "    if tracer.enabled:\n"
+                "        trace_dispatch(tracer, now)\n"
+            ),
+        })
+        assert "R3" not in fired
+
+    def test_mixed_call_sites_do_not_rescue(self):
+        fired = rules_fired({
+            "pkg/helper.py": self.HELPER + (
+                "\n"
+                "def a(tracer, now):\n"
+                "    if tracer.enabled:\n"
+                "        trace_dispatch(tracer, now)\n"
+                "\n"
+                "def b(tracer, now):\n"
+                "    trace_dispatch(tracer, now)\n"
+            ),
+        })
+        assert "R3" in fired
+
+    def test_no_call_sites_keep_obligation(self):
+        fired = rules_fired({"pkg/helper.py": self.HELPER})
+        assert "R3" in fired
+
+
+class TestSrcClean:
+    """Acceptance pin: the project rules hold over the real tree.
+
+    If a future change introduces fork-unsafe state, a twin mismatch, or
+    a resource leak, this fails before CI's lint gate does.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_project(
+            [os.path.join(REPO_ROOT, "src")],
+            root=REPO_ROOT,
+            test_paths=[os.path.join(REPO_ROOT, "tests")],
+        )
+
+    def test_no_project_rule_findings(self, report):
+        fired = [
+            f for f in report.findings if f.rule in ("R8", "R9", "R10")
+        ]
+        assert fired == [], [f.render() for f in fired]
+
+    def test_no_findings_at_all(self, report):
+        assert report.findings == [], [
+            f.render() for f in report.findings
+        ]

@@ -1,0 +1,51 @@
+"""SARIF 2.1.0 output shape: rules table, results, fingerprints."""
+
+import json
+
+from repro.analysis import analyze_source, render_sarif
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.sarif import FINGERPRINT_KEY
+
+BAD = "import random\nx = random.random()\n"
+
+
+def make_log(new, baselined=()):
+    report = AnalysisReport(
+        findings=list(new) + list(baselined), files_analyzed=1
+    )
+    return json.loads(render_sarif(report, new, baselined))
+
+
+class TestSarifShape:
+    def test_envelope(self):
+        log = make_log([])
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert run["results"] == []
+
+    def test_rules_table_covers_all_rules(self):
+        log = make_log([])
+        ids = {
+            rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"R1", "R3", "R8", "R9", "R10", "R0", "E0"} <= ids
+
+    def test_result_carries_fingerprint_and_location(self):
+        findings = analyze_source(BAD, path="pkg/bad.py", allowlist={})
+        log = make_log(findings)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "R1"
+        assert result["level"] == "error"
+        assert result["baselineState"] == "new"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/bad.py"
+        assert location["region"]["startLine"] == 2
+        fingerprint = result["partialFingerprints"][FINGERPRINT_KEY]
+        assert fingerprint == findings[0].fingerprint
+
+    def test_baselined_results_marked_unchanged(self):
+        findings = analyze_source(BAD, path="pkg/bad.py", allowlist={})
+        log = make_log([], baselined=findings)
+        (result,) = log["runs"][0]["results"]
+        assert result["baselineState"] == "unchanged"

@@ -1,0 +1,186 @@
+"""Module-summary extraction: facts pass two relies on, and round-trips."""
+
+from repro.analysis.astutil import ModuleSource
+from repro.analysis.symbols import (
+    ModuleSummary,
+    extract_summary,
+    module_name_for,
+)
+
+
+def summarize(source: str, path: str = "pkg/mod.py") -> ModuleSummary:
+    module = ModuleSource.parse(source, path)
+    return extract_summary(module, path, source=source)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/core/model.py") == (
+            "repro.core.model"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_no_src_prefix(self):
+        assert module_name_for("pkg/mod.py") == "pkg.mod"
+
+
+class TestFunctionFacts:
+    def test_params_strip_self(self):
+        summary = summarize(
+            "class C:\n"
+            "    def meth(self, a, b=1, *rest, **kw):\n"
+            "        return a\n"
+        )
+        spec = summary.functions["C.meth"].params
+        assert spec.names == ("a", "b")
+        assert spec.defaults == 1
+        assert spec.vararg and spec.kwarg
+
+    def test_calls_resolve_import_origin(self):
+        summary = summarize(
+            "from pkg.other import helper\n"
+            "\n"
+            "def run():\n"
+            "    helper()\n"
+        )
+        refs = [c.ref for c in summary.functions["run"].calls]
+        assert "pkg.other.helper" in refs
+
+    def test_global_write_via_subscript(self):
+        summary = summarize(
+            "_cache = {}\n"
+            "\n"
+            "def put(k, v):\n"
+            "    _cache[k] = v\n"
+            "\n"
+            "def get(k):\n"
+            "    return _cache.get(k)\n"
+        )
+        assert "_cache" in summary.functions["put"].global_writes
+        assert "_cache" in summary.functions["get"].global_reads
+        assert "_cache" in summary.globals
+
+    def test_mutating_method_counts_as_write(self):
+        summary = summarize(
+            "_items = []\n"
+            "\n"
+            "def add(x):\n"
+            "    _items.append(x)\n"
+        )
+        assert "_items" in summary.functions["add"].global_writes
+
+    def test_emit_guard_classification(self):
+        summary = summarize(
+            "def a(tracer, now):\n"
+            "    tracer.emit({'kind': 'x', 't': now})\n"
+            "\n"
+            "def b(tracer, now):\n"
+            "    if tracer.enabled:\n"
+            "        tracer.emit({'kind': 'x', 't': now})\n"
+        )
+        (unguarded,) = summary.functions["a"].emits
+        (guarded,) = summary.functions["b"].emits
+        assert not unguarded.guarded and guarded.guarded
+        assert unguarded.tracer == "param:tracer"
+
+    def test_early_exit_guard_marks_call_site(self):
+        summary = summarize(
+            "def run(tracer, now):\n"
+            "    if not tracer.enabled:\n"
+            "        return\n"
+            "    helper(tracer, now)\n"
+        )
+        (call,) = [
+            c for c in summary.functions["run"].calls if c.ref == "helper"
+        ]
+        assert call.guarded
+
+    def test_registration_decorator_and_call(self):
+        summary = summarize(
+            "from pkg.registry import Registry\n"
+            "THINGS = Registry('thing')\n"
+            "\n"
+            "@THINGS.register('a')\n"
+            "class A:\n"
+            "    pass\n"
+            "\n"
+            "def make():\n"
+            "    return A()\n"
+        )
+        regs = {(r.registry, r.target) for r in summary.registrations}
+        assert ("THINGS", "A") in regs
+
+
+class TestResources:
+    def test_leak_path_recorded(self):
+        summary = summarize(
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def export(n):\n"
+            "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    if n:\n"
+            "        seg.close()\n"
+            "    return None\n"
+        )
+        (res,) = summary.functions["export"].resources
+        assert res.kind == "SharedMemory"
+        assert not res.escaped
+        released = [p for p in res.paths if p["released"]]
+        leaked = [p for p in res.paths if not p["released"]]
+        assert released and leaked
+
+    def test_returned_resource_escapes(self):
+        summary = summarize(
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def attach(name):\n"
+            "    seg = shared_memory.SharedMemory(name=name)\n"
+            "    return seg\n"
+        )
+        (res,) = summary.functions["attach"].resources
+        assert res.escaped
+
+    def test_with_block_exempt_from_path_tracking(self):
+        summary = summarize(
+            "import gzip\n"
+            "\n"
+            "def dump(path):\n"
+            "    with gzip.open(path, 'wt') as stream:\n"
+            "        stream.write('x')\n"
+        )
+        (res,) = summary.functions["dump"].resources
+        assert res.escaped and res.paths == []
+
+    def test_helper_release_recorded(self):
+        summary = summarize(
+            "def teardown(seg):\n"
+            "    seg.close()\n"
+        )
+        assert 0 in summary.functions["teardown"].releases_params
+
+
+class TestRoundTrip:
+    def test_summary_survives_dict_round_trip(self):
+        source = (
+            "from pkg.registry import Registry\n"
+            "import gzip\n"
+            "THINGS = Registry('thing')\n"
+            "_cache = {}\n"
+            "\n"
+            "@THINGS.register('a')\n"
+            "class A:\n"
+            "    def meth(self, x, now=0.0):\n"
+            "        _cache[x] = now\n"
+            "\n"
+            "def open_log(path):  # repro: noqa[R2]\n"
+            "    stream = gzip.open(path, 'wt')\n"
+            "    stream.close()\n"
+        )
+        summary = summarize(source)
+        rebuilt = ModuleSummary.from_dict(summary.to_dict())
+        assert rebuilt.to_dict() == summary.to_dict()
+        assert rebuilt.module == summary.module
+        assert set(rebuilt.functions) == set(summary.functions)
+        assert rebuilt.suppressions == summary.suppressions
