@@ -31,12 +31,16 @@ at the repo root) so regressions are diffable across commits:
   parallel leg is skipped (it would rerun the sequential path and report
   timing jitter as a speedup) and the sequential timing is reused.
 
-Plus three guards that ride along: **tracing overhead** (null / ring /
+Plus four guards that ride along: **tracing overhead** (null / ring /
 JSONL sinks on the dispatch loop — tracing must never change scheduling),
 **streaming trace analysis** (``repro.obs.analyze`` one-pass throughput,
-floored at ``ANALYZE_MIN_EVENTS_PER_S`` in the smoke test), and the
-**static-analysis budget** (``repro.analysis`` over src/ must stay under
-``LINT_BUDGET_S``).
+floored at ``ANALYZE_MIN_EVENTS_PER_S`` in the smoke test), **live
+observability overhead** (a ``LiveAggregator`` with windowed metrics, a
+quantile sketch, and an SLO tracker on a whole traced simulation, pinned
+at <= ``OBS_LIVE_MAX_OVERHEAD`` of the plain ``MetricsTracer`` leg, with
+the self-profiler's zero-cost-when-off structural check and one profiled
+run's subsystem breakdown riding along), and the **static-analysis
+budget** (``repro.analysis`` over src/ must stay under ``LINT_BUDGET_S``).
 
 Run it as a script::
 
@@ -545,6 +549,135 @@ def bench_analyze(num_requests: int, repeats: int) -> dict:
     }
 
 
+OBS_LIVE_MAX_OVERHEAD = 1.10
+"""CI ceiling for the live-observability overhead ratio.
+
+Both legs run the identical whole simulation with one online observer on
+the full event stream: the baseline folds it into a
+:class:`MetricsTracer` registry, the live leg into a summary-only
+:class:`LiveAggregator` (tumbling ``obs.window`` grid + one SLO tracker +
+per-class quantile sketches).  The ratio pins the live engine as *an
+alternative observer of the same stream* — windowed percentile/SLO
+tracking must cost no more than 10% over the counters-and-histograms
+fold it supersedes.  One logarithm per completion, shared across the
+sketch fan-out via ``index_of``, plus a cached-boundary compare per
+event keeps the measured ratio ~1.0x on the reference container, so the
+ceiling is headroom for shared-host noise, not a real allowance."""
+
+
+def bench_obs_live(num_requests: int, repeats: int) -> dict:
+    """Live-engine overhead on a whole traced simulation, plus profiler.
+
+    Baseline leg: ``Simulation.run`` with a bare :class:`MetricsTracer`.
+    Live leg: the same simulation observed by a summary-only
+    :class:`LiveAggregator` (``obs.window`` grid + one SLO tracker +
+    per-class sketches, no downstream sink — the deployment
+    ``SimConfig.live_window`` uses when no trace is written).  The
+    simulation results are asserted identical — aggregation must never
+    change scheduling — and the overhead ratio is pinned at
+    ``OBS_LIVE_MAX_OVERHEAD`` by the smoke test.  Two profiler guards
+    ride along: a fresh simulation must show no instrumentation residue
+    (``is_instrumented`` is structural, so profiler-off cost is zero by
+    construction), and one profiled run's subsystem breakdown is
+    recorded in the row.
+    """
+    from repro.core.scheduling import make_scheduler
+    from repro.obs.live import LiveAggregator, SLOSpec
+    from repro.obs.metrics import MetricsTracer
+    from repro.obs.prof import SimProfiler, is_instrumented
+    from repro.sim import Simulation
+    from repro.workloads import RandomWorkload
+
+    rate = 900.0
+    slos = (
+        SLOSpec(cls="all", objective=0.95, threshold_s=0.005, window_s=0.25),
+    )
+
+    def run_leg(tracer_factory):
+        best = float("inf")
+        result = tracer = None
+        # At least two iterations so min-of-N measures the warm steady
+        # state (same reasoning as bench_end_to_end).
+        for _ in range(max(repeats, 2)):
+            device = _make_device(True)
+            requests = RandomWorkload(
+                device.capacity_sectors, rate=rate, seed=11
+            ).generate(num_requests)
+            tracer = tracer_factory()
+            sim = Simulation(
+                device,
+                make_scheduler("SPTF", device),
+                max_queue_depth=10_000,
+                tracer=tracer,
+            )
+            start = time.perf_counter()
+            result = sim.run(requests)
+            best = min(best, time.perf_counter() - start)
+        return best, result, tracer
+
+    metrics_best, metrics_result, _ = run_leg(MetricsTracer)
+    live_best, live_result, aggregator = run_leg(
+        lambda: LiveAggregator(window_s=0.25, slos=slos)
+    )
+    if (
+        live_result.percentiles() != metrics_result.percentiles()
+        or len(live_result) != len(metrics_result)
+    ):
+        raise AssertionError(
+            "live aggregation changed the simulation result — the "
+            "LiveAggregator must be a pure observer"
+        )
+    summary = aggregator.summary()
+    if summary.completions != len(metrics_result):
+        raise AssertionError(
+            f"live summary counted {summary.completions} completions of "
+            f"{len(metrics_result)} — the window fold lost events"
+        )
+    exact_p99 = metrics_result.percentiles()["p99"]
+    sketch_p99 = summary.sketches["all"].percentiles()["p99"]
+
+    # Profiler-off zero cost is structural: a fresh simulation carries no
+    # wrapped seams, so there is nothing to pay on the hot path.
+    device = _make_device(True)
+    requests = RandomWorkload(
+        device.capacity_sectors, rate=rate, seed=11
+    ).generate(num_requests)
+    sim = Simulation(device, make_scheduler("SPTF", device),
+                     max_queue_depth=10_000)
+    if is_instrumented(sim):
+        raise AssertionError(
+            "fresh simulation reports profiler instrumentation — the "
+            "profiler-off path is no longer zero-cost"
+        )
+    profiled_result, profile = SimProfiler().profile(sim, requests)
+    if is_instrumented(sim):
+        raise AssertionError(
+            "profiler left instrumentation behind after profile()"
+        )
+    if profiled_result.percentiles() != metrics_result.percentiles():
+        raise AssertionError(
+            "profiling changed the simulation result — the shadowed seams "
+            "must be transparent"
+        )
+    return {
+        "requests": num_requests,
+        "rate": rate,
+        "window_s": 0.25,
+        "metrics_s": round(metrics_best, 6),
+        "live_s": round(live_best, 6),
+        "overhead": round(live_best / metrics_best, 3),
+        "max_overhead": OBS_LIVE_MAX_OVERHEAD,
+        "windows": summary.windows,
+        "slo_windows": summary.slo[0]["windows"],
+        "slo_violations": summary.slo[0]["violations"],
+        "sketch_p99_rel_error": round(
+            abs(sketch_p99 - exact_p99) / exact_p99, 5
+        ),
+        "profiler_off_instrumented": False,
+        "profiler": profile.to_dict(),
+    }
+
+
 FLEET_MEMBERS = 16
 """Member count for the fleet benchmark row (the acceptance-scale fleet)."""
 
@@ -806,6 +939,7 @@ def collect(smoke: bool = False, jobs: int = 4) -> dict:
             bench_tracing(depth, dispatches, repeats) for depth in depths
         ],
         "analyze": bench_analyze(1500 if smoke else 10_000, repeats),
+        "obs_live": bench_obs_live(1500 if smoke else 10_000, repeats),
         "end_to_end": bench_end_to_end(num_requests, repeats),
         "figure06_sweep": bench_sweep(
             jobs, rates, SWEEP_ALGORITHMS, num_requests
@@ -901,6 +1035,16 @@ def test_hotpath_smoke():
         f"the scalar path (floor {WORKLOAD_GEN_MIN_SPEEDUP:.0f}x) — the "
         f"batch path fell back to per-request work"
     )
+    obs_live = report["obs_live"]
+    # bench_obs_live already raised if aggregation or profiling changed the
+    # simulation result; here we pin the overhead ceiling.
+    assert obs_live["overhead"] <= OBS_LIVE_MAX_OVERHEAD, (
+        f"live observability cost {obs_live['overhead']:.3f}x the plain "
+        f"MetricsTracer leg (ceiling {OBS_LIVE_MAX_OVERHEAD:.2f}x) — the "
+        f"windowed aggregation or sketch fold got too expensive"
+    )
+    assert obs_live["profiler_off_instrumented"] is False
+    assert obs_live["windows"] > 0
     analyze = report["analyze"]
     assert analyze["spans"] == analyze["requests"]
     assert analyze["events_per_s"] >= ANALYZE_MIN_EVENTS_PER_S, (
@@ -953,6 +1097,7 @@ def collect_smoke_subset() -> dict:
         "sptf_adaptive": [bench_adaptive(8, 32, 1), bench_adaptive(64, 48, 1)],
         "tracing": [bench_tracing(16, 32, 1)],
         "analyze": bench_analyze(1500, 1),
+        "obs_live": bench_obs_live(1500, 1),
         "end_to_end": bench_end_to_end(800, 1),
         "figure06_sweep": bench_sweep(
             2, SWEEP_RATES[:2], ("FCFS", "SPTF"), 400

@@ -75,17 +75,54 @@ def _load_config_json(path: str) -> dict:
     return data
 
 
+def _parse_slo_flags(specs):
+    """``--slo`` strings → SLOSpec tuple (ValueError messages are CLI-ready)."""
+    from repro.obs.live import parse_slo
+
+    return tuple(parse_slo(spec) for spec in specs or ())
+
+
+def _print_live_summary(summary, indent: str = "  ") -> None:
+    """Render a LiveSummary's sketches and SLO compliance to stdout."""
+    for cls in sorted(summary.sketches):
+        sketch = summary.sketches[cls]
+        if not len(sketch):
+            continue
+        pcts = sketch.percentiles()
+        print(f"{indent}{cls:<8s}: n={sketch.count:<7d} "
+              f"p50 {pcts['p50'] * 1e3:7.3f} ms  "
+              f"p95 {pcts['p95'] * 1e3:7.3f} ms  "
+              f"p99 {pcts['p99'] * 1e3:7.3f} ms")
+    for entry in summary.slo:
+        spec = entry["spec"]
+        completions = entry["completions"]
+        good = (
+            (completions - entry["bad"]) / completions if completions else 1.0
+        )
+        print(f"{indent}SLO {spec['cls']} p{spec['objective'] * 100:g} < "
+              f"{spec['threshold_s'] * 1e3:g}ms: "
+              f"{entry['violations']}/{entry['windows']} windows violated, "
+              f"good {good:.4%}, burn {entry['burn_rate']:.2f}x")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    tracer = None
     try:
+        slos = _parse_slo_flags(args.slo)
         if args.config is not None:
             # The config file carries the full run description and takes
             # precedence over --device/--scheduler/--rate/--requests/--seed;
-            # the output flags (--trace, --trace-sample) still apply.
+            # the output flags (--trace, --trace-sample, --live-window,
+            # --slo) still apply.
             config = SimConfig.from_dict(_load_config_json(args.config))
             if args.trace is not None:
                 config = config.replace(trace_path=args.trace)
             if args.trace_sample is not None:
                 config = config.replace(trace_sample=args.trace_sample)
+            if args.live_window is not None:
+                config = config.replace(live_window=args.live_window)
+            if slos:
+                config = config.replace(slos=slos)
         else:
             config = SimConfig(
                 device=args.device,
@@ -97,8 +134,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 max_queue_depth=10_000,
                 trace_path=args.trace,
                 trace_sample=args.trace_sample,
+                live_window=args.live_window,
+                slos=slos,
             )
-        trimmed = config.run()
+        if config.live_enabled:
+            # Hold the tracer ourselves so the aggregator's summary
+            # survives the run.
+            tracer = config.build_tracer()
+            trimmed = config.run(tracer=tracer)
+        else:
+            trimmed = config.run()
     except QueueOverflowError:
         print(f"saturated: queue exceeded {config.max_queue_depth:,} pending "
               f"requests at {config.rate:g} req/s")
@@ -114,6 +159,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
     scheduler_name = SCHEDULERS.canonical_name(config.scheduler)
     print(f"{config.device} + {scheduler_name} @ {config.rate:g} req/s, "
           f"{config.num_requests} requests:")
@@ -128,6 +176,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print()
         metrics = MetricsRegistry.from_result(trimmed)
         print(metrics.render_text(title="metrics"))
+    if tracer is not None:
+        summary = tracer.summary()
+        print()
+        print(f"live observability (window {summary.window_s:g}s, "
+              f"{summary.windows} windows, warmup included):")
+        _print_live_summary(summary)
     return 0
 
 
@@ -135,9 +189,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import FleetConfig
 
     try:
+        slos = _parse_slo_flags(args.slo)
         if args.config is not None:
             # The fleet file takes precedence over the uniform-fleet flags;
-            # output flags (--trace/--jobs) still apply.
+            # output flags (--trace/--jobs/--live-window/--slo) still apply.
             fleet = FleetConfig.from_dict(_load_config_json(args.config))
         else:
             member = SimConfig(
@@ -155,6 +210,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             )
         if args.trace is not None:
             fleet = fleet.replace(trace_path=args.trace)
+        if args.live_window is not None:
+            fleet = fleet.replace(live_window=args.live_window)
+        if slos:
+            fleet = fleet.replace(slos=slos)
         result = fleet.run(jobs=args.jobs)
     except QueueOverflowError:
         print(f"saturated: a member queue overflowed at {fleet.rate:g} "
@@ -189,6 +248,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
               f"{mean}")
     if fleet.trace_path:
         print(f"  trace         : {fleet.trace_path}")
+    merged_live = result.merged_live()
+    if merged_live is not None:
+        print()
+        print(f"live observability (window {merged_live.window_s:g}s, "
+              f"sketches merged across {len(result.members)} members):")
+        _print_live_summary(merged_live)
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                json.dump(result.to_dict(), stream, sort_keys=True)
+                stream.write("\n")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"  json          : {args.json}")
     if args.metrics:
         print()
         metrics = MetricsRegistry.from_result(combined)
@@ -276,6 +350,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a counter/percentile metrics report after the run",
     )
+    simulate.add_argument(
+        "--live-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run under the live observability engine with this tumbling "
+        "window (simulated seconds); obs.window events land in the trace "
+        "and sketch percentiles are printed after the run",
+    )
+    simulate.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="track a latency SLO, CLASS:pQQ:THRESHOLD_S[:WINDOW_S] "
+        "(e.g. all:p99:0.02 or read:p95:0.01:0.5); repeatable, implies "
+        "live aggregation",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     fleet = sub.add_parser(
@@ -337,6 +429,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a fleet report (.html or .md) with the per-member "
         "breakdown to PATH",
+    )
+    fleet.add_argument(
+        "--live-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run every member under the live observability engine with "
+        "this tumbling window (simulated seconds); per-member sketches "
+        "merge deterministically into the fleet summary",
+    )
+    fleet.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="track a fleet-wide latency SLO, "
+        "CLASS:pQQ:THRESHOLD_S[:WINDOW_S]; repeatable, implies live "
+        "aggregation",
+    )
+    fleet.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump the full FleetResult.to_dict() (sorted keys) to PATH — "
+        "byte-identical for every --jobs value",
     )
     fleet.set_defaults(func=cmd_fleet)
 

@@ -34,12 +34,15 @@ NOQA_PATTERN = re.compile(
 
 DEFAULT_ALLOWLIST: Mapping[str, Tuple[str, ...]] = {
     # Wall-clock reads are legal where the *host* duration is the payload:
-    # the experiment runner's report and the benchmark harnesses.
+    # the experiment runner's report, the benchmark harnesses, and the
+    # self-profiler (whose whole job is attributing wall time).
     "R2": (
         "*/experiments/runner.py",
         "experiments/runner.py",
         "*/benchmarks/*",
         "benchmarks/*",
+        "*/repro/obs/prof.py",
+        "repro/obs/prof.py",
     ),
     # The obs sinks (JsonlTracer header write, TeeTracer fan-out,
     # MetricsTracer replay) consume events unconditionally by design;

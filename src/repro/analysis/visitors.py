@@ -357,6 +357,14 @@ _FALLBACK_EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
         "total",
     ),
     "sched.dispatch": ("rid", "scheduler", "candidates"),
+    "obs.window": (
+        "window", "start", "end", "arrivals", "completions",
+        "throughput_iops", "utilization", "queue_depth",
+    ),
+    "slo.violation": (
+        "class", "objective", "threshold", "observed", "burn_rate",
+        "window",
+    ),
 }
 
 _event_fields_cache: Optional[Dict[str, Tuple[str, ...]]] = None

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.fleet.routing import Router, make_router
+from repro.obs.live import SLOSpec
 from repro.sim.config import SimConfig, check_config_keys
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,6 +57,17 @@ class FleetConfig:
             trace here — per-shard events tagged with their ``member``
             index, interleaved in time order with ``fleet.route`` events —
             gzip-compressed when the path ends in ``.gz``.
+        live_window: When set, every member runs under a
+            :class:`~repro.obs.live.LiveAggregator` with this tumbling
+            window (simulated seconds); per-member quantile sketches and
+            windowed metrics come back in the
+            :class:`~repro.fleet.merge.FleetResult`, merged
+            bit-identically for any ``jobs``.  Setting :attr:`slos`
+            implies live aggregation with the default window.
+        slos: Fleet-wide per-class latency objectives
+            (:class:`~repro.obs.live.SLOSpec`), tracked online by every
+            member; ``slo.violation`` events land in the merged trace and
+            per-member compliance in the fleet result and report.
         router_params: Extra keyword arguments for the router factory
             (e.g. ``{"chunk_sectors": 64}`` for ``hash``).
         workload_params: Extra keyword arguments for the workload builder.
@@ -69,6 +81,8 @@ class FleetConfig:
     seed: int = 42
     jobs: Optional[int] = None
     trace_path: Optional[str] = None
+    live_window: Optional[float] = None
+    slos: Tuple[SLOSpec, ...] = ()
     router_params: Dict[str, Any] = field(default_factory=dict)
     workload_params: Dict[str, Any] = field(default_factory=dict)
 
@@ -93,6 +107,23 @@ class FleetConfig:
             raise ValueError(f"negative num_requests: {self.num_requests}")
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1: {self.jobs}")
+        if self.live_window is not None and self.live_window <= 0:
+            raise ValueError(
+                f"live_window must be positive: {self.live_window}"
+            )
+        slos = tuple(self.slos)
+        object.__setattr__(self, "slos", slos)
+        for index, spec in enumerate(slos):
+            if not isinstance(spec, SLOSpec):
+                raise TypeError(
+                    f"slos[{index}] is {type(spec).__name__}, expected "
+                    f"SLOSpec (use SLOSpec.from_dict or parse_slo)"
+                )
+
+    @property
+    def live_enabled(self) -> bool:
+        """Whether members run under live aggregation (window or SLOs set)."""
+        return self.live_window is not None or bool(self.slos)
 
     # -- construction helpers ----------------------------------------------- #
 
@@ -145,6 +176,11 @@ class FleetConfig:
             else SimConfig.from_dict(member)
             for member in members
         )
+        if "slos" in fields:
+            fields["slos"] = tuple(
+                spec if isinstance(spec, SLOSpec) else SLOSpec.from_dict(spec)
+                for spec in fields["slos"]
+            )
         return cls(**fields)
 
     # -- builders ------------------------------------------------------------ #

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.nputil import get_numpy
+from repro.obs.live import LiveSummary, merge_live_summaries
 from repro.obs.tracer import JsonlTracer, iter_trace
 from repro.sim.config import SimConfig
 from repro.sim.statistics import SimulationResult
@@ -79,7 +80,13 @@ def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
 
 @dataclass
 class FleetResult:
-    """Everything one fleet run produced, per member and merged."""
+    """Everything one fleet run produced, per member and merged.
+
+    ``live`` carries one :class:`~repro.obs.live.LiveSummary` per member
+    (``None`` entries for members that ran without live aggregation) when
+    the run tracked live observability, else ``None`` — existing consumers
+    of non-live runs see an unchanged result.
+    """
 
     members: List[SimulationResult]
     combined: SimulationResult
@@ -87,6 +94,7 @@ class FleetResult:
     router: str
     routed_counts: List[int]
     total_requests: int
+    live: Optional[List[Optional[LiveSummary]]] = None
 
     def __len__(self) -> int:
         return len(self.combined.records)
@@ -95,30 +103,44 @@ class FleetResult:
         config = self.member_configs[index]
         return f"m{index:02d} {config.device}+{config.scheduler}"
 
+    def merged_live(self) -> Optional[LiveSummary]:
+        """The fleet-level live summary: per-member sketches folded in
+        member-index order (bit-identical for any ``jobs``)."""
+        if self.live is None:
+            return None
+        return merge_live_summaries(self.live)
+
     def to_dict(self) -> dict:
         """JSON-ready fleet summary: merged metrics + per-member rows.
 
         ``fleet`` is the merged :meth:`SimulationResult.to_dict`;
         ``per_member`` carries each member's routed/completed counts and
-        summary (``None`` for a member that completed nothing).  The dump
-        is bit-identical across ``jobs`` values — the merge-determinism
-        tests compare its JSON bytes.
+        summary (``None`` for a member that completed nothing).  When the
+        run tracked live observability each row also gains a ``live``
+        entry and the top level a merged ``live`` section (sketch
+        percentiles + SLO compliance); non-live runs dump the exact
+        pre-live shape.  The dump is bit-identical across ``jobs`` values
+        — the merge-determinism tests compare its JSON bytes.
         """
         per_member = []
         for index, result in enumerate(self.members):
             config = self.member_configs[index]
-            per_member.append(
-                {
-                    "member": index,
-                    "label": self.member_label(index),
-                    "device": config.device,
-                    "scheduler": config.scheduler,
-                    "routed": self.routed_counts[index],
-                    "completed": len(result),
-                    "summary": result.to_dict() if len(result) else None,
-                }
-            )
-        return {
+            row = {
+                "member": index,
+                "label": self.member_label(index),
+                "device": config.device,
+                "scheduler": config.scheduler,
+                "routed": self.routed_counts[index],
+                "completed": len(result),
+                "summary": result.to_dict() if len(result) else None,
+            }
+            if self.live is not None:
+                summary = self.live[index]
+                row["live"] = (
+                    summary.to_dict() if summary is not None else None
+                )
+            per_member.append(row)
+        out = {
             "router": self.router,
             "members": len(self.members),
             "requests": self.total_requests,
@@ -126,6 +148,10 @@ class FleetResult:
             "fleet": self.combined.to_dict() if len(self.combined) else None,
             "per_member": per_member,
         }
+        merged = self.merged_live()
+        if merged is not None:
+            out["live"] = merged.to_dict()
+        return out
 
 
 # --------------------------------------------------------------------------- #

@@ -32,7 +32,7 @@ shard traces are cleaned up before the error propagates.
 from __future__ import annotations
 
 import gc
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import parallel_map
 from repro.fleet.config import FleetConfig
@@ -44,18 +44,44 @@ from repro.fleet.merge import (
     remove_shard_traces,
     shard_trace_path,
 )
+from repro.obs.live import (
+    DEFAULT_WINDOW_S,
+    LiveAggregator,
+    LiveSummary,
+    SLOSpec,
+)
 from repro.obs.tracer import JsonlTracer
 from repro.sim.batch import RequestBatch
 from repro.sim.config import SimConfig
 from repro.sim.request import Request
 from repro.sim.statistics import SimulationResult
 
+LiveSpec = Tuple[float, Tuple[SLOSpec, ...]]
+"""Per-member live-aggregation knobs: ``(window_s, slos)``."""
+
+
+def _member_live_spec(
+    config: FleetConfig, member: SimConfig
+) -> Optional[LiveSpec]:
+    """The live-aggregation spec a member runs under (``None`` = off).
+
+    Fleet-level ``live_window``/``slos`` apply uniformly to every member
+    and take precedence; otherwise a member's own live fields (set on its
+    :class:`SimConfig`) enable tracking for that member alone.
+    """
+    if config.live_enabled:
+        return (config.live_window or DEFAULT_WINDOW_S, config.slos)
+    if member.live_enabled:
+        return (member.live_window or DEFAULT_WINDOW_S, member.slos)
+    return None
+
 
 def _run_member(
     member: SimConfig,
     requests: Sequence[Request],
     trace_path: Optional[str],
-) -> SimulationResult:
+    live: Optional[LiveSpec],
+) -> Tuple[SimulationResult, Optional[LiveSummary]]:
     """Run one member's shard to completion (the worker-process body).
 
     The member config supplies the device/scheduler substrate; the request
@@ -64,8 +90,20 @@ def _run_member(
     member's workload fields.  Mirrors :meth:`SimConfig.run`'s tracer
     ownership and warmup handling so a 1-member fleet matches the
     single-device path exactly.
+
+    When ``live`` is set the member runs under a
+    :class:`~repro.obs.live.LiveAggregator` wrapped around its shard sink
+    (or a null sink for summary-only runs) and the picklable
+    :class:`~repro.obs.live.LiveSummary` rides back with the result.  The
+    summary covers the *full* shard stream including warmup completions —
+    sketches are streaming state and cannot retroactively drop the prefix.
     """
-    tracer = JsonlTracer(trace_path) if trace_path is not None else None
+    sink = JsonlTracer(trace_path) if trace_path is not None else None
+    aggregator: Optional[LiveAggregator] = None
+    if live is not None:
+        window_s, slos = live
+        aggregator = LiveAggregator(sink, window_s=window_s, slos=slos)
+    tracer = aggregator if aggregator is not None else sink
     try:
         simulation = member.build_simulation(tracer=tracer)
         if isinstance(requests, RequestBatch):
@@ -75,7 +113,8 @@ def _run_member(
     finally:
         if tracer is not None:
             tracer.close()
-    return result.drop_warmup(member.warmup)
+    summary = aggregator.summary() if aggregator is not None else None
+    return result.drop_warmup(member.warmup), summary
 
 
 def run_fleet(
@@ -132,17 +171,24 @@ def _run_fleet(
         ]
 
     tasks = [
-        (member, plan.member_requests[index], shard_paths[index])
+        (
+            member,
+            plan.member_requests[index],
+            shard_paths[index],
+            _member_live_spec(config, member),
+        )
         for index, member in enumerate(config.members)
     ]
     if jobs is None:
         jobs = config.jobs
     try:
-        results = parallel_map(_run_member, tasks, jobs=jobs)
+        outcomes = parallel_map(_run_member, tasks, jobs=jobs)
     except BaseException:
         if tracing:
             remove_shard_traces([p for p in shard_paths if p is not None])
         raise
+    results = [result for result, _ in outcomes]
+    summaries = [summary for _, summary in outcomes]
 
     counts = plan.member_counts()
     if sum(counts) != plan.total_requests:
@@ -170,6 +216,9 @@ def _run_fleet(
         router=router.name,
         routed_counts=counts,
         total_requests=plan.total_requests,
+        live=(
+            summaries if any(s is not None for s in summaries) else None
+        ),
     )
 
     if tracing:

@@ -5,6 +5,10 @@ Event tracing (:mod:`repro.obs.tracer`), metrics aggregation
 (:mod:`repro.obs.spans`), streaming time-series and reports
 (:mod:`repro.obs.analyze`, :mod:`repro.obs.report`) — over
 :class:`~repro.sim.Simulation`, both device models, and the schedulers.
+The *live* layer runs inside the simulation instead of over a finished
+trace: mergeable quantile sketches (:mod:`repro.obs.sketch`), tumbling
+windowed metrics and SLO/burn-rate tracking (:mod:`repro.obs.live`), and
+a near-zero-overhead self-profiler (:mod:`repro.obs.prof`).
 The default :data:`NULL_TRACER` short-circuits every emission site, so an
 untraced simulation pays one branch per site (measured in
 ``benchmarks/bench_hotpath.py``).
@@ -31,6 +35,14 @@ from repro.obs.analyze import (
     TraceAnalysis,
     analyze_events,
     analyze_trace,
+)
+from repro.obs.live import (
+    DEFAULT_WINDOW_S,
+    LiveAggregator,
+    LiveSummary,
+    SLOSpec,
+    merge_live_summaries,
+    parse_slo,
 )
 from repro.obs.metrics import (
     ACCESS_PHASES,
@@ -68,21 +80,31 @@ from repro.obs.tracer import (
     iter_trace_lines,
     read_trace,
 )
+from repro.obs.prof import ProfileReport, SimProfiler, is_instrumented
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
 from repro.obs.validate import diff_traces, validate_events, validate_file
 
 __all__ = [
     "ACCESS_PHASES",
     "Counter",
+    "DEFAULT_ALPHA",
+    "DEFAULT_WINDOW_S",
     "DispatchStats",
     "EVENT_FIELDS",
     "Histogram",
     "JsonlTracer",
+    "LiveAggregator",
+    "LiveSummary",
     "MetricsRegistry",
     "MetricsTracer",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileReport",
+    "QuantileSketch",
     "RingBufferTracer",
+    "SLOSpec",
     "SamplingTracer",
+    "SimProfiler",
     "Span",
     "SpanBuilder",
     "SpanError",
@@ -99,6 +121,9 @@ __all__ = [
     "iter_spans",
     "iter_trace",
     "iter_trace_lines",
+    "is_instrumented",
+    "merge_live_summaries",
+    "parse_slo",
     "read_trace",
     "render_comparative",
     "render_report",

@@ -268,6 +268,8 @@ class TraceAnalysis:
     timeseries: TimeSeries
     dispatch: Dict[str, DispatchStats]
     spans_pending: int = 0
+    obs_windows: int = 0
+    slo_violations: int = 0
 
     @property
     def sampled(self) -> bool:
@@ -290,6 +292,8 @@ class TraceAnalysis:
                 name: stats.to_dict()
                 for name, stats in sorted(self.dispatch.items())
             },
+            "obs_windows": self.obs_windows,
+            "slo_violations": self.slo_violations,
         }
 
 
@@ -307,6 +311,8 @@ def analyze_events(
     completed: Optional[int] = None
     end_time = 0.0
     count = 0
+    obs_windows = 0
+    slo_violations = 0
     for event in events:
         count += 1
         kind = event.get("kind")
@@ -332,6 +338,10 @@ def analyze_events(
                 # Cumulative counters: the last value is the run total.
                 stats.cache_hits = event["cache_hits"]
                 stats.cache_misses = event["cache_misses"]
+        elif kind == "obs.window":
+            obs_windows += 1
+        elif kind == "slo.violation":
+            slo_violations += 1
         series.feed(event)
         span = builder.feed(event)
         if span is not None:
@@ -351,6 +361,8 @@ def analyze_events(
         timeseries=timeseries,
         dispatch=dispatch,
         spans_pending=builder.pending,
+        obs_windows=obs_windows,
+        slo_violations=slo_violations,
     )
 
 
@@ -393,6 +405,11 @@ def render_text(analysis: TraceAnalysis, source: str = "<trace>") -> str:
     lines.append(
         f"time-series: {len(series)} buckets of {series.bucket_s * 1e3:g} ms"
     )
+    if analysis.obs_windows:
+        lines.append(
+            f"live: {analysis.obs_windows} obs.window events, "
+            f"{analysis.slo_violations} slo.violation events"
+        )
     return "\n".join(lines)
 
 

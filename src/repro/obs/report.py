@@ -441,16 +441,21 @@ def render_fleet_report(
             ],
         )
     doc.heading("per-member breakdown", level=3)
+    live = result.live
     headers = [
         "member", "device", "scheduler", "routed", "completed",
         "mean response (ms)", "p95 (ms)", "utilization",
     ]
+    if live is not None:
+        # Sketch-derived latency percentiles (the live engine's view of
+        # the full member stream, warmup included).
+        headers += ["sketch p50 (ms)", "sketch p95 (ms)", "sketch p99 (ms)"]
     rows = []
     for index, member_result in enumerate(result.members):
         config = result.member_configs[index]
         if len(member_result):
             percentiles = member_result.percentiles()
-            rows.append([
+            row = [
                 f"m{index:02d}",
                 config.device,
                 config.scheduler,
@@ -459,13 +464,71 @@ def render_fleet_report(
                 fmt_ms(member_result.mean_response_time),
                 fmt_ms(percentiles["p95"]),
                 fmt(member_result.utilization),
-            ])
+            ]
         else:
-            rows.append([
+            row = [
                 f"m{index:02d}", config.device, config.scheduler,
                 fmt(result.routed_counts[index]), "0", "—", "—", "—",
-            ])
+            ]
+        if live is not None:
+            summary = live[index]
+            sketch = (
+                summary.sketches.get("all") if summary is not None else None
+            )
+            if sketch is not None and len(sketch):
+                sketched = sketch.percentiles()
+                row += [
+                    fmt_ms(sketched["p50"]),
+                    fmt_ms(sketched["p95"]),
+                    fmt_ms(sketched["p99"]),
+                ]
+            else:
+                row += ["—", "—", "—"]
+        rows.append(row)
     doc.table(headers, rows)
+    merged_live = result.merged_live()
+    if merged_live is not None:
+        doc.heading("live observability (merged sketches)", level=3)
+        sketch_rows = []
+        for cls in sorted(merged_live.sketches):
+            sketch = merged_live.sketches[cls]
+            if not len(sketch):
+                continue
+            sketched = sketch.percentiles()
+            sketch_rows.append([
+                cls,
+                fmt(sketch.count),
+                fmt_ms(sketched["p50"]),
+                fmt_ms(sketched["p95"]),
+                fmt_ms(sketched["p99"]),
+                fmt_ms(sketch.max),
+            ])
+        if sketch_rows:
+            doc.table(
+                ["class", "completions", "p50 (ms)", "p95 (ms)",
+                 "p99 (ms)", "max (ms)"],
+                sketch_rows,
+            )
+        if merged_live.slo:
+            doc.heading("SLO compliance", level=3)
+            slo_rows = []
+            for entry in merged_live.slo:
+                spec = entry["spec"]
+                completions = entry["completions"]
+                good = completions - entry["bad"]
+                slo_rows.append([
+                    f"{spec['cls']} p{spec['objective'] * 100:g} < "
+                    f"{spec['threshold_s'] * 1e3:g}ms",
+                    fmt(entry["windows"]),
+                    fmt(entry["violations"]),
+                    fmt(good / completions) if completions else "—",
+                    fmt(entry["burn_rate"]),
+                ])
+            doc.table(
+                ["objective", "windows", "violations", "good fraction",
+                 "burn rate"],
+                slo_rows,
+            )
     if analysis is not None:
         _analysis_sections(doc, analysis, label="merged trace")
     return doc.render(fmt_name)

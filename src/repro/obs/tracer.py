@@ -44,6 +44,19 @@ Event kinds emitted by the stack:
     index, the fleet-wide ``lbn``, and the localized ``member_lbn`` the
     member simulation actually saw.  In a merged fleet trace every
     member-originated event additionally carries a ``member`` field.
+``obs.window``
+    One closed live-aggregation window (:mod:`repro.obs.live`): the
+    ``[start, end)`` interval in simulated time with its completion and
+    arrival counts, throughput, device utilization, and time-averaged
+    queue depth.  Emitted at the window-boundary time, ahead of the event
+    that crossed the boundary.
+``slo.violation``
+    One SLO evaluation window whose observed objective-quantile latency
+    exceeded its threshold (:class:`repro.obs.live.SLOSpec`): the request
+    ``class``, the ``objective`` quantile and ``threshold``, the
+    ``observed`` quantile estimate, and the window ``burn_rate`` (error
+    budget consumed per unit budget; the trailing long-window rate rides
+    along as ``burn_rate_long``).
 
 Sinks: :class:`RingBufferTracer` (in-memory, bounded), :class:`JsonlTracer`
 (one JSON object per line, with a ``trace.meta`` header; transparently
@@ -94,6 +107,24 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     ),
     "sched.dispatch": ("rid", "scheduler", "candidates"),
     "fleet.route": ("rid", "member", "lbn", "member_lbn"),
+    "obs.window": (
+        "window",
+        "start",
+        "end",
+        "arrivals",
+        "completions",
+        "throughput_iops",
+        "utilization",
+        "queue_depth",
+    ),
+    "slo.violation": (
+        "class",
+        "objective",
+        "threshold",
+        "observed",
+        "burn_rate",
+        "window",
+    ),
 }
 """Required fields per event kind (beyond ``kind`` and ``t``).
 

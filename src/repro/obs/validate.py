@@ -14,7 +14,12 @@ total (``positioning + transfer + turnarounds == total``), and that every
 ``sched.dispatch`` event carrying the lower-bound-pruning telemetry
 accounts for each candidate exactly once (``candidates_priced +
 candidates_pruned == candidates``) and names a known selection
-``fast_path`` (:data:`FAST_PATHS`) when it carries one.  Merged fleet
+``fast_path`` (:data:`FAST_PATHS`) when it carries one.  Live-engine
+events (:mod:`repro.obs.live`) get their own checks: every ``obs.window``
+must span a non-empty interval with utilization in ``[0, 1]`` and
+non-negative counts/queue depth, and every ``slo.violation`` must carry an
+objective in ``(0, 1)``, a non-negative burn rate, and an observed
+quantile that actually exceeds its threshold.  Merged fleet
 traces (:mod:`repro.fleet.merge`) pass the same checks: their
 ``fleet.route`` events must carry a non-negative ``member`` index and a
 localized ``member_lbn`` that is non-negative and no larger than the
@@ -150,6 +155,52 @@ def validate_events(
                     f"{where}: sched.dispatch has unknown fast_path "
                     f"{fast_path!r} (expected one of "
                     f"{', '.join(sorted(FAST_PATHS))})"
+                )
+        elif kind == "obs.window":
+            if event["end"] <= event["start"]:
+                errors.append(
+                    f"{where}: obs.window spans [{event['start']}, "
+                    f"{event['end']}) — empty or inverted interval"
+                )
+            if not 0.0 <= event["utilization"] <= 1.0 + PHASE_SUM_REL_TOL:
+                errors.append(
+                    f"{where}: obs.window utilization "
+                    f"{event['utilization']!r} outside [0, 1]"
+                )
+            if event["completions"] < 0 or event["arrivals"] < 0:
+                errors.append(
+                    f"{where}: obs.window has negative counts "
+                    f"({event['arrivals']} arrivals, "
+                    f"{event['completions']} completions)"
+                )
+            if event["queue_depth"] < 0:
+                errors.append(
+                    f"{where}: obs.window has negative queue_depth "
+                    f"{event['queue_depth']!r}"
+                )
+        elif kind == "slo.violation":
+            if not 0.0 < event["objective"] < 1.0:
+                errors.append(
+                    f"{where}: slo.violation objective "
+                    f"{event['objective']!r} outside (0, 1)"
+                )
+            if event["threshold"] <= 0 or event["observed"] < 0:
+                errors.append(
+                    f"{where}: slo.violation has non-positive threshold "
+                    f"{event['threshold']!r} or negative observed "
+                    f"{event['observed']!r}"
+                )
+            elif event["observed"] <= event["threshold"]:
+                # A violation event exists *because* the observed quantile
+                # exceeded the threshold; anything else is emitter drift.
+                errors.append(
+                    f"{where}: slo.violation observed {event['observed']!r} "
+                    f"does not exceed threshold {event['threshold']!r}"
+                )
+            if event["burn_rate"] < 0:
+                errors.append(
+                    f"{where}: slo.violation has negative burn_rate "
+                    f"{event['burn_rate']!r}"
                 )
         elif kind == "fleet.route":
             member = event["member"]

@@ -22,9 +22,10 @@ from __future__ import annotations
 import dataclasses
 import difflib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.registry import Registry
+from repro.obs.live import LiveAggregator, SLOSpec
 from repro.obs.tracer import JsonlTracer, NULL_TRACER, SamplingTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -141,6 +142,16 @@ class SimConfig:
             request (plus head/tail windows); the sampling parameters are
             recorded in the ``trace.meta`` header.  ``1`` traces every
             request and is event-identical to leaving this unset.
+        live_window: When set, attach a
+            :class:`~repro.obs.live.LiveAggregator` with this tumbling
+            window width (simulated seconds): ``obs.window`` events are
+            interleaved into the trace and per-class quantile sketches are
+            maintained online.  Setting :attr:`slos` implies live
+            aggregation with the default window.
+        slos: Per-class latency objectives
+            (:class:`~repro.obs.live.SLOSpec`) tracked online by the live
+            aggregator; violations are emitted as ``slo.violation`` trace
+            events.  Any sequence is accepted and normalized to a tuple.
         scheduler_params: Extra keyword arguments for the scheduler factory
             (e.g. ``{"cache": False}`` or ``{"prune": "always"}`` for the
             SPTF variants; ``prune`` accepts ``'auto'`` — the default,
@@ -165,6 +176,8 @@ class SimConfig:
     jobs: Optional[int] = None
     trace_path: Optional[str] = None
     trace_sample: Optional[int] = None
+    live_window: Optional[float] = None
+    slos: Tuple[SLOSpec, ...] = ()
     scheduler_params: Dict[str, Any] = field(default_factory=dict)
     workload_params: Dict[str, Any] = field(default_factory=dict)
 
@@ -177,6 +190,16 @@ class SimConfig:
             raise ValueError(f"jobs must be >= 1: {self.jobs}")
         if self.trace_sample is not None and self.trace_sample < 1:
             raise ValueError(f"trace_sample must be >= 1: {self.trace_sample}")
+        if self.live_window is not None and self.live_window <= 0:
+            raise ValueError(f"live_window must be > 0: {self.live_window}")
+        slos = tuple(self.slos)
+        object.__setattr__(self, "slos", slos)
+        for index, spec in enumerate(slos):
+            if not isinstance(spec, SLOSpec):
+                raise TypeError(
+                    f"slos[{index}] is {type(spec).__name__}, expected "
+                    f"SLOSpec (use SLOSpec.from_dict for serialized specs)"
+                )
 
     # -- builders ----------------------------------------------------------- #
 
@@ -192,20 +215,39 @@ class SimConfig:
         workload = WORKLOADS[self.workload](device, self)
         return workload.generate(self.num_requests)
 
+    @property
+    def live_enabled(self) -> bool:
+        """True when the run carries a live aggregator (window or SLOs)."""
+        return self.live_window is not None or bool(self.slos)
+
     def build_tracer(self) -> Tracer:
         """A fresh sink for :attr:`trace_path` (null tracer when unset).
 
         With :attr:`trace_sample` > 1 the JSONL sink is wrapped in a
         :class:`~repro.obs.tracer.SamplingTracer` and the sampling
         parameters are written into the ``trace.meta`` header; a sample of
-        1 (or ``None``) produces a byte-identical unsampled trace.
+        1 (or ``None``) produces a byte-identical unsampled trace.  With
+        :attr:`live_window`/:attr:`slos` set, the whole chain is wrapped
+        in a :class:`~repro.obs.live.LiveAggregator` — *outside* the
+        sampler, so live aggregation always sees the full event stream
+        (the aggregator's own rid-less events pass any sampler unharmed).
         """
-        if self.trace_path is None:
-            return NULL_TRACER
-        every = self.trace_sample or 1
-        sink = JsonlTracer(self.trace_path, meta=SamplingTracer.meta(every))
-        if every > 1:
-            return SamplingTracer(sink, every)
+        sink: Tracer = NULL_TRACER
+        if self.trace_path is not None:
+            every = self.trace_sample or 1
+            sink = JsonlTracer(
+                self.trace_path, meta=SamplingTracer.meta(every)
+            )
+            if every > 1:
+                sink = SamplingTracer(sink, every)
+        if self.live_enabled:
+            from repro.obs.live import DEFAULT_WINDOW_S
+
+            return LiveAggregator(
+                sink,
+                window_s=self.live_window or DEFAULT_WINDOW_S,
+                slos=self.slos,
+            )
         return sink
 
     def build_simulation(self, tracer: Optional[Tracer] = None) -> "Simulation":
@@ -223,7 +265,9 @@ class SimConfig:
         :class:`~repro.sim.engine.QueueOverflowError` on saturation, like
         ``Simulation.run``; the sweep helpers map that to a saturated point.
         """
-        own_tracer = tracer is None and self.trace_path is not None
+        own_tracer = tracer is None and (
+            self.trace_path is not None or self.live_enabled
+        )
         if tracer is None:
             tracer = self.build_tracer()
         try:
@@ -258,7 +302,13 @@ class SimConfig:
                 f"{cls.__name__}.from_dict takes a mapping, got "
                 f"{type(data).__name__}"
             )
-        return cls(**check_config_keys(cls, data))
+        fields = check_config_keys(cls, data)
+        if fields.get("slos"):
+            fields["slos"] = tuple(
+                spec if isinstance(spec, SLOSpec) else SLOSpec.from_dict(spec)
+                for spec in fields["slos"]
+            )
+        return cls(**fields)
 
 
 def check_config_keys(

@@ -163,7 +163,9 @@ class Simulation:
         """
         device = config.build_device()
         scheduler = config.build_scheduler(device)
-        if tracer is None and config.trace_path is not None:
+        if tracer is None and (
+            config.trace_path is not None or config.live_enabled
+        ):
             tracer = config.build_tracer()
         return cls(
             device,

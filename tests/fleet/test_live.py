@@ -1,0 +1,177 @@
+"""Fleet-level live observability: merged sketches, SLOs, determinism."""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig
+from repro.obs.live import SLOSpec
+from repro.obs.report import render_fleet_report
+from repro.obs.validate import validate_file
+from repro.sim import SimConfig
+
+
+def live_fleet(members=4, **changes):
+    defaults = dict(
+        rate=3200.0,
+        num_requests=2000,
+        live_window=0.5,
+        slos=(SLOSpec(cls="all", objective=0.99, threshold_s=0.010,
+                      window_s=0.5),),
+    )
+    defaults.update(changes)
+    return FleetConfig.uniform(members, **defaults)
+
+
+class TestConfig:
+    def test_live_enabled_via_window_or_slos(self):
+        assert not FleetConfig.uniform(2).live_enabled
+        assert FleetConfig.uniform(2, live_window=1.0).live_enabled
+        assert FleetConfig.uniform(2, slos=(SLOSpec(),)).live_enabled
+
+    def test_bad_live_window_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig.uniform(2, live_window=0.0)
+
+    def test_non_slospec_rejected(self):
+        with pytest.raises(TypeError):
+            FleetConfig.uniform(2, slos=({"cls": "all"},))
+
+    def test_round_trip_with_slos(self):
+        fleet = live_fleet()
+        clone = FleetConfig.from_dict(
+            json.loads(json.dumps(fleet.to_dict()))
+        )
+        assert clone == fleet
+        assert clone.slos == fleet.slos
+
+
+class TestLiveResults:
+    def test_live_section_present_and_consistent(self):
+        result = live_fleet().run(jobs=1)
+        assert result.live is not None
+        assert len(result.live) == 4
+        merged = result.merged_live()
+        assert merged.completions == len(result)
+        assert merged.completions == sum(
+            summary.completions for summary in result.live
+        )
+        data = result.to_dict()
+        assert "live" in data
+        assert all("live" in row for row in data["per_member"])
+
+    def test_non_live_run_keeps_legacy_shape(self):
+        fleet = FleetConfig.uniform(4, rate=3200.0, num_requests=1000)
+        result = fleet.run(jobs=1)
+        assert result.live is None
+        assert result.merged_live() is None
+        data = result.to_dict()
+        assert "live" not in data
+        assert all("live" not in row for row in data["per_member"])
+
+    def test_member_level_live_fields(self):
+        """A member's own SimConfig live fields enable tracking for it
+        alone when the fleet-level knobs are off."""
+        members = (
+            SimConfig(live_window=1.0),
+            SimConfig(),
+        )
+        fleet = FleetConfig(
+            members=members, rate=1600.0, num_requests=1000
+        )
+        assert not fleet.live_enabled
+        result = fleet.run(jobs=1)
+        assert result.live is not None
+        assert result.live[0] is not None
+        assert result.live[1] is None
+        merged = result.merged_live()
+        assert merged.completions == result.live[0].completions
+
+    def test_merged_trace_with_live_events_validates(self, tmp_path):
+        trace = tmp_path / "fleet.jsonl"
+        fleet = live_fleet(trace_path=str(trace), num_requests=1500)
+        fleet.run(jobs=1)
+        assert validate_file(str(trace)) == []
+
+
+class TestDeterminismAcrossJobs:
+    def test_live_dump_and_report_bit_identical(self, monkeypatch, tmp_path):
+        """jobs=1 vs forked jobs=4: identical to_dict/report/trace bytes,
+        live sections included (the sketch-merge associativity payoff)."""
+        from repro.experiments import parallel
+
+        monkeypatch.setattr(parallel, "available_parallelism", lambda: 4)
+        trace = tmp_path / "fleet.jsonl"
+        fleet = live_fleet(num_requests=1200, trace_path=str(trace))
+
+        sequential = fleet.run(jobs=1)
+        seq_dict = json.dumps(sequential.to_dict(), sort_keys=True)
+        seq_trace = trace.read_bytes()
+        seq_report = render_fleet_report(sequential, "md")
+
+        forked = fleet.run(jobs=4)
+        assert json.dumps(forked.to_dict(), sort_keys=True) == seq_dict
+        assert trace.read_bytes() == seq_trace
+        assert render_fleet_report(forked, "md") == seq_report
+
+    def test_merged_sketch_identical_for_any_member_count_split(self):
+        """Merged fleet sketch == sketch of all completions regardless of
+        how the router split them."""
+        result = live_fleet(num_requests=1500).run(jobs=1)
+        merged = result.merged_live().sketches["all"]
+        from repro.obs.sketch import QuantileSketch
+
+        union = QuantileSketch()
+        for member_result in result.members:
+            union.extend(
+                record.response_time for record in member_result.records
+            )
+        assert merged == union
+
+
+class TestReport:
+    def test_report_gains_live_columns(self):
+        result = live_fleet(num_requests=1500).run(jobs=1)
+        report = render_fleet_report(result, "md")
+        assert "sketch p99 (ms)" in report
+        assert "live observability (merged sketches)" in report
+        assert "SLO compliance" in report
+
+    def test_report_without_live_unchanged_columns(self):
+        fleet = FleetConfig.uniform(4, rate=3200.0, num_requests=800)
+        report = render_fleet_report(fleet.run(jobs=1), "md")
+        assert "sketch p99" not in report
+        assert "SLO compliance" not in report
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_16_member_fleet_p99_accuracy_and_determinism(self, monkeypatch):
+        """The issue's acceptance scenario: a 16-member fleet with SLO
+        tracking yields per-member sketch p99 within 1% of the exact
+        percentiles, and the merged live dump is byte-identical between
+        jobs=1 and (forced-fork) jobs=4."""
+        from repro.experiments import parallel
+
+        monkeypatch.setattr(parallel, "available_parallelism", lambda: 4)
+        fleet = live_fleet(
+            members=16, rate=11200.0, num_requests=32_000,
+        )
+        sequential = fleet.run(jobs=1)
+        assert sequential.live is not None
+        for member_result, summary in zip(
+            sequential.members, sequential.live
+        ):
+            if len(member_result) < 100:
+                continue
+            exact = member_result.percentiles()
+            sketched = summary.sketches["all"].percentiles()
+            rel = abs(sketched["p99"] - exact["p99"]) / exact["p99"]
+            assert rel <= 0.01, (
+                f"member sketch p99 {sketched['p99']} vs exact "
+                f"{exact['p99']}: {rel:.4%} relative error"
+            )
+        forked = fleet.run(jobs=4)
+        assert json.dumps(forked.to_dict(), sort_keys=True) == json.dumps(
+            sequential.to_dict(), sort_keys=True
+        )

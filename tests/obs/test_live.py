@@ -1,0 +1,335 @@
+"""Tests for the live observability engine (windows, SLOs, summaries)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.live import (
+    DEFAULT_WINDOW_S,
+    LiveAggregator,
+    SLOSpec,
+    merge_live_summaries,
+    parse_slo,
+)
+from repro.obs.sketch import QuantileSketch
+from repro.obs.tracer import RingBufferTracer
+from repro.obs.validate import validate_events, validate_file
+from repro.sim import SimConfig
+
+
+class TestSLOSpec:
+    def test_defaults(self):
+        spec = SLOSpec()
+        assert spec.cls == "all"
+        assert 0 < spec.objective < 1
+        assert spec.window_s == DEFAULT_WINDOW_S
+
+    @pytest.mark.parametrize("bad", [
+        dict(objective=0.0), dict(objective=1.0), dict(threshold_s=0.0),
+        dict(window_s=0.0), dict(long_windows=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SLOSpec(**bad)
+
+    def test_round_trip(self):
+        spec = SLOSpec(cls="read", objective=0.95, threshold_s=0.01)
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown SLOSpec field"):
+            SLOSpec.from_dict({"cls": "all", "treshold_s": 0.01})
+
+    def test_label(self):
+        assert "p99" in SLOSpec().label()
+
+
+class TestParseSlo:
+    def test_three_fields(self):
+        spec = parse_slo("all:p99:0.02")
+        assert spec == SLOSpec(
+            cls="all", objective=0.99, threshold_s=0.02,
+            window_s=DEFAULT_WINDOW_S,
+        )
+
+    def test_four_fields(self):
+        spec = parse_slo("read:p95:0.01:0.5")
+        assert spec.cls == "read"
+        assert spec.objective == 0.95
+        assert spec.window_s == 0.5
+
+    def test_fractional_quantile(self):
+        assert parse_slo("all:p99.9:0.05").objective == pytest.approx(0.999)
+
+    @pytest.mark.parametrize("bad", [
+        "p99:0.02", "all:99:0.02", "all:p99:x", "all:p99:0.02:1.0:extra",
+        "all:p200:0.02",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+
+def feed(aggregator, events):
+    for event in events:
+        aggregator.emit(event)
+
+
+class TestLiveAggregatorWindows:
+    def test_synthetic_window_accounting(self):
+        """One hand-built request: every obs.window field is exact."""
+        sink = RingBufferTracer()
+        agg = LiveAggregator(sink, window_s=1.0)
+        feed(agg, [
+            {"kind": "sim.arrival", "t": 0.1, "rid": 1, "io": "read",
+             "queue_depth": 1},
+            {"kind": "sim.dispatch", "t": 0.1, "rid": 1, "queue_depth": 1},
+            {"kind": "dev.access", "t": 0.1, "rid": 1, "total": 0.2},
+            {"kind": "sim.complete", "t": 0.3, "rid": 1, "response": 0.2},
+            {"kind": "sim.end", "t": 2.5, "completed": 1},
+        ])
+        agg.close()
+        windows = sink.by_kind("obs.window")
+        # Two full windows plus the partial [2.0, 2.5) flushed at sim.end
+        # (the partial only appears when it saw activity; here it did not).
+        assert [w["window"] for w in windows] == [0, 1]
+        first = windows[0]
+        assert first["arrivals"] == 1
+        assert first["completions"] == 1
+        assert first["throughput_iops"] == pytest.approx(1.0)
+        assert first["utilization"] == pytest.approx(0.2)
+        assert first["response_mean"] == pytest.approx(0.2)
+        second = windows[1]
+        assert second["arrivals"] == 0
+        assert second["completions"] == 0
+        assert second["utilization"] == 0.0
+
+    def test_busy_time_spreads_across_windows(self):
+        sink = RingBufferTracer()
+        agg = LiveAggregator(sink, window_s=1.0)
+        feed(agg, [
+            # 0.4s of service straddling the first boundary: 0.8 -> 1.2.
+            {"kind": "dev.access", "t": 0.8, "rid": 1, "total": 0.4},
+            {"kind": "sim.end", "t": 2.0, "completed": 0},
+        ])
+        agg.close()
+        windows = sink.by_kind("obs.window")
+        assert windows[0]["utilization"] == pytest.approx(0.2)
+        assert windows[1]["utilization"] == pytest.approx(0.2)
+
+    def test_output_time_monotone_and_events_forwarded(self):
+        sink = RingBufferTracer()
+        agg = LiveAggregator(sink, window_s=0.5)
+        inputs = [
+            {"kind": "sim.complete", "t": 0.1 * i, "rid": i,
+             "response": 0.001}
+            for i in range(1, 30)
+        ]
+        feed(agg, inputs + [{"kind": "sim.end", "t": 3.0, "completed": 29}])
+        agg.close()
+        times = [event["t"] for event in sink.events]
+        assert times == sorted(times)
+        forwarded = sink.by_kind("sim.complete")
+        assert len(forwarded) == 29
+
+    def test_window_completions_sum_to_total(self):
+        sink = RingBufferTracer()
+        agg = LiveAggregator(sink, window_s=0.25)
+        feed(agg, [
+            {"kind": "sim.complete", "t": 0.05 * i, "rid": i,
+             "response": 0.002}
+            for i in range(1, 41)
+        ] + [{"kind": "sim.end", "t": 2.0, "completed": 40}])
+        agg.close()
+        windows = sink.by_kind("obs.window")
+        assert sum(w["completions"] for w in windows) == 40
+        assert agg.summary().completions == 40
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            LiveAggregator(window_s=0.0)
+
+
+class TestSLOTracking:
+    def violating_events(self, count=20, response=0.05):
+        events = [
+            {"kind": "sim.complete", "t": 0.01 * (i + 1), "rid": i,
+             "response": response}
+            for i in range(count)
+        ]
+        events.append({"kind": "sim.end", "t": 1.5, "completed": count})
+        return events
+
+    def test_violation_emitted_with_burn_rate(self):
+        sink = RingBufferTracer()
+        spec = SLOSpec(cls="all", objective=0.9, threshold_s=0.01,
+                       window_s=1.0)
+        agg = LiveAggregator(sink, window_s=1.0, slos=(spec,))
+        feed(agg, self.violating_events(response=0.05))
+        agg.close()
+        violations = sink.by_kind("slo.violation")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation["class"] == "all"
+        assert violation["observed"] > spec.threshold_s
+        # Every completion breached: burn = 1.0 / (1 - 0.9) = 10x budget.
+        assert violation["burn_rate"] == pytest.approx(10.0)
+        assert violation["burn_rate_long"] == pytest.approx(10.0)
+
+    def test_healthy_run_emits_no_violation(self):
+        sink = RingBufferTracer()
+        spec = SLOSpec(cls="all", objective=0.9, threshold_s=0.01)
+        agg = LiveAggregator(sink, window_s=1.0, slos=(spec,))
+        feed(agg, self.violating_events(response=0.001))
+        agg.close()
+        assert sink.by_kind("slo.violation") == []
+        stats = agg.summary().slo[0]
+        assert stats["violations"] == 0
+        assert stats["burn_rate"] == 0.0
+
+    def test_class_filter_only_sees_its_class(self):
+        sink = RingBufferTracer()
+        spec = SLOSpec(cls="write", objective=0.5, threshold_s=0.01)
+        agg = LiveAggregator(sink, window_s=1.0, slos=(spec,))
+        feed(agg, [
+            {"kind": "sim.arrival", "t": 0.1, "rid": 1, "io": "read",
+             "queue_depth": 1},
+            {"kind": "sim.complete", "t": 0.2, "rid": 1, "response": 0.05},
+            {"kind": "sim.end", "t": 0.5, "completed": 1},
+        ])
+        agg.close()
+        stats = agg.summary().slo[0]
+        assert stats["completions"] == 0
+        assert sink.by_kind("slo.violation") == []
+
+
+class TestEndToEndWithSimulation:
+    def run_config(self, tmp_path, **changes):
+        trace = tmp_path / "live.jsonl"
+        defaults = dict(
+            num_requests=2000, rate=900.0, warmup=0,
+            trace_path=str(trace), live_window=0.5,
+            slos=(SLOSpec(cls="all", objective=0.95, threshold_s=0.002,
+                          window_s=0.5),),
+        )
+        defaults.update(changes)
+        config = SimConfig(**defaults)
+        tracer = config.build_tracer()
+        result = config.run(tracer=tracer)
+        tracer.close()
+        return config, result, tracer, trace
+
+    def test_trace_validates_and_contains_live_events(self, tmp_path):
+        _, _, tracer, trace = self.run_config(tmp_path)
+        assert validate_file(str(trace)) == []
+        kinds = set()
+        import repro.obs.tracer as t
+
+        for event in t.iter_trace(str(trace)):
+            kinds.add(event["kind"])
+        assert "obs.window" in kinds
+        assert "slo.violation" in kinds  # 2ms p95 is comfortably breached
+
+    def test_summary_matches_exact_result(self, tmp_path):
+        _, result, tracer, _ = self.run_config(tmp_path)
+        summary = tracer.summary()
+        assert summary.completions == len(result)
+        exact = result.percentiles()
+        sketched = summary.sketches["all"].percentiles()
+        for key in ("p50", "p95", "p99"):
+            assert sketched[key] == pytest.approx(exact[key], rel=0.01)
+
+    def test_summary_pickles(self, tmp_path):
+        _, _, tracer, _ = self.run_config(tmp_path)
+        summary = tracer.summary()
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.to_dict() == summary.to_dict()
+
+    def test_live_without_trace_path(self):
+        config = SimConfig(num_requests=500, warmup=0, live_window=1.0)
+        assert config.live_enabled
+        tracer = config.build_tracer()
+        result = config.run(tracer=tracer)
+        tracer.close()
+        assert tracer.summary().completions == len(result)
+
+    def test_validate_rejects_drifted_violation(self):
+        events = [
+            {"kind": "trace.meta", "t": 0.0, "schema": "repro-trace/2"},
+            {"kind": "slo.violation", "t": 1.0, "class": "all",
+             "objective": 0.99, "threshold": 0.01, "observed": 0.005,
+             "burn_rate": 0.0, "window": 0},
+        ]
+        errors = validate_events(events)
+        assert any("does not exceed threshold" in error for error in errors)
+
+
+class TestMergeLiveSummaries:
+    def split_run(self, chunks, window_s=1.0, slos=()):
+        """The same stream sketched whole vs in per-shard aggregators."""
+        summaries = []
+        for chunk in chunks:
+            agg = LiveAggregator(window_s=window_s, slos=slos)
+            feed(agg, chunk)
+            agg.close()
+            summaries.append(agg.summary())
+        return summaries
+
+    def completions(self, responses, start_rid=0):
+        events = [
+            {"kind": "sim.complete", "t": 0.01 * (i + 1),
+             "rid": start_rid + i, "response": response}
+            for i, response in enumerate(responses)
+        ]
+        events.append(
+            {"kind": "sim.end", "t": 1.0, "completed": len(responses)}
+        )
+        return events
+
+    def test_merge_equals_union_sketch(self):
+        shard_a = [0.001, 0.002, 0.008, 0.020]
+        shard_b = [0.003, 0.015, 0.001]
+        summaries = self.split_run([
+            self.completions(shard_a),
+            self.completions(shard_b, start_rid=100),
+        ])
+        merged = merge_live_summaries(summaries)
+        union = QuantileSketch()
+        union.extend(shard_a + shard_b)
+        assert merged.sketches["all"] == union
+        assert merged.completions == 7
+
+    def test_merge_order_invariant_bytes(self):
+        summaries = self.split_run([
+            self.completions([0.001, 0.004]),
+            self.completions([0.009], start_rid=10),
+            self.completions([0.002, 0.030], start_rid=20),
+        ])
+        forward = merge_live_summaries(summaries)
+        backward = merge_live_summaries(list(reversed(summaries)))
+        assert (
+            json.dumps(forward.to_dict(), sort_keys=True)
+            == json.dumps(backward.to_dict(), sort_keys=True)
+        )
+
+    def test_slo_stats_sum(self):
+        spec = SLOSpec(cls="all", objective=0.5, threshold_s=0.005)
+        summaries = self.split_run(
+            [
+                self.completions([0.001, 0.010]),
+                self.completions([0.020, 0.030], start_rid=10),
+            ],
+            slos=(spec,),
+        )
+        merged = merge_live_summaries(summaries)
+        stats = merged.slo[0]
+        assert stats["completions"] == 4
+        assert stats["bad"] == 3
+        assert stats["burn_rate"] == pytest.approx((3 / 4) / 0.5)
+
+    def test_none_members_skipped(self):
+        summaries = self.split_run([self.completions([0.001])])
+        assert merge_live_summaries([None] + summaries + [None]) is not None
+        assert merge_live_summaries([None, None]) is None
+        assert merge_live_summaries([]) is None

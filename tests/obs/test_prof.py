@@ -1,0 +1,86 @@
+"""Tests for the simulator self-profiler (repro.obs.prof)."""
+
+import pytest
+
+from repro.obs.prof import SUBSYSTEMS, SimProfiler, is_instrumented
+from repro.obs.tracer import RingBufferTracer
+from repro.sim import SimConfig
+
+
+def build(num_requests=800, tracer=None):
+    config = SimConfig(num_requests=num_requests, warmup=0)
+    simulation = config.build_simulation(tracer=tracer)
+    requests = config.build_requests(simulation.device)
+    return simulation, requests
+
+
+class TestInstrumentation:
+    def test_uninstrumented_simulation_has_no_residue(self):
+        simulation, _ = build()
+        assert not is_instrumented(simulation)
+
+    def test_instrument_and_restore(self):
+        simulation, _ = build()
+        profiler = SimProfiler()
+        profiler.instrument(simulation)
+        assert is_instrumented(simulation)
+        profiler.restore()
+        assert not is_instrumented(simulation)
+
+    def test_double_instrument_rejected(self):
+        simulation, _ = build()
+        profiler = SimProfiler().instrument(simulation)
+        with pytest.raises(RuntimeError):
+            profiler.instrument(simulation)
+        profiler.restore()
+
+    def test_profile_restores_after_run(self):
+        simulation, requests = build()
+        result, report = SimProfiler().profile(simulation, requests)
+        assert not is_instrumented(simulation)
+        assert len(result) == 800
+        assert report.total_s > 0
+
+
+class TestAttribution:
+    def test_result_unchanged_by_profiling(self):
+        baseline_sim, requests = build()
+        baseline = baseline_sim.run(list(requests))
+        profiled_sim, _ = build()
+        result, _ = SimProfiler().profile(profiled_sim, list(requests))
+        assert result.percentiles() == baseline.percentiles()
+        assert len(result) == len(baseline)
+
+    def test_every_subsystem_counted(self):
+        simulation, requests = build()
+        _, report = SimProfiler().profile(simulation, requests)
+        assert report.calls["device"] == 800
+        # One pop per dispatch, one add per arrival.
+        assert report.calls["scheduler.add"] == 800
+        assert report.calls["scheduler.pop"] >= 800
+        # Untraced run: the tracing seam is never even wrapped.
+        assert report.calls["tracing"] == 0
+
+    def test_tracing_attributed_when_traced(self):
+        simulation, requests = build(tracer=RingBufferTracer())
+        _, report = SimProfiler().profile(simulation, requests)
+        assert report.calls["tracing"] > 0
+        assert report.self_s["tracing"] > 0
+
+    def test_self_time_sums_to_total(self):
+        simulation, requests = build()
+        _, report = SimProfiler().profile(simulation, requests)
+        attributed = sum(report.self_s.values())
+        assert attributed <= report.total_s + 1e-9
+        assert report.engine_s == pytest.approx(
+            report.total_s - attributed, abs=1e-9
+        )
+
+    def test_report_dict_shape(self):
+        simulation, requests = build()
+        _, report = SimProfiler().profile(simulation, requests)
+        data = report.to_dict()
+        assert set(data["subsystems"]) == set(SUBSYSTEMS)
+        shares = [entry["share"] for entry in data["subsystems"].values()]
+        assert all(0.0 <= share <= 1.0 for share in shares)
+        assert 0.0 <= data["engine_share"] <= 1.0

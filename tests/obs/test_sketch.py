@@ -1,0 +1,180 @@
+"""Property and accuracy tests for the mergeable quantile sketch.
+
+The fleet's bit-identical-across-jobs guarantee leans on the sketch merge
+being an exact commutative monoid over integer state — the hypothesis
+properties here check that algebra directly, and the accuracy tests pin
+the relative-error bound against the exact percentiles of real simulator
+runs on both device models.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
+from repro.sim import SimConfig
+
+
+values = st.floats(
+    min_value=1e-7, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(values, max_size=60)
+
+
+def sketch_of(samples, alpha=DEFAULT_ALPHA):
+    sketch = QuantileSketch(alpha=alpha)
+    sketch.extend(samples)
+    return sketch
+
+
+def canonical(sketch):
+    """Byte-level identity: the sorted-keys JSON of the serialized state."""
+    return json.dumps(sketch.to_dict(), sort_keys=True)
+
+
+class TestBasics:
+    def test_empty(self):
+        sketch = QuantileSketch()
+        assert len(sketch) == 0
+        assert sketch.quantile(0.5) is None
+        assert sketch.mean() is None
+        assert sketch.min is None and sketch.max is None
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=1.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().add(-1e-3)
+
+    def test_mismatched_alpha_merge_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_zero_values_tracked_exactly(self):
+        sketch = sketch_of([0.0, 0.0, 1.0])
+        assert sketch.count == 3
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.min == 0.0
+
+    def test_quantile_endpoints_stay_inside_observed_range(self):
+        sketch = sketch_of([0.003, 0.001, 0.040])
+        low = sketch.quantile(0.0)
+        high = sketch.quantile(1.0)
+        assert 0.001 <= low <= 0.001 * (1 + DEFAULT_ALPHA)
+        assert 0.040 * (1 - DEFAULT_ALPHA) <= high <= 0.040
+
+    def test_round_trip_dict(self):
+        sketch = sketch_of([0.001, 0.005, 0.5, 3.0])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone == sketch
+        assert canonical(clone) == canonical(sketch)
+
+    def test_round_trip_pickle(self):
+        sketch = sketch_of([0.001, 0.005, 0.5])
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone == sketch
+
+    def test_percentiles_keys_match_simulation_result(self):
+        sketch = sketch_of([0.001 * i for i in range(1, 200)])
+        assert set(sketch.percentiles()) == {"p50", "p95", "p99"}
+
+
+class TestMergeAlgebra:
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, a, b):
+        ab = sketch_of(a).merge(sketch_of(b))
+        ba = sketch_of(b).merge(sketch_of(a))
+        assert ab == ba
+        assert canonical(ab) == canonical(ba)
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        left = sketch_of(a).merge(sketch_of(b)).merge(sketch_of(c))
+        right = sketch_of(a).merge(sketch_of(b).merge(sketch_of(c)))
+        assert left == right
+        assert canonical(left) == canonical(right)
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_identity(self, a):
+        merged = sketch_of(a).merge(QuantileSketch())
+        assert merged == sketch_of(a)
+
+    @given(
+        st.lists(value_lists, min_size=2, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shard_order_invariant(self, shards, rng):
+        """Any shard permutation folds to the same bytes — the fleet's
+        jobs-independence guarantee in miniature."""
+        baseline = QuantileSketch.merged(sketch_of(s) for s in shards)
+        shuffled = list(shards)
+        rng.shuffle(shuffled)
+        permuted = QuantileSketch.merged(sketch_of(s) for s in shuffled)
+        assert permuted == baseline
+        assert canonical(permuted) == canonical(baseline)
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_union_stream(self, a, b):
+        """Merging shard sketches == sketching the concatenated stream."""
+        merged = sketch_of(a).merge(sketch_of(b))
+        union = sketch_of(a + b)
+        assert merged == union
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_within_alpha_of_exact_percentile(self, samples):
+        """Estimates track the exact interpolated percentile within alpha."""
+        if not samples:
+            return
+        sketch = sketch_of(samples)
+        alpha = sketch.alpha
+        ordered = sorted(samples)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            estimate = sketch.quantile(q)
+            assert estimate is not None
+            target = q * (len(ordered) - 1)
+            lo = int(target)
+            frac = target - lo
+            exact = ordered[lo]
+            if frac:
+                exact += frac * (ordered[lo + 1] - ordered[lo])
+            assert abs(estimate - exact) <= alpha * exact + 1e-12
+
+
+@pytest.mark.slow
+class TestAccuracyOnSimulatorRuns:
+    """Sketch percentiles vs the exact ones on >= 100k-sample runs."""
+
+    @pytest.mark.parametrize("device,rate", [("mems", 900.0), ("disk", 120.0)])
+    def test_percentiles_within_one_percent(self, device, rate):
+        config = SimConfig(
+            device=device,
+            rate=rate,
+            num_requests=100_000,
+            warmup=0,
+            max_queue_depth=100_000,
+            seed=7,
+        )
+        result = config.run()
+        responses = [record.response_time for record in result.records]
+        assert len(responses) >= 100_000
+        sketch = sketch_of(responses)
+        exact = result.percentiles()
+        estimated = sketch.percentiles()
+        for key in ("p50", "p95", "p99"):
+            rel = abs(estimated[key] - exact[key]) / exact[key]
+            assert rel <= 0.01, (
+                f"{device} {key}: sketch {estimated[key]} vs exact "
+                f"{exact[key]} ({rel:.4%} relative error)"
+            )
